@@ -1,0 +1,193 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per table
+// (I–VI) and per figure (1, 2–5). Each benchmark executes the harness
+// experiment at a reduced scale and reports, besides the usual ns/op, the
+// quantities the paper's tables are about as custom metrics:
+//
+//	vsec        virtual seconds of simulated-cluster makespan
+//	speedup     virtual-time speedup of the largest client count vs 1
+//	rr_over_lm  Round-Robin time divided by Last-Minute time (table VI;
+//	            > 1 means Last-Minute wins, the paper's claim)
+//
+// Absolute virtual times depend on the scaling calibration (see
+// DESIGN.md §2); shapes — speedups, ratios — are the reproduction targets.
+// Run with: go test -bench=. -benchmem
+package pnmcs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/morpion"
+	"repro/internal/mpi"
+	"repro/internal/parallel"
+)
+
+// benchPreset is the reduced campaign used by the table benchmarks: 4D at
+// levels 2/3 (standing in for the paper's 5D at 3/4), client counts 1, 8
+// and 64, one seed per cell.
+func benchPreset() harness.Preset {
+	return harness.Preset{
+		Scale: harness.ScaleCI, Variant: morpion.Var4D,
+		LevelLo: 2, LevelHi: 3,
+		CountsLo: []int{1, 8, 64},
+		SeedsLo:  1,
+		JobScale: 8000, UnitCost: mpi.DefaultUnitCost,
+		Medians: parallel.PaperMedians, Fig1Level: 1,
+	}
+}
+
+// reportSpeedup attaches the 64-vs-1 speedup of a table's measurements.
+func reportSpeedup(b *testing.B, ms []*harness.Measurement, level int) {
+	b.Helper()
+	if sp := harness.Speedup(ms, level, 1, 64); sp > 0 {
+		b.ReportMetric(sp, "speedup")
+	}
+}
+
+// reportVsec attaches the virtual time of the largest-cluster cell.
+func reportVsec(b *testing.B, ms []*harness.Measurement, clients int) {
+	b.Helper()
+	for _, m := range ms {
+		if m.Clients == clients {
+			b.ReportMetric(m.Times.MeanDuration().Seconds(), "vsec")
+			return
+		}
+	}
+}
+
+// BenchmarkTableI regenerates table I: sequential first-move and rollout
+// times at the low level (the high level is a lab-scale run; see
+// cmd/experiments -scale lab).
+func BenchmarkTableI_Sequential(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.SequentialTimes(p, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII regenerates table II: Round-Robin first-move times
+// against client count.
+func BenchmarkTableII_RoundRobinFirstMove(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.FirstMoveRoundRobin(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, res.Measurements, p.LevelLo)
+		reportVsec(b, res.Measurements, 64)
+	}
+}
+
+// BenchmarkTableIII regenerates table III: Round-Robin rollout (full game)
+// times. Full games are ~25x a first move, so this sweeps a single client
+// count per iteration.
+func BenchmarkTableIII_RoundRobinRollout(b *testing.B) {
+	p := benchPreset()
+	p.CountsLo = []int{64}
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RolloutRoundRobin(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportVsec(b, res.Measurements, 64)
+	}
+}
+
+// BenchmarkTableIV regenerates table IV: Last-Minute first-move times.
+func BenchmarkTableIV_LastMinuteFirstMove(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.FirstMoveLastMinute(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, res.Measurements, p.LevelLo)
+		reportVsec(b, res.Measurements, 64)
+	}
+}
+
+// BenchmarkTableV regenerates table V: Last-Minute rollout times.
+func BenchmarkTableV_LastMinuteRollout(b *testing.B) {
+	p := benchPreset()
+	p.CountsLo = []int{64}
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RolloutLastMinute(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportVsec(b, res.Measurements, 64)
+	}
+}
+
+// BenchmarkTableVI regenerates table VI: first-move times on the
+// heterogeneous layouts, reporting how much slower Round-Robin is than
+// Last-Minute (the paper's LM-wins claim holds when rr_over_lm > 1).
+func BenchmarkTableVI_Heterogeneous(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Heterogeneous(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var lm, rr time.Duration
+		for _, m := range res.Measurements {
+			if m.Spec == "16x4+16x2" {
+				switch m.Algo {
+				case parallel.LastMinute:
+					lm = m.Times.MeanDuration()
+				case parallel.RoundRobin:
+					rr = m.Times.MeanDuration()
+				}
+			}
+		}
+		if lm > 0 {
+			b.ReportMetric(float64(rr)/float64(lm), "rr_over_lm")
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the figure-1 analogue: a sequential 5D
+// search rendering the best grid found, reporting its score.
+func BenchmarkFigure1_RecordGrid(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		out, err := harness.Figure1(p, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFigures2to5 regenerates the protocol figures: traced runs of
+// both dispatchers, validated against the paper's communication diagrams.
+func BenchmarkFigures2to5_Protocol(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.ProtocolFigures(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWallCluster measures the native-goroutine transport on real
+// cores (the actual-speedup path; virtual benchmarks above measure the
+// simulated cluster).
+func BenchmarkWallCluster_FirstMove(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := parallel.Config{
+			Algo: parallel.LastMinute, Level: 2,
+			Root: morpion.New(morpion.Var4D), Seed: uint64(i) + 1,
+			Memorize: true, FirstMoveOnly: true,
+		}
+		if _, err := parallel.RunWall(4, 16, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

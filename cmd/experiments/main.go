@@ -1,0 +1,180 @@
+// Command experiments regenerates the paper's evaluation: tables I–VI and
+// the figures, at a configurable scale.
+//
+// Usage:
+//
+//	experiments -scale ci            # all tables + figures, ~minutes
+//	experiments -scale lab           # adds the level-hi rows, ~tens of minutes
+//	experiments -table II            # a single table
+//	experiments -fig 1               # a single figure
+//	experiments -summary             # headline quantities only
+//
+// The "paper" scale describes the full-size 5D level-3/4 campaign; it is
+// refused without -force because the sequential level-4 baseline alone is
+// ~10 days of CPU in the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		scale     = flag.String("scale", "ci", "experiment scale: ci, lab or paper")
+		table     = flag.String("table", "", "regenerate one table: I, II, III, IV, V or VI (default: all)")
+		fig       = flag.String("fig", "", "regenerate figures: 1 or 2 (2 covers the protocol figures 2-5)")
+		summary   = flag.Bool("summary", false, "print only the headline summary (runs tables II, IV, VI)")
+		ablation  = flag.Bool("ablations", false, "run the ablation studies (dispatcher policy, median pool, memorization)")
+		extension = flag.Bool("extensions", false, "run the extension experiments (score amplification by level)")
+		jsonPath  = flag.String("json", "", "additionally export table measurements as JSON to this file")
+		seed      = flag.Uint64("seed", 7, "seed for the figure-1 record hunt")
+		force     = flag.Bool("force", false, "allow the full paper-scale campaign")
+	)
+	flag.Parse()
+
+	p := harness.PresetFor(harness.Scale(*scale))
+	if p.Scale == harness.ScalePaper && !*force {
+		fmt.Fprintln(os.Stderr, "experiments: the paper scale replays 5D levels 3-4 (the paper's")
+		fmt.Fprintln(os.Stderr, "sequential level-4 baseline alone took ~10 days of CPU); pass -force")
+		fmt.Fprintln(os.Stderr, "to run it anyway, or use -scale ci / -scale lab.")
+		os.Exit(2)
+	}
+
+	if err := run(p, *table, *fig, *summary, *ablation, *extension, *jsonPath, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(p harness.Preset, table, fig string, summaryOnly, ablations, extensions bool, jsonPath string, seed uint64) error {
+	if ablations {
+		return runAblations(p)
+	}
+	if extensions {
+		res, err := harness.ScoreByLevel(p, 2, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Rendered)
+		return nil
+	}
+	if fig != "" {
+		return runFigure(p, fig, seed)
+	}
+	if table != "" {
+		return runTable(p, table, jsonPath)
+	}
+	if summaryOnly {
+		return runSummary(p)
+	}
+	// Full campaign: every table, every figure, then the summary.
+	for _, id := range []string{"I", "II", "III", "IV", "V", "VI"} {
+		if err := runTable(p, id, jsonPath); err != nil {
+			return err
+		}
+	}
+	if err := runFigure(p, "2", seed); err != nil {
+		return err
+	}
+	if err := runFigure(p, "1", seed); err != nil {
+		return err
+	}
+	return runSummary(p)
+}
+
+func runTable(p harness.Preset, id string, jsonPath string) error {
+	var res harness.TableResult
+	var err error
+	switch strings.ToUpper(id) {
+	case "I":
+		res, err = harness.SequentialTimes(p, p.SeedsLo)
+	case "II":
+		res, err = harness.FirstMoveRoundRobin(p)
+	case "III":
+		res, err = harness.RolloutRoundRobin(p)
+	case "IV":
+		res, err = harness.FirstMoveLastMinute(p)
+	case "V":
+		res, err = harness.RolloutLastMinute(p)
+	case "VI":
+		res, err = harness.Heterogeneous(p)
+	default:
+		return fmt.Errorf("unknown table %q (want I..VI)", id)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Rendered)
+	if jsonPath != "" && len(res.Measurements) > 0 {
+		f, err := os.OpenFile(jsonPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := harness.ExportJSON(f, p, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFigure(p harness.Preset, id string, seed uint64) error {
+	switch id {
+	case "1":
+		out, err := harness.Figure1(p, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	case "2", "3", "4", "5":
+		out, err := harness.ProtocolFigures(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	default:
+		return fmt.Errorf("unknown figure %q (want 1..5)", id)
+	}
+	return nil
+}
+
+func runAblations(p harness.Preset) error {
+	disp, _, err := harness.DispatcherAblation(p)
+	if err != nil {
+		return err
+	}
+	fmt.Println(disp.Rendered)
+	med, _, err := harness.MedianAblation(p, []int{2, 8, 40, 80})
+	if err != nil {
+		return err
+	}
+	fmt.Println(med.Rendered)
+	mem, err := harness.MemorizationAblation(p, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Println(mem.Rendered)
+	return nil
+}
+
+func runSummary(p harness.Preset) error {
+	tII, err := harness.FirstMoveRoundRobin(p)
+	if err != nil {
+		return err
+	}
+	tIV, err := harness.FirstMoveLastMinute(p)
+	if err != nil {
+		return err
+	}
+	tVI, err := harness.Heterogeneous(p)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.SummaryText(p, tII, tIV, tVI))
+	return nil
+}

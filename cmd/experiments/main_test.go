@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/morpion"
+	"repro/internal/parallel"
+)
+
+// testPreset is a minimal campaign so the command paths run in seconds.
+func testPreset() harness.Preset {
+	return harness.Preset{
+		Scale: harness.ScaleCI, Variant: morpion.Var4D,
+		LevelLo: 2, LevelHi: 3,
+		CountsLo: []int{1, 4},
+		SeedsLo:  1,
+		JobScale: 4000, UnitCost: 5 * time.Microsecond,
+		Medians: 16, Fig1Level: 1,
+	}
+}
+
+func TestRunSingleTable(t *testing.T) {
+	for _, id := range []string{"I", "II", "VI"} {
+		if err := run(testPreset(), id, "", false, false, false, "", 1); err != nil {
+			t.Fatalf("table %s: %v", id, err)
+		}
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	if err := run(testPreset(), "", "2", false, false, false, "", 1); err != nil {
+		t.Fatalf("protocol figures: %v", err)
+	}
+	if err := run(testPreset(), "", "1", false, false, false, "", 1); err != nil {
+		t.Fatalf("figure 1: %v", err)
+	}
+}
+
+func TestRunSummary(t *testing.T) {
+	if err := run(testPreset(), "", "", true, false, false, "", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSONExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := run(testPreset(), "II", "", false, false, false, path, 1); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c, err := harness.ImportJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Cells) == 0 {
+		t.Fatal("no cells exported")
+	}
+	if c.Cells[0].Algorithm != parallel.RoundRobin.String() {
+		t.Fatalf("wrong algorithm in export: %q", c.Cells[0].Algorithm)
+	}
+}
+
+func TestRunUnknownTableAndFigure(t *testing.T) {
+	if err := run(testPreset(), "IX", "", false, false, false, "", 1); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if err := run(testPreset(), "", "9", false, false, false, "", 1); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}

@@ -1,0 +1,163 @@
+// Command morpion is a utility for the Morpion Solitaire domain: verify
+// and render recorded sequences, play random games, and list the known
+// records discussed in the paper.
+//
+//	morpion -records                          # known record scores
+//	morpion -variant 5D -random -seed 3       # play and draw a random game
+//	morpion -variant 5D -verify seq.txt       # validate a recorded sequence
+//	morpion -variant 5D -render seq.txt       # draw a recorded sequence
+//	morpion -archive best.txt -add seq.txt    # merge a sequence into an archive
+//	morpion -archive best.txt -list           # show an archive, best first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/game"
+	"repro/internal/morpion"
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		variant = flag.String("variant", "5D", "variant: 5T, 5D, 4T or 4D")
+		records = flag.Bool("records", false, "list known records")
+		random  = flag.Bool("random", false, "play one random game")
+		seed    = flag.Uint64("seed", 1, "seed for -random")
+		verify  = flag.String("verify", "", "file with a sequence to validate")
+		render  = flag.String("render", "", "file with a sequence to draw")
+		archive = flag.String("archive", "", "archive file for -add / -list")
+		add     = flag.String("add", "", "sequence file to merge into -archive")
+		list    = flag.Bool("list", false, "list the -archive contents")
+	)
+	flag.Parse()
+
+	if *archive != "" {
+		if err := runArchive(*variant, *archive, *add, *list); err != nil {
+			fmt.Fprintln(os.Stderr, "morpion:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := run(*variant, *records, *random, *seed, *verify, *render); err != nil {
+		fmt.Fprintln(os.Stderr, "morpion:", err)
+		os.Exit(1)
+	}
+}
+
+// runArchive maintains a record archive: sequences are validated and
+// deduplicated up to the symmetry group of the cross before being stored.
+func runArchive(variant, path, add string, list bool) error {
+	v, err := morpion.VariantByName(variant)
+	if err != nil {
+		return err
+	}
+	arch := morpion.NewArchive(v)
+	if f, err := os.Open(path); err == nil {
+		arch, err = morpion.LoadArchive(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if arch.Variant().Name != v.Name {
+			return fmt.Errorf("archive %s holds %s sequences, not %s", path, arch.Variant().Name, v.Name)
+		}
+	}
+
+	if add != "" {
+		data, err := os.ReadFile(add)
+		if err != nil {
+			return err
+		}
+		added, err := arch.AddText(string(data), add)
+		if err != nil {
+			return err
+		}
+		if added {
+			fmt.Println("added (new up to symmetry)")
+		} else {
+			fmt.Println("already present (equivalent up to symmetry)")
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return arch.Save(f)
+	}
+
+	if list {
+		if arch.Len() == 0 {
+			fmt.Println("archive is empty")
+			return nil
+		}
+		for _, e := range arch.Entries() {
+			fmt.Printf("%3d  %-20s %.60s...\n", e.Score, e.Label, e.Sequence)
+		}
+		return nil
+	}
+	return fmt.Errorf("pass -add or -list with -archive")
+}
+
+func run(variant string, records, random bool, seed uint64, verify, render string) error {
+	if records {
+		for _, r := range morpion.KnownRecords {
+			fmt.Printf("%-3s %3d  %-60s %d\n", r.Variant, r.Score, r.Holder, r.Year)
+		}
+		return nil
+	}
+
+	v, err := morpion.VariantByName(variant)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case random:
+		st := morpion.New(v)
+		r := rng.New(seed)
+		var buf []game.Move
+		for !st.Terminal() {
+			buf = st.LegalMoves(buf[:0])
+			st.Play(buf[r.Intn(len(buf))])
+		}
+		text, err := morpion.FormatSequence(v, st.Sequence())
+		if err != nil {
+			return err
+		}
+		fmt.Println(st.Render())
+		fmt.Println("sequence:", text)
+		return nil
+
+	case verify != "":
+		data, err := os.ReadFile(verify)
+		if err != nil {
+			return err
+		}
+		st, err := morpion.ParseSequence(v, string(data))
+		if err != nil {
+			return fmt.Errorf("sequence invalid: %w", err)
+		}
+		fmt.Printf("sequence valid: %d moves on %s (best known: %d)\n",
+			st.MovesPlayed(), v.Name, morpion.BestKnown(v.Name))
+		return nil
+
+	case render != "":
+		data, err := os.ReadFile(render)
+		if err != nil {
+			return err
+		}
+		st, err := morpion.ParseSequence(v, string(data))
+		if err != nil {
+			return err
+		}
+		fmt.Println(st.Render())
+		return nil
+
+	default:
+		return fmt.Errorf("nothing to do: pass -records, -random, -verify or -render")
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/morpion"
+	"repro/internal/rng"
+)
+
+func TestRunRecords(t *testing.T) {
+	if err := run("5D", true, false, 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRandom(t *testing.T) {
+	if err := run("4D", false, true, 7, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerifyAndRender(t *testing.T) {
+	// Generate a legal sequence, write it to a file, verify and render it.
+	st := morpion.New(morpion.Var4D)
+	r := rng.New(3)
+	var buf []game.Move
+	for !st.Terminal() {
+		buf = st.LegalMoves(buf[:0])
+		st.Play(buf[r.Intn(len(buf))])
+	}
+	text, err := morpion.FormatSequence(morpion.Var4D, st.Sequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "seq.txt")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("4D", false, false, 0, path, ""); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := run("4D", false, false, 0, "", path); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("9Z", false, true, 0, "", ""); err == nil {
+		t.Error("bad variant accepted")
+	}
+	if err := run("5D", false, false, 0, "", ""); err == nil {
+		t.Error("no action accepted")
+	}
+	if err := run("5D", false, false, 0, "/nonexistent/file", ""); err == nil {
+		t.Error("missing file accepted")
+	}
+	// A syntactically valid but illegal sequence must fail verification.
+	path := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(path, []byte("0,0:E:0"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("5D", false, false, 0, path, ""); err == nil {
+		t.Error("illegal sequence verified")
+	}
+}
+
+func TestRunArchive(t *testing.T) {
+	dir := t.TempDir()
+	arch := filepath.Join(dir, "best.txt")
+
+	// Two random games; add both, then re-add the first (duplicate).
+	for i, seed := range []uint64{3, 4, 3} {
+		st := morpion.New(morpion.Var4D)
+		r := rng.New(seed)
+		var buf []game.Move
+		for !st.Terminal() {
+			buf = st.LegalMoves(buf[:0])
+			st.Play(buf[r.Intn(len(buf))])
+		}
+		text, err := morpion.FormatSequence(morpion.Var4D, st.Sequence())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqFile := filepath.Join(dir, "seq.txt")
+		if err := os.WriteFile(seqFile, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := runArchive("4D", arch, seqFile, false); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	// The archive must hold exactly two distinct games.
+	f, err := os.Open(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loaded, err := morpion.LoadArchive(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("archive holds %d entries, want 2", loaded.Len())
+	}
+	if err := runArchive("4D", arch, "", true); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if err := runArchive("4D", arch, "", false); err == nil {
+		t.Fatal("archive without action accepted")
+	}
+}

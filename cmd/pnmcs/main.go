@@ -1,0 +1,118 @@
+// Command pnmcs runs nested Monte-Carlo searches, sequential or parallel,
+// on the Morpion Solitaire variants.
+//
+// Sequential search (the paper's §III):
+//
+//	pnmcs -mode seq -variant 5D -level 2 -seed 1
+//
+// Parallel search on a simulated cluster (the paper's §IV; deterministic
+// virtual makespan):
+//
+//	pnmcs -mode virtual -algo LM -clients 64 -level 3 -variant 4D
+//
+// Parallel search natively on goroutines:
+//
+//	pnmcs -mode wall -algo RR -clients 8 -level 2 -variant 4D
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	pnmcs "repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "seq", "seq, virtual or wall")
+		variant   = flag.String("variant", "5D", "Morpion variant: 5T, 5D, 4T or 4D")
+		level     = flag.Int("level", 2, "nesting level (parallel modes need >= 2)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		algoName  = flag.String("algo", "LM", "dispatcher for parallel modes: RR or LM")
+		clients   = flag.Int("clients", 64, "client count for parallel modes")
+		medians   = flag.Int("medians", pnmcs.PaperMedians, "median process count")
+		firstMove = flag.Bool("first-move", false, "stop after the first move (parallel modes)")
+		jobScale  = flag.Int64("jobscale", 8000, "virtual client work multiplier (virtual mode)")
+		render    = flag.Bool("render", true, "draw the final grid")
+	)
+	flag.Parse()
+
+	if err := run(*mode, *variant, *level, *seed, *algoName, *clients, *medians, *firstMove, *jobScale, *render); err != nil {
+		fmt.Fprintln(os.Stderr, "pnmcs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mode, variant string, level int, seed uint64, algoName string, clients, medians int, firstMove bool, jobScale int64, render bool) error {
+	v, err := pnmcs.MorpionVariantByName(variant)
+	if err != nil {
+		return err
+	}
+
+	var algo pnmcs.Algorithm
+	switch algoName {
+	case "RR":
+		algo = pnmcs.RoundRobin
+	case "LM":
+		algo = pnmcs.LastMinute
+	default:
+		return fmt.Errorf("unknown algorithm %q (want RR or LM)", algoName)
+	}
+
+	switch mode {
+	case "seq":
+		searcher := pnmcs.NewSearcher(pnmcs.NewRand(seed), pnmcs.DefaultSearchOptions())
+		start := time.Now()
+		res := searcher.Nested(pnmcs.NewMorpion(v), level)
+		elapsed := time.Since(start)
+		fmt.Printf("sequential NMCS level %d on %s: score %.0f in %s (%d playouts)\n",
+			level, v.Name, res.Score, stats.FormatDuration(elapsed), searcher.Stats().Playouts)
+		if render {
+			grid, err := pnmcs.RenderMorpionSequence(v, res.Sequence)
+			if err != nil {
+				return err
+			}
+			fmt.Println(grid)
+		}
+		return nil
+
+	case "virtual", "wall":
+		cfg := pnmcs.ParallelConfig{
+			Algo: algo, Level: level, Root: pnmcs.NewMorpion(v),
+			Seed: seed, Memorize: true, FirstMoveOnly: firstMove,
+			JobScale: jobScale,
+		}
+		var res pnmcs.ParallelResult
+		if mode == "virtual" {
+			res, err = pnmcs.RunVirtual(pnmcs.Homogeneous(clients), cfg,
+				pnmcs.VirtualOptions{Medians: medians})
+		} else {
+			cfg.JobScale = 1
+			res, err = pnmcs.RunWall(clients, medians, cfg)
+		}
+		if err != nil {
+			return err
+		}
+		what := "rollout"
+		if firstMove {
+			what = "first move"
+		}
+		fmt.Printf("parallel NMCS (%v) level %d on %s, %d clients: %s score %.0f, time %s, %d client jobs\n",
+			algo, level, v.Name, clients, what, res.Score,
+			stats.FormatDuration(res.Elapsed), res.Jobs)
+		if render && !firstMove {
+			grid, err := pnmcs.RenderMorpionSequence(v, res.Sequence)
+			if err != nil {
+				return err
+			}
+			fmt.Println(grid)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown mode %q (want seq, virtual or wall)", mode)
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunSequential(t *testing.T) {
+	if err := run("seq", "4D", 1, 1, "LM", 0, 0, false, 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVirtualFirstMove(t *testing.T) {
+	if err := run("virtual", "4D", 2, 1, "RR", 8, 16, true, 100, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWallFirstMove(t *testing.T) {
+	if err := run("wall", "4D", 2, 1, "LM", 2, 8, true, 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithRendering(t *testing.T) {
+	if err := run("seq", "4D", 1, 2, "LM", 0, 0, false, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("seq", "9Z", 1, 1, "LM", 0, 0, false, 1, false); err == nil {
+		t.Error("bad variant accepted")
+	}
+	if err := run("warp", "4D", 1, 1, "LM", 0, 0, false, 1, false); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if err := run("seq", "4D", 1, 1, "XX", 0, 0, false, 1, false); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if err := run("virtual", "4D", 1, 1, "RR", 4, 8, true, 1, false); err == nil {
+		t.Error("level 1 parallel accepted")
+	}
+}

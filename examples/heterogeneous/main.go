@@ -1,0 +1,56 @@
+// Heterogeneous clusters: Last-Minute vs Round-Robin — the table-VI
+// analogue.
+//
+// The paper's second contribution is the Last-Minute dispatcher, which
+// outperforms Round-Robin when client nodes have unequal speeds. This
+// example reproduces that comparison on the simulated versions of the
+// paper's unbalanced layouts (16 PCs hosting 4 clients each on two cores —
+// so those clients run at half speed — plus 16 PCs hosting 2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	pnmcs "repro"
+)
+
+func main() {
+	level := flag.Int("level", 2, "nesting level")
+	seed := flag.Uint64("seed", 11, "random seed")
+	flag.Parse()
+
+	specs := []pnmcs.ClusterSpec{pnmcs.Hetero16x4p16x2(), pnmcs.Hetero8x4p8x2()}
+	algos := []pnmcs.Algorithm{pnmcs.LastMinute, pnmcs.RoundRobin}
+
+	fmt.Println("first-move times on heterogeneous clusters (virtual makespan):")
+	fmt.Println()
+	fmt.Printf("%-12s %-4s %-14s %s\n", "clients", "alg", "time", "client utilization")
+	for _, spec := range specs {
+		var lmTime float64
+		for _, algo := range algos {
+			res, err := pnmcs.RunVirtual(spec, pnmcs.ParallelConfig{
+				Algo: algo, Level: *level, Root: pnmcs.NewMorpion(pnmcs.Var4D),
+				Seed: *seed, Memorize: true, FirstMoveOnly: true, JobScale: 8000,
+			}, pnmcs.VirtualOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Mean client utilization: busy time over makespan.
+			var busy float64
+			for _, b := range res.ClientBusy {
+				busy += b.Seconds()
+			}
+			util := busy / (res.Elapsed.Seconds() * float64(len(res.ClientBusy)))
+			fmt.Printf("%-12s %-4v %-14v %.0f%%\n", spec.Name, algo, res.Elapsed.Round(1e9), util*100)
+			if algo == pnmcs.LastMinute {
+				lmTime = res.Elapsed.Seconds()
+			} else if lmTime > 0 {
+				fmt.Printf("%-12s      Last-Minute is %.2fx faster\n", "", res.Elapsed.Seconds()/lmTime)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper (table VI, level 4, 16x4+16x2): LM 28m37s vs RR 45m17s — LM 1.58x faster")
+}

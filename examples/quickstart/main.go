@@ -1,0 +1,39 @@
+// Quickstart: run sequential nested Monte-Carlo search on Morpion
+// Solitaire and then the paper's parallel search on a simulated 64-client
+// cluster, in ~20 lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pnmcs "repro"
+)
+
+func main() {
+	// Sequential NMCS (the paper's §III): a level-1 search on the paper's
+	// 5D variant. Higher levels search dramatically better and cost
+	// dramatically more (paper table I).
+	searcher := pnmcs.NewSearcher(pnmcs.NewRand(42), pnmcs.DefaultSearchOptions())
+	seq := searcher.Nested(pnmcs.NewMorpion(pnmcs.Var5D), 1)
+	fmt.Printf("sequential level-1 NMCS on 5D: %d moves\n", int(seq.Score))
+
+	// Parallel NMCS (the paper's §IV) on a simulated version of the
+	// paper's 64-client cluster, with the Last-Minute dispatcher. The
+	// makespan is virtual time on the simulated hardware — deterministic
+	// and independent of this machine's core count.
+	res, err := pnmcs.RunVirtual(pnmcs.PaperCluster(), pnmcs.ParallelConfig{
+		Algo:          pnmcs.LastMinute,
+		Level:         2,
+		Root:          pnmcs.NewMorpion(pnmcs.Var4D), // the fast variant for the demo
+		Seed:          42,
+		Memorize:      true,
+		FirstMoveOnly: true,
+		JobScale:      8000, // restore the paper's job granularity (see DESIGN.md)
+	}, pnmcs.VirtualOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parallel first move on 64 simulated clients: score %d, virtual time %v, %d client rollouts\n",
+		int(res.Score), res.Elapsed.Round(1e9), res.Jobs)
+}

@@ -1,0 +1,202 @@
+// Package cluster models the paper's experimental testbeds: which physical
+// node hosts which process, how fast each node is, and how ranks are laid
+// out in the message-passing world.
+//
+// The paper's cluster (§V) is 20 dual-core 1.86 GHz PCs plus 12 dual-core
+// 2.33 GHz PCs plus one quad-core server, Gigabit Ethernet, two client
+// processes per PC (64 clients), with the root, the 40 median processes and
+// the dispatcher all on the server. Table VI additionally uses deliberately
+// unbalanced layouts (16×4+16×2 and 8×4+8×2 clients per PC) to show the
+// Last-Minute dispatcher's advantage on heterogeneous clusters.
+//
+// Speeds are expressed relative to the 1.86 GHz reference node, the same
+// normalization the paper uses for its r = 1.09 frequency correction.
+// Running c clients on an n-core PC scales each client by n/c when
+// oversubscribed, which is what makes the 16×4+16×2 layout heterogeneous
+// even before the GHz mix.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// ReferenceGHz is the paper's baseline node frequency.
+const ReferenceGHz = 1.86
+
+// Node is one physical machine hosting client processes.
+type Node struct {
+	GHz     float64
+	Cores   int
+	Clients int // client processes placed on this node
+}
+
+// clientSpeed returns the relative speed of each client on the node.
+func (n Node) clientSpeed() float64 {
+	s := n.GHz / ReferenceGHz
+	if n.Clients > n.Cores {
+		s *= float64(n.Cores) / float64(n.Clients)
+	}
+	return s
+}
+
+// Spec describes a whole testbed: the server (root + medians + dispatcher)
+// and the client-hosting nodes.
+type Spec struct {
+	Name string
+	// ServerSpeed is the relative speed of the processes hosted on the
+	// server. Root, medians and dispatcher do little computation (§IV:
+	// "they are not used for long computation"), so this mostly affects
+	// bookkeeping overhead.
+	ServerSpeed float64
+	Nodes       []Node
+}
+
+// NumClients returns the total number of client processes.
+func (s Spec) NumClients() int {
+	n := 0
+	for _, nd := range s.Nodes {
+		n += nd.Clients
+	}
+	return n
+}
+
+// ClientSpeeds returns one relative speed per client process, in node
+// order.
+func (s Spec) ClientSpeeds() []float64 {
+	var out []float64
+	for _, nd := range s.Nodes {
+		sp := nd.clientSpeed()
+		for i := 0; i < nd.Clients; i++ {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// MeanSpeed returns the average client speed: the paper's frequency ratio
+// r (§V reports r = 1.09 for the 64-client mix).
+func (s Spec) MeanSpeed() float64 {
+	speeds := s.ClientSpeeds()
+	if len(speeds) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range speeds {
+		sum += v
+	}
+	return sum / float64(len(speeds))
+}
+
+// Homogeneous builds a testbed of n clients, one per core, on 1.86 GHz
+// dual-core PCs — the configuration of the paper's speedup sweeps where
+// "the result for 32 clients is obtained using only 1.86 GHz PCs".
+func Homogeneous(nClients int) Spec {
+	if nClients < 1 {
+		panic("cluster: need at least one client")
+	}
+	var nodes []Node
+	remaining := nClients
+	for remaining > 0 {
+		c := 2
+		if remaining < 2 {
+			c = remaining
+		}
+		nodes = append(nodes, Node{GHz: ReferenceGHz, Cores: 2, Clients: c})
+		remaining -= c
+	}
+	return Spec{
+		Name:        fmt.Sprintf("homogeneous-%d", nClients),
+		ServerSpeed: 1.25,
+		Nodes:       nodes,
+	}
+}
+
+// Paper64 is the full 64-client cluster of §V: 20×1.86 GHz + 12×2.33 GHz
+// dual-core PCs, two clients per PC.
+func Paper64() Spec {
+	var nodes []Node
+	for i := 0; i < 20; i++ {
+		nodes = append(nodes, Node{GHz: 1.86, Cores: 2, Clients: 2})
+	}
+	for i := 0; i < 12; i++ {
+		nodes = append(nodes, Node{GHz: 2.33, Cores: 2, Clients: 2})
+	}
+	return Spec{Name: "paper-64", ServerSpeed: 1.25, Nodes: nodes}
+}
+
+// Hetero16x4p16x2 is Table VI's "16x4+16x2" layout: 16 PCs hosting 4
+// clients each (oversubscribed dual cores, so those clients run at half
+// speed) and 16 PCs hosting 2. The GHz mix follows the pool order of the
+// paper's cluster: the 4-client PCs are drawn from the 1.86 GHz machines,
+// the 2-client PCs use the remaining 4×1.86 + 12×2.33.
+func Hetero16x4p16x2() Spec {
+	var nodes []Node
+	for i := 0; i < 16; i++ {
+		nodes = append(nodes, Node{GHz: 1.86, Cores: 2, Clients: 4})
+	}
+	for i := 0; i < 4; i++ {
+		nodes = append(nodes, Node{GHz: 1.86, Cores: 2, Clients: 2})
+	}
+	for i := 0; i < 12; i++ {
+		nodes = append(nodes, Node{GHz: 2.33, Cores: 2, Clients: 2})
+	}
+	return Spec{Name: "16x4+16x2", ServerSpeed: 1.25, Nodes: nodes}
+}
+
+// Hetero8x4p8x2 is Table VI's "8x4+8x2" layout: 8 PCs with 4 clients and 8
+// PCs with 2 clients.
+func Hetero8x4p8x2() Spec {
+	var nodes []Node
+	for i := 0; i < 8; i++ {
+		nodes = append(nodes, Node{GHz: 1.86, Cores: 2, Clients: 4})
+	}
+	for i := 0; i < 8; i++ {
+		nodes = append(nodes, Node{GHz: 1.86, Cores: 2, Clients: 2})
+	}
+	return Spec{Name: "8x4+8x2", ServerSpeed: 1.25, Nodes: nodes}
+}
+
+// Layout is the rank assignment of a world: rank 0 is the root, rank 1 the
+// dispatcher, then the medians, then the clients — mirroring the paper's
+// master-slave process creation with the server hosting root, medians and
+// dispatcher.
+type Layout struct {
+	Root       mpi.Rank
+	Dispatcher mpi.Rank
+	Medians    []mpi.Rank
+	Clients    []mpi.Rank
+	// Speeds has one entry per rank, for mpi.VirtualConfig.
+	Speeds []float64
+}
+
+// Layout materializes the rank map for the spec with the given number of
+// median processes (the paper runs 40 on the server).
+func (s Spec) Layout(medians int) Layout {
+	if medians < 1 {
+		panic("cluster: need at least one median")
+	}
+	clients := s.ClientSpeeds()
+	if len(clients) == 0 {
+		panic("cluster: spec has no clients")
+	}
+	l := Layout{Root: 0, Dispatcher: 1}
+	speeds := []float64{s.ServerSpeed, s.ServerSpeed}
+	next := mpi.Rank(2)
+	for i := 0; i < medians; i++ {
+		l.Medians = append(l.Medians, next)
+		speeds = append(speeds, s.ServerSpeed)
+		next++
+	}
+	for _, cs := range clients {
+		l.Clients = append(l.Clients, next)
+		speeds = append(speeds, cs)
+		next++
+	}
+	l.Speeds = speeds
+	return l
+}
+
+// Size returns the world size of the layout.
+func (l Layout) Size() int { return len(l.Speeds) }

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHomogeneous(t *testing.T) {
+	s := Homogeneous(64)
+	if s.NumClients() != 64 {
+		t.Fatalf("clients = %d", s.NumClients())
+	}
+	for i, sp := range s.ClientSpeeds() {
+		if sp != 1.0 {
+			t.Fatalf("client %d speed %v, want 1.0 (reference node)", i, sp)
+		}
+	}
+	if s.MeanSpeed() != 1.0 {
+		t.Fatalf("mean speed %v", s.MeanSpeed())
+	}
+}
+
+func TestHomogeneousOddCount(t *testing.T) {
+	s := Homogeneous(5)
+	if s.NumClients() != 5 {
+		t.Fatalf("clients = %d", s.NumClients())
+	}
+	// Last node hosts a single client; still full speed.
+	for _, sp := range s.ClientSpeeds() {
+		if sp != 1.0 {
+			t.Fatalf("speed %v", sp)
+		}
+	}
+}
+
+func TestPaper64MatchesPaperRatio(t *testing.T) {
+	// §V: r = ((20×1.86 + 12×2.33)/32)/1.86 = 1.09.
+	s := Paper64()
+	if s.NumClients() != 64 {
+		t.Fatalf("paper cluster has %d clients, want 64", s.NumClients())
+	}
+	want := ((20*1.86 + 12*2.33) / 32) / 1.86
+	if math.Abs(s.MeanSpeed()-want) > 1e-9 {
+		t.Fatalf("mean speed %v, want %v", s.MeanSpeed(), want)
+	}
+	if math.Abs(want-1.0947580645161292) > 1e-9 {
+		t.Fatalf("paper ratio drifted: %v", want)
+	}
+}
+
+func TestHetero16x4p16x2(t *testing.T) {
+	s := Hetero16x4p16x2()
+	if got := s.NumClients(); got != 16*4+16*2 {
+		t.Fatalf("clients = %d, want 96", got)
+	}
+	speeds := s.ClientSpeeds()
+	// First 64 clients sit 4-per-dual-core: half speed.
+	for i := 0; i < 64; i++ {
+		if speeds[i] != 0.5 {
+			t.Fatalf("oversubscribed client %d speed %v, want 0.5", i, speeds[i])
+		}
+	}
+	// Remaining 2-per-node clients run at full node speed.
+	for i := 64; i < len(speeds); i++ {
+		if speeds[i] < 1.0 {
+			t.Fatalf("client %d speed %v, want >= 1.0", i, speeds[i])
+		}
+	}
+}
+
+func TestHetero8x4p8x2(t *testing.T) {
+	s := Hetero8x4p8x2()
+	if got := s.NumClients(); got != 8*4+8*2 {
+		t.Fatalf("clients = %d, want 48", got)
+	}
+	half, full := 0, 0
+	for _, sp := range s.ClientSpeeds() {
+		switch sp {
+		case 0.5:
+			half++
+		case 1.0:
+			full++
+		default:
+			t.Fatalf("unexpected speed %v", sp)
+		}
+	}
+	if half != 32 || full != 16 {
+		t.Fatalf("half/full = %d/%d, want 32/16", half, full)
+	}
+}
+
+func TestLayoutRankAssignment(t *testing.T) {
+	s := Homogeneous(4)
+	l := s.Layout(3)
+	if l.Root != 0 || l.Dispatcher != 1 {
+		t.Fatalf("root/dispatcher = %d/%d", l.Root, l.Dispatcher)
+	}
+	if len(l.Medians) != 3 || len(l.Clients) != 4 {
+		t.Fatalf("medians/clients = %d/%d", len(l.Medians), len(l.Clients))
+	}
+	if l.Size() != 2+3+4 {
+		t.Fatalf("size = %d", l.Size())
+	}
+	// Ranks must be distinct and cover 0..size-1.
+	seen := map[int]bool{int(l.Root): true, int(l.Dispatcher): true}
+	for _, r := range append(append([]int{}, ranksToInts(l.Medians)...), ranksToInts(l.Clients)...) {
+		if seen[r] {
+			t.Fatalf("rank %d assigned twice", r)
+		}
+		seen[r] = true
+	}
+	if len(seen) != l.Size() {
+		t.Fatalf("ranks cover %d of %d", len(seen), l.Size())
+	}
+	if len(l.Speeds) != l.Size() {
+		t.Fatalf("speeds %d != size %d", len(l.Speeds), l.Size())
+	}
+}
+
+func TestLayoutSpeedsMatchRoles(t *testing.T) {
+	s := Hetero8x4p8x2()
+	l := s.Layout(2)
+	for _, m := range l.Medians {
+		if l.Speeds[m] != s.ServerSpeed {
+			t.Fatalf("median %d speed %v, want server speed %v", m, l.Speeds[m], s.ServerSpeed)
+		}
+	}
+	cs := s.ClientSpeeds()
+	for i, c := range l.Clients {
+		if l.Speeds[c] != cs[i] {
+			t.Fatalf("client %d speed %v, want %v", i, l.Speeds[c], cs[i])
+		}
+	}
+}
+
+func TestPanicsOnBadArguments(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero clients":  func() { Homogeneous(0) },
+		"zero medians":  func() { Homogeneous(1).Layout(0) },
+		"empty clients": func() { (Spec{ServerSpeed: 1}).Layout(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func ranksToInts[T ~int](rs []T) []int {
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = int(r)
+	}
+	return out
+}

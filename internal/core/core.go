@@ -1,0 +1,258 @@
+// Package core implements sequential Nested Monte-Carlo Search (NMCS), the
+// algorithm parallelized by the paper.
+//
+// The two functions of the paper's §III are provided:
+//
+//   - Sample: play uniformly random moves to the end of the game and return
+//     the score (the paper's "sample" function).
+//   - Searcher.Nested: the "nested" function. A level-ℓ search plays a game
+//     choosing, at every step, the move whose level-(ℓ−1) evaluation scored
+//     highest, while memorizing the best terminal sequence seen so far and
+//     following it when no lower-level search improves on it (pseudocode
+//     lines 7–10). Level 0 is a plain random sample.
+//
+// Level numbering: this package calls a plain random playout "level 0", so
+// the paper's "level 1 rollout" (argmax over samples) is Nested(st, 1),
+// matching the paper's numbering exactly.
+//
+// The search is instrumented through the Meter interface: every simulated
+// move and every position clone reports work units. The virtual-time cluster
+// transport uses those units to charge simulated CPU time, which is how the
+// repository regenerates the paper's wall-clock tables on arbitrary
+// simulated cluster topologies (see internal/mpi and internal/harness).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/game"
+	"repro/internal/rng"
+)
+
+// Meter receives work-accounting callbacks from the search. Implementations
+// must be cheap; the search calls Add once per game step and per clone.
+type Meter interface {
+	// Add reports n abstract work units. One simulated move costs one unit;
+	// a position clone costs CloneCost units.
+	Add(n int64)
+}
+
+// CloneCost is the metered cost of one position clone, in units of one
+// simulated move. Cloning a Morpion position costs roughly as much as a
+// handful of incremental moves; the exact constant only shifts absolute
+// times, not speedup shapes.
+const CloneCost = 4
+
+// nopMeter is used when the caller does not need work accounting.
+type nopMeter struct{}
+
+func (nopMeter) Add(int64) {}
+
+// Result is the outcome of a search from some position: the terminal score
+// reached and the move sequence leading there from the searched position.
+type Result struct {
+	Score    float64
+	Sequence []game.Move
+}
+
+// Stats are cumulative instrumentation counters of a Searcher.
+type Stats struct {
+	Playouts int64 // number of random playouts run
+	Steps    int64 // moves played inside simulations (incl. argmax play)
+	Clones   int64 // position clones
+}
+
+// Options configure a Searcher.
+type Options struct {
+	// Meter receives work units; nil disables accounting.
+	Meter Meter
+	// Memorize enables the best-sequence memory of the paper's nested
+	// rollout (lines 7–10 of the pseudocode). Disabling it yields the
+	// older "reflexive" behaviour (Cazenave 2007) where the argmax move is
+	// always played even when it scores worse than a previously found
+	// sequence. Used as an ablation.
+	Memorize bool
+	// Stop, when non-nil, is polled during the search; once it returns
+	// true the search stops branching and completes the current game with
+	// cheap random playouts so that a full sequence is still returned.
+	Stop func() bool
+}
+
+// DefaultOptions returns the configuration matching the paper: best-sequence
+// memorization on, no cancellation, no metering.
+func DefaultOptions() Options {
+	return Options{Memorize: true}
+}
+
+// Searcher runs nested Monte-Carlo searches. It owns per-level scratch
+// buffers, so it is not safe for concurrent use: create one Searcher per
+// goroutine (the parallel layer creates one per simulated process).
+type Searcher struct {
+	rng   *rng.Rand
+	opt   Options
+	meter Meter
+	stats Stats
+
+	movebuf []game.Move // shared scratch for move lists at sample level
+	levels  []levelBuf  // per-recursion-level scratch
+}
+
+type levelBuf struct {
+	moves   []game.Move // candidate move list
+	scratch []game.Move // suffix of the candidate being evaluated
+	best    []game.Move // memorized best suffix
+}
+
+// NewSearcher returns a Searcher drawing randomness from r.
+func NewSearcher(r *rng.Rand, opt Options) *Searcher {
+	if r == nil {
+		panic("core: NewSearcher needs a random source")
+	}
+	m := opt.Meter
+	if m == nil {
+		m = nopMeter{}
+	}
+	return &Searcher{rng: r, opt: opt, meter: m}
+}
+
+// Stats returns the cumulative instrumentation counters.
+func (s *Searcher) Stats() Stats { return s.stats }
+
+// Sample plays uniformly random moves on st until the game ends and returns
+// the terminal score and the moves played. st is mutated to the terminal
+// position. This is the paper's "sample" function.
+func (s *Searcher) Sample(st game.State) Result {
+	var seq []game.Move
+	score := s.sample(st, &seq)
+	return Result{Score: score, Sequence: seq}
+}
+
+func (s *Searcher) sample(st game.State, seq *[]game.Move) float64 {
+	s.stats.Playouts++
+	steps := int64(0)
+	for {
+		s.movebuf = st.LegalMoves(s.movebuf[:0])
+		if len(s.movebuf) == 0 {
+			break
+		}
+		m := s.movebuf[s.rng.Intn(len(s.movebuf))]
+		st.Play(m)
+		*seq = append(*seq, m)
+		steps++
+	}
+	s.stats.Steps += steps
+	s.meter.Add(steps)
+	return st.Score()
+}
+
+// Nested runs a level-`level` nested search from st and returns the best
+// terminal score found and the move sequence reaching it from st. st itself
+// is left at the terminal position of the played game. Level 0 is Sample.
+//
+// This is the paper's "nested" function; the argmax over moves evaluates
+// each move with a level-(level−1) search on a clone of the position.
+func (s *Searcher) Nested(st game.State, level int) Result {
+	if level < 0 {
+		panic(fmt.Sprintf("core: negative nesting level %d", level))
+	}
+	var seq []game.Move
+	score := s.nested(st, level, &seq)
+	return Result{Score: score, Sequence: seq}
+}
+
+// nested implements one level of the paper's nested rollout. The suffix of
+// moves played from the input position is appended to out.
+func (s *Searcher) nested(st game.State, level int, out *[]game.Move) float64 {
+	if level == 0 {
+		return s.sample(st, out)
+	}
+	for len(s.levels) <= level {
+		s.levels = append(s.levels, levelBuf{})
+	}
+	lb := &s.levels[level]
+
+	// Memorized best game (paper lines 1, 7–9): bestScore is the score of
+	// the best terminal sequence seen at this level, lb.best the not yet
+	// replayed suffix of that sequence (its head is the next move to play).
+	bestScore := 0.0
+	haveBest := false
+	lb.best = lb.best[:0]
+
+	for {
+		lb.moves = st.LegalMoves(lb.moves[:0])
+		if len(lb.moves) == 0 {
+			return st.Score()
+		}
+		if s.opt.Stop != nil && s.opt.Stop() {
+			// Cancelled: finish the game cheaply so the caller still gets
+			// a complete sequence, preferring the memorized best suffix.
+			return s.finishCancelled(st, lb, out)
+		}
+
+		// Iterate over a stable copy of the move list: lb.moves is only
+		// rewritten by this frame (recursion uses strictly lower levels),
+		// but the re-fetch at the top of the loop reuses its backing array.
+		moves := lb.moves
+
+		// Argmax over the moves of this step (paper lines 3–6).
+		stepScore := 0.0
+		stepMove := moves[0]
+		stepFirst := true
+		for _, m := range moves {
+			child := st.Clone()
+			s.stats.Clones++
+			s.meter.Add(CloneCost)
+			child.Play(m)
+			s.meter.Add(1)
+			s.stats.Steps++
+
+			lb.scratch = lb.scratch[:0]
+			sc := s.nested(child, level-1, &lb.scratch)
+			if stepFirst || sc > stepScore {
+				stepScore = sc
+				stepMove = m
+				stepFirst = false
+			}
+			// Paper line 7: a strictly better score replaces the memorized
+			// best sequence, which is m followed by the lower search's game.
+			if !haveBest || sc > bestScore {
+				bestScore = sc
+				haveBest = true
+				lb.best = append(lb.best[:0], m)
+				lb.best = append(lb.best, lb.scratch...)
+			}
+		}
+
+		// Paper line 10: play the next move of the best sequence. In
+		// reflexive mode (no memory, Cazenave 2007) play this step's argmax
+		// move instead, even if an earlier sequence scored higher.
+		var mv game.Move
+		if s.opt.Memorize && haveBest && len(lb.best) > 0 {
+			mv = lb.best[0]
+			lb.best = lb.best[1:]
+		} else {
+			mv = stepMove
+		}
+
+		st.Play(mv)
+		s.meter.Add(1)
+		s.stats.Steps++
+		*out = append(*out, mv)
+	}
+}
+
+// finishCancelled completes the game after a Stop signal: it replays the
+// memorized best suffix if one exists, then samples to the end.
+func (s *Searcher) finishCancelled(st game.State, lb *levelBuf, out *[]game.Move) float64 {
+	for _, m := range lb.best {
+		st.Play(m)
+		s.meter.Add(1)
+		s.stats.Steps++
+		*out = append(*out, m)
+	}
+	lb.best = lb.best[:0]
+	if st.Terminal() {
+		return st.Score()
+	}
+	return s.sample(st, out)
+}

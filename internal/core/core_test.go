@@ -1,0 +1,288 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/game"
+	"repro/internal/morpion"
+	"repro/internal/rng"
+)
+
+func newSearcher(seed uint64) *Searcher {
+	return NewSearcher(rng.New(seed), DefaultOptions())
+}
+
+func TestSampleReachesTerminal(t *testing.T) {
+	s := newSearcher(1)
+	st := morpion.New(morpion.Var4D)
+	res := s.Sample(st)
+	if !st.Terminal() {
+		t.Fatal("Sample left a non-terminal position")
+	}
+	if res.Score != st.Score() {
+		t.Fatalf("Sample score %v != terminal score %v", res.Score, st.Score())
+	}
+	if len(res.Sequence) != int(res.Score) {
+		t.Fatalf("Morpion score %v != sequence length %d", res.Score, len(res.Sequence))
+	}
+}
+
+// replayCheck replays res.Sequence from a fresh copy of start and verifies
+// it is legal and reaches exactly res.Score. This is the core soundness
+// invariant of every search result.
+func replayCheck(t *testing.T, start game.State, res Result) {
+	t.Helper()
+	st := start.Clone()
+	for i, m := range res.Sequence {
+		legal := false
+		for _, lm := range st.LegalMoves(nil) {
+			if lm == m {
+				legal = true
+				break
+			}
+		}
+		if !legal {
+			t.Fatalf("sequence move %d is illegal on replay", i)
+		}
+		st.Play(m)
+	}
+	if !st.Terminal() {
+		t.Fatal("sequence does not reach a terminal position")
+	}
+	if st.Score() != res.Score {
+		t.Fatalf("replayed score %v != reported score %v", st.Score(), res.Score)
+	}
+}
+
+func TestNestedSequenceReplays(t *testing.T) {
+	for level := 0; level <= 2; level++ {
+		s := newSearcher(uint64(level) + 10)
+		start := morpion.New(morpion.Var4D)
+		res := s.Nested(start.Clone(), level)
+		replayCheck(t, start, res)
+	}
+}
+
+func TestNestedLevelZeroIsSample(t *testing.T) {
+	a := newSearcher(7)
+	b := newSearcher(7)
+	ra := a.Sample(morpion.New(morpion.Var4D))
+	rb := b.Nested(morpion.New(morpion.Var4D), 0)
+	if ra.Score != rb.Score || len(ra.Sequence) != len(rb.Sequence) {
+		t.Fatalf("Nested(0) differs from Sample: %v vs %v", ra.Score, rb.Score)
+	}
+	for i := range ra.Sequence {
+		if ra.Sequence[i] != rb.Sequence[i] {
+			t.Fatalf("sequences differ at %d", i)
+		}
+	}
+}
+
+func TestNestedDeterministic(t *testing.T) {
+	a := newSearcher(99).Nested(morpion.New(morpion.Var4D), 1)
+	b := newSearcher(99).Nested(morpion.New(morpion.Var4D), 1)
+	if a.Score != b.Score {
+		t.Fatalf("same seed, different scores: %v vs %v", a.Score, b.Score)
+	}
+}
+
+func TestNestedSolvesArmTreeExactly(t *testing.T) {
+	// Level-d NMCS searches a depth-d arm tree exactly: the level-1 argmax
+	// is exact on depth-1 subtrees, and the property lifts by induction.
+	for depth := 1; depth <= 3; depth++ {
+		for trial := 0; trial < 5; trial++ {
+			tree := game.NewArmTree(3, depth, uint64(trial)*17+3)
+			want := tree.Optimum()
+			s := newSearcher(uint64(depth*100 + trial))
+			res := s.Nested(tree.Clone(), depth)
+			if res.Score != want {
+				t.Fatalf("depth %d trial %d: NMCS level %d found %v, optimum is %v",
+					depth, trial, depth, res.Score, want)
+			}
+		}
+	}
+}
+
+func TestReflexiveSolvesArmTreeExactly(t *testing.T) {
+	// On arm trees the reflexive variant is exact too (argmax values are
+	// exact), so both modes must agree with the optimum.
+	opts := DefaultOptions()
+	opts.Memorize = false
+	for trial := 0; trial < 5; trial++ {
+		tree := game.NewArmTree(3, 2, uint64(trial)+50)
+		s := NewSearcher(rng.New(uint64(trial)), opts)
+		if res := s.Nested(tree.Clone(), 2); res.Score != tree.Optimum() {
+			t.Fatalf("reflexive level 2 found %v, optimum %v", res.Score, tree.Optimum())
+		}
+	}
+}
+
+func TestLevelsImproveOnMorpion(t *testing.T) {
+	// Statistical but robust: mean score strictly increases from level 0 to
+	// level 1 to level 2 on 4D (the paper's premise that nesting amplifies
+	// search quality; §I).
+	means := make([]float64, 3)
+	const n = 8
+	for level := 0; level <= 2; level++ {
+		s := newSearcher(uint64(level) * 31)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += s.Nested(morpion.New(morpion.Var4D), level).Score
+		}
+		means[level] = sum / n
+	}
+	t.Logf("4D mean scores by level: %v", means)
+	if !(means[1] > means[0]) || !(means[2] > means[1]) {
+		t.Fatalf("nesting did not improve scores: %v", means)
+	}
+}
+
+func TestMemorizationHelpsOrTies(t *testing.T) {
+	// The memorized best sequence can only help on average. Allow a small
+	// slack since this is statistical.
+	const n = 12
+	memSum, refSum := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		m := NewSearcher(rng.New(uint64(i)), DefaultOptions())
+		memSum += m.Nested(morpion.New(morpion.Var4D), 1).Score
+
+		o := DefaultOptions()
+		o.Memorize = false
+		r := NewSearcher(rng.New(uint64(i)), o)
+		refSum += r.Nested(morpion.New(morpion.Var4D), 1).Score
+	}
+	t.Logf("memorized mean %.2f, reflexive mean %.2f", memSum/n, refSum/n)
+	if memSum < refSum-float64(n) {
+		t.Fatalf("memorization clearly hurts: %v vs %v", memSum/n, refSum/n)
+	}
+}
+
+type countMeter struct{ units int64 }
+
+func (c *countMeter) Add(n int64) { c.units += n }
+
+func TestMeterCountsWork(t *testing.T) {
+	meter := &countMeter{}
+	opts := DefaultOptions()
+	opts.Meter = meter
+	s := NewSearcher(rng.New(4), opts)
+	res := s.Nested(morpion.New(morpion.Var4D), 1)
+	if meter.units == 0 {
+		t.Fatal("meter saw no work")
+	}
+	st := s.Stats()
+	if st.Playouts == 0 || st.Steps == 0 || st.Clones == 0 {
+		t.Fatalf("stats not collected: %+v", st)
+	}
+	want := st.Steps + CloneCost*st.Clones
+	if meter.units != want {
+		t.Fatalf("meter units %d != steps %d + %d*clones %d", meter.units, st.Steps, CloneCost, st.Clones)
+	}
+	if res.Score <= 0 {
+		t.Fatal("suspicious zero score")
+	}
+}
+
+func TestStopReturnsCompleteGame(t *testing.T) {
+	// A search stopped immediately must still return a full legal game.
+	calls := 0
+	opts := DefaultOptions()
+	opts.Stop = func() bool { calls++; return calls > 3 }
+	s := NewSearcher(rng.New(5), opts)
+	start := morpion.New(morpion.Var4D)
+	res := s.Nested(start.Clone(), 2)
+	replayCheck(t, start, res)
+}
+
+func TestNegativeLevelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative level did not panic")
+		}
+	}()
+	newSearcher(1).Nested(morpion.New(morpion.Var4D), -1)
+}
+
+func TestNewSearcherNilRNGPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil rng did not panic")
+		}
+	}()
+	NewSearcher(nil, DefaultOptions())
+}
+
+func TestSampleOnTerminalPosition(t *testing.T) {
+	tree := game.NewArmTree(2, 1, 9)
+	tree.Play(0)
+	s := newSearcher(2)
+	res := s.Sample(tree)
+	if len(res.Sequence) != 0 {
+		t.Fatal("sample on terminal position played moves")
+	}
+	if res.Score != tree.Score() {
+		t.Fatal("sample score differs from terminal score")
+	}
+}
+
+func TestNestedOnTerminalPosition(t *testing.T) {
+	tree := game.NewArmTree(2, 1, 9)
+	tree.Play(1)
+	s := newSearcher(2)
+	res := s.Nested(tree, 2)
+	if len(res.Sequence) != 0 || res.Score != tree.Score() {
+		t.Fatal("nested on terminal position misbehaved")
+	}
+}
+
+func TestArmTreeProperty(t *testing.T) {
+	// Property: NMCS level-1 on a depth-1 tree equals the optimum for any
+	// seed and arm count (exactness of the base argmax).
+	f := func(seed uint64, armsRaw uint8) bool {
+		arms := int(armsRaw%6) + 1
+		tree := game.NewArmTree(arms, 1, seed)
+		s := newSearcher(seed)
+		return s.Nested(tree.Clone(), 1).Score == tree.Optimum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMorpionLevel1BeatsKnownFloor(t *testing.T) {
+	// NMCS level 1 on 5D should comfortably beat the random-play mean
+	// (~42); this guards against regressions that silently weaken search.
+	s := newSearcher(11)
+	res := s.Nested(morpion.New(morpion.Var5D), 1)
+	t.Logf("5D level-1 score: %v", res.Score)
+	if res.Score < 50 {
+		t.Fatalf("5D level-1 score %v below floor 50", res.Score)
+	}
+}
+
+func BenchmarkSample5D(b *testing.B) {
+	s := newSearcher(1)
+	base := morpion.New(morpion.Var5D)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Sample(base.Clone())
+	}
+}
+
+func BenchmarkNestedLevel1_4D(b *testing.B) {
+	s := newSearcher(1)
+	base := morpion.New(morpion.Var4D)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Nested(base.Clone(), 1)
+	}
+}
+
+func BenchmarkNestedLevel2_4D(b *testing.B) {
+	s := newSearcher(1)
+	base := morpion.New(morpion.Var4D)
+	for i := 0; i < b.N; i++ {
+		s.Nested(base.Clone(), 2)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/game"
+	"repro/internal/rng"
+)
+
+// ParallelNested is the shared-memory analogue of the paper's cluster
+// parallelization: at every step of the top-level game the candidate moves
+// are evaluated by level-(ℓ−1) searches running concurrently on a pool of
+// worker goroutines (the root/median fan-out collapsed onto one machine,
+// with goroutines in place of client processes).
+//
+// Each candidate evaluation draws from its own random stream derived from
+// (seed, step, candidate index), so the result is deterministic in
+// (seed, level, position) and — deliberately — independent of the worker
+// count: workers only change wall-clock time, never the search outcome.
+// This mirrors the virtual cluster's determinism guarantee and makes
+// ablations directly comparable.
+//
+// The top level uses the paper's best-sequence memorization, like Nested.
+// opt.Meter, if set, must be safe for concurrent use (see AtomicMeter), and
+// so must opt.Stop: both are invoked from worker goroutines.
+func ParallelNested(root game.State, level, workers int, seed uint64, opt Options) Result {
+	if level < 1 {
+		panic("core: ParallelNested needs level >= 1")
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	st := root.Clone()
+	var out []game.Move
+
+	bestScore := 0.0
+	haveBest := false
+	var bestSeq []game.Move // memorized best suffix; head is the next move
+
+	step := 0
+	var moves []game.Move
+	for {
+		moves = st.LegalMoves(moves[:0])
+		if len(moves) == 0 {
+			return Result{Score: st.Score(), Sequence: out}
+		}
+		if opt.Stop != nil && opt.Stop() {
+			// Finish from memory, then sample — same policy as Nested.
+			for _, m := range bestSeq {
+				st.Play(m)
+				out = append(out, m)
+			}
+			if !st.Terminal() {
+				s := NewSearcher(rng.NewStream(seed, ^uint64(step)), opt)
+				r := s.Sample(st)
+				out = append(out, r.Sequence...)
+			}
+			return Result{Score: st.Score(), Sequence: out}
+		}
+
+		type evalResult struct {
+			score float64
+			seq   []game.Move
+		}
+		results := make([]evalResult, len(moves))
+
+		// Fan the candidates out over the worker pool. Each candidate
+		// clones the position up front (in the coordinating goroutine, so
+		// domain states never see concurrent access).
+		jobs := make(chan int, len(moves))
+		states := make([]game.State, len(moves))
+		for i, m := range moves {
+			child := st.Clone()
+			child.Play(m)
+			states[i] = child
+			jobs <- i
+		}
+		close(jobs)
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					r := rng.NewStream(seed, uint64(step)<<24|uint64(i))
+					s := NewSearcher(r, opt)
+					res := s.Nested(states[i], level-1)
+					results[i] = evalResult{score: res.Score, seq: res.Sequence}
+				}
+			}()
+		}
+		wg.Wait()
+
+		// Argmax and memorization, identical to the sequential nested.
+		stepBest := 0
+		for i := 1; i < len(results); i++ {
+			if results[i].score > results[stepBest].score {
+				stepBest = i
+			}
+		}
+		if !haveBest || results[stepBest].score > bestScore {
+			bestScore = results[stepBest].score
+			haveBest = true
+			bestSeq = append(bestSeq[:0], moves[stepBest])
+			bestSeq = append(bestSeq, results[stepBest].seq...)
+		}
+
+		var mv game.Move
+		if opt.Memorize && haveBest && len(bestSeq) > 0 {
+			mv = bestSeq[0]
+			bestSeq = bestSeq[1:]
+		} else {
+			mv = moves[stepBest]
+		}
+		st.Play(mv)
+		out = append(out, mv)
+		step++
+	}
+}
+
+// AtomicMeter is a Meter safe for concurrent use, for ParallelNested.
+type AtomicMeter struct{ units atomic.Int64 }
+
+// Add implements Meter.
+func (a *AtomicMeter) Add(n int64) { a.units.Add(n) }
+
+// Units returns the accumulated work.
+func (a *AtomicMeter) Units() int64 { return a.units.Load() }

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/morpion"
+)
+
+func TestParallelNestedSolvesArmTree(t *testing.T) {
+	// Same exactness property as the sequential search: level d solves a
+	// depth-d arm tree.
+	for _, workers := range []int{1, 4} {
+		tree := game.NewArmTree(3, 2, 44)
+		res := ParallelNested(tree, 2, workers, 7, DefaultOptions())
+		if want := tree.Optimum(); res.Score != want {
+			t.Fatalf("workers=%d: found %v, optimum %v", workers, res.Score, want)
+		}
+	}
+}
+
+func TestParallelNestedWorkerCountInvariant(t *testing.T) {
+	// The defining property: the result is independent of the worker
+	// count, because each candidate evaluation owns a stream derived from
+	// (seed, step, index).
+	base := morpion.New(morpion.Var4D)
+	r1 := ParallelNested(base, 1, 1, 5, DefaultOptions())
+	r4 := ParallelNested(base, 1, 4, 5, DefaultOptions())
+	if r1.Score != r4.Score {
+		t.Fatalf("scores differ by worker count: %v vs %v", r1.Score, r4.Score)
+	}
+	if len(r1.Sequence) != len(r4.Sequence) {
+		t.Fatalf("sequences differ by worker count")
+	}
+	for i := range r1.Sequence {
+		if r1.Sequence[i] != r4.Sequence[i] {
+			t.Fatalf("sequences diverge at move %d", i)
+		}
+	}
+}
+
+func TestParallelNestedDeterministic(t *testing.T) {
+	base := morpion.New(morpion.Var4D)
+	a := ParallelNested(base, 1, 2, 9, DefaultOptions())
+	b := ParallelNested(base, 1, 2, 9, DefaultOptions())
+	if a.Score != b.Score {
+		t.Fatalf("same seed, different scores: %v vs %v", a.Score, b.Score)
+	}
+}
+
+func TestParallelNestedSequenceReplays(t *testing.T) {
+	base := morpion.New(morpion.Var4D)
+	res := ParallelNested(base, 1, 3, 13, DefaultOptions())
+	replayCheck(t, base, res)
+}
+
+func TestParallelNestedQualityMatchesSequential(t *testing.T) {
+	// Leaf-parallelism must not degrade search quality: mean score within
+	// noise of the sequential search at the same level.
+	var par, seq float64
+	const n = 6
+	for i := 0; i < n; i++ {
+		par += ParallelNested(morpion.New(morpion.Var4D), 1, 2, uint64(i), DefaultOptions()).Score
+		s := newSearcher(uint64(i))
+		seq += s.Nested(morpion.New(morpion.Var4D), 1).Score
+	}
+	t.Logf("parallel mean %.1f, sequential mean %.1f", par/n, seq/n)
+	if par < seq-3*n { // allow 3 points of slack per game
+		t.Fatalf("parallel quality collapsed: %v vs %v", par/n, seq/n)
+	}
+}
+
+func TestParallelNestedMeter(t *testing.T) {
+	meter := &AtomicMeter{}
+	opt := DefaultOptions()
+	opt.Meter = meter
+	ParallelNested(morpion.New(morpion.Var4D), 1, 4, 3, opt)
+	if meter.Units() == 0 {
+		t.Fatal("atomic meter saw no work")
+	}
+}
+
+func TestParallelNestedStop(t *testing.T) {
+	// Stop is polled from worker goroutines, so it must be concurrency
+	// safe (see ParallelNested's doc comment).
+	var calls atomic.Int64
+	opt := DefaultOptions()
+	opt.Stop = func() bool { return calls.Add(1) > 2 }
+	base := morpion.New(morpion.Var4D)
+	res := ParallelNested(base, 2, 2, 1, opt)
+	replayCheck(t, base, res)
+}
+
+func TestParallelNestedBadLevelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("level 0 did not panic")
+		}
+	}()
+	ParallelNested(morpion.New(morpion.Var4D), 0, 1, 1, DefaultOptions())
+}
+
+func BenchmarkParallelNestedLevel1_4D(b *testing.B) {
+	base := morpion.New(morpion.Var4D)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ParallelNested(base, 1, 0, uint64(i), DefaultOptions())
+	}
+}

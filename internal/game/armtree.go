@@ -1,0 +1,125 @@
+package game
+
+// ArmTree is a tiny synthetic domain used by tests and examples: a complete
+// k-ary decision tree of fixed depth whose leaves carry deterministic
+// pseudo-random values in [0, 1). The score of a position is the value of
+// the leaf reached (0 before the game ends).
+//
+// Its purpose is exactness: a level-d nested search solves a depth-d
+// ArmTree optimally, because the level-1 argmax is exact on depth-1
+// subtrees and the property lifts inductively. That gives the test suite a
+// domain where "NMCS level ℓ must return the global optimum" is a hard
+// assertion rather than a statistical tendency.
+type ArmTree struct {
+	arms  int
+	depth int
+	seed  uint64
+	path  []Move
+}
+
+// NewArmTree returns the root of a depth×arms tree. Leaf values are a pure
+// function of (seed, path), so two trees with the same parameters are
+// identical.
+func NewArmTree(arms, depth int, seed uint64) *ArmTree {
+	if arms < 1 || depth < 1 {
+		panic("game: ArmTree needs at least one arm and depth one")
+	}
+	return &ArmTree{arms: arms, depth: depth, seed: seed}
+}
+
+// LegalMoves implements State: arms 0..k-1 while the tree has depth left.
+func (t *ArmTree) LegalMoves(buf []Move) []Move {
+	if len(t.path) >= t.depth {
+		return buf
+	}
+	for a := 0; a < t.arms; a++ {
+		buf = append(buf, Move(a))
+	}
+	return buf
+}
+
+// Play implements State.
+func (t *ArmTree) Play(m Move) {
+	if len(t.path) >= t.depth {
+		panic("game: ArmTree.Play past a leaf")
+	}
+	if int(m) >= t.arms {
+		panic("game: ArmTree.Play with unknown arm")
+	}
+	t.path = append(t.path, m)
+}
+
+// Terminal implements State.
+func (t *ArmTree) Terminal() bool { return len(t.path) >= t.depth }
+
+// Score implements State: the leaf value, or 0 on interior nodes.
+func (t *ArmTree) Score() float64 {
+	if !t.Terminal() {
+		return 0
+	}
+	return t.leafValue(t.path)
+}
+
+// leafValue hashes (seed, path) to [0, 1) with FNV-1a, so values are stable
+// across processes and platforms (important for reproducible experiments).
+func (t *ArmTree) leafValue(path []Move) float64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mixIn := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mixIn(t.seed)
+	for _, m := range path {
+		mixIn(uint64(m) + 1)
+	}
+	// One final avalanche so low-entropy paths spread over the range.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return float64(h>>11) / (1 << 53)
+}
+
+// Clone implements State.
+func (t *ArmTree) Clone() State {
+	return &ArmTree{
+		arms:  t.arms,
+		depth: t.depth,
+		seed:  t.seed,
+		path:  append([]Move(nil), t.path...),
+	}
+}
+
+// MovesPlayed implements State.
+func (t *ArmTree) MovesPlayed() int { return len(t.path) }
+
+// Optimum brute-forces the best leaf value of the whole tree. Exponential;
+// only meant for the small trees used in tests.
+func (t *ArmTree) Optimum() float64 {
+	best := 0.0
+	path := make([]Move, 0, t.depth)
+	var walk func(d int)
+	walk = func(d int) {
+		if d == t.depth {
+			if v := t.leafValue(path); v > best {
+				best = v
+			}
+			return
+		}
+		for a := 0; a < t.arms; a++ {
+			path = append(path, Move(a))
+			walk(d + 1)
+			path = path[:len(path)-1]
+		}
+	}
+	walk(0)
+	return best
+}
+
+var _ State = (*ArmTree)(nil)

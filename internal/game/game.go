@@ -1,0 +1,67 @@
+// Package game defines the domain abstraction consumed by nested
+// Monte-Carlo search.
+//
+// A search domain is a single-agent, finite, perfect-information game whose
+// goal is to maximize the score of the terminal position reached: Morpion
+// Solitaire maximizes the number of moves played, SameGame a block-removal
+// score, Sudoku the number of cells filled. The search code in
+// internal/core and internal/parallel only ever touches this interface, so
+// new domains plug in without modifying the search.
+package game
+
+// Move is a compact, domain-encoded move. Each domain documents its own
+// encoding; the search treats moves as opaque tokens. A fixed-size integer
+// keeps move lists allocation-friendly and makes moves trivially
+// serializable for the message-passing layer.
+type Move uint64
+
+// NoMove is a sentinel returned where no legal move exists.
+const NoMove Move = ^Move(0)
+
+// State is a mutable game position.
+//
+// Implementations are NOT safe for concurrent use; the parallel search
+// clones states before shipping them across process boundaries, mirroring
+// the distributed-memory model of the paper's MPI implementation.
+type State interface {
+	// LegalMoves appends the currently legal moves to buf and returns the
+	// extended slice. Passing a reused buffer avoids per-step allocation in
+	// the playout inner loop.
+	LegalMoves(buf []Move) []Move
+
+	// Play applies a legal move. Behaviour on illegal moves is undefined
+	// (domains may panic); the search only plays moves obtained from
+	// LegalMoves on the same position.
+	Play(m Move)
+
+	// Terminal reports whether no legal move remains.
+	Terminal() bool
+
+	// Score returns the value of the position under the domain's objective.
+	// It is meaningful on any position but the search only compares scores
+	// of terminal positions reached by playouts.
+	Score() float64
+
+	// Clone returns a deep copy sharing no mutable structure.
+	Clone() State
+
+	// MovesPlayed returns the number of moves played from the domain's
+	// initial position. The Last-Minute dispatcher uses it as the expected
+	// remaining-work heuristic (paper §IV-B: fewer moves played means a
+	// longer expected job).
+	MovesPlayed() int
+}
+
+// Sizer optionally reports the encoded size of a state in bytes. The
+// virtual-time transport charges this size to the network model when a
+// position is shipped between processes. Domains that do not implement
+// Sizer are charged a default size.
+type Sizer interface {
+	EncodedSize() int
+}
+
+// Replayer optionally replays a move sequence from the initial position.
+// Used by tooling to verify and render recorded solutions.
+type Replayer interface {
+	Reset()
+}

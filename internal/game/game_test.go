@@ -1,0 +1,128 @@
+package game
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArmTreeBasics(t *testing.T) {
+	tr := NewArmTree(3, 2, 5)
+	if tr.Terminal() {
+		t.Fatal("root is terminal")
+	}
+	if tr.Score() != 0 {
+		t.Fatal("interior node has nonzero score")
+	}
+	moves := tr.LegalMoves(nil)
+	if len(moves) != 3 {
+		t.Fatalf("%d moves at root, want 3", len(moves))
+	}
+	tr.Play(moves[0])
+	if tr.MovesPlayed() != 1 {
+		t.Fatalf("MovesPlayed = %d", tr.MovesPlayed())
+	}
+	tr.Play(tr.LegalMoves(nil)[1])
+	if !tr.Terminal() {
+		t.Fatal("depth-2 path not terminal")
+	}
+	if len(tr.LegalMoves(nil)) != 0 {
+		t.Fatal("terminal node offers moves")
+	}
+	if s := tr.Score(); s < 0 || s >= 1 {
+		t.Fatalf("leaf value %v outside [0,1)", s)
+	}
+}
+
+func TestArmTreeDeterministicValues(t *testing.T) {
+	// Same parameters, same leaf values — across instances.
+	a := NewArmTree(2, 3, 9)
+	b := NewArmTree(2, 3, 9)
+	for _, path := range [][]Move{{0, 0, 0}, {1, 0, 1}, {1, 1, 1}} {
+		ca, cb := a.Clone().(*ArmTree), b.Clone().(*ArmTree)
+		for _, m := range path {
+			ca.Play(m)
+			cb.Play(m)
+		}
+		if ca.Score() != cb.Score() {
+			t.Fatalf("path %v: values differ", path)
+		}
+	}
+}
+
+func TestArmTreeSeedsDiffer(t *testing.T) {
+	a := NewArmTree(2, 1, 1)
+	b := NewArmTree(2, 1, 2)
+	a.Play(0)
+	b.Play(0)
+	if a.Score() == b.Score() {
+		t.Fatal("different seeds gave identical leaf values")
+	}
+}
+
+func TestArmTreeOptimumIsMax(t *testing.T) {
+	// Property: Optimum is an upper bound on, and attained by, some leaf.
+	f := func(seed uint64) bool {
+		tr := NewArmTree(3, 2, seed)
+		opt := tr.Optimum()
+		attained := false
+		for a := Move(0); a < 3; a++ {
+			for b := Move(0); b < 3; b++ {
+				c := tr.Clone().(*ArmTree)
+				c.Play(a)
+				c.Play(b)
+				if c.Score() > opt {
+					return false
+				}
+				if c.Score() == opt {
+					attained = true
+				}
+			}
+		}
+		return attained
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArmTreeCloneIndependence(t *testing.T) {
+	tr := NewArmTree(2, 2, 3)
+	c := tr.Clone().(*ArmTree)
+	c.Play(1)
+	if tr.MovesPlayed() != 0 {
+		t.Fatal("clone mutation leaked")
+	}
+}
+
+func TestArmTreePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bad params":     func() { NewArmTree(0, 1, 1) },
+		"play past leaf": func() { tr := NewArmTree(1, 1, 1); tr.Play(0); tr.Play(0) },
+		"unknown arm":    func() { NewArmTree(2, 1, 1).Play(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLegalMovesAppendsToBuffer(t *testing.T) {
+	// The interface contract: LegalMoves appends, preserving prefix.
+	tr := NewArmTree(2, 1, 1)
+	buf := []Move{99}
+	buf = tr.LegalMoves(buf)
+	if len(buf) != 3 || buf[0] != 99 {
+		t.Fatalf("buffer contract violated: %v", buf)
+	}
+}
+
+func TestNoMoveSentinel(t *testing.T) {
+	if NoMove == Move(0) {
+		t.Fatal("NoMove collides with a real move encoding")
+	}
+}

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/morpion"
+	"repro/internal/parallel"
+	"repro/internal/stats"
+)
+
+// Ablations beyond the paper's tables, probing the design choices §IV
+// motivates but does not isolate:
+//
+//   - dispatcher policy: Round-Robin vs Last-Minute vs Last-Minute with a
+//     FIFO job queue (removing the longest-expected-job-first heuristic of
+//     §IV-B line 8);
+//   - median pool size: the paper runs 40 medians "greater than the number
+//     of possible moves" — what happens with fewer.
+
+// AblationRow is one measured configuration.
+type AblationRow struct {
+	Name    string
+	Times   stats.Acc
+	Clients int
+}
+
+// DispatcherAblation compares RR, LM and LM-FIFO first-move times on a
+// heterogeneous cluster. The gap between LM and LM-FIFO isolates the
+// job-ordering heuristic; the gap between LM-FIFO and RR isolates the
+// free-client tracking.
+func DispatcherAblation(p Preset) (TableResult, []*AblationRow, error) {
+	spec := cluster.Hetero8x4p8x2()
+	type variant struct {
+		name string
+		algo parallel.Algorithm
+		fifo bool
+	}
+	variants := []variant{
+		{"Round-Robin", parallel.RoundRobin, false},
+		{"Last-Minute (FIFO queue)", parallel.LastMinute, true},
+		{"Last-Minute (paper: longest job first)", parallel.LastMinute, false},
+	}
+
+	var rows []*AblationRow
+	tbl := stats.Table{
+		Title:  fmt.Sprintf("Ablation: dispatcher policy, first move, %s level %d, %s", p.Variant.Name, p.LevelLo, spec.Name),
+		Header: []string{"dispatcher", "time"},
+	}
+	for _, v := range variants {
+		row := &AblationRow{Name: v.name, Clients: spec.NumClients()}
+		for s := 0; s < p.SeedsLo; s++ {
+			cfg := parallel.Config{
+				Algo: v.algo, Level: p.LevelLo, Root: morpion.New(p.Variant),
+				Seed: uint64(s) + 1, Memorize: true, FirstMoveOnly: true,
+				JobScale: p.JobScale, LMFifo: v.fifo,
+			}
+			res, err := parallel.RunVirtual(spec, cfg, parallel.VirtualOptions{
+				UnitCost: p.UnitCost, Medians: p.Medians,
+			})
+			if err != nil {
+				return TableResult{}, nil, err
+			}
+			row.Times.AddDuration(res.Elapsed)
+		}
+		rows = append(rows, row)
+		tbl.Rows = append(tbl.Rows, []string{v.name, row.Times.PaperStyle()})
+	}
+	return TableResult{ID: "A1", Title: tbl.Title, Rendered: tbl.Render()}, rows, nil
+}
+
+// MedianAblation measures first-move time against the median pool size on
+// a homogeneous 64-client cluster. Too few medians serialize the root's
+// fan-out (several root candidates share a median and are played one after
+// the other), so times degrade below the paper's "more medians than moves"
+// regime.
+func MedianAblation(p Preset, medianCounts []int) (TableResult, []*AblationRow, error) {
+	spec := cluster.Homogeneous(64)
+	var rows []*AblationRow
+	tbl := stats.Table{
+		Title:  fmt.Sprintf("Ablation: median pool size, first move, %s level %d, 64 clients", p.Variant.Name, p.LevelLo),
+		Header: []string{"medians", "time"},
+	}
+	for _, m := range medianCounts {
+		row := &AblationRow{Name: fmt.Sprintf("%d", m), Clients: 64}
+		for s := 0; s < p.SeedsLo; s++ {
+			cfg := parallel.Config{
+				Algo: parallel.RoundRobin, Level: p.LevelLo, Root: morpion.New(p.Variant),
+				Seed: uint64(s) + 1, Memorize: true, FirstMoveOnly: true,
+				JobScale: p.JobScale,
+			}
+			res, err := parallel.RunVirtual(spec, cfg, parallel.VirtualOptions{
+				UnitCost: p.UnitCost, Medians: m,
+			})
+			if err != nil {
+				return TableResult{}, nil, err
+			}
+			row.Times.AddDuration(res.Elapsed)
+		}
+		rows = append(rows, row)
+		tbl.Rows = append(tbl.Rows, []string{row.Name, row.Times.PaperStyle()})
+	}
+	return TableResult{ID: "A2", Title: tbl.Title, Rendered: tbl.Render()}, rows, nil
+}
+
+// MemorizationAblation compares the paper's nested rollout (best-sequence
+// memory, §III lines 7-10) against the older reflexive variant without it
+// (Cazenave 2007), sequentially, reporting mean scores.
+func MemorizationAblation(p Preset, games int) (TableResult, error) {
+	if games < 1 {
+		games = 4
+	}
+	tbl := stats.Table{
+		Title:  fmt.Sprintf("Ablation: best-sequence memorization, sequential level %d on %s (%d games)", p.LevelLo, p.Variant.Name, games),
+		Header: []string{"variant", "mean score", "max"},
+	}
+	for _, memorize := range []bool{true, false} {
+		var acc stats.Acc
+		for i := 0; i < games; i++ {
+			opt := defaultCoreOptions(memorize)
+			res := runSequentialGame(p, opt, uint64(i)+1)
+			acc.Add(res)
+		}
+		name := "reflexive (no memory)"
+		if memorize {
+			name = "nested rollout (paper)"
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			name, fmt.Sprintf("%.1f", acc.Mean()), fmt.Sprintf("%.0f", acc.Max()),
+		})
+	}
+	return TableResult{ID: "A3", Title: tbl.Title, Rendered: tbl.Render()}, nil
+}
+
+// durationOf is a helper kept for tests.
+func durationOf(rows []*AblationRow, name string) time.Duration {
+	for _, r := range rows {
+		if r.Name == name {
+			return r.Times.MeanDuration()
+		}
+	}
+	return 0
+}

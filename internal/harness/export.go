@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// JSON export of experiment results, for archiving runs and for
+// machine-diffing against previous campaigns.
+
+// CellJSON is the serialized form of one measurement.
+type CellJSON struct {
+	Table      string  `json:"table"`
+	Level      int     `json:"level"`
+	Clients    int     `json:"clients"`
+	Spec       string  `json:"spec,omitempty"`
+	Algorithm  string  `json:"algorithm"`
+	FirstMove  bool    `json:"first_move"`
+	Runs       int     `json:"runs"`
+	MeanSec    float64 `json:"mean_sec"`
+	StddevSec  float64 `json:"stddev_sec"`
+	MeanScore  float64 `json:"mean_score"`
+	TotalJobs  int64   `json:"total_jobs"`
+	Rendered   string  `json:"rendered_mean"`
+	PaperStyle string  `json:"paper_style"`
+}
+
+// CampaignJSON is a whole exported campaign.
+type CampaignJSON struct {
+	Scale    string     `json:"scale"`
+	Variant  string     `json:"variant"`
+	LevelLo  int        `json:"level_lo"`
+	LevelHi  int        `json:"level_hi"`
+	JobScale int64      `json:"job_scale"`
+	UnitCost string     `json:"unit_cost"`
+	Cells    []CellJSON `json:"cells"`
+}
+
+// ExportJSON writes the measurements of the given tables as indented JSON.
+func ExportJSON(w io.Writer, p Preset, tables ...TableResult) error {
+	out := CampaignJSON{
+		Scale:    string(p.Scale),
+		Variant:  p.Variant.Name,
+		LevelLo:  p.LevelLo,
+		LevelHi:  p.LevelHi,
+		JobScale: p.JobScale,
+		UnitCost: p.UnitCost.String(),
+	}
+	for _, t := range tables {
+		for _, m := range t.Measurements {
+			mean := m.Times.MeanDuration()
+			out.Cells = append(out.Cells, CellJSON{
+				Table:      t.ID,
+				Level:      m.Level,
+				Clients:    m.Clients,
+				Spec:       m.Spec,
+				Algorithm:  m.Algo.String(),
+				FirstMove:  m.FirstMove,
+				Runs:       m.Times.N(),
+				MeanSec:    mean.Seconds(),
+				StddevSec:  m.Times.StddevDuration().Seconds(),
+				MeanScore:  m.Scores.Mean(),
+				TotalJobs:  m.Jobs,
+				Rendered:   mean.Round(time.Second).String(),
+				PaperStyle: m.Times.PaperStyle(),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("harness: export: %w", err)
+	}
+	return nil
+}
+
+// ImportJSON reads a campaign back.
+func ImportJSON(r io.Reader) (CampaignJSON, error) {
+	var c CampaignJSON
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return CampaignJSON{}, fmt.Errorf("harness: import: %w", err)
+	}
+	return c, nil
+}

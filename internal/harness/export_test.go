@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	p := tinyPreset()
+	tII, err := FirstMoveRoundRobin(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ExportJSON(&buf, p, tII); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ImportJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Scale != string(p.Scale) || c.Variant != p.Variant.Name {
+		t.Fatalf("campaign header mangled: %+v", c)
+	}
+	if len(c.Cells) != len(tII.Measurements) {
+		t.Fatalf("cells %d != measurements %d", len(c.Cells), len(tII.Measurements))
+	}
+	for _, cell := range c.Cells {
+		if cell.Table != "II" || cell.MeanSec <= 0 || cell.Runs != p.SeedsLo {
+			t.Fatalf("bad cell %+v", cell)
+		}
+		if cell.Algorithm != "RR" {
+			t.Fatalf("algorithm %q", cell.Algorithm)
+		}
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	if _, err := ImportJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestScoreByLevel(t *testing.T) {
+	p := tinyPreset()
+	res, err := ScoreByLevel(p, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"morpion 4D", "samegame", "sudoku", "level"} {
+		if !strings.Contains(res.Rendered, want) {
+			t.Fatalf("extension table missing %q:\n%s", want, res.Rendered)
+		}
+	}
+	t.Logf("score by level:\n%s", res.Rendered)
+}

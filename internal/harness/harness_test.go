@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/morpion"
+)
+
+// tinyPreset is a minimal campaign for unit tests: two client counts, one
+// seed, 4D at levels 2/3 with hi-level rows disabled.
+func tinyPreset() Preset {
+	return Preset{
+		Scale: ScaleCI, Variant: morpion.Var4D,
+		LevelLo: 2, LevelHi: 3,
+		CountsLo: []int{1, 8},
+		SeedsLo:  1,
+		JobScale: 8000, UnitCost: 5 * time.Microsecond,
+		Medians: 16, Fig1Level: 1,
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, sc := range []Scale{ScaleCI, ScaleLab, ScalePaper} {
+		p := PresetFor(sc)
+		if p.LevelLo < 2 || p.LevelHi <= p.LevelLo {
+			t.Errorf("%s: bad levels %d/%d", sc, p.LevelLo, p.LevelHi)
+		}
+		if len(p.CountsLo) == 0 || p.SeedsLo < 1 || p.Medians < 1 {
+			t.Errorf("%s: incomplete preset %+v", sc, p)
+		}
+	}
+	if PresetFor(ScalePaper).Variant.Name != "5D" {
+		t.Error("paper scale must use the paper's 5D variant")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown scale did not panic")
+		}
+	}()
+	PresetFor("bogus")
+}
+
+func TestSequentialTimesTable(t *testing.T) {
+	p := tinyPreset()
+	res, err := SequentialTimes(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "I" {
+		t.Fatalf("table id %q", res.ID)
+	}
+	if !strings.Contains(res.Rendered, "first move") || !strings.Contains(res.Rendered, "one rollout") {
+		t.Fatalf("table I missing columns:\n%s", res.Rendered)
+	}
+	// Level-lo row must carry a real duration; level-hi is skipped at CI
+	// (rendered as the paper's missing-entry dash).
+	if !strings.Contains(res.Rendered, "2") {
+		t.Fatalf("missing level row:\n%s", res.Rendered)
+	}
+}
+
+func TestFirstMoveTablesAndSpeedup(t *testing.T) {
+	p := tinyPreset()
+	res, err := FirstMoveRoundRobin(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "II" {
+		t.Fatalf("id %q", res.ID)
+	}
+	if len(res.Measurements) != len(p.CountsLo) {
+		t.Fatalf("%d measurements, want %d", len(res.Measurements), len(p.CountsLo))
+	}
+	sp := Speedup(res.Measurements, p.LevelLo, 1, 8)
+	t.Logf("8-client speedup: %.2f", sp)
+	if sp < 3 {
+		t.Fatalf("8-client first-move speedup %.2f, want >= 3", sp)
+	}
+	for _, m := range res.Measurements {
+		if m.Times.N() != p.SeedsLo {
+			t.Fatalf("cell has %d runs, want %d", m.Times.N(), p.SeedsLo)
+		}
+		if m.Jobs == 0 {
+			t.Fatal("cell recorded no client jobs")
+		}
+	}
+}
+
+func TestRolloutTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rollout table in short mode")
+	}
+	p := tinyPreset()
+	p.CountsLo = []int{8} // a single full-game run keeps the test quick
+	res, err := RolloutLastMinute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "V" {
+		t.Fatalf("id %q", res.ID)
+	}
+	m := res.Measurements[0]
+	if m.FirstMove {
+		t.Fatal("rollout table measured first moves")
+	}
+	// A full game must take much longer than a first move at the same
+	// client count (the paper's ratio is ~9-11x).
+	fm, err := FirstMoveLastMinute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(m.Times.MeanDuration()) / float64(fm.Measurements[0].Times.MeanDuration())
+	t.Logf("rollout/first-move time ratio: %.1f", ratio)
+	if ratio < 2 {
+		t.Fatalf("rollout (%v) not clearly longer than first move (%v)",
+			m.Times.MeanDuration(), fm.Measurements[0].Times.MeanDuration())
+	}
+	// Rollout scores are full games; sanity: at least the random mean.
+	if m.Scores.Mean() < 15 {
+		t.Fatalf("suspicious rollout score %v", m.Scores.Mean())
+	}
+}
+
+func TestHeterogeneousTable(t *testing.T) {
+	p := tinyPreset()
+	res, err := Heterogeneous(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "VI" {
+		t.Fatalf("id %q", res.ID)
+	}
+	// 2 specs x 2 algorithms at level lo.
+	if len(res.Measurements) != 4 {
+		t.Fatalf("%d measurements, want 4", len(res.Measurements))
+	}
+	if !strings.Contains(res.Rendered, "16x4+16x2") || !strings.Contains(res.Rendered, "LM") {
+		t.Fatalf("table VI missing rows:\n%s", res.Rendered)
+	}
+	// The paper's key claim at scale: LM beats RR on both layouts.
+	byKey := map[string]time.Duration{}
+	for _, m := range res.Measurements {
+		byKey[m.Spec+"/"+m.Algo.String()] = m.Times.MeanDuration()
+	}
+	for _, spec := range []string{"16x4+16x2", "8x4+8x2"} {
+		lm, rr := byKey[spec+"/LM"], byKey[spec+"/RR"]
+		t.Logf("%s: LM=%v RR=%v", spec, lm, rr)
+		if lm >= rr {
+			t.Errorf("%s: LM (%v) not faster than RR (%v)", spec, lm, rr)
+		}
+	}
+}
+
+func TestFigure1Renders(t *testing.T) {
+	p := tinyPreset()
+	out, err := Figure1(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 1", "5D", "score:", " o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProtocolFigures(t *testing.T) {
+	p := tinyPreset()
+	out, err := ProtocolFigures(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figures 2-3", "Figures 4-5", "validated", "--a-->", "in flight"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("protocol figures missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaryText(t *testing.T) {
+	p := tinyPreset()
+	tII, err := FirstMoveRoundRobin(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tIV, err := FirstMoveLastMinute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tVI, err := Heterogeneous(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SummaryText(p, tII, tIV, tVI)
+	for _, want := range []string{"speedup", "heterogeneous", "RR/LM"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "paper: 56") {
+		t.Fatal("summary should cite the paper's headline speedup")
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	mk := func(level, clients int, d time.Duration) *Measurement {
+		m := &Measurement{Level: level, Clients: clients}
+		m.Times.AddDuration(d)
+		return m
+	}
+	ms := []*Measurement{
+		mk(2, 1, 100*time.Second),
+		mk(2, 8, 20*time.Second),
+		mk(3, 8, time.Hour),
+	}
+	if sp := Speedup(ms, 2, 1, 8); sp != 5 {
+		t.Fatalf("speedup = %v, want 5", sp)
+	}
+	if sp := Speedup(ms, 3, 1, 8); sp != 0 {
+		t.Fatalf("missing base should give 0, got %v", sp)
+	}
+}

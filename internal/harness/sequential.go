@@ -1,0 +1,21 @@
+package harness
+
+import (
+	"repro/internal/core"
+	"repro/internal/morpion"
+	"repro/internal/rng"
+)
+
+// defaultCoreOptions builds sequential search options for ablations.
+func defaultCoreOptions(memorize bool) core.Options {
+	o := core.DefaultOptions()
+	o.Memorize = memorize
+	return o
+}
+
+// runSequentialGame plays one sequential nested game at the preset's low
+// level and returns its score.
+func runSequentialGame(p Preset, opt core.Options, seed uint64) float64 {
+	s := core.NewSearcher(rng.New(seed), opt)
+	return s.Nested(morpion.New(p.Variant), p.LevelLo).Score
+}

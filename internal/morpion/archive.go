@@ -1,0 +1,178 @@
+package morpion
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/game"
+)
+
+// Archive is a store of good sequences for one variant, deduplicated up to
+// the cross's symmetry group and kept sorted by score. It is the
+// bookkeeping behind a record hunt: the paper reports "two new sequences
+// of 80 moves", a claim that needs exactly this — validation, symmetry
+// canonicalization, and deduplication of everything the search finds.
+type Archive struct {
+	v       Variant
+	entries []ArchiveEntry
+	seen    map[string]bool // canonical forms already stored
+}
+
+// ArchiveEntry is one stored sequence.
+type ArchiveEntry struct {
+	Score int
+	Label string // provenance: who/what found it
+	// Sequence is the notation of the sequence as found; Canonical its
+	// symmetry-canonical form (the deduplication key).
+	Sequence  string
+	Canonical string
+}
+
+// NewArchive returns an empty archive for the variant.
+func NewArchive(v Variant) *Archive {
+	return &Archive{v: v, seen: map[string]bool{}}
+}
+
+// Variant returns the archive's rule set.
+func (a *Archive) Variant() Variant { return a.v }
+
+// Len returns the number of stored sequences.
+func (a *Archive) Len() int { return len(a.entries) }
+
+// Entries returns the stored sequences, best first.
+func (a *Archive) Entries() []ArchiveEntry {
+	return append([]ArchiveEntry(nil), a.entries...)
+}
+
+// Best returns the highest-scoring entry, or false when empty.
+func (a *Archive) Best() (ArchiveEntry, bool) {
+	if len(a.entries) == 0 {
+		return ArchiveEntry{}, false
+	}
+	return a.entries[0], true
+}
+
+// Add validates seq, canonicalizes it, and stores it unless an equivalent
+// sequence (up to symmetry) is already present. It reports whether the
+// sequence was added.
+func (a *Archive) Add(seq []game.Move, label string) (bool, error) {
+	text, err := FormatSequence(a.v, seq)
+	if err != nil {
+		return false, fmt.Errorf("morpion: archive: %w", err)
+	}
+	canon, _, err := CanonicalSequence(a.v, seq)
+	if err != nil {
+		return false, fmt.Errorf("morpion: archive: %w", err)
+	}
+	if a.seen[canon] {
+		return false, nil
+	}
+	a.seen[canon] = true
+	a.entries = append(a.entries, ArchiveEntry{
+		Score: len(seq), Label: label, Sequence: text, Canonical: canon,
+	})
+	sort.SliceStable(a.entries, func(i, j int) bool {
+		return a.entries[i].Score > a.entries[j].Score
+	})
+	return true, nil
+}
+
+// AddText parses a sequence in notation form and adds it.
+func (a *Archive) AddText(text, label string) (bool, error) {
+	st, err := ParseSequence(a.v, text)
+	if err != nil {
+		return false, err
+	}
+	return a.Add(st.Sequence(), label)
+}
+
+// Save writes the archive as text: one line per entry,
+// "score<TAB>label<TAB>sequence", best first, with a header line naming
+// the variant.
+func (a *Archive) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "morpion-archive %s\n", a.v.Name); err != nil {
+		return err
+	}
+	for _, e := range a.entries {
+		if _, err := fmt.Fprintf(bw, "%d\t%s\t%s\n", e.Score, e.Label, e.Sequence); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadArchive reads an archive saved by Save, revalidating every sequence.
+func LoadArchive(r io.Reader) (*Archive, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("morpion: archive: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 2 || header[0] != "morpion-archive" {
+		return nil, fmt.Errorf("morpion: archive: bad header %q", sc.Text())
+	}
+	v, err := VariantByName(header[1])
+	if err != nil {
+		return nil, err
+	}
+	a := NewArchive(v)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.SplitN(text, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("morpion: archive line %d: want score\\tlabel\\tsequence", line)
+		}
+		score, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("morpion: archive line %d: bad score: %v", line, err)
+		}
+		added, err := a.AddText(parts[2], parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("morpion: archive line %d: %v", line, err)
+		}
+		if added {
+			got := a.entries[len(a.entries)-1]
+			// entries are sorted; find the just-added entry by canonical
+			// form to check the recorded score.
+			for _, e := range a.entries {
+				if e.Label == parts[1] && e.Sequence == parts[2] {
+					got = e
+					break
+				}
+			}
+			if got.Score != score {
+				return nil, fmt.Errorf("morpion: archive line %d: recorded score %d but sequence has %d moves", line, score, got.Score)
+			}
+		}
+	}
+	return a, sc.Err()
+}
+
+// Merge adds every entry of other into a, returning how many were new.
+func (a *Archive) Merge(other *Archive) (int, error) {
+	if other.v.Name != a.v.Name {
+		return 0, fmt.Errorf("morpion: archive: cannot merge %s into %s", other.v.Name, a.v.Name)
+	}
+	added := 0
+	for _, e := range other.entries {
+		ok, err := a.AddText(e.Sequence, e.Label)
+		if err != nil {
+			return added, err
+		}
+		if ok {
+			added++
+		}
+	}
+	return added, nil
+}

@@ -1,0 +1,169 @@
+package morpion
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestArchiveAddAndOrder(t *testing.T) {
+	a := NewArchive(Var4D)
+	r := rng.New(1)
+	var scores []int
+	for i := 0; i < 5; i++ {
+		s := playout(New(Var4D), r)
+		added, err := a.Add(s.Sequence(), "test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !added {
+			t.Fatalf("fresh random game %d rejected", i)
+		}
+		scores = append(scores, s.MovesPlayed())
+	}
+	if a.Len() != 5 {
+		t.Fatalf("len = %d", a.Len())
+	}
+	entries := a.Entries()
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Score > entries[i-1].Score {
+			t.Fatal("entries not sorted best-first")
+		}
+	}
+	best, ok := a.Best()
+	if !ok {
+		t.Fatal("no best")
+	}
+	maxScore := 0
+	for _, s := range scores {
+		if s > maxScore {
+			maxScore = s
+		}
+	}
+	if best.Score != maxScore {
+		t.Fatalf("best %d, want %d", best.Score, maxScore)
+	}
+}
+
+func TestArchiveDeduplicatesSymmetricImages(t *testing.T) {
+	// A rotated copy of a stored game must be rejected: the paper's "two
+	// NEW sequences" claim is meaningful only up to symmetry.
+	a := NewArchive(Var4D)
+	r := rng.New(9)
+	s := playout(New(Var4D), r)
+	if added, err := a.Add(s.Sequence(), "original"); err != nil || !added {
+		t.Fatalf("original rejected: %v", err)
+	}
+	for sym := Symmetry(1); sym < NumSymmetries; sym++ {
+		img, err := TransformSequence(Var4D, s.Sequence(), sym)
+		if err != nil {
+			t.Fatal(err)
+		}
+		added, err := a.Add(img, "copy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added {
+			t.Fatalf("symmetric image %v accepted as new", sym)
+		}
+	}
+	if a.Len() != 1 {
+		t.Fatalf("len = %d after duplicate adds", a.Len())
+	}
+}
+
+func TestArchiveSaveLoadRoundTrip(t *testing.T) {
+	a := NewArchive(Var4D)
+	r := rng.New(4)
+	for i := 0; i < 3; i++ {
+		s := playout(New(Var4D), r)
+		if _, err := a.Add(s.Sequence(), "hunt"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != a.Len() {
+		t.Fatalf("loaded %d entries, want %d", b.Len(), a.Len())
+	}
+	ba, _ := a.Best()
+	bb, _ := b.Best()
+	if ba.Score != bb.Score || ba.Sequence != bb.Sequence {
+		t.Fatal("best entry changed across save/load")
+	}
+}
+
+func TestArchiveLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not-an-archive 5D\n",
+		"morpion-archive 9Z\n",
+		"morpion-archive 4D\nbadline\n",
+		"morpion-archive 4D\nx\tlbl\t0,0:E:0\n",
+		"morpion-archive 4D\n5\tlbl\t0,0:E:0\n", // illegal sequence
+	}
+	for _, c := range cases {
+		if _, err := LoadArchive(strings.NewReader(c)); err == nil {
+			t.Errorf("garbage accepted: %q", c)
+		}
+	}
+}
+
+func TestArchiveLoadChecksScore(t *testing.T) {
+	a := NewArchive(Var4D)
+	r := rng.New(6)
+	s := playout(New(Var4D), r)
+	if _, err := a.Add(s.Sequence(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the recorded score.
+	text := strings.Replace(buf.String(), "\n"+strconv.Itoa(s.MovesPlayed())+"\t", "\n9999\t", 1)
+	if text == buf.String() {
+		t.Skip("score prefix not found to corrupt")
+	}
+	if _, err := LoadArchive(strings.NewReader(text)); err == nil {
+		t.Fatal("score mismatch accepted")
+	}
+}
+
+func TestArchiveMerge(t *testing.T) {
+	r := rng.New(8)
+	a := NewArchive(Var4D)
+	b := NewArchive(Var4D)
+	s1 := playout(New(Var4D), r)
+	s2 := playout(New(Var4D), r)
+	if _, err := a.Add(s1.Sequence(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Add(s1.Sequence(), "dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Add(s2.Sequence(), "new"); err != nil {
+		t.Fatal(err)
+	}
+	added, err := a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || a.Len() != 2 {
+		t.Fatalf("merge added %d (len %d), want 1 (len 2)", added, a.Len())
+	}
+	// Cross-variant merges are refused.
+	c := NewArchive(Var5D)
+	if _, err := a.Merge(c); err == nil {
+		t.Fatal("cross-variant merge accepted")
+	}
+}

@@ -1,0 +1,579 @@
+// Package morpion implements the Morpion Solitaire puzzle, the evaluation
+// domain of the paper.
+//
+// Morpion Solitaire is played on a grid of lattice points. The initial
+// position is a cross of 36 points. A move places one new point and draws a
+// line of k consecutive points (k=5 in the paper's version) through it:
+// every other point of the line must already be present. Lines are
+// horizontal, vertical or diagonal. The goal is to play as many moves as
+// possible; the game score is the number of moves played.
+//
+// Two families of rules restrict how lines in the same direction may relate:
+//
+//   - Touching (T): two lines in the same direction may share an endpoint
+//     but not a unit segment (link) of the grid.
+//   - Disjoint (D): two lines in the same direction may not share any point.
+//
+// The paper uses the 5D (disjoint, line length 5) variant; 5T, 4T and 4D are
+// the standard companions from the literature (Demaine et al. 2006) and are
+// used here as cheaper stand-ins for scaled-down experiments. Morpion
+// Solitaire is NP-hard (Demaine et al.), has a large state space and no good
+// heuristic, which is exactly why the paper evaluates nested Monte-Carlo
+// search on it.
+package morpion
+
+import (
+	"fmt"
+
+	"repro/internal/game"
+)
+
+// Dir indexes the four line directions.
+type Dir uint8
+
+// The four directions a line can take. Their unit deltas are in dirDX/dirDY.
+const (
+	DirE    Dir = iota // east: dx=1, dy=0 (horizontal)
+	DirS               // south: dx=0, dy=1 (vertical)
+	DirSE              // south-east: dx=1, dy=1 (main diagonal)
+	DirNE              // north-east: dx=1, dy=-1 (anti-diagonal)
+	numDirs = 4
+)
+
+var dirDX = [numDirs]int{1, 0, 1, 1}
+var dirDY = [numDirs]int{0, 1, 1, -1}
+var dirNames = [numDirs]string{"E", "S", "SE", "NE"}
+
+// String returns the compass name of the direction.
+func (d Dir) String() string {
+	if d < numDirs {
+		return dirNames[d]
+	}
+	return fmt.Sprintf("Dir(%d)", uint8(d))
+}
+
+// Variant describes one rule set of Morpion Solitaire.
+type Variant struct {
+	Name string
+	// LineLen is the number of points in a line (4 or 5 in the standard
+	// variants).
+	LineLen int
+	// Disjoint selects the D rule (no shared point between same-direction
+	// lines); false selects the T rule (no shared link).
+	Disjoint bool
+	// BoardSize is the side of the square working grid. It is sized so that
+	// record-length games cannot reach the border.
+	BoardSize int
+}
+
+// The four standard variants. The paper's experiments all use Var5D;
+// Var4D and Var4T are the scaled-down stand-ins used by the fast
+// experiment presets, and Var5T is the variant with the longest known games.
+var (
+	Var5T = Variant{Name: "5T", LineLen: 5, Disjoint: false, BoardSize: 64}
+	Var5D = Variant{Name: "5D", LineLen: 5, Disjoint: true, BoardSize: 52}
+	Var4T = Variant{Name: "4T", LineLen: 4, Disjoint: false, BoardSize: 40}
+	Var4D = Variant{Name: "4D", LineLen: 4, Disjoint: true, BoardSize: 40}
+)
+
+// VariantByName returns the standard variant with the given name.
+func VariantByName(name string) (Variant, error) {
+	switch name {
+	case "5T":
+		return Var5T, nil
+	case "5D":
+		return Var5D, nil
+	case "4T":
+		return Var4T, nil
+	case "4D":
+		return Var4D, nil
+	}
+	return Variant{}, fmt.Errorf("morpion: unknown variant %q (want 5T, 5D, 4T or 4D)", name)
+}
+
+// crossRows5 describes the standard 36-point initial cross of the
+// lines-of-5 variants inside its 10×10 bounding box; crossRows5[y] lists the
+// x coordinates of initial points.
+var crossRows5 = [][]int{
+	{3, 4, 5, 6},
+	{3, 6},
+	{3, 6},
+	{0, 1, 2, 3, 6, 7, 8, 9},
+	{0, 9},
+	{0, 9},
+	{0, 1, 2, 3, 6, 7, 8, 9},
+	{3, 6},
+	{3, 6},
+	{3, 4, 5, 6},
+}
+
+// crossRows4 is the scaled analogue for the lines-of-4 variants: the same
+// Greek-cross outline built from segments of 3 points (24 points, 7×7 box).
+var crossRows4 = [][]int{
+	{2, 3, 4},
+	{2, 4},
+	{0, 1, 2, 4, 5, 6},
+	{0, 6},
+	{0, 1, 2, 4, 5, 6},
+	{2, 4},
+	{2, 3, 4},
+}
+
+// crossFor returns the initial cross layout for a line length.
+func crossFor(lineLen int) [][]int {
+	if lineLen <= 4 {
+		return crossRows4
+	}
+	return crossRows5
+}
+
+// CrossPoints returns the number of points in the initial cross of the
+// variant (36 for lines of 5, 24 for lines of 4).
+func (v Variant) CrossPoints() int {
+	n := 0
+	for _, row := range crossFor(v.LineLen) {
+		n += len(row)
+	}
+	return n
+}
+
+// State is a Morpion Solitaire position with incrementally maintained legal
+// moves. It implements game.State. The zero value is not usable; call New.
+type State struct {
+	v Variant
+	w int // board side
+
+	// planes is the single backing array for the five cell planes below;
+	// keeping them contiguous makes Clone a single allocation plus copy,
+	// which matters because nested search clones on every candidate move.
+	planes []uint8
+	// occ[i] is nonzero when grid cell i holds a point.
+	occ []uint8
+	// used[d][i] marks, for direction d, either the point i (Disjoint rule)
+	// or the unit link whose lower endpoint is i (Touching rule) as consumed
+	// by an existing line.
+	used [numDirs][]uint8
+
+	moves []game.Move // current legal moves, deterministic order
+	seq   []game.Move // moves played since the initial position
+
+	// trackUndo enables per-move history. It is on for states built with
+	// New and off for clones: search clones are never rewound, and skipping
+	// the bookkeeping removes most allocations from the playout inner loop.
+	trackUndo bool
+	hist      []histEntry // per-move undo information
+
+	// originX/Y is the top-left corner of the cross's bounding box, used by
+	// the human-readable notation so coordinates are board-size independent.
+	originX, originY int
+}
+
+type histEntry struct {
+	move       game.Move
+	removed    []game.Move // moves deleted from the list by this move
+	removedIdx []int32     // their original positions, ascending
+	numAdded   int         // moves appended to the list by this move
+}
+
+// New returns the initial position of the given variant, with the standard
+// 36-point cross centred on the working grid.
+func New(v Variant) *State {
+	if v.LineLen < 3 || v.LineLen > 8 {
+		panic(fmt.Sprintf("morpion: unsupported line length %d", v.LineLen))
+	}
+	cross := crossFor(v.LineLen)
+	w := v.BoardSize
+	if w < len(cross)+4*v.LineLen {
+		panic(fmt.Sprintf("morpion: board size %d too small for line length %d", w, v.LineLen))
+	}
+	s := &State{v: v, w: w, trackUndo: true}
+	s.attachPlanes(make([]uint8, 5*w*w))
+	s.originX = (w - len(cross)) / 2
+	s.originY = (w - len(cross)) / 2
+	for y, xs := range cross {
+		for _, x := range xs {
+			s.occ[(s.originY+y)*w+s.originX+x] = 1
+		}
+	}
+	s.moves = s.scanAllMoves(nil)
+	return s
+}
+
+// attachPlanes slices the five cell planes out of one backing array.
+func (s *State) attachPlanes(planes []uint8) {
+	cells := s.w * s.w
+	s.planes = planes
+	s.occ = planes[:cells:cells]
+	for d := 0; d < numDirs; d++ {
+		s.used[d] = planes[(1+d)*cells : (2+d)*cells : (2+d)*cells]
+	}
+}
+
+// Variant returns the rule set of the position.
+func (s *State) Variant() Variant { return s.v }
+
+// BoardSize returns the side length of the working grid.
+func (s *State) BoardSize() int { return s.w }
+
+// Occupied reports whether the grid cell (x, y) holds a point.
+func (s *State) Occupied(x, y int) bool {
+	return x >= 0 && x < s.w && y >= 0 && y < s.w && s.occ[y*s.w+x] != 0
+}
+
+// MovesPlayed returns the number of moves played from the initial cross.
+func (s *State) MovesPlayed() int { return len(s.seq) }
+
+// Sequence returns a copy of the moves played so far.
+func (s *State) Sequence() []game.Move {
+	return append([]game.Move(nil), s.seq...)
+}
+
+// Score returns the game score: the number of moves played. This is the
+// quantity the search maximizes (paper §III).
+func (s *State) Score() float64 { return float64(len(s.seq)) }
+
+// Terminal reports whether no legal move remains.
+func (s *State) Terminal() bool { return len(s.moves) == 0 }
+
+// LegalMoves appends the legal moves to buf and returns it.
+func (s *State) LegalMoves(buf []game.Move) []game.Move {
+	return append(buf, s.moves...)
+}
+
+// NumLegalMoves returns the current branching factor.
+func (s *State) NumLegalMoves() int { return len(s.moves) }
+
+// Clone returns a deep copy of the position. Clones do not track undo
+// history (they are what the search ships around and never rewinds); Undo
+// on a clone panics. Use New and replay a sequence if rewind is needed.
+func (s *State) Clone() game.State {
+	c := &State{
+		v:       s.v,
+		w:       s.w,
+		moves:   append([]game.Move(nil), s.moves...),
+		seq:     append([]game.Move(nil), s.seq...),
+		originX: s.originX,
+		originY: s.originY,
+	}
+	c.attachPlanes(append([]uint8(nil), s.planes...))
+	return c
+}
+
+// EncodedSize implements game.Sizer: an upper bound on the bytes needed to
+// ship this position between cluster processes (occupancy and usage planes
+// bit-packed, plus the move sequence). The virtual network model charges
+// this per position message.
+func (s *State) EncodedSize() int {
+	cells := s.w * s.w
+	return cells*5/8 + 4*len(s.seq) + 16
+}
+
+// --- move encoding -------------------------------------------------------
+
+// A move is packed into a game.Move as:
+//
+//	bits 0..15  : base cell index (start of the line, lowest point)
+//	bits 16..17 : direction
+//	bits 18..20 : offset k of the new point within the line (0..LineLen-1)
+//
+// The base point is the line endpoint with the smallest (y, x), i.e. the
+// line extends from base towards +delta.
+
+func packMove(base int, d Dir, k int) game.Move {
+	return game.Move(uint64(base) | uint64(d)<<16 | uint64(k)<<18)
+}
+
+func unpackMove(m game.Move) (base int, d Dir, k int) {
+	return int(m & 0xffff), Dir(m >> 16 & 0x3), int(m >> 18 & 0x7)
+}
+
+// MoveParts exposes the decoded move for rendering and notation: the board
+// cell of the new point, the line's base cell, its direction and the offset
+// of the new point in the line.
+func (s *State) MoveParts(m game.Move) (newX, newY, baseX, baseY int, d Dir, k int) {
+	base, d, k := unpackMove(m)
+	baseX, baseY = base%s.w, base/s.w
+	newX = baseX + k*dirDX[d]
+	newY = baseY + k*dirDY[d]
+	return
+}
+
+// --- legality ------------------------------------------------------------
+
+// lineCells writes the cell indices of the line (base, d) into cells and
+// reports whether the whole line is on the board.
+func (s *State) lineCells(baseX, baseY int, d Dir, cells []int) bool {
+	dx, dy := dirDX[d], dirDY[d]
+	L := s.v.LineLen
+	endX := baseX + (L-1)*dx
+	endY := baseY + (L-1)*dy
+	if baseX < 0 || baseY < 0 || baseX >= s.w || baseY >= s.w ||
+		endX < 0 || endY < 0 || endX >= s.w || endY >= s.w {
+		return false
+	}
+	idx := baseY*s.w + baseX
+	step := dy*s.w + dx
+	for i := 0; i < L; i++ {
+		cells[i] = idx
+		idx += step
+	}
+	return true
+}
+
+// usageFree reports whether the line with the given cells violates the
+// variant's same-direction constraint against already-drawn lines.
+func (s *State) usageFree(cells []int, d Dir) bool {
+	u := s.used[d]
+	L := s.v.LineLen
+	if s.v.Disjoint {
+		// D rule: no point of the new line may belong to an existing line
+		// of the same direction.
+		for i := 0; i < L; i++ {
+			if u[cells[i]] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	// T rule: no unit link of the new line may belong to an existing line
+	// of the same direction. A link is identified by its lower cell.
+	for i := 0; i < L-1; i++ {
+		if u[cells[i]] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// candidate checks whether the line (baseX, baseY, d) is a legal move and,
+// if so, returns the packed move. A legal move has the whole line on the
+// board, exactly one empty point, and satisfies the usage constraint.
+func (s *State) candidate(baseX, baseY int, d Dir, cells []int) (game.Move, bool) {
+	if !s.lineCells(baseX, baseY, d, cells) {
+		return 0, false
+	}
+	L := s.v.LineLen
+	empty := -1
+	for i := 0; i < L; i++ {
+		if s.occ[cells[i]] == 0 {
+			if empty >= 0 {
+				return 0, false // two empty points
+			}
+			empty = i
+		}
+	}
+	if empty < 0 {
+		return 0, false // line already complete
+	}
+	if !s.usageFree(cells, d) {
+		return 0, false
+	}
+	return packMove(baseY*s.w+baseX, d, empty), true
+}
+
+// scanAllMoves recomputes the full legal move list from scratch. Used to
+// initialize the position and by tests as an oracle for the incremental
+// update.
+func (s *State) scanAllMoves(buf []game.Move) []game.Move {
+	cells := make([]int, s.v.LineLen)
+	for y := 0; y < s.w; y++ {
+		for x := 0; x < s.w; x++ {
+			for d := Dir(0); d < numDirs; d++ {
+				if m, ok := s.candidate(x, y, d, cells); ok {
+					buf = append(buf, m)
+				}
+			}
+		}
+	}
+	return buf
+}
+
+// --- play / undo ---------------------------------------------------------
+
+// Play applies a legal move: places the new point, claims the line's usage,
+// and updates the legal move list incrementally. Playing a move that is not
+// currently legal corrupts the position; the search only plays moves it got
+// from LegalMoves.
+func (s *State) Play(m game.Move) {
+	base, d, k := unpackMove(m)
+	L := s.v.LineLen
+	step := dirDY[d]*s.w + dirDX[d]
+	newCell := base + k*step
+
+	s.occ[newCell] = 1
+	u := s.used[d]
+	if s.v.Disjoint {
+		idx := base
+		for i := 0; i < L; i++ {
+			u[idx] = 1
+			idx += step
+		}
+	} else {
+		idx := base
+		for i := 0; i < L-1; i++ {
+			u[idx] = 1
+			idx += step
+		}
+	}
+	s.seq = append(s.seq, m)
+
+	// Incremental move list maintenance. Two invalidation causes:
+	//  1. a listed move's new point is newCell, which is now occupied;
+	//  2. a listed move's line conflicts with the just-claimed line under
+	//     the same-direction rule.
+	// And one creation cause: lines through newCell that now have exactly
+	// one empty point.
+	if s.trackUndo {
+		var removed []game.Move
+		var removedIdx []int32
+		keep := s.moves[:0]
+		for i, mv := range s.moves {
+			if s.moveInvalidated(mv, newCell, base, d, step) {
+				removed = append(removed, mv)
+				removedIdx = append(removedIdx, int32(i))
+			} else {
+				keep = append(keep, mv)
+			}
+		}
+		s.moves = keep
+		added := s.addMovesThrough(newCell)
+		s.hist = append(s.hist, histEntry{move: m, removed: removed, removedIdx: removedIdx, numAdded: added})
+		return
+	}
+	keep := s.moves[:0]
+	for _, mv := range s.moves {
+		if !s.moveInvalidated(mv, newCell, base, d, step) {
+			keep = append(keep, mv)
+		}
+	}
+	s.moves = keep
+	s.addMovesThrough(newCell)
+}
+
+// moveInvalidated reports whether listed move mv is killed by playing the
+// line (lineBase, d) whose new point is newCell.
+func (s *State) moveInvalidated(mv game.Move, newCell, lineBase int, d Dir, step int) bool {
+	b, md, mk := unpackMove(mv)
+	if b+mk*s.stepOf(md) == newCell {
+		return true // its new point just got occupied
+	}
+	if md != d {
+		return false
+	}
+	// Same direction: check colinearity and overlap with the claimed line.
+	// Two lines in direction d lie on the same lattice line iff their base
+	// cells differ by a multiple of step along that direction; compute the
+	// offset in line coordinates and verify it is consistent in x and y.
+	bx, by := b%s.w, b/s.w
+	lx, ly := lineBase%s.w, lineBase/s.w
+	dx, dy := dirDX[d], dirDY[d]
+	var t int
+	switch {
+	case dx != 0:
+		if (bx-lx)%dx != 0 {
+			return false
+		}
+		t = (bx - lx) / dx
+		if by-ly != t*dy {
+			return false
+		}
+	default: // vertical: dx == 0
+		if bx != lx {
+			return false
+		}
+		t = (by - ly) / dy
+	}
+	L := s.v.LineLen
+	if s.v.Disjoint {
+		// Share a point iff the two length-L ranges [0,L-1] and [t,t+L-1]
+		// intersect.
+		return t > -(L) && t < L
+	}
+	// Touching: share a link iff the link ranges [0,L-2] and [t,t+L-2]
+	// intersect.
+	return t > -(L-1) && t < L-1
+}
+
+func (s *State) stepOf(d Dir) int { return dirDY[d]*s.w + dirDX[d] }
+
+// addMovesThrough appends all moves whose line passes through cell p, and
+// returns how many were added. Only lines through p can have become legal,
+// because p is the only cell whose occupancy changed.
+func (s *State) addMovesThrough(p int) int {
+	px, py := p%s.w, p/s.w
+	L := s.v.LineLen
+	var cells [8]int
+	added := 0
+	for d := Dir(0); d < numDirs; d++ {
+		dx, dy := dirDX[d], dirDY[d]
+		for k := 0; k < L; k++ {
+			baseX := px - k*dx
+			baseY := py - k*dy
+			if m, ok := s.candidate(baseX, baseY, d, cells[:L]); ok {
+				s.moves = append(s.moves, m)
+				added++
+			}
+		}
+	}
+	return added
+}
+
+// Undo reverts the most recent move. It panics if no move has been played
+// since the position was created or cloned.
+func (s *State) Undo() {
+	if !s.trackUndo {
+		panic("morpion: Undo on a clone (history tracking is disabled on clones)")
+	}
+	if len(s.hist) == 0 {
+		panic("morpion: Undo on initial position")
+	}
+	h := s.hist[len(s.hist)-1]
+	s.hist = s.hist[:len(s.hist)-1]
+
+	base, d, k := unpackMove(h.move)
+	L := s.v.LineLen
+	step := s.stepOf(d)
+	newCell := base + k*step
+
+	s.occ[newCell] = 0
+	u := s.used[d]
+	if s.v.Disjoint {
+		idx := base
+		for i := 0; i < L; i++ {
+			u[idx] = 0
+			idx += step
+		}
+	} else {
+		idx := base
+		for i := 0; i < L-1; i++ {
+			u[idx] = 0
+			idx += step
+		}
+	}
+	s.seq = s.seq[:len(s.seq)-1]
+	// Restore the move list to its exact pre-Play order: drop the appended
+	// moves, then reinsert the removed ones at their original positions.
+	// Ascending insertion order keeps later original indices valid, and the
+	// exact order is what makes nested undos compose correctly.
+	s.moves = s.moves[:len(s.moves)-h.numAdded]
+	for i, mv := range h.removed {
+		idx := int(h.removedIdx[i])
+		s.moves = append(s.moves, 0)
+		copy(s.moves[idx+1:], s.moves[idx:])
+		s.moves[idx] = mv
+	}
+}
+
+// Reset implements game.Replayer: it rewinds the position to the initial
+// cross by undoing every move in the history. Positions obtained by Clone
+// only rewind to the clone point, since clones drop history; use New for a
+// pristine state.
+func (s *State) Reset() {
+	for len(s.hist) > 0 {
+		s.Undo()
+	}
+}
+
+var _ game.State = (*State)(nil)
+var _ game.Sizer = (*State)(nil)
+var _ game.Replayer = (*State)(nil)

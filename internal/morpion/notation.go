@@ -1,0 +1,114 @@
+package morpion
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/game"
+)
+
+// Move notation
+//
+// A move is written "x,y:DIR:k" where (x, y) is the position of the NEW
+// point in cross coordinates — (0,0) is the top-left corner of the initial
+// cross's 10×10 bounding box — DIR is one of E, S, SE, NE, and k is the
+// offset of the new point within its line (0 = the new point is the line's
+// base, LineLen-1 = its far end). Cross coordinates make sequences
+// independent of the internal working-grid size, so sequences recorded at
+// one board size replay at any other.
+
+// FormatMove renders m in the sequence notation.
+func (s *State) FormatMove(m game.Move) string {
+	newX, newY, _, _, d, k := s.MoveParts(m)
+	return fmt.Sprintf("%d,%d:%s:%d", newX-s.originX, newY-s.originY, d, k)
+}
+
+// ParseMove parses the sequence notation back into a packed move for this
+// position's board geometry. The move is not checked for legality.
+func (s *State) ParseMove(text string) (game.Move, error) {
+	parts := strings.Split(strings.TrimSpace(text), ":")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("morpion: bad move %q: want \"x,y:DIR:k\"", text)
+	}
+	var cx, cy int
+	if _, err := fmt.Sscanf(parts[0], "%d,%d", &cx, &cy); err != nil {
+		return 0, fmt.Errorf("morpion: bad coordinates in %q: %v", text, err)
+	}
+	var d Dir
+	switch parts[1] {
+	case "E":
+		d = DirE
+	case "S":
+		d = DirS
+	case "SE":
+		d = DirSE
+	case "NE":
+		d = DirNE
+	default:
+		return 0, fmt.Errorf("morpion: bad direction %q in %q", parts[1], text)
+	}
+	var k int
+	if _, err := fmt.Sscanf(parts[2], "%d", &k); err != nil {
+		return 0, fmt.Errorf("morpion: bad offset in %q: %v", text, err)
+	}
+	if k < 0 || k >= s.v.LineLen {
+		return 0, fmt.Errorf("morpion: offset %d out of range in %q", k, text)
+	}
+	newX := cx + s.originX
+	newY := cy + s.originY
+	baseX := newX - k*dirDX[d]
+	baseY := newY - k*dirDY[d]
+	if baseX < 0 || baseY < 0 || baseX >= s.w || baseY >= s.w {
+		return 0, fmt.Errorf("morpion: move %q falls off the %d-board", text, s.w)
+	}
+	return packMove(baseY*s.w+baseX, d, k), nil
+}
+
+// FormatSequence renders a move sequence, one move per token, space
+// separated, by replaying it on a scratch copy of the initial position of
+// this variant (the notation of a move depends only on geometry, but
+// replaying validates that the sequence is legal).
+func FormatSequence(v Variant, seq []game.Move) (string, error) {
+	s := New(v)
+	var b strings.Builder
+	for i, m := range seq {
+		if !s.isLegal(m) {
+			return "", fmt.Errorf("morpion: move %d (%s) is illegal in sequence", i, s.FormatMove(m))
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s.FormatMove(m))
+		s.Play(m)
+	}
+	return b.String(), nil
+}
+
+// ParseSequence parses a space-separated sequence in the notation of
+// FormatSequence and replays it from the initial position, validating each
+// move. It returns the final position.
+func ParseSequence(v Variant, text string) (*State, error) {
+	s := New(v)
+	fields := strings.Fields(text)
+	for i, tok := range fields {
+		m, err := s.ParseMove(tok)
+		if err != nil {
+			return nil, fmt.Errorf("morpion: move %d: %v", i, err)
+		}
+		if !s.isLegal(m) {
+			return nil, fmt.Errorf("morpion: move %d (%s) is illegal", i, tok)
+		}
+		s.Play(m)
+	}
+	return s, nil
+}
+
+// isLegal reports whether m is in the current legal move list.
+func (s *State) isLegal(m game.Move) bool {
+	for _, mv := range s.moves {
+		if mv == m {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+package morpion
+
+// Known records
+//
+// The best published scores for each variant, used to contextualize search
+// output (the paper's headline result is the two 80-move 5D sequences found
+// by the level-4 parallel search). Scores only: the record sequences
+// themselves are not redistributed here.
+
+// Record documents a best-known result for a variant at some point in time.
+type Record struct {
+	Variant string
+	Score   int
+	Holder  string
+	Year    int
+	Note    string
+}
+
+// KnownRecords lists the reference results discussed in the paper (§I, §II,
+// §V) plus the standard baselines from the literature for the companion
+// variants.
+var KnownRecords = []Record{
+	{Variant: "5D", Score: 68, Holder: "best human", Year: 2006, Note: "Demaine et al. survey"},
+	{Variant: "5D", Score: 79, Holder: "Hyyrö & Poranen (simulated annealing)", Year: 2007, Note: "previous best computer score cited by the paper"},
+	{Variant: "5D", Score: 80, Holder: "Cazenave & Jouandeau (this paper, parallel NMCS level 4)", Year: 2009, Note: "two new world-record sequences"},
+	{Variant: "5T", Score: 170, Holder: "C.-H. Bruneau (human)", Year: 1976, Note: "long-standing human record"},
+	{Variant: "4T", Score: 62, Holder: "literature", Year: 2008, Note: "reference score for the touching lines-of-4 variant"},
+	{Variant: "4D", Score: 35, Holder: "literature", Year: 2008, Note: "reference score for the disjoint lines-of-4 variant"},
+}
+
+// BestKnown returns the highest known score for the named variant, or 0 if
+// the variant has no recorded reference.
+func BestKnown(variant string) int {
+	best := 0
+	for _, r := range KnownRecords {
+		if r.Variant == variant && r.Score > best {
+			best = r.Score
+		}
+	}
+	return best
+}

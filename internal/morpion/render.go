@@ -1,0 +1,93 @@
+package morpion
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/game"
+)
+
+// Rendering
+//
+// Render draws the position as ASCII art in the style of the paper's
+// figure 1: initial cross points are shown as "o", points added by moves as
+// their move number (mod 100), and empty cells as ".". Only the bounding
+// box of the occupied points (plus one cell of margin) is drawn.
+
+// Render returns an ASCII drawing of the position.
+func (s *State) Render() string {
+	minX, minY, maxX, maxY := s.boundingBox()
+	// widen one cell so the border of the game is visible
+	minX, minY = max(0, minX-1), max(0, minY-1)
+	maxX, maxY = min(s.w-1, maxX+1), min(s.w-1, maxY+1)
+
+	// moveNum[cell] = 1-based index of the move that created the point.
+	moveNum := make(map[int]int, len(s.seq))
+	for i, m := range s.seq {
+		base, d, k := unpackMove(m)
+		moveNum[base+k*s.stepOf(d)] = i + 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  score=%d\n", s.v.Name, len(s.seq))
+	for y := minY; y <= maxY; y++ {
+		for x := minX; x <= maxX; x++ {
+			if x > minX {
+				b.WriteByte(' ')
+			}
+			cell := y*s.w + x
+			switch {
+			case s.occ[cell] == 0:
+				b.WriteString(" .")
+			case moveNum[cell] != 0:
+				fmt.Fprintf(&b, "%2d", moveNum[cell]%100)
+			default:
+				b.WriteString(" o")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// boundingBox returns the extent of occupied cells.
+func (s *State) boundingBox() (minX, minY, maxX, maxY int) {
+	minX, minY = s.w, s.w
+	maxX, maxY = -1, -1
+	for i, o := range s.occ {
+		if o == 0 {
+			continue
+		}
+		x, y := i%s.w, i/s.w
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	if maxX < 0 { // no points at all (cannot happen for real positions)
+		return 0, 0, 0, 0
+	}
+	return
+}
+
+// RenderSequence replays seq from the initial position of v and renders the
+// final grid. It is the figure-1 analogue: given a record sequence it draws
+// the record board.
+func RenderSequence(v Variant, seq []game.Move) (string, error) {
+	s := New(v)
+	for i, m := range seq {
+		if !s.isLegal(m) {
+			return "", fmt.Errorf("morpion: render: move %d is illegal", i)
+		}
+		s.Play(m)
+	}
+	return s.Render(), nil
+}

@@ -1,0 +1,174 @@
+package morpion
+
+import (
+	"fmt"
+
+	"repro/internal/game"
+)
+
+// Symmetry support
+//
+// The initial cross is invariant under the dihedral group D4 (four
+// rotations, four reflections), so every game sequence has up to eight
+// equivalent forms. The paper reports finding "two new sequences of 80
+// moves"; deciding that two found sequences are genuinely different —
+// not images of each other — requires canonicalization, which is what
+// this file provides.
+
+// Symmetry indexes the eight elements of D4.
+type Symmetry int
+
+// NumSymmetries is the order of the symmetry group of the cross.
+const NumSymmetries = 8
+
+// symMatrix holds the eight signed permutation matrices acting on doubled
+// coordinates centred on the cross: (u, v) -> (a·u + b·v, c·u + d·v).
+var symMatrix = [NumSymmetries][4]int{
+	{1, 0, 0, 1},   // identity
+	{0, -1, 1, 0},  // rotation 90°
+	{-1, 0, 0, -1}, // rotation 180°
+	{0, 1, -1, 0},  // rotation 270°
+	{-1, 0, 0, 1},  // horizontal mirror
+	{1, 0, 0, -1},  // vertical mirror
+	{0, 1, 1, 0},   // transpose (main diagonal mirror)
+	{0, -1, -1, 0}, // anti-transpose
+}
+
+// String names the symmetry.
+func (s Symmetry) String() string {
+	names := [NumSymmetries]string{
+		"id", "rot90", "rot180", "rot270", "mirrorX", "mirrorY", "transpose", "antitranspose",
+	}
+	if s >= 0 && int(s) < NumSymmetries {
+		return names[s]
+	}
+	return fmt.Sprintf("Symmetry(%d)", int(s))
+}
+
+// transformPoint maps a board cell through the symmetry. Coordinates are
+// doubled and centred on the cross so that all eight transforms stay in
+// the integers; the cross is centred on the board, so transformed points
+// always stay on the board.
+func (s *State) transformPoint(x, y int, sym Symmetry) (int, int) {
+	box := len(crossFor(s.v.LineLen)) // cross bounding-box side
+	cx := s.originX*2 + box - 1       // doubled centre
+	cy := s.originY*2 + box - 1
+	u := 2*x - cx
+	v := 2*y - cy
+	m := symMatrix[sym]
+	u2 := m[0]*u + m[1]*v
+	v2 := m[2]*u + m[3]*v
+	return (u2 + cx) / 2, (v2 + cy) / 2
+}
+
+// TransformMove maps a move through the symmetry on this position's board
+// geometry. The result is the move naming the transformed line with the
+// transformed new point.
+func (s *State) TransformMove(m game.Move, sym Symmetry) (game.Move, error) {
+	newX, newY, baseX, baseY, d, _ := s.MoveParts(m)
+	L := s.v.LineLen
+	endX := baseX + (L-1)*dirDX[d]
+	endY := baseY + (L-1)*dirDY[d]
+
+	nx, ny := s.transformPoint(newX, newY, sym)
+	ax, ay := s.transformPoint(baseX, baseY, sym)
+	bx, by := s.transformPoint(endX, endY, sym)
+
+	// Re-orient: the canonical base is the endpoint from which the line
+	// runs along one of the four direction deltas.
+	ndx := (bx - ax) / (L - 1)
+	ndy := (by - ay) / (L - 1)
+	var nd Dir
+	found := false
+	for dd := Dir(0); dd < numDirs; dd++ {
+		if dirDX[dd] == ndx && dirDY[dd] == ndy {
+			nd, found = dd, true
+			break
+		}
+		if dirDX[dd] == -ndx && dirDY[dd] == -ndy {
+			// The transform reversed the line; swap the endpoints.
+			nd, found = dd, true
+			ax, ay = bx, by
+			break
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("morpion: symmetry %v produced non-lattice direction (%d,%d)", sym, ndx, ndy)
+	}
+	// Offset of the new point within the re-oriented line.
+	var k int
+	if dirDX[nd] != 0 {
+		k = (nx - ax) / dirDX[nd]
+	} else {
+		k = (ny - ay) / dirDY[nd]
+	}
+	if k < 0 || k >= L {
+		return 0, fmt.Errorf("morpion: symmetry %v broke the line offset (%d)", sym, k)
+	}
+	if ax < 0 || ay < 0 || ax >= s.w || ay >= s.w {
+		return 0, fmt.Errorf("morpion: symmetry %v left the board", sym)
+	}
+	return packMove(ay*s.w+ax, nd, k), nil
+}
+
+// TransformSequence maps a whole game through the symmetry and validates
+// it by replay. Because the initial cross is D4-symmetric, the transformed
+// game is always legal and reaches the same score.
+func TransformSequence(v Variant, seq []game.Move, sym Symmetry) ([]game.Move, error) {
+	if sym < 0 || int(sym) >= NumSymmetries {
+		return nil, fmt.Errorf("morpion: unknown symmetry %d", int(sym))
+	}
+	ref := New(v) // geometry reference for the transform
+	out := make([]game.Move, 0, len(seq))
+	replay := New(v)
+	for i, m := range seq {
+		tm, err := ref.TransformMove(m, sym)
+		if err != nil {
+			return nil, fmt.Errorf("morpion: move %d: %w", i, err)
+		}
+		if !replay.isLegal(tm) {
+			return nil, fmt.Errorf("morpion: transformed move %d is illegal (symmetry %v)", i, sym)
+		}
+		replay.Play(tm)
+		out = append(out, tm)
+	}
+	return out, nil
+}
+
+// CanonicalSequence returns the lexicographically smallest notation among
+// the eight symmetric images of seq, along with the symmetry achieving it.
+// Two sequences are the same game up to symmetry iff their canonical forms
+// are equal.
+func CanonicalSequence(v Variant, seq []game.Move) (string, Symmetry, error) {
+	best := ""
+	bestSym := Symmetry(0)
+	for sym := Symmetry(0); sym < NumSymmetries; sym++ {
+		img, err := TransformSequence(v, seq, sym)
+		if err != nil {
+			return "", 0, err
+		}
+		text, err := FormatSequence(v, img)
+		if err != nil {
+			return "", 0, err
+		}
+		if best == "" || text < best {
+			best = text
+			bestSym = sym
+		}
+	}
+	return best, bestSym, nil
+}
+
+// EquivalentSequences reports whether two games are images of each other
+// under the cross's symmetry group.
+func EquivalentSequences(v Variant, a, b []game.Move) (bool, error) {
+	ca, _, err := CanonicalSequence(v, a)
+	if err != nil {
+		return false, err
+	}
+	cb, _, err := CanonicalSequence(v, b)
+	if err != nil {
+		return false, err
+	}
+	return ca == cb, nil
+}

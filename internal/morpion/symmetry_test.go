@@ -1,0 +1,174 @@
+package morpion
+
+import (
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/rng"
+)
+
+func TestTransformIdentity(t *testing.T) {
+	r := rng.New(2)
+	s := playout(New(Var5D), r)
+	img, err := TransformSequence(Var5D, s.Sequence(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := s.Sequence()
+	for i := range seq {
+		if img[i] != seq[i] {
+			t.Fatalf("identity changed move %d", i)
+		}
+	}
+}
+
+func TestTransformPreservesScoreAllSymmetries(t *testing.T) {
+	// Property: every symmetric image of a legal game is a legal game with
+	// the same score — in every variant.
+	for _, v := range allVariants {
+		t.Run(v.Name, func(t *testing.T) {
+			r := rng.New(77)
+			s := playout(New(v), r)
+			for sym := Symmetry(0); sym < NumSymmetries; sym++ {
+				img, err := TransformSequence(v, s.Sequence(), sym)
+				if err != nil {
+					t.Fatalf("%v: %v", sym, err)
+				}
+				replayed, err2 := replaySeq(v, img)
+				if err2 != nil {
+					t.Fatalf("%v: replay: %v", sym, err2)
+				}
+				if replayed.Score() != s.Score() {
+					t.Fatalf("%v changed score %v -> %v", sym, s.Score(), replayed.Score())
+				}
+			}
+		})
+	}
+}
+
+func replaySeq(v Variant, seq []game.Move) (*State, error) {
+	st := New(v)
+	for _, m := range seq {
+		if !st.isLegal(m) {
+			return nil, errIllegal
+		}
+		st.Play(m)
+	}
+	return st, nil
+}
+
+var errIllegal = &illegalError{}
+
+type illegalError struct{}
+
+func (*illegalError) Error() string { return "illegal move in replay" }
+
+func TestTransformInvolutions(t *testing.T) {
+	// rot180, mirrors and transposes are involutions: applying them twice
+	// gives back the original sequence.
+	r := rng.New(5)
+	s := playout(New(Var4D), r)
+	seq := s.Sequence()
+	for _, sym := range []Symmetry{2, 4, 5, 6, 7} {
+		once, err := TransformSequence(Var4D, seq, sym)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twice, err := TransformSequence(Var4D, once, sym)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq {
+			if twice[i] != seq[i] {
+				t.Fatalf("%v applied twice is not identity at move %d", sym, i)
+			}
+		}
+	}
+}
+
+func TestRotationOrderFour(t *testing.T) {
+	// rot90 applied four times is the identity.
+	r := rng.New(9)
+	s := playout(New(Var4D), r)
+	seq := s.Sequence()
+	cur := seq
+	var err error
+	for i := 0; i < 4; i++ {
+		cur, err = TransformSequence(Var4D, cur, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range seq {
+		if cur[i] != seq[i] {
+			t.Fatalf("rot90^4 is not identity at move %d", i)
+		}
+	}
+}
+
+func TestCanonicalInvariantUnderSymmetry(t *testing.T) {
+	// The canonical form of any symmetric image equals the canonical form
+	// of the original — the property that makes record deduplication work.
+	r := rng.New(13)
+	s := playout(New(Var4D), r)
+	canon, _, err := CanonicalSequence(Var4D, s.Sequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sym := Symmetry(1); sym < NumSymmetries; sym++ {
+		img, err := TransformSequence(Var4D, s.Sequence(), sym)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, _, err := CanonicalSequence(Var4D, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c2 != canon {
+			t.Fatalf("canonical form not invariant under %v", sym)
+		}
+	}
+}
+
+func TestEquivalentSequences(t *testing.T) {
+	r := rng.New(3)
+	a := playout(New(Var4D), r)
+	img, err := TransformSequence(Var4D, a.Sequence(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := EquivalentSequences(Var4D, a.Sequence(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("a game and its rotation reported as different")
+	}
+
+	// A different random game is (overwhelmingly) not equivalent.
+	b := playout(New(Var4D), r)
+	eq, err = EquivalentSequences(Var4D, a.Sequence(), b.Sequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("two independent games reported equivalent")
+	}
+}
+
+func TestTransformRejectsBadSymmetry(t *testing.T) {
+	if _, err := TransformSequence(Var4D, nil, Symmetry(99)); err == nil {
+		t.Fatal("bad symmetry accepted")
+	}
+}
+
+func TestSymmetryNames(t *testing.T) {
+	seen := map[string]bool{}
+	for sym := Symmetry(0); sym < NumSymmetries; sym++ {
+		n := sym.String()
+		if n == "" || seen[n] {
+			t.Fatalf("bad or duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,291 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/morpion"
+)
+
+// both runs a test body against both transports.
+func both(t *testing.T, n int, f func(t *testing.T, c Cluster)) {
+	t.Run("virtual", func(t *testing.T) {
+		speeds := make([]float64, n)
+		for i := range speeds {
+			speeds[i] = 1
+		}
+		f(t, NewVirtualCluster(VirtualConfig{Speeds: speeds}))
+	})
+	t.Run("wall", func(t *testing.T) {
+		f(t, NewWallCluster(n))
+	})
+}
+
+func TestPingPong(t *testing.T) {
+	both(t, 2, func(t *testing.T, c Cluster) {
+		var got Msg
+		c.Start(0, func(cm Comm) {
+			cm.Send(1, 7, 42)
+			got = cm.Recv(1, 8)
+		})
+		c.Start(1, func(cm Comm) {
+			m := cm.Recv(0, 7)
+			cm.Send(0, 8, m.Payload.(int)+1)
+		})
+		c.Run()
+		if got.Payload.(int) != 43 || got.From != 1 || got.Tag != 8 {
+			t.Fatalf("got %+v", got)
+		}
+	})
+}
+
+func TestWildcardRecv(t *testing.T) {
+	both(t, 4, func(t *testing.T, c Cluster) {
+		sum := 0
+		c.Start(0, func(cm Comm) {
+			for i := 0; i < 3; i++ {
+				m := cm.Recv(AnyRank, AnyTag)
+				sum += m.Payload.(int)
+			}
+		})
+		for r := 1; r < 4; r++ {
+			r := r
+			c.Start(Rank(r), func(cm Comm) { cm.Send(0, Tag(r), r*10) })
+		}
+		c.Run()
+		if sum != 60 {
+			t.Fatalf("sum = %d, want 60", sum)
+		}
+	})
+}
+
+func TestTagFiltering(t *testing.T) {
+	both(t, 2, func(t *testing.T, c Cluster) {
+		var order []int
+		c.Start(0, func(cm Comm) {
+			cm.Send(1, 1, 100)
+			cm.Send(1, 2, 200)
+		})
+		c.Start(1, func(cm Comm) {
+			// Receive tag 2 first even though tag 1 arrived first.
+			m2 := cm.Recv(0, 2)
+			m1 := cm.Recv(0, 1)
+			order = append(order, m2.Payload.(int), m1.Payload.(int))
+		})
+		c.Run()
+		if len(order) != 2 || order[0] != 200 || order[1] != 100 {
+			t.Fatalf("order = %v", order)
+		}
+	})
+}
+
+func TestSourceFiltering(t *testing.T) {
+	both(t, 3, func(t *testing.T, c Cluster) {
+		var first Rank
+		c.Start(0, func(cm Comm) {
+			m := cm.Recv(2, AnyTag) // must take rank 2's message
+			first = m.From
+			cm.Recv(1, AnyTag)
+		})
+		c.Start(1, func(cm Comm) { cm.Send(0, 0, "from1") })
+		c.Start(2, func(cm Comm) { cm.Send(0, 0, "from2") })
+		c.Run()
+		if first != 2 {
+			t.Fatalf("source filter returned message from %d", first)
+		}
+	})
+}
+
+func TestVirtualWorkScalesWithSpeed(t *testing.T) {
+	// A rank at speed 2.0 finishes the same work in half the virtual time.
+	cfg := VirtualConfig{Speeds: []float64{1, 2}, UnitCost: time.Millisecond}
+	c := NewVirtualCluster(cfg)
+	var t1, t2 time.Duration
+	c.Start(0, func(cm Comm) { cm.Work(100); t1 = cm.Now() })
+	c.Start(1, func(cm Comm) { cm.Work(100); t2 = cm.Now() })
+	c.Run()
+	if t1 != 100*time.Millisecond {
+		t.Fatalf("speed-1 rank took %v, want 100ms", t1)
+	}
+	if t2 != 50*time.Millisecond {
+		t.Fatalf("speed-2 rank took %v, want 50ms", t2)
+	}
+}
+
+func TestVirtualParallelWorkOverlaps(t *testing.T) {
+	// Total makespan of two parallel workers is max, not sum.
+	cfg := VirtualConfig{Speeds: []float64{1, 1}, UnitCost: time.Millisecond}
+	c := NewVirtualCluster(cfg)
+	c.Start(0, func(cm Comm) { cm.Work(100) })
+	c.Start(1, func(cm Comm) { cm.Work(100) })
+	if end := c.Run(); end != 100*time.Millisecond {
+		t.Fatalf("makespan %v, want 100ms", end)
+	}
+}
+
+func TestVirtualNetworkDelay(t *testing.T) {
+	net := NetworkModel{Latency: time.Millisecond, Bandwidth: 1000} // 1 KB/s
+	cfg := VirtualConfig{Speeds: []float64{1, 1}, UnitCost: time.Microsecond, Network: net}
+	c := NewVirtualCluster(cfg)
+	var arrival time.Duration
+	c.Start(0, func(cm Comm) {
+		cm.Send(1, 0, 7) // scalar: 16+8 = 24 bytes -> 24ms transfer
+	})
+	c.Start(1, func(cm Comm) {
+		cm.Recv(0, 0)
+		arrival = cm.Now()
+	})
+	c.Run()
+	want := time.Millisecond + 24*time.Millisecond
+	if arrival != want {
+		t.Fatalf("arrival at %v, want %v", arrival, want)
+	}
+}
+
+func TestVirtualDeterminism(t *testing.T) {
+	run := func() time.Duration {
+		cfg := VirtualConfig{Speeds: []float64{1, 1.25, 0.8}, UnitCost: 10 * time.Microsecond}
+		c := NewVirtualCluster(cfg)
+		c.Start(0, func(cm Comm) {
+			for i := 0; i < 5; i++ {
+				cm.Send(1, 1, i)
+				cm.Send(2, 1, i)
+				cm.Recv(AnyRank, 2)
+				cm.Recv(AnyRank, 2)
+			}
+		})
+		for r := 1; r <= 2; r++ {
+			c.Start(Rank(r), func(cm Comm) {
+				for i := 0; i < 5; i++ {
+					m := cm.Recv(0, 1)
+					cm.Work(int64(100 * (m.Payload.(int) + 1)))
+					cm.Send(0, 2, m.Payload)
+				}
+			})
+		}
+		return c.Run()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("virtual runs differ: %v vs %v", a, b)
+	}
+	if a == 0 {
+		t.Fatal("virtual run took no time")
+	}
+}
+
+func TestPayloadSize(t *testing.T) {
+	if PayloadSize(nil) <= 0 {
+		t.Fatal("nil payload has no size")
+	}
+	if PayloadSize(3) != 24 {
+		t.Fatalf("scalar size = %d, want 24", PayloadSize(3))
+	}
+	small := PayloadSize([]float64{1})
+	big := PayloadSize(make([]float64, 100))
+	if big <= small {
+		t.Fatal("slice size does not grow")
+	}
+	pos := morpion.New(morpion.Var5D)
+	if PayloadSize(pos) < 1000 {
+		t.Fatalf("position payload suspiciously small: %d", PayloadSize(pos))
+	}
+	if PayloadSize(struct{ x int }{1}) != 80 {
+		t.Fatalf("default size = %d, want 80", PayloadSize(struct{ x int }{1}))
+	}
+}
+
+func TestStartTwicePanics(t *testing.T) {
+	c := NewVirtualCluster(VirtualConfig{Speeds: []float64{1}})
+	c.Start(0, func(Comm) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double start did not panic")
+		}
+	}()
+	c.Start(0, func(Comm) {})
+}
+
+func TestRunWithoutStartPanics(t *testing.T) {
+	c := NewVirtualCluster(VirtualConfig{Speeds: []float64{1, 1}})
+	c.Start(0, func(Comm) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing rank did not panic")
+		}
+	}()
+	c.Run()
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for _, cfg := range []VirtualConfig{
+		{},
+		{Speeds: []float64{1, 0}},
+		{Speeds: []float64{-1}},
+	} {
+		func() {
+			defer func() { recover() }()
+			NewVirtualCluster(cfg)
+			t.Fatalf("config %+v accepted", cfg)
+		}()
+	}
+}
+
+func TestManyToOneThroughput(t *testing.T) {
+	// 16 workers each send 10 messages to a collector; all arrive.
+	both(t, 17, func(t *testing.T, c Cluster) {
+		count := 0
+		c.Start(0, func(cm Comm) {
+			for i := 0; i < 160; i++ {
+				cm.Recv(AnyRank, AnyTag)
+				count++
+			}
+		})
+		for r := 1; r <= 16; r++ {
+			c.Start(Rank(r), func(cm Comm) {
+				for i := 0; i < 10; i++ {
+					cm.Send(0, 5, i)
+				}
+			})
+		}
+		c.Run()
+		if count != 160 {
+			t.Fatalf("collector got %d messages, want 160", count)
+		}
+	})
+}
+
+func TestWallClusterRealTime(t *testing.T) {
+	c := NewWallCluster(2)
+	c.Start(0, func(cm Comm) {
+		time.Sleep(20 * time.Millisecond)
+		cm.Send(1, 0, nil)
+	})
+	var elapsed time.Duration
+	c.Start(1, func(cm Comm) {
+		cm.Recv(0, 0)
+		elapsed = cm.Now()
+	})
+	total := c.Run()
+	if elapsed < 15*time.Millisecond {
+		t.Fatalf("wall time %v too small", elapsed)
+	}
+	if total < elapsed {
+		t.Fatalf("total %v < rank elapsed %v", total, elapsed)
+	}
+}
+
+func TestWallThrottle(t *testing.T) {
+	c := NewWallCluster(1)
+	c.SetThrottle(time.Millisecond)
+	var took time.Duration
+	c.Start(0, func(cm Comm) {
+		start := time.Now()
+		cm.Work(20)
+		took = time.Since(start)
+	})
+	c.Run()
+	if took < 15*time.Millisecond {
+		t.Fatalf("throttled work took only %v", took)
+	}
+}

@@ -1,0 +1,124 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// WallCluster runs processes as real goroutines in real time: the native
+// Go analogue of the paper's MPI deployment, used for actual-speedup runs
+// on physical cores. Message passing uses mutex-guarded mailboxes with
+// condition variables; there is no speed or network model (Work is a
+// no-op unless a throttle is configured).
+type WallCluster struct {
+	ranks    []*wallComm
+	start    time.Time
+	wg       sync.WaitGroup
+	throttle time.Duration // optional per-unit sleep, see SetThrottle
+}
+
+// NewWallCluster builds a world of n ranks.
+func NewWallCluster(n int) *WallCluster {
+	if n <= 0 {
+		panic("mpi: wall cluster needs at least one rank")
+	}
+	c := &WallCluster{}
+	c.ranks = make([]*wallComm, n)
+	for r := range c.ranks {
+		wc := &wallComm{cluster: c, rank: Rank(r)}
+		wc.cond = sync.NewCond(&wc.mu)
+		c.ranks[r] = wc
+	}
+	return c
+}
+
+// SetThrottle makes Work sleep d per work unit, to emulate slower nodes in
+// wall-clock experiments. Zero (the default) disables throttling.
+func (c *WallCluster) SetThrottle(d time.Duration) { c.throttle = d }
+
+// Size implements Cluster.
+func (c *WallCluster) Size() int { return len(c.ranks) }
+
+// Start implements Cluster. Bodies begin running when Run is called.
+func (c *WallCluster) Start(rank Rank, body func(Comm)) {
+	wc := c.ranks[rank]
+	if wc.body != nil {
+		panic(fmt.Sprintf("mpi: rank %d started twice", rank))
+	}
+	wc.body = body
+}
+
+// Run implements Cluster: launches every rank and blocks until all bodies
+// return. The protocol must shut its server loops down (the parallel layer
+// broadcasts a shutdown tag), exactly as an MPI program must.
+func (c *WallCluster) Run() time.Duration {
+	for _, wc := range c.ranks {
+		if wc.body == nil {
+			panic(fmt.Sprintf("mpi: rank %d never started", wc.rank))
+		}
+	}
+	c.start = time.Now()
+	for _, wc := range c.ranks {
+		wc := wc
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			wc.body(wc)
+		}()
+	}
+	c.wg.Wait()
+	return time.Since(c.start)
+}
+
+// wallComm is the per-rank endpoint of a WallCluster.
+type wallComm struct {
+	cluster *WallCluster
+	rank    Rank
+	body    func(Comm)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	mailbox []Msg
+}
+
+func (w *wallComm) Rank() Rank { return w.rank }
+func (w *wallComm) Size() int  { return w.cluster.Size() }
+
+// Send implements Comm.
+func (w *wallComm) Send(to Rank, tag Tag, payload any) {
+	dst := w.cluster.ranks[to]
+	dst.mu.Lock()
+	dst.mailbox = append(dst.mailbox, Msg{From: w.rank, Tag: tag, Payload: payload})
+	dst.mu.Unlock()
+	dst.cond.Broadcast()
+}
+
+// Recv implements Comm.
+func (w *wallComm) Recv(from Rank, tag Tag) Msg {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		for i, m := range w.mailbox {
+			if m.matches(from, tag) {
+				w.mailbox = append(w.mailbox[:i], w.mailbox[i+1:]...)
+				return m
+			}
+		}
+		w.cond.Wait()
+	}
+}
+
+// Work implements Comm: real work already burned real CPU; optionally
+// sleep to emulate a slower node.
+func (w *wallComm) Work(n int64) {
+	if t := w.cluster.throttle; t > 0 && n > 0 {
+		time.Sleep(time.Duration(n) * t)
+	}
+}
+
+// Now implements Comm.
+func (w *wallComm) Now() time.Duration { return time.Since(w.cluster.start) }
+
+var _ Comm = (*wallComm)(nil)
+var _ Cluster = (*WallCluster)(nil)

@@ -1,0 +1,83 @@
+package parallel
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/game"
+	"repro/internal/mpi"
+	"repro/internal/rng"
+)
+
+// collector aggregates per-client statistics. Guarded by a mutex because
+// the wall transport runs clients concurrently (the virtual transport is
+// single-stepped, where the mutex is uncontended).
+type collector struct {
+	mu    sync.Mutex
+	jobs  int64
+	units int64
+	busy  []time.Duration
+}
+
+func (co *collector) add(client int, units int64, busy time.Duration) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.jobs++
+	co.units += units
+	co.busy[client] += busy
+}
+
+// unitMeter accumulates the work units of one job.
+type unitMeter struct{ units int64 }
+
+func (u *unitMeter) Add(n int64) { u.units += n }
+
+// runClient is the paper's client process (§IV-A pseudocode):
+//
+//	1 while true
+//	2   receive position from median node
+//	3   score = nestedRollout(position, level)
+//	4   if LastMinute: send self node to dispatcher
+//	5   send score to median node
+//
+// The client performs the real computation: a nested rollout at level ℓ−2.
+// Work units metered by the search are charged to the transport, which is
+// what makes a slow (oversubscribed or low-GHz) node take proportionally
+// longer on the virtual cluster. Under Last-Minute the availability notice
+// is sent before the score, exactly as in the paper, so the dispatcher
+// learns of the free client as early as possible.
+func runClient(c mpi.Comm, lay cluster.Layout, cfg *Config, index int, coll *collector) {
+	meter := &unitMeter{}
+	searcher := core.NewSearcher(
+		rng.NewStream(cfg.Seed, uint64(c.Rank())),
+		core.Options{Meter: meter, Memorize: cfg.Memorize},
+	)
+	level := cfg.Level - 2
+
+	for {
+		msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
+		switch msg.Tag {
+		case tagShutdown:
+			return
+		case tagJob:
+			st := msg.Payload.(game.State)
+			median := msg.From
+
+			start := c.Now()
+			meter.units = 0
+			res := searcher.Nested(st, level)
+			c.Work(meter.units * cfg.jobScale()) // charge the rollout's CPU to this node
+			busy := c.Now() - start
+			coll.add(index, meter.units, busy)
+
+			if cfg.Algo == LastMinute {
+				cfg.trace("c'", c.Rank(), lay.Dispatcher, c.Now())
+				c.Send(lay.Dispatcher, tagFree, nil)
+			}
+			cfg.trace("c", c.Rank(), median, c.Now())
+			c.Send(median, tagResult, res.Score)
+		}
+	}
+}

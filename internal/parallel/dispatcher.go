@@ -1,0 +1,122 @@
+package parallel
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+)
+
+// runDispatcher runs the configured dispatching policy until shutdown.
+func runDispatcher(c mpi.Comm, lay cluster.Layout, cfg *Config) {
+	switch cfg.Algo {
+	case RoundRobin:
+		runRoundRobinDispatcher(c, lay, cfg)
+	case LastMinute:
+		runLastMinuteDispatcher(c, lay, cfg)
+	default:
+		panic("parallel: unknown algorithm")
+	}
+}
+
+// runRoundRobinDispatcher is the paper's Round-Robin dispatcher (§IV-A):
+//
+//	1 client = first client
+//	2 while true
+//	3   receive median node from any median node
+//	4   send client to median node
+//	5   if client is last client: client = first client
+//	6   else: client = next client
+//
+// It cycles through clients blindly: a busy client keeps receiving jobs
+// (they queue in its mailbox) even while other clients sit idle — the load
+// imbalance the Last-Minute algorithm fixes on heterogeneous clusters.
+func runRoundRobinDispatcher(c mpi.Comm, lay cluster.Layout, cfg *Config) {
+	next := 0
+	for {
+		msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
+		switch msg.Tag {
+		case tagShutdown:
+			return
+		case tagRequest:
+			client := lay.Clients[next]
+			next = (next + 1) % len(lay.Clients)
+			cfg.trace("b", c.Rank(), msg.From, c.Now())
+			c.Send(msg.From, tagAssign, client)
+		case tagFree:
+			// Round-Robin ignores availability notices (clients only send
+			// them under Last-Minute, but tolerate them for robustness).
+		}
+	}
+}
+
+// lmJob is a pending request in the Last-Minute dispatcher's queue.
+type lmJob struct {
+	sender mpi.Rank // the median that asked
+	moves  int      // moves already played in the position to analyze
+}
+
+// runLastMinuteDispatcher is the paper's Last-Minute dispatcher (§IV-B):
+//
+//	1 listFreeClients = all Clients
+//	2 jobs = empty list
+//	3 while true
+//	4   receive node from any node
+//	5   if node is a client node
+//	6     add node to listFreeClients
+//	7     if jobs is not empty
+//	8       find j in jobs with the smallest number of moves
+//	9       send j.sender to the node's... (assign the freed client to j)
+//	10      remove j from jobs
+//	11      remove node from listFreeClients
+//	12  else if node is a median node
+//	13    receive number of moves from node
+//	14    if listFreeClients is empty: add {node, moves} to jobs
+//	15    else: assign the first free client
+//
+// Jobs are ordered by expected computation time: a position with fewer
+// moves played has a longer game ahead of it, so it is served first. The
+// first-in free client is used, so recently freed (likely fast) nodes keep
+// cycling on a heterogeneous cluster.
+func runLastMinuteDispatcher(c mpi.Comm, lay cluster.Layout, cfg *Config) {
+	free := append([]mpi.Rank(nil), lay.Clients...) // line 1
+	var jobs []lmJob                                // line 2
+	for {
+		msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
+		switch msg.Tag {
+		case tagShutdown:
+			return
+
+		case tagFree: // lines 5–11: a client reports it is available
+			free = append(free, msg.From)
+			if len(jobs) > 0 {
+				// Find the job with the smallest number of moves played:
+				// the longest expected remaining computation. The LMFifo
+				// ablation serves jobs in arrival order instead.
+				best := 0
+				if !cfg.LMFifo {
+					for i := 1; i < len(jobs); i++ {
+						if jobs[i].moves < jobs[best].moves {
+							best = i
+						}
+					}
+				}
+				j := jobs[best]
+				jobs = append(jobs[:best], jobs[best+1:]...)
+				client := free[0]
+				free = free[1:]
+				cfg.trace("b", c.Rank(), j.sender, c.Now())
+				c.Send(j.sender, tagAssign, client)
+			}
+
+		case tagRequest: // lines 12–15: a median wants a client
+			moves := msg.Payload.(int)
+			if len(free) == 0 {
+				jobs = append(jobs, lmJob{sender: msg.From, moves: moves})
+				break
+			}
+			client := free[0]
+			free = free[1:]
+			cfg.trace("b", c.Rank(), msg.From, c.Now())
+			c.Send(msg.From, tagAssign, client)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package parallel
+
+// The parallel search is written against game.State only; these tests run
+// the full cluster protocol on the two companion domains, proving the
+// paper's architecture is domain-independent (its §III notes the score
+// "can be computed completely differently" in other games).
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/samegame"
+	"repro/internal/sudoku"
+)
+
+func TestParallelSameGame(t *testing.T) {
+	board := samegame.NewRandom(8, 8, 4, 3)
+	cfg := Config{
+		Algo: LastMinute, Level: 2, Root: board, Seed: 5, Memorize: true,
+	}
+	res, err := RunVirtual(cluster.Homogeneous(8), cfg, VirtualOptions{
+		UnitCost: time.Microsecond, Medians: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score <= 0 {
+		t.Fatalf("parallel SameGame scored %v", res.Score)
+	}
+	// Replay the root's game to confirm the reported score.
+	replay := board.Clone()
+	for _, m := range res.Sequence {
+		replay.Play(m)
+	}
+	if replay.Score() != res.Score {
+		t.Fatalf("replayed %v != reported %v", replay.Score(), res.Score)
+	}
+	t.Logf("parallel SameGame: score %.0f in %d moves, %d jobs", res.Score, len(res.Sequence), res.Jobs)
+}
+
+func TestParallelSudoku(t *testing.T) {
+	grid := sudoku.New(2) // 4x4 grid keeps the test fast
+	cfg := Config{
+		Algo: RoundRobin, Level: 2, Root: grid, Seed: 7, Memorize: true,
+	}
+	res, err := RunVirtual(cluster.Homogeneous(4), cfg, VirtualOptions{
+		UnitCost: time.Microsecond, Medians: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A level-2 search must fill the whole 4x4 grid (16 cells).
+	if res.Score != 16 {
+		t.Fatalf("parallel level-2 filled %v of 16 cells", res.Score)
+	}
+}
+
+func TestParallelSudoku9x9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("9x9 parallel sudoku in short mode")
+	}
+	grid := sudoku.New(3)
+	cfg := Config{
+		Algo: LastMinute, Level: 2, Root: grid, Seed: 11, Memorize: true,
+	}
+	res, err := RunVirtual(cluster.Homogeneous(8), cfg, VirtualOptions{
+		UnitCost: time.Microsecond, Medians: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("parallel 9x9 sudoku: filled %v/81", res.Score)
+	if res.Score < 81 {
+		t.Fatalf("parallel level-2 filled only %v of 81 cells", res.Score)
+	}
+}

@@ -1,0 +1,98 @@
+package parallel
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/game"
+	"repro/internal/mpi"
+)
+
+// runMedian is the paper's median process (§IV-A pseudocode):
+//
+//	1 while true
+//	2   receive position from root process
+//	3   while not end of game
+//	4     for m in all possible moves
+//	5       p = play(position, m)
+//	6       send self id and number of moves played in p to dispatcher
+//	7       receive client from dispatcher
+//	8       send p to client
+//	9     for m in all possible moves
+//	10      receive score from client
+//	11    position = play(position, move with best score)
+//	12  send score to root
+//
+// The median plays a whole level-(ℓ−1) game: every candidate move is
+// evaluated by a client running a level-(ℓ−2) nested rollout. Medians do no
+// heavy computation themselves (§IV: "they are not used for long
+// computation"); their metered work is just cloning and playing.
+func runMedian(c mpi.Comm, lay cluster.Layout, cfg *Config) {
+	var moves []game.Move
+	for {
+		msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
+		switch msg.Tag {
+		case tagShutdown:
+			return
+		case tagPosition:
+			// fall through to play the game below
+		default:
+			// Stray message from a previous game (cannot happen with the
+			// current protocol; defensive skip keeps the loop alive).
+			continue
+		}
+
+		st := msg.Payload.(game.State)
+		root := msg.From
+
+		for {
+			moves = st.LegalMoves(moves[:0])
+			if len(moves) == 0 {
+				break
+			}
+
+			// Request a client per candidate and ship the position
+			// (lines 4–8). The request carries the child's move count:
+			// the Last-Minute dispatcher uses it to order pending jobs by
+			// expected remaining work.
+			queues := make(map[mpi.Rank][]int, len(moves))
+			for i, m := range moves {
+				child := st.Clone()
+				c.Work(core.CloneCost)
+				child.Play(m)
+				c.Work(1)
+
+				cfg.trace("b", c.Rank(), lay.Dispatcher, c.Now())
+				c.Send(lay.Dispatcher, tagRequest, child.MovesPlayed())
+				asg := c.Recv(lay.Dispatcher, tagAssign)
+				client := asg.Payload.(mpi.Rank)
+
+				cfg.trace("b", c.Rank(), client, c.Now())
+				c.Send(client, tagJob, child)
+				queues[client] = append(queues[client], i)
+			}
+
+			// Gather the scores (lines 9–10); per-client FIFO pairing, as
+			// in the root.
+			scores := make([]float64, len(moves))
+			for range moves {
+				r := c.Recv(mpi.AnyRank, tagResult)
+				q := queues[r.From]
+				scores[q[0]] = r.Payload.(float64)
+				queues[r.From] = q[1:]
+			}
+
+			best := 0
+			for i := 1; i < len(scores); i++ {
+				if scores[i] > scores[best] {
+					best = i
+				}
+			}
+			st.Play(moves[best])
+			c.Work(1)
+		}
+
+		// Line 12: report the finished game's score to the root.
+		cfg.trace("d", c.Rank(), root, c.Now())
+		c.Send(root, tagScore, st.Score())
+	}
+}

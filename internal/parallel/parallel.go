@@ -1,0 +1,207 @@
+// Package parallel implements the paper's contribution: the parallelization
+// of Nested Monte-Carlo Search on a cluster (§IV).
+//
+// Four process roles cooperate through message passing (mpi.Comm):
+//
+//   - The root process (rank 0) plays the top-level game. At every step it
+//     ships each candidate position to a median node and plays the move
+//     whose median reported the best score.
+//   - Median processes each play a full level-(ℓ−1) game from the position
+//     they receive. At every step of that game they ask the dispatcher for
+//     a client per candidate move, ship the positions, gather the scores,
+//     and play the argmax move. The final score goes back to the root.
+//   - The dispatcher assigns clients to median requests: cyclically
+//     (Round-Robin, §IV-A) or by tracking free clients and serving the
+//     longest-expected pending job first (Last-Minute, §IV-B; expected
+//     work is estimated by the number of moves already played — fewer
+//     moves means a longer remaining game).
+//   - Client processes run the actual nested rollouts at level ℓ−2 and
+//     return the score.
+//
+// The code is written against mpi.Comm only and runs identically on the
+// deterministic virtual cluster (speedup tables) and on real goroutines.
+package parallel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/game"
+	"repro/internal/mpi"
+)
+
+// Algorithm selects the dispatcher policy.
+type Algorithm int
+
+const (
+	// RoundRobin hands clients out cyclically, blind to load (§IV-A).
+	RoundRobin Algorithm = iota
+	// LastMinute tracks free clients and serves the pending job with the
+	// smallest move count — the longest expected job — first (§IV-B).
+	LastMinute
+)
+
+// String returns the paper's abbreviation for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case RoundRobin:
+		return "RR"
+	case LastMinute:
+		return "LM"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Message tags of the protocol. The letters refer to the communications in
+// the paper's figures 2–5.
+const (
+	tagPosition mpi.Tag = iota + 1 // (a) root -> median: position to play
+	tagScore                       // (d) median -> root: score of the finished game
+	tagRequest                     // (b) median -> dispatcher: request a client
+	tagAssign                      // (b) dispatcher -> median: assigned client rank
+	tagJob                         // (b) median -> client: position to evaluate
+	tagResult                      // (c) client -> median: score of the rollout
+	tagFree                        // (c') client -> dispatcher: client is free again
+	tagShutdown                    // teardown broadcast at end of run
+)
+
+// Config parameterizes one parallel search run.
+type Config struct {
+	// Algo is the dispatcher policy.
+	Algo Algorithm
+	// Level is the overall nesting level ℓ ≥ 2: the root plays at ℓ, the
+	// medians at ℓ−1 and the clients run nested rollouts at ℓ−2 (level 0
+	// being a plain random sample). The paper evaluates ℓ = 3 and 4.
+	Level int
+	// Root is the initial position; the run never mutates it.
+	Root game.State
+	// Seed derives all process random streams; runs with equal seeds on
+	// the virtual transport are bit-identical.
+	Seed uint64
+	// FirstMoveOnly stops the root after choosing its first move — the
+	// "first move" experiments of tables II, IV and VI. Otherwise the root
+	// plays an entire game ("rollout" experiments, tables III and V).
+	FirstMoveOnly bool
+	// Memorize enables best-sequence memorization inside the clients'
+	// nested rollouts (core.Options.Memorize). The paper's root and median
+	// levels use plain per-step argmax, which is what this package does
+	// regardless of the flag.
+	Memorize bool
+	// Tracer, when non-nil, records every protocol communication (figures
+	// 2–5). Implementations must be safe for concurrent use on the wall
+	// transport.
+	Tracer Tracer
+	// JobScale multiplies the work units charged for client rollouts on
+	// the virtual transport (default 1). The scaled-down stand-in domains
+	// finish a rollout in microseconds where the paper's level-3/4 jobs
+	// take seconds; JobScale restores the paper's computation-to-
+	// communication granularity ratio without inflating the root and
+	// median bookkeeping, whose real cost is genuinely tiny. Speedup
+	// shapes depend on this dimensionless ratio, not on absolute times
+	// (see DESIGN.md §2 and EXPERIMENTS.md).
+	JobScale int64
+	// LMFifo is an ablation of the Last-Minute dispatcher: when true,
+	// pending jobs are served in arrival order instead of by the paper's
+	// longest-expected-job-first heuristic (§IV-B line 8: "find j in jobs
+	// with the smallest number of moves"). Only meaningful with
+	// Algo == LastMinute.
+	LMFifo bool
+}
+
+// jobScale returns the effective client work multiplier.
+func (cfg *Config) jobScale() int64 {
+	if cfg.JobScale <= 0 {
+		return 1
+	}
+	return cfg.JobScale
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Score of the game the root played (first-move mode: the best
+	// lower-level evaluation backing the chosen move).
+	Score float64
+	// FirstMove is the move the root chose first.
+	FirstMove game.Move
+	// Sequence is the root's played game.
+	Sequence []game.Move
+	// Elapsed is the transport time of the run: virtual makespan on the
+	// virtual cluster, wall time otherwise.
+	Elapsed time.Duration
+	// Jobs is the number of client rollouts executed.
+	Jobs int64
+	// WorkUnits is the total metered CPU work across clients.
+	WorkUnits int64
+	// ClientBusy maps each client index to its cumulative busy virtual
+	// time; utilization = busy / Elapsed. Only filled by virtual runs.
+	ClientBusy []time.Duration
+}
+
+// Event is one protocol communication, labelled like the paper's figures:
+// "a" root→median position, "b" the request/assign/job triplet, "c" the
+// result, "c'" the Last-Minute free notice, "d" the median's final score.
+type Event struct {
+	Kind string
+	From mpi.Rank
+	To   mpi.Rank
+	At   time.Duration
+}
+
+// Tracer records protocol events.
+type Tracer interface {
+	Record(Event)
+}
+
+// trace emits an event if tracing is on.
+func (cfg *Config) trace(kind string, from, to mpi.Rank, at time.Duration) {
+	if cfg.Tracer != nil {
+		cfg.Tracer.Record(Event{Kind: kind, From: from, To: to, At: at})
+	}
+}
+
+// Execute wires the processes onto cl according to the layout and runs the
+// search to completion. The cluster must have been built with lay.Size()
+// ranks (and lay.Speeds for a virtual cluster).
+func Execute(cl mpi.Cluster, lay cluster.Layout, cfg Config) (Result, error) {
+	if cfg.Level < 2 {
+		return Result{}, fmt.Errorf("parallel: level %d < 2 cannot be distributed (root, median, client need one level each)", cfg.Level)
+	}
+	if cfg.Root == nil {
+		return Result{}, fmt.Errorf("parallel: no root position")
+	}
+	if cl.Size() != lay.Size() {
+		return Result{}, fmt.Errorf("parallel: cluster has %d ranks, layout wants %d", cl.Size(), lay.Size())
+	}
+	if len(lay.Medians) == 0 || len(lay.Clients) == 0 {
+		return Result{}, fmt.Errorf("parallel: layout needs medians and clients")
+	}
+
+	res := &Result{ClientBusy: make([]time.Duration, len(lay.Clients))}
+	coll := &collector{busy: make([]time.Duration, len(lay.Clients))}
+
+	cl.Start(lay.Root, func(c mpi.Comm) {
+		runRoot(c, lay, &cfg, res)
+	})
+	cl.Start(lay.Dispatcher, func(c mpi.Comm) {
+		runDispatcher(c, lay, &cfg)
+	})
+	for _, m := range lay.Medians {
+		cl.Start(m, func(c mpi.Comm) {
+			runMedian(c, lay, &cfg)
+		})
+	}
+	for i, cr := range lay.Clients {
+		i := i
+		cl.Start(cr, func(c mpi.Comm) {
+			runClient(c, lay, &cfg, i, coll)
+		})
+	}
+
+	res.Elapsed = cl.Run()
+	res.Jobs = coll.jobs
+	res.WorkUnits = coll.units
+	copy(res.ClientBusy, coll.busy)
+	return *res, nil
+}

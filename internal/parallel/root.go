@@ -1,0 +1,96 @@
+package parallel
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/game"
+	"repro/internal/mpi"
+)
+
+// runRoot is the paper's root process (§IV-A pseudocode):
+//
+//	1 while not end of game
+//	2   node = first median node
+//	3   for m in all possible moves
+//	4     p = play(position, m)
+//	5     send p to node
+//	6     node = next median node
+//	7   for m in all possible moves
+//	8     receive score from node
+//	9   position = play(position, move with best score)
+//	10 return score
+//
+// Candidate positions go to medians cyclically; when there are more moves
+// than medians a median receives several positions and answers them in
+// order (mailboxes are FIFO per sender, like MPI message ordering). After
+// the game (or after the first move in first-move mode) the root
+// broadcasts a shutdown to tear the world down, as mpirun would.
+func runRoot(c mpi.Comm, lay cluster.Layout, cfg *Config, res *Result) {
+	st := cfg.Root.Clone()
+	var moves []game.Move
+
+	for {
+		moves = st.LegalMoves(moves[:0])
+		if len(moves) == 0 {
+			break
+		}
+
+		// Send each candidate position to the next median (lines 2–6).
+		for i, m := range moves {
+			child := st.Clone()
+			c.Work(core.CloneCost)
+			child.Play(m)
+			c.Work(1)
+			med := lay.Medians[i%len(lay.Medians)]
+			cfg.trace("a", c.Rank(), med, c.Now())
+			c.Send(med, tagPosition, child)
+		}
+
+		// Receive one score per candidate (lines 7–8). A median that got
+		// several positions answers them in send order, so pairing scores
+		// to moves only needs a per-median FIFO of move indices.
+		queues := make(map[mpi.Rank][]int, len(lay.Medians))
+		for i := range moves {
+			med := lay.Medians[i%len(lay.Medians)]
+			queues[med] = append(queues[med], i)
+		}
+		scores := make([]float64, len(moves))
+		for range moves {
+			msg := c.Recv(mpi.AnyRank, tagScore)
+			q := queues[msg.From]
+			scores[q[0]] = msg.Payload.(float64)
+			queues[msg.From] = q[1:]
+		}
+
+		// Play the best move (line 9). Ties go to the first-seen move,
+		// matching the sequential argmax.
+		best := 0
+		for i := 1; i < len(scores); i++ {
+			if scores[i] > scores[best] {
+				best = i
+			}
+		}
+		st.Play(moves[best])
+		c.Work(1)
+		if len(res.Sequence) == 0 {
+			res.FirstMove = moves[best]
+			if cfg.FirstMoveOnly {
+				res.Score = scores[best]
+				res.Sequence = append(res.Sequence, moves[best])
+				break
+			}
+		}
+		res.Sequence = append(res.Sequence, moves[best])
+	}
+
+	if !cfg.FirstMoveOnly {
+		res.Score = st.Score()
+	}
+
+	// Tear down every other process.
+	for r := 0; r < c.Size(); r++ {
+		if mpi.Rank(r) != c.Rank() {
+			c.Send(mpi.Rank(r), tagShutdown, nil)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package parallel
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+)
+
+// VirtualOptions tune the virtual transport used by RunVirtual.
+type VirtualOptions struct {
+	// UnitCost overrides the virtual cost of one work unit on a speed-1.0
+	// node; zero keeps mpi.DefaultUnitCost.
+	UnitCost time.Duration
+	// Network overrides the interconnect model; the zero value selects
+	// mpi.DefaultNetwork.
+	Network mpi.NetworkModel
+	// Medians sets the number of median processes; zero selects the
+	// paper's 40.
+	Medians int
+}
+
+// PaperMedians is the number of median processes the paper runs on the
+// server (§V: "we run the 40 median processes on the server").
+const PaperMedians = 40
+
+// RunVirtual executes cfg on a simulated cluster described by spec and
+// returns the result with the virtual makespan in Result.Elapsed. Runs are
+// deterministic in (spec, cfg, opts).
+func RunVirtual(spec cluster.Spec, cfg Config, opts VirtualOptions) (Result, error) {
+	medians := opts.Medians
+	if medians == 0 {
+		medians = PaperMedians
+	}
+	lay := spec.Layout(medians)
+	network := opts.Network
+	if network == (mpi.NetworkModel{}) {
+		network = mpi.DefaultNetwork()
+	}
+	vc := mpi.NewVirtualCluster(mpi.VirtualConfig{
+		Speeds:   lay.Speeds,
+		UnitCost: opts.UnitCost,
+		Network:  network,
+	})
+	return Execute(vc, lay, cfg)
+}
+
+// RunWall executes cfg natively on goroutines: nClients client goroutines
+// plus root, dispatcher and medians. Result.Elapsed is real wall time.
+func RunWall(nClients, medians int, cfg Config) (Result, error) {
+	if medians == 0 {
+		medians = PaperMedians
+	}
+	lay := cluster.Homogeneous(nClients).Layout(medians)
+	wc := mpi.NewWallCluster(lay.Size())
+	return Execute(wc, lay, cfg)
+}

@@ -1,0 +1,150 @@
+// Package rng provides a fast, deterministic, splittable pseudo-random
+// number generator for Monte-Carlo search.
+//
+// Every process in the parallel search (root, medians, clients) owns an
+// independent stream derived from a global seed and the process rank, so a
+// run is bit-reproducible regardless of scheduling. The generator is
+// xoshiro256** seeded through SplitMix64, the combination recommended by the
+// xoshiro authors; it is not cryptographically secure and does not need to
+// be.
+package rng
+
+import "math/bits"
+
+// Rand is a xoshiro256** generator. The zero value is invalid; use New or
+// NewStream. Rand is not safe for concurrent use; give each goroutine its
+// own stream.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// NewStream returns the stream-th independent stream of the generator
+// family identified by seed. Streams are decorrelated by hashing the pair
+// (seed, stream) into the SplitMix64 state.
+func NewStream(seed uint64, stream uint64) *Rand {
+	return New(mix(seed, stream))
+}
+
+// mix combines two words into one with a strong avalanche, so nearby
+// (seed, stream) pairs produce unrelated states.
+func mix(a, b uint64) uint64 {
+	x := a ^ 0x9e3779b97f4a7c15
+	x = splitmix(&x)
+	x ^= b + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
+	return splitmix(&x)
+}
+
+// splitmix advances a SplitMix64 state and returns the next output.
+func splitmix(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Seed resets the generator state deterministically from seed.
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix(&sm)
+	}
+	// xoshiro must not start from the all-zero state; SplitMix64 cannot
+	// produce four consecutive zeros, but guard anyway for safety.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+// It uses Lemire's multiply-shift rejection method, which avoids the modulo
+// bias of naive reduction and the division of the classic approach.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm fills p with a uniform random permutation of [0, len(p)).
+func (r *Rand) Perm(p []int) {
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+}
+
+// ShuffleInts shuffles p in place (Fisher–Yates).
+func (r *Rand) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Jump advances the generator by 2^128 steps, equivalent to 2^128 calls to
+// Uint64. It can be used to carve one seed into long non-overlapping
+// subsequences; NewStream is usually more convenient.
+func (r *Rand) Jump() {
+	jump := [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+	var s0, s1, s2, s3 uint64
+	for _, j := range jump {
+		for b := 0; b < 64; b++ {
+			if j&(1<<uint(b)) != 0 {
+				s0 ^= r.s[0]
+				s1 ^= r.s[1]
+				s2 ^= r.s[2]
+				s3 ^= r.s[3]
+			}
+			r.Uint64()
+		}
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}
+
+// State returns the internal state, for checkpointing.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState restores a state captured with State.
+func (r *Rand) SetState(s [4]uint64) { r.s = s }

@@ -1,0 +1,206 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	// Streams from the same seed must differ from each other and from the
+	// base generator.
+	base := NewStream(7, 0)
+	s1 := NewStream(7, 1)
+	s2 := NewStream(7, 2)
+	if base.Uint64() == s1.Uint64() || s1.Uint64() == s2.Uint64() {
+		t.Fatal("streams are correlated on first draw")
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewStream(99, 3)
+	b := NewStream(99, 3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("stream not reproducible at %d", i)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	for n := 1; n < 100; n++ {
+		for i := 0; i < 100; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-squared check over 10 buckets; loose bound, deterministic seed.
+	r := New(12345)
+	const buckets = 10
+	const draws = 100000
+	var count [buckets]int
+	for i := 0; i < draws; i++ {
+		count[r.Intn(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range count {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom; 99.9th percentile is ~27.9.
+	if chi2 > 27.9 {
+		t.Fatalf("chi-squared %v too large, distribution skewed: %v", chi2, count)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(8)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(3)
+	p := make([]int, 20)
+	r.Perm(p)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleProperty(t *testing.T) {
+	// Property: shuffling preserves the multiset of elements.
+	f := func(seed uint64, n uint8) bool {
+		r := New(seed)
+		m := int(n%50) + 1
+		p := make([]int, m)
+		for i := range p {
+			p[i] = i * 3
+		}
+		q := append([]int(nil), p...)
+		r.ShuffleInts(q)
+		sum1, sum2 := 0, 0
+		for i := range p {
+			sum1 += p[i]
+			sum2 += q[i]
+		}
+		return sum1 == sum2 && len(p) == len(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJumpDisjointSequences(t *testing.T) {
+	a := New(77)
+	b := New(77)
+	b.Jump()
+	// After a jump the sequences should not collide over a short window.
+	outs := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		outs[a.Uint64()] = true
+	}
+	for i := 0; i < 1000; i++ {
+		if outs[b.Uint64()] {
+			t.Fatal("jumped stream overlaps base stream within window")
+		}
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	r := New(11)
+	r.Uint64()
+	st := r.State()
+	want := make([]uint64, 16)
+	for i := range want {
+		want[i] = r.Uint64()
+	}
+	r.SetState(st)
+	for i := range want {
+		if got := r.Uint64(); got != want[i] {
+			t.Fatalf("state restore diverged at %d", i)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Intn(37)
+	}
+	_ = sink
+}

@@ -1,0 +1,327 @@
+// Package samegame implements SameGame, the block-collapsing puzzle used as
+// a second evaluation domain for nested Monte-Carlo search (it is one of
+// the domains of the companion IJCAI-09 NMCS paper this paper builds on).
+//
+// The board is a grid of coloured blocks. A move removes a connected group
+// (4-neighbourhood) of at least two same-coloured blocks and scores
+// (n−2)² points for a group of n blocks. Blocks above removed cells fall
+// down and empty columns collapse to the left. Clearing the whole board
+// earns a 1000-point bonus. The game ends when no group of two or more
+// blocks remains; the goal is to maximize the total score.
+//
+// SameGame has a much wider score range than Morpion Solitaire and rewards
+// long-horizon planning (saving one colour for a massive final group),
+// which exercises the search differently.
+package samegame
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/game"
+	"repro/internal/rng"
+)
+
+// Standard board parameters of the SameGame literature.
+const (
+	DefaultWidth  = 15
+	DefaultHeight = 15
+	DefaultColors = 5
+	// ClearBonus is awarded for emptying the board completely.
+	ClearBonus = 1000
+)
+
+// State is a SameGame position. Create with New or NewRandom.
+type State struct {
+	w, h   int
+	colors int
+	cells  []int8 // column-major: cells[x*h+y], y=0 is the BOTTOM row; 0 = empty
+	score  float64
+	moves  int
+
+	// scratch buffers for group enumeration, rebuilt lazily
+	mark    []int32
+	markGen int32
+	stack   []int32
+}
+
+// NewRandom returns a uniformly random w×h board with the given number of
+// colours, deterministically derived from seed.
+func NewRandom(w, h, colors int, seed uint64) *State {
+	if w < 1 || h < 1 {
+		panic("samegame: board must be at least 1x1")
+	}
+	if colors < 1 || colors > 9 {
+		panic("samegame: colours must be in 1..9")
+	}
+	s := &State{w: w, h: h, colors: colors, cells: make([]int8, w*h)}
+	r := rng.New(seed)
+	for i := range s.cells {
+		s.cells[i] = int8(r.Intn(colors) + 1)
+	}
+	s.initScratch()
+	return s
+}
+
+// NewStandard returns the standard 15×15, 5-colour random board.
+func NewStandard(seed uint64) *State {
+	return NewRandom(DefaultWidth, DefaultHeight, DefaultColors, seed)
+}
+
+// Parse builds a board from rows of digits ('0' or '.' = empty, '1'-'9' =
+// colour), topmost row first. All rows must have equal length.
+func Parse(text string) (*State, error) {
+	lines := strings.Fields(strings.TrimSpace(text))
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("samegame: empty board")
+	}
+	h := len(lines)
+	w := len(lines[0])
+	s := &State{w: w, h: h, colors: 0, cells: make([]int8, w*h)}
+	for row, line := range lines {
+		if len(line) != w {
+			return nil, fmt.Errorf("samegame: row %d has %d cells, want %d", row, len(line), w)
+		}
+		y := h - 1 - row // topmost line is the highest y
+		for x := 0; x < w; x++ {
+			ch := line[x]
+			switch {
+			case ch == '0' || ch == '.':
+				s.cells[x*h+y] = 0
+			case ch >= '1' && ch <= '9':
+				c := int8(ch - '0')
+				s.cells[x*h+y] = c
+				if int(c) > s.colors {
+					s.colors = int(c)
+				}
+			default:
+				return nil, fmt.Errorf("samegame: bad cell %q at row %d col %d", ch, row, x)
+			}
+		}
+	}
+	// A parsed board must already satisfy gravity/collapse invariants for
+	// the move generator to be meaningful; normalize it.
+	s.settle()
+	s.initScratch()
+	return s, nil
+}
+
+func (s *State) initScratch() {
+	s.mark = make([]int32, s.w*s.h)
+	s.stack = make([]int32, 0, s.w*s.h)
+}
+
+// Width and Height report the board dimensions.
+func (s *State) Width() int  { return s.w }
+func (s *State) Height() int { return s.h }
+
+// Cell returns the colour at column x, height y (0 = bottom), 0 if empty.
+func (s *State) Cell(x, y int) int { return int(s.cells[x*s.h+y]) }
+
+// Score implements game.State: points accumulated so far, including the
+// clear bonus once the board is empty.
+func (s *State) Score() float64 { return s.score }
+
+// MovesPlayed implements game.State.
+func (s *State) MovesPlayed() int { return s.moves }
+
+// Terminal implements game.State: true when no group of ≥2 remains.
+func (s *State) Terminal() bool {
+	return !s.anyGroup()
+}
+
+// Move encoding: the cell index (x*h+y) of the representative (smallest
+// index) block of the group to remove.
+
+// LegalMoves implements game.State: one move per connected group of at
+// least two blocks, identified by its smallest cell index, in increasing
+// order (deterministic).
+func (s *State) LegalMoves(buf []game.Move) []game.Move {
+	s.markGen++
+	for i := range s.cells {
+		if s.cells[i] == 0 || s.mark[i] == s.markGen {
+			continue
+		}
+		size := s.flood(int32(i), s.cells[i], nil)
+		if size >= 2 {
+			buf = append(buf, game.Move(i))
+		}
+	}
+	return buf
+}
+
+// anyGroup reports whether any removable group exists (cheaper than a full
+// LegalMoves when only termination matters).
+func (s *State) anyGroup() bool {
+	h := s.h
+	for i, c := range s.cells {
+		if c == 0 {
+			continue
+		}
+		// Right neighbour (same row, next column) or upper neighbour.
+		if i+h < len(s.cells) && s.cells[i+h] == c {
+			return true
+		}
+		if (i%h)+1 < h && s.cells[i+1] == c {
+			return true
+		}
+	}
+	return false
+}
+
+// flood marks the group containing cell idx (colour c) with the current
+// generation and returns its size. When out is non-nil the member cells
+// are appended to it.
+func (s *State) flood(idx int32, c int8, out *[]int32) int {
+	h := int32(s.h)
+	n := 0
+	s.stack = s.stack[:0]
+	s.stack = append(s.stack, idx)
+	s.mark[idx] = s.markGen
+	for len(s.stack) > 0 {
+		cur := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		n++
+		if out != nil {
+			*out = append(*out, cur)
+		}
+		x, y := cur/h, cur%h
+		for dir := 0; dir < 4; dir++ {
+			nx, ny := x, y
+			switch dir {
+			case 0:
+				nx--
+			case 1:
+				nx++
+			case 2:
+				ny--
+			case 3:
+				ny++
+			}
+			if nx < 0 || nx >= int32(s.w) || ny < 0 || ny >= h {
+				continue
+			}
+			nb := nx*h + ny
+			if s.cells[nb] == c && s.mark[nb] != s.markGen {
+				s.mark[nb] = s.markGen
+				s.stack = append(s.stack, nb)
+			}
+		}
+	}
+	return n
+}
+
+// Play implements game.State: removes the group containing the move's
+// cell, applies gravity and column collapse, and accumulates the score.
+func (s *State) Play(m game.Move) {
+	idx := int32(m)
+	if idx < 0 || int(idx) >= len(s.cells) || s.cells[idx] == 0 {
+		panic(fmt.Sprintf("samegame: illegal move %d", idx))
+	}
+	s.markGen++
+	var members []int32
+	n := s.flood(idx, s.cells[idx], &members)
+	if n < 2 {
+		panic(fmt.Sprintf("samegame: move %d names a singleton group", idx))
+	}
+	for _, c := range members {
+		s.cells[c] = 0
+	}
+	s.score += float64((n - 2) * (n - 2))
+	s.moves++
+	s.settle()
+	if s.empty() {
+		s.score += ClearBonus
+	}
+}
+
+// settle applies gravity within columns and collapses empty columns left.
+func (s *State) settle() {
+	h := s.h
+	// Gravity: compact every column downwards.
+	for x := 0; x < s.w; x++ {
+		col := s.cells[x*h : (x+1)*h]
+		w := 0
+		for y := 0; y < h; y++ {
+			if col[y] != 0 {
+				col[w] = col[y]
+				w++
+			}
+		}
+		for ; w < h; w++ {
+			col[w] = 0
+		}
+	}
+	// Collapse: shift non-empty columns left.
+	wout := 0
+	for x := 0; x < s.w; x++ {
+		if s.cells[x*h] == 0 { // empty column after gravity
+			continue
+		}
+		if wout != x {
+			copy(s.cells[wout*h:(wout+1)*h], s.cells[x*h:(x+1)*h])
+		}
+		wout++
+	}
+	for x := wout; x < s.w; x++ {
+		for y := 0; y < h; y++ {
+			s.cells[x*h+y] = 0
+		}
+	}
+}
+
+// empty reports whether the board has no blocks left.
+func (s *State) empty() bool {
+	for _, c := range s.cells {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone implements game.State.
+func (s *State) Clone() game.State {
+	c := &State{
+		w: s.w, h: s.h, colors: s.colors,
+		cells: append([]int8(nil), s.cells...),
+		score: s.score, moves: s.moves,
+	}
+	c.initScratch()
+	return c
+}
+
+// EncodedSize implements game.Sizer.
+func (s *State) EncodedSize() int { return len(s.cells) + 16 }
+
+// Render draws the board, top row first.
+func (s *State) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "samegame %dx%d score=%.0f\n", s.w, s.h, s.score)
+	for y := s.h - 1; y >= 0; y-- {
+		for x := 0; x < s.w; x++ {
+			c := s.cells[x*s.h+y]
+			if c == 0 {
+				b.WriteByte('.')
+			} else {
+				b.WriteByte('0' + byte(c))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Remaining returns the number of blocks still on the board.
+func (s *State) Remaining() int {
+	n := 0
+	for _, c := range s.cells {
+		if c != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+var _ game.State = (*State)(nil)
+var _ game.Sizer = (*State)(nil)

@@ -1,0 +1,266 @@
+package samegame
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/game"
+	"repro/internal/rng"
+)
+
+func TestParseAndRender(t *testing.T) {
+	s, err := Parse(`
+		112
+		221
+		211
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Width() != 3 || s.Height() != 3 {
+		t.Fatalf("dims %dx%d", s.Width(), s.Height())
+	}
+	out := s.Render()
+	if !strings.Contains(out, "112") {
+		t.Fatalf("render lost top row:\n%s", out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "12\n123", "1x1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestGroupRemovalAndScore(t *testing.T) {
+	// Removing the 3-group of 1s scores (3-2)^2 = 1.
+	s, err := Parse(`
+		12
+		11
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := s.LegalMoves(nil)
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v, want exactly the group of 1s", moves)
+	}
+	s.Play(moves[0])
+	if s.Score() != 1 {
+		t.Fatalf("score %v, want 1", s.Score())
+	}
+	// Only the lone 2 remains, which falls to the bottom-left.
+	if s.Remaining() != 1 {
+		t.Fatalf("remaining %d, want 1", s.Remaining())
+	}
+	if s.Cell(0, 0) != 2 {
+		t.Fatalf("survivor not at bottom-left:\n%s", s.Render())
+	}
+	if !s.Terminal() {
+		t.Fatal("singleton board should be terminal")
+	}
+}
+
+func TestClearBonus(t *testing.T) {
+	s, err := Parse(`
+		11
+		11
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Play(s.LegalMoves(nil)[0])
+	// 4-group: (4-2)^2 = 4, plus the 1000 clear bonus.
+	if s.Score() != 4+ClearBonus {
+		t.Fatalf("score %v, want %d", s.Score(), 4+ClearBonus)
+	}
+	if s.Remaining() != 0 || !s.Terminal() {
+		t.Fatal("board should be empty and terminal")
+	}
+}
+
+func TestGravityAndCollapse(t *testing.T) {
+	// Removing the middle column's 2s drops the 3 and collapses nothing;
+	// removing column 0 entirely shifts columns left.
+	s, err := Parse(`
+		13.
+		12.
+		12.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove the vertical pair of 2s at column 1 (bottom rows).
+	var target game.Move = game.Move(1*s.Height() + 0)
+	found := false
+	for _, m := range s.LegalMoves(nil) {
+		if m == target {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected group move at cell %d; moves=%v", target, s.LegalMoves(nil))
+	}
+	s.Play(target)
+	// The 3 falls to the bottom of column 1.
+	if s.Cell(1, 0) != 3 {
+		t.Fatalf("3 did not fall:\n%s", s.Render())
+	}
+}
+
+func TestColumnCollapse(t *testing.T) {
+	s, err := Parse(`
+		1.2
+		1.2
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parse settles the board: empty middle column collapses, so columns
+	// 0 and 1 hold the blocks.
+	if s.Cell(1, 0) != 2 {
+		t.Fatalf("columns did not collapse on parse:\n%s", s.Render())
+	}
+}
+
+func TestRandomBoardDeterministic(t *testing.T) {
+	a := NewStandard(7)
+	b := NewStandard(7)
+	for i := range a.cells {
+		if a.cells[i] != b.cells[i] {
+			t.Fatal("same seed, different boards")
+		}
+	}
+	c := NewStandard(8)
+	same := true
+	for i := range a.cells {
+		if a.cells[i] != c.cells[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical boards")
+	}
+}
+
+func TestPlayoutTerminatesAndScores(t *testing.T) {
+	r := rng.New(3)
+	s := NewStandard(1)
+	var buf []game.Move
+	steps := 0
+	for !s.Terminal() {
+		buf = s.LegalMoves(buf[:0])
+		if len(buf) == 0 {
+			t.Fatal("non-terminal position with no moves")
+		}
+		s.Play(buf[r.Intn(len(buf))])
+		steps++
+		if steps > 15*15 {
+			t.Fatal("playout did not terminate")
+		}
+	}
+	if s.Score() <= 0 {
+		t.Fatalf("random playout scored %v", s.Score())
+	}
+	t.Logf("random SameGame playout: score %.0f, %d moves, %d blocks left",
+		s.Score(), s.MovesPlayed(), s.Remaining())
+}
+
+func TestInvariantBlocksNeverFloat(t *testing.T) {
+	// Property: after any sequence of random moves, no block sits above an
+	// empty cell and no empty column sits left of a non-empty one.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		s := NewRandom(8, 8, 4, seed)
+		var buf []game.Move
+		for i := 0; i < 10 && !s.Terminal(); i++ {
+			buf = s.LegalMoves(buf[:0])
+			s.Play(buf[r.Intn(len(buf))])
+		}
+		for x := 0; x < s.Width(); x++ {
+			seenEmpty := false
+			for y := 0; y < s.Height(); y++ {
+				if s.Cell(x, y) == 0 {
+					seenEmpty = true
+				} else if seenEmpty {
+					return false // floating block
+				}
+			}
+		}
+		seenEmptyCol := false
+		for x := 0; x < s.Width(); x++ {
+			if s.Cell(x, 0) == 0 {
+				seenEmptyCol = true
+			} else if seenEmptyCol {
+				return false // gap column
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewStandard(5)
+	c := s.Clone().(*State)
+	r := rng.New(1)
+	var buf []game.Move
+	buf = c.LegalMoves(buf[:0])
+	c.Play(buf[r.Intn(len(buf))])
+	if s.Score() != 0 || s.MovesPlayed() != 0 {
+		t.Fatal("playing on clone mutated original")
+	}
+}
+
+func TestNMCSImprovesSameGame(t *testing.T) {
+	// Level 1 must beat level 0 on average — the NMCS premise on the
+	// second domain. Small board keeps the test fast.
+	mean := func(level int) float64 {
+		s := core.NewSearcher(rng.New(9), core.DefaultOptions())
+		sum := 0.0
+		const n = 5
+		for i := 0; i < n; i++ {
+			sum += s.Nested(NewRandom(8, 8, 4, uint64(i)), level).Score
+		}
+		return sum / n
+	}
+	l0, l1 := mean(0), mean(1)
+	t.Logf("SameGame 8x8 means: level0=%.1f level1=%.1f", l0, l1)
+	if l1 <= l0 {
+		t.Fatalf("level 1 (%v) did not beat level 0 (%v)", l1, l0)
+	}
+}
+
+func TestBadBoardsPanic(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero size":   func() { NewRandom(0, 5, 3, 1) },
+		"bad colours": func() { NewRandom(5, 5, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIllegalPlayPanics(t *testing.T) {
+	s := NewStandard(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("playing an empty cell did not panic")
+		}
+	}()
+	// Find an empty... standard boards are full; use an out-of-range move.
+	s.Play(game.Move(15 * 15))
+}

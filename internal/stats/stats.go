@@ -1,0 +1,168 @@
+// Package stats provides the small statistics and formatting toolkit used
+// by the experiment harness: Welford accumulators for mean and standard
+// deviation, and duration formatting in the style of the paper's tables
+// ("1h07m33s (42s)" — mean with standard deviation in parentheses).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Acc accumulates samples with Welford's online algorithm, which is
+// numerically stable for long runs. The zero value is an empty accumulator.
+type Acc struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one sample into the accumulator.
+func (a *Acc) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of samples.
+func (a *Acc) N() int { return a.n }
+
+// Mean returns the sample mean (0 when empty).
+func (a *Acc) Mean() float64 { return a.mean }
+
+// Min returns the smallest sample (0 when empty).
+func (a *Acc) Min() float64 { return a.min }
+
+// Max returns the largest sample (0 when empty).
+func (a *Acc) Max() float64 { return a.max }
+
+// Var returns the unbiased sample variance (0 with fewer than two samples).
+func (a *Acc) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Stddev returns the unbiased sample standard deviation.
+func (a *Acc) Stddev() float64 { return math.Sqrt(a.Var()) }
+
+// AddDuration folds a duration sample in.
+func (a *Acc) AddDuration(d time.Duration) { a.Add(d.Seconds()) }
+
+// MeanDuration returns the mean as a duration.
+func (a *Acc) MeanDuration() time.Duration {
+	return time.Duration(a.mean * float64(time.Second))
+}
+
+// StddevDuration returns the standard deviation as a duration.
+func (a *Acc) StddevDuration() time.Duration {
+	return time.Duration(a.Stddev() * float64(time.Second))
+}
+
+// FormatDuration renders d the way the paper's tables do: "09s", "01m52s",
+// "1h07m33s", "28h00m06s", "09d18h58m". Daily scale drops seconds, hourly
+// scale keeps them, sub-hour scale drops the hour field.
+func FormatDuration(d time.Duration) string {
+	if d < 0 {
+		return "-" + FormatDuration(-d)
+	}
+	const day = 24 * time.Hour
+	switch {
+	case d >= day:
+		days := d / day
+		h := (d % day) / time.Hour
+		m := (d % time.Hour) / time.Minute
+		return fmt.Sprintf("%02dd%02dh%02dm", days, h, m)
+	case d >= time.Hour:
+		h := d / time.Hour
+		m := (d % time.Hour) / time.Minute
+		s := (d % time.Minute) / time.Second
+		return fmt.Sprintf("%dh%02dm%02ds", h, m, s)
+	case d >= time.Minute:
+		m := d / time.Minute
+		s := (d % time.Minute) / time.Second
+		return fmt.Sprintf("%02dm%02ds", m, s)
+	case d >= time.Second:
+		return fmt.Sprintf("%02ds", d/time.Second)
+	default:
+		return fmt.Sprintf("%dms", d/time.Millisecond)
+	}
+}
+
+// PaperStyle renders the accumulator the way the paper's tables report
+// times: mean with the standard deviation in parentheses; a single run is
+// rendered fully parenthesized, as in "(2h10m)", matching the paper's
+// convention for results that were run only once.
+func (a *Acc) PaperStyle() string {
+	if a.n == 0 {
+		return "—"
+	}
+	if a.n == 1 {
+		return "(" + FormatDuration(a.MeanDuration()) + ")"
+	}
+	return fmt.Sprintf("%s (%s)", FormatDuration(a.MeanDuration()), FormatDuration(a.StddevDuration()))
+}
+
+// Table renders rows of cells as an aligned plain-text table with a header,
+// in the visual style of the paper's tables.
+type Table struct {
+	Header []string
+	Rows   [][]string
+	Title  string
+}
+
+// Render returns the aligned table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}

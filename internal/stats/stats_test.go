@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAccBasics(t *testing.T) {
+	var a Acc
+	if a.N() != 0 || a.Mean() != 0 || a.Stddev() != 0 {
+		t.Fatal("zero accumulator not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if a.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", a.Mean())
+	}
+	// Known data set: population stddev 2, sample stddev sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(a.Stddev()-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", a.Stddev(), want)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccSingleSample(t *testing.T) {
+	var a Acc
+	a.Add(3.5)
+	if a.Var() != 0 || a.Stddev() != 0 {
+		t.Fatal("variance of single sample should be 0")
+	}
+	if a.Min() != 3.5 || a.Max() != 3.5 {
+		t.Fatal("min/max wrong for single sample")
+	}
+}
+
+func TestAccMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Keep values in a moderate range to avoid pathological float
+		// comparisons; Welford vs naive two-pass should agree closely.
+		var a Acc
+		sum := 0.0
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				continue
+			}
+			clean = append(clean, x)
+			a.Add(x)
+			sum += x
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		mean := sum / float64(len(clean))
+		if math.Abs(a.Mean()-mean) > 1e-6*(1+math.Abs(mean)) {
+			return false
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		ss := 0.0
+		for _, x := range clean {
+			ss += (x - mean) * (x - mean)
+		}
+		naive := ss / float64(len(clean)-1)
+		return math.Abs(a.Var()-naive) <= 1e-6*(1+naive)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{10 * time.Second, "10s"},
+		{9 * time.Second, "09s"},
+		{112 * time.Second, "01m52s"},
+		{8*time.Minute + 3*time.Second, "08m03s"},
+		{time.Hour + 7*time.Minute + 33*time.Second, "1h07m33s"},
+		{28*time.Hour + 6*time.Second, "01d04h00m"},
+		{9*24*time.Hour + 18*time.Hour + 58*time.Minute, "09d18h58m"},
+		{500 * time.Millisecond, "500ms"},
+		{-10 * time.Second, "-10s"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.d); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestPaperStyle(t *testing.T) {
+	var a Acc
+	if a.PaperStyle() != "—" {
+		t.Errorf("empty accumulator = %q", a.PaperStyle())
+	}
+	a.AddDuration(130 * time.Minute)
+	if got := a.PaperStyle(); got != "(2h10m00s)" {
+		t.Errorf("single run = %q, want parenthesized", got)
+	}
+	a.AddDuration(130 * time.Minute)
+	got := a.PaperStyle()
+	if !strings.HasPrefix(got, "2h10m00s (") {
+		t.Errorf("multi run = %q", got)
+	}
+}
+
+func TestDurationAccumulator(t *testing.T) {
+	var a Acc
+	a.AddDuration(10 * time.Second)
+	a.AddDuration(20 * time.Second)
+	if a.MeanDuration() != 15*time.Second {
+		t.Fatalf("mean duration = %v", a.MeanDuration())
+	}
+	if a.StddevDuration() <= 0 {
+		t.Fatal("stddev duration should be positive")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:  "Table II: first move times",
+		Header: []string{"clients", "level 3", "level 4"},
+		Rows: [][]string{
+			{"64", "10s (1s)", "33m11s (1m33s)"},
+			{"1", "09m07s (28s)", "(29h56m14s)"},
+		},
+	}
+	out := tbl.Render()
+	for _, want := range []string{"Table II", "clients", "64", "09m07s (28s)", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Errorf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,289 @@
+// Package sudoku implements N²×N² Sudoku grid filling as a constraint
+// search domain for nested Monte-Carlo search (16×16 Sudoku is the third
+// evaluation domain of the companion IJCAI-09 NMCS paper).
+//
+// The game fills the first empty cell (row-major order) with any value
+// that respects the row, column and box constraints; the score is the
+// number of cells filled. A playout that paints itself into a corner ends
+// early with a low score, so deeper nesting — which looks ahead before
+// committing — fills dramatically more of the grid, exactly the
+// amplification effect NMCS is designed for.
+package sudoku
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/game"
+)
+
+// State is a Sudoku filling position. Create with New or ParseGivens.
+type State struct {
+	box  int    // box side; grid side is box*box
+	side int    // cached box*box
+	grid []int8 // 0 = empty, else 1..side
+
+	// Constraint bitmasks: bit v-1 set when value v is used.
+	rows, cols, boxes []uint32
+
+	filled int // cells filled by play (excludes givens)
+	givens int
+	next   int // index of the first empty cell at or after next
+}
+
+// New returns an empty grid with the given box side (box=4 for the paper's
+// 16×16 grids, box=3 for classic 9×9).
+func New(box int) *State {
+	if box < 2 || box > 5 {
+		panic("sudoku: box side must be in 2..5")
+	}
+	side := box * box
+	s := &State{
+		box: box, side: side,
+		grid: make([]int8, side*side),
+		rows: make([]uint32, side), cols: make([]uint32, side), boxes: make([]uint32, side),
+	}
+	return s
+}
+
+// ParseGivens builds a puzzle from rows of cell values: '.' or '0' for
+// empty, '1'-'9' then 'A'-'G' for 10..16 (hex-like). Rows are whitespace
+// separated.
+func ParseGivens(box int, text string) (*State, error) {
+	s := New(box)
+	lines := strings.Fields(strings.TrimSpace(text))
+	if len(lines) != s.side {
+		return nil, fmt.Errorf("sudoku: %d rows, want %d", len(lines), s.side)
+	}
+	for r, line := range lines {
+		if len(line) != s.side {
+			return nil, fmt.Errorf("sudoku: row %d has %d cells, want %d", r, len(line), s.side)
+		}
+		for c := 0; c < s.side; c++ {
+			v, err := parseCell(line[c])
+			if err != nil {
+				return nil, fmt.Errorf("sudoku: row %d col %d: %v", r, c, err)
+			}
+			if v == 0 {
+				continue
+			}
+			if int(v) > s.side {
+				return nil, fmt.Errorf("sudoku: row %d col %d: value %d exceeds side %d", r, c, v, s.side)
+			}
+			idx := r*s.side + c
+			if !s.canPlace(idx, v) {
+				return nil, fmt.Errorf("sudoku: given at row %d col %d conflicts", r, c)
+			}
+			s.place(idx, v)
+			s.givens++
+		}
+	}
+	s.filled = 0 // givens do not count towards the score
+	return s, nil
+}
+
+func parseCell(ch byte) (int8, error) {
+	switch {
+	case ch == '.' || ch == '0':
+		return 0, nil
+	case ch >= '1' && ch <= '9':
+		return int8(ch - '0'), nil
+	case ch >= 'A' && ch <= 'G':
+		return int8(ch-'A') + 10, nil
+	default:
+		return 0, fmt.Errorf("bad cell %q", ch)
+	}
+}
+
+// Side returns the grid side (16 for box 4).
+func (s *State) Side() int { return s.side }
+
+// Cell returns the value at (row, col), 0 when empty.
+func (s *State) Cell(row, col int) int { return int(s.grid[row*s.side+col]) }
+
+// boxIndex returns the box number of a cell index.
+func (s *State) boxIndex(idx int) int {
+	r, c := idx/s.side, idx%s.side
+	return (r/s.box)*s.box + c/s.box
+}
+
+// canPlace reports whether value v can be placed at cell idx.
+func (s *State) canPlace(idx int, v int8) bool {
+	if s.grid[idx] != 0 {
+		return false
+	}
+	bit := uint32(1) << (v - 1)
+	r, c := idx/s.side, idx%s.side
+	return s.rows[r]&bit == 0 && s.cols[c]&bit == 0 && s.boxes[s.boxIndex(idx)]&bit == 0
+}
+
+// place writes v at idx and updates the constraint masks.
+func (s *State) place(idx int, v int8) {
+	bit := uint32(1) << (v - 1)
+	r, c := idx/s.side, idx%s.side
+	s.grid[idx] = v
+	s.rows[r] |= bit
+	s.cols[c] |= bit
+	s.boxes[s.boxIndex(idx)] |= bit
+}
+
+// nextEmpty returns the index of the first empty cell, or -1 when full.
+func (s *State) nextEmpty() int {
+	for i := s.next; i < len(s.grid); i++ {
+		if s.grid[i] == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Move encoding: cell<<8 | value.
+
+// LegalMoves implements game.State: every value placeable in the first
+// empty cell. An empty slice on a non-full grid means the playout is stuck
+// (terminal with a partial score).
+func (s *State) LegalMoves(buf []game.Move) []game.Move {
+	idx := s.nextEmpty()
+	if idx < 0 {
+		return buf
+	}
+	used := s.rows[idx/s.side] | s.cols[idx%s.side] | s.boxes[s.boxIndex(idx)]
+	for v := 1; v <= s.side; v++ {
+		if used&(1<<(v-1)) == 0 {
+			buf = append(buf, game.Move(idx<<8|v))
+		}
+	}
+	return buf
+}
+
+// Play implements game.State.
+func (s *State) Play(m game.Move) {
+	idx := int(m >> 8)
+	v := int8(m & 0xff)
+	if idx < 0 || idx >= len(s.grid) || v < 1 || int(v) > s.side || !s.canPlace(idx, v) {
+		panic(fmt.Sprintf("sudoku: illegal move cell=%d value=%d", idx, v))
+	}
+	s.place(idx, v)
+	s.filled++
+	if idx >= s.next {
+		s.next = idx + 1
+	}
+}
+
+// Terminal implements game.State: the grid is full or the next empty cell
+// admits no value.
+func (s *State) Terminal() bool {
+	idx := s.nextEmpty()
+	if idx < 0 {
+		return true
+	}
+	used := s.rows[idx/s.side] | s.cols[idx%s.side] | s.boxes[s.boxIndex(idx)]
+	full := uint32(1)<<s.side - 1
+	return used == full
+}
+
+// Score implements game.State: cells filled during play (givens excluded).
+func (s *State) Score() float64 { return float64(s.filled) }
+
+// MovesPlayed implements game.State.
+func (s *State) MovesPlayed() int { return s.filled }
+
+// Solved reports whether every cell is filled.
+func (s *State) Solved() bool { return s.nextEmpty() < 0 }
+
+// Clone implements game.State.
+func (s *State) Clone() game.State {
+	return &State{
+		box: s.box, side: s.side,
+		grid:   append([]int8(nil), s.grid...),
+		rows:   append([]uint32(nil), s.rows...),
+		cols:   append([]uint32(nil), s.cols...),
+		boxes:  append([]uint32(nil), s.boxes...),
+		filled: s.filled, givens: s.givens, next: s.next,
+	}
+}
+
+// EncodedSize implements game.Sizer.
+func (s *State) EncodedSize() int { return len(s.grid) + 16 }
+
+// Render draws the grid with box separators.
+func (s *State) Render() string {
+	var b strings.Builder
+	for r := 0; r < s.side; r++ {
+		if r > 0 && r%s.box == 0 {
+			b.WriteString(strings.Repeat("-", s.side+s.box-1))
+			b.WriteByte('\n')
+		}
+		for c := 0; c < s.side; c++ {
+			if c > 0 && c%s.box == 0 {
+				b.WriteByte('|')
+			}
+			v := s.grid[r*s.side+c]
+			switch {
+			case v == 0:
+				b.WriteByte('.')
+			case v <= 9:
+				b.WriteByte('0' + byte(v))
+			default:
+				b.WriteByte('A' + byte(v) - 10)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Valid verifies every row, column and box holds distinct values — a
+// structural self-check used by tests.
+func (s *State) Valid() bool {
+	side := s.side
+	check := func(cells []int) bool {
+		var seen uint32
+		for _, idx := range cells {
+			v := s.grid[idx]
+			if v == 0 {
+				continue
+			}
+			bit := uint32(1) << (v - 1)
+			if seen&bit != 0 {
+				return false
+			}
+			seen |= bit
+		}
+		return true
+	}
+	idxs := make([]int, side)
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			idxs[c] = r*side + c
+		}
+		if !check(idxs) {
+			return false
+		}
+	}
+	for c := 0; c < side; c++ {
+		for r := 0; r < side; r++ {
+			idxs[r] = r*side + c
+		}
+		if !check(idxs) {
+			return false
+		}
+	}
+	for b0 := 0; b0 < side; b0++ {
+		br, bc := (b0/s.box)*s.box, (b0%s.box)*s.box
+		k := 0
+		for r := 0; r < s.box; r++ {
+			for c := 0; c < s.box; c++ {
+				idxs[k] = (br+r)*side + bc + c
+				k++
+			}
+		}
+		if !check(idxs) {
+			return false
+		}
+	}
+	return true
+}
+
+var _ game.State = (*State)(nil)
+var _ game.Sizer = (*State)(nil)

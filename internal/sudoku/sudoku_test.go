@@ -1,0 +1,185 @@
+package sudoku
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/game"
+	"repro/internal/rng"
+)
+
+func TestEmptyGridBasics(t *testing.T) {
+	s := New(4)
+	if s.Side() != 16 {
+		t.Fatalf("side = %d", s.Side())
+	}
+	if s.Terminal() {
+		t.Fatal("empty grid is terminal")
+	}
+	moves := s.LegalMoves(nil)
+	if len(moves) != 16 {
+		t.Fatalf("first cell of an empty 16x16 grid admits %d values, want 16", len(moves))
+	}
+}
+
+func TestPlayRespectsConstraints(t *testing.T) {
+	s := New(3)
+	// Fill the first row 1..9; then cell (1,0) must not admit 1..3 from
+	// its box nor 1 from its column.
+	for v := 1; v <= 9; v++ {
+		s.Play(game.Move((v-1)<<8 | v))
+	}
+	if !s.Valid() {
+		t.Fatal("valid row rejected by Valid")
+	}
+	moves := s.LegalMoves(nil)
+	for _, m := range moves {
+		v := int(m & 0xff)
+		if v == 1 || v == 2 || v == 3 {
+			t.Fatalf("cell (1,0) admits %d despite box containing it", v)
+		}
+	}
+	if len(moves) != 6 {
+		t.Fatalf("cell (1,0) admits %d values, want 6", len(moves))
+	}
+}
+
+func TestIllegalPlayPanics(t *testing.T) {
+	s := New(3)
+	s.Play(game.Move(0<<8 | 5))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting play did not panic")
+		}
+	}()
+	s.Play(game.Move(1<<8 | 5)) // same row, same value
+}
+
+func TestParseGivens(t *testing.T) {
+	// A 4x4 (box 2) puzzle with a few givens.
+	s, err := ParseGivens(2, `
+		12..
+		34..
+		....
+		....
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cell(0, 0) != 1 || s.Cell(1, 1) != 4 {
+		t.Fatal("givens not placed")
+	}
+	if s.Score() != 0 {
+		t.Fatal("givens counted towards score")
+	}
+	if !s.Valid() {
+		t.Fatal("parsed grid invalid")
+	}
+}
+
+func TestParseRejectsConflicts(t *testing.T) {
+	_, err := ParseGivens(2, `
+		11..
+		....
+		....
+		....
+	`)
+	if err == nil {
+		t.Fatal("conflicting givens accepted")
+	}
+	if _, err := ParseGivens(2, "12\n34"); err == nil {
+		t.Fatal("wrong shape accepted")
+	}
+}
+
+func TestRandomPlayoutFillsAndStaysValid(t *testing.T) {
+	r := rng.New(5)
+	s := New(3)
+	var buf []game.Move
+	for !s.Terminal() {
+		buf = s.LegalMoves(buf[:0])
+		s.Play(buf[r.Intn(len(buf))])
+	}
+	if !s.Valid() {
+		t.Fatalf("terminal grid violates constraints:\n%s", s.Render())
+	}
+	if s.Score() <= 0 {
+		t.Fatal("playout filled nothing")
+	}
+	t.Logf("random 9x9 fill: %v cells (stuck=%v)", s.Score(), !s.Solved())
+}
+
+func TestNMCSImprovesSudoku(t *testing.T) {
+	// Level 1 fills more cells than level 0 on the 9x9 grid on average —
+	// the NMCS amplification on the third domain.
+	mean := func(level int) float64 {
+		srch := core.NewSearcher(rng.New(11), core.DefaultOptions())
+		sum := 0.0
+		const n = 5
+		for i := 0; i < n; i++ {
+			sum += srch.Nested(New(3), level).Score
+		}
+		return sum / n
+	}
+	l0, l1 := mean(0), mean(1)
+	t.Logf("9x9 fill means: level0=%.1f level1=%.1f (max 81)", l0, l1)
+	if l1 <= l0 {
+		t.Fatalf("level 1 (%v) did not beat level 0 (%v)", l1, l0)
+	}
+}
+
+func TestNMCSLevel2Solves9x9(t *testing.T) {
+	// Level 2 reliably completes an empty 9x9 grid (81 cells) — a strong
+	// end-to-end check of search + constraint propagation.
+	if testing.Short() {
+		t.Skip("level 2 sudoku in short mode")
+	}
+	srch := core.NewSearcher(rng.New(13), core.DefaultOptions())
+	res := srch.Nested(New(3), 2)
+	t.Logf("9x9 level-2 fill: %v/81", res.Score)
+	if res.Score < 81 {
+		t.Fatalf("level 2 filled only %v of 81 cells", res.Score)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(3)
+	c := s.Clone().(*State)
+	c.Play(game.Move(0<<8 | 1))
+	if s.Cell(0, 0) != 0 {
+		t.Fatal("clone mutation leaked")
+	}
+	if c.Cell(0, 0) != 1 {
+		t.Fatal("clone did not take the move")
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	s := New(2)
+	s.Play(game.Move(0<<8 | 3))
+	out := s.Render()
+	if !strings.Contains(out, "3.|..") {
+		t.Fatalf("render missing placed value:\n%s", out)
+	}
+	if !strings.Contains(out, "|") || !strings.Contains(out, "-") {
+		t.Fatalf("render missing box separators:\n%s", out)
+	}
+}
+
+func TestSixteenRender(t *testing.T) {
+	s := New(4)
+	s.Play(game.Move(0<<8 | 16))
+	if !strings.Contains(s.Render(), "G") {
+		t.Fatal("value 16 should render as G")
+	}
+}
+
+func TestBadBoxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("box side 1 accepted")
+		}
+	}()
+	New(1)
+}

@@ -1,0 +1,220 @@
+// Package trace records and validates the parallel protocol's
+// communications against the paper's figures 2–5.
+//
+// The paper describes the Round-Robin protocol as four communications —
+// (a) root→median position, (b) median↔dispatcher↔client distribution,
+// (c) client→median result, (d) median→root score — and notes (fig. 3)
+// that (b), (c) and (d) occur in parallel. The Last-Minute protocol adds
+// (c′), the client→dispatcher availability notice (fig. 4), again with
+// parallel communications (fig. 5).
+//
+// Validate checks a recorded event stream for the structural invariants of
+// those diagrams; Diagram renders the stream as an ASCII sequence diagram
+// (the figure analogues); MaxOutstanding quantifies the parallelism shown
+// by figures 3 and 5.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/parallel"
+)
+
+// Collector records protocol events; it implements parallel.Tracer and is
+// safe for concurrent use (the wall transport runs processes in parallel).
+type Collector struct {
+	mu     sync.Mutex
+	events []parallel.Event
+}
+
+// Record implements parallel.Tracer.
+func (c *Collector) Record(e parallel.Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the recorded stream in record order.
+func (c *Collector) Events() []parallel.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]parallel.Event(nil), c.events...)
+}
+
+// roles classifies ranks for validation.
+type roles struct {
+	root       mpi.Rank
+	dispatcher mpi.Rank
+	median     map[mpi.Rank]bool
+	client     map[mpi.Rank]bool
+}
+
+func newRoles(lay cluster.Layout) roles {
+	r := roles{root: lay.Root, dispatcher: lay.Dispatcher,
+		median: map[mpi.Rank]bool{}, client: map[mpi.Rank]bool{}}
+	for _, m := range lay.Medians {
+		r.median[m] = true
+	}
+	for _, c := range lay.Clients {
+		r.client[c] = true
+	}
+	return r
+}
+
+// Validate checks the structural invariants of the paper's communication
+// diagrams on an event stream recorded from a run with the given layout
+// and algorithm. It returns nil when the stream is consistent.
+func Validate(events []parallel.Event, algo parallel.Algorithm, lay cluster.Layout) error {
+	ro := newRoles(lay)
+	var nA, nD, nJobs, nResults, nFree int
+	outstanding := map[mpi.Rank]int{} // jobs in flight per client
+
+	for i, e := range events {
+		switch e.Kind {
+		case "a": // fig 2(a): root sends a position to a median
+			if e.From != ro.root || !ro.median[e.To] {
+				return fmt.Errorf("event %d: (a) must go root->median, got %d->%d", i, e.From, e.To)
+			}
+			nA++
+		case "b": // fig 2(b): request, assignment or job shipment
+			switch {
+			case ro.median[e.From] && e.To == ro.dispatcher:
+				// request
+			case e.From == ro.dispatcher && ro.median[e.To]:
+				// assignment
+			case ro.median[e.From] && ro.client[e.To]:
+				nJobs++
+				outstanding[e.To]++
+			default:
+				return fmt.Errorf("event %d: (b) between unexpected roles %d->%d", i, e.From, e.To)
+			}
+		case "c": // fig 2(c): client returns a result to its median
+			if !ro.client[e.From] || !ro.median[e.To] {
+				return fmt.Errorf("event %d: (c) must go client->median, got %d->%d", i, e.From, e.To)
+			}
+			if outstanding[e.From] <= 0 {
+				return fmt.Errorf("event %d: client %d sent a result with no job in flight", i, e.From)
+			}
+			outstanding[e.From]--
+			nResults++
+		case "c'": // fig 4(c'): Last-Minute availability notice
+			if algo != parallel.LastMinute {
+				return fmt.Errorf("event %d: (c') recorded under %v", i, algo)
+			}
+			if !ro.client[e.From] || e.To != ro.dispatcher {
+				return fmt.Errorf("event %d: (c') must go client->dispatcher, got %d->%d", i, e.From, e.To)
+			}
+			nFree++
+		case "d": // fig 2(d): median reports the game score to the root
+			if !ro.median[e.From] || e.To != ro.root {
+				return fmt.Errorf("event %d: (d) must go median->root, got %d->%d", i, e.From, e.To)
+			}
+			nD++
+		default:
+			return fmt.Errorf("event %d: unknown kind %q", i, e.Kind)
+		}
+	}
+
+	if nA != nD {
+		return fmt.Errorf("every position (a) needs a score (d): %d positions, %d scores", nA, nD)
+	}
+	if nJobs != nResults {
+		return fmt.Errorf("every job needs a result: %d jobs, %d results", nJobs, nResults)
+	}
+	if algo == parallel.LastMinute && nFree != nResults {
+		return fmt.Errorf("Last-Minute: every result needs a free notice: %d results, %d notices", nResults, nFree)
+	}
+	if algo == parallel.RoundRobin && nFree != 0 {
+		return fmt.Errorf("Round-Robin recorded %d free notices", nFree)
+	}
+	for c, n := range outstanding {
+		if n != 0 {
+			return fmt.Errorf("client %d still has %d jobs in flight at end of trace", c, n)
+		}
+	}
+	return nil
+}
+
+// MaxOutstanding returns the maximum number of client jobs simultaneously
+// in flight — the parallelism depicted by figures 3(e) and 5(e′). A value
+// above 1 means communications genuinely overlapped.
+func MaxOutstanding(events []parallel.Event, lay cluster.Layout) int {
+	ro := newRoles(lay)
+	type edge struct {
+		at    time.Duration
+		seq   int
+		delta int
+	}
+	var edges []edge
+	for i, e := range events {
+		switch {
+		case e.Kind == "b" && ro.median[e.From] && ro.client[e.To]:
+			edges = append(edges, edge{e.At, i, +1})
+		case e.Kind == "c":
+			edges = append(edges, edge{e.At, i, -1})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].seq < edges[j].seq
+	})
+	cur, max := 0, 0
+	for _, e := range edges {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// Diagram renders up to limit events as an ASCII sequence diagram in the
+// spirit of the paper's figures 2 and 4. Ranks are labelled by role.
+func Diagram(events []parallel.Event, lay cluster.Layout, limit int) string {
+	ro := newRoles(lay)
+	label := func(r mpi.Rank) string {
+		switch {
+		case r == ro.root:
+			return "root"
+		case r == ro.dispatcher:
+			return "dispatcher"
+		case ro.median[r]:
+			return fmt.Sprintf("median[%d]", r)
+		case ro.client[r]:
+			return fmt.Sprintf("client[%d]", r)
+		default:
+			return fmt.Sprintf("rank[%d]", r)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-14s %-5s %s\n", "time", "from", "", "to")
+	n := len(events)
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	for _, e := range events[:n] {
+		fmt.Fprintf(&b, "%-14s %-14s --%s--> %s\n",
+			e.At.Truncate(time.Microsecond), label(e.From), e.Kind, label(e.To))
+	}
+	if n < len(events) {
+		fmt.Fprintf(&b, "... (%d more events)\n", len(events)-n)
+	}
+	return b.String()
+}
+
+// Summary counts events by kind.
+func Summary(events []parallel.Event) map[string]int {
+	out := map[string]int{}
+	for _, e := range events {
+		out[e.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/game"
+	"repro/internal/morpion"
+	"repro/internal/parallel"
+)
+
+// runTraced executes a small traced run and returns the events and layout.
+func runTraced(t *testing.T, algo parallel.Algorithm) ([]parallel.Event, cluster.Layout) {
+	t.Helper()
+	col := &Collector{}
+	spec := cluster.Homogeneous(4)
+	lay := spec.Layout(8)
+	cfg := parallel.Config{
+		Algo: algo, Level: 2, Root: morpion.New(morpion.Var4D),
+		Seed: 4, Memorize: true, FirstMoveOnly: true, Tracer: col,
+	}
+	_, err := parallel.RunVirtual(spec, cfg, parallel.VirtualOptions{
+		UnitCost: time.Microsecond, Medians: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col.Events(), lay
+}
+
+func TestRoundRobinTraceValidates(t *testing.T) {
+	// Figures 2–3: the Round-Robin protocol's event stream satisfies the
+	// structural invariants of the communication diagrams.
+	events, lay := runTraced(t, parallel.RoundRobin)
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if err := Validate(events, parallel.RoundRobin, lay); err != nil {
+		t.Fatalf("RR trace invalid: %v", err)
+	}
+	sum := Summary(events)
+	if sum["a"] == 0 || sum["b"] == 0 || sum["c"] == 0 || sum["d"] == 0 {
+		t.Fatalf("missing communication kinds: %v", sum)
+	}
+	if sum["c'"] != 0 {
+		t.Fatalf("RR should have no (c') events: %v", sum)
+	}
+}
+
+func TestLastMinuteTraceValidates(t *testing.T) {
+	// Figures 4–5: the Last-Minute protocol adds the (c') notice, one per
+	// completed job.
+	events, lay := runTraced(t, parallel.LastMinute)
+	if err := Validate(events, parallel.LastMinute, lay); err != nil {
+		t.Fatalf("LM trace invalid: %v", err)
+	}
+	sum := Summary(events)
+	if sum["c'"] == 0 {
+		t.Fatal("LM trace has no (c') events")
+	}
+	if sum["c'"] != sum["c"] {
+		t.Fatalf("free notices %d != results %d", sum["c'"], sum["c"])
+	}
+}
+
+func TestParallelismObserved(t *testing.T) {
+	// Figures 3(e) and 5(e'): with several clients, jobs overlap in time.
+	for _, algo := range []parallel.Algorithm{parallel.RoundRobin, parallel.LastMinute} {
+		events, lay := runTraced(t, algo)
+		if max := MaxOutstanding(events, lay); max < 2 {
+			t.Errorf("%v: max outstanding jobs %d, want >= 2 (figures 3/5 parallelism)", algo, max)
+		}
+	}
+}
+
+func TestValidateCatchesBadStreams(t *testing.T) {
+	lay := cluster.Homogeneous(2).Layout(2)
+	med := lay.Medians[0]
+	cli := lay.Clients[0]
+
+	cases := map[string][]parallel.Event{
+		"a from non-root": {
+			{Kind: "a", From: med, To: med},
+		},
+		"c without job": {
+			{Kind: "c", From: cli, To: med},
+		},
+		"unbalanced a/d": {
+			{Kind: "a", From: lay.Root, To: med},
+		},
+		"unknown kind": {
+			{Kind: "x", From: lay.Root, To: med},
+		},
+		"c' under RR": {
+			{Kind: "c'", From: cli, To: lay.Dispatcher},
+		},
+	}
+	for name, evs := range cases {
+		if err := Validate(evs, parallel.RoundRobin, lay); err == nil {
+			t.Errorf("%s: invalid stream accepted", name)
+		}
+	}
+}
+
+func TestValidateAcceptsMinimalRound(t *testing.T) {
+	lay := cluster.Homogeneous(1).Layout(1)
+	med := lay.Medians[0]
+	cli := lay.Clients[0]
+	evs := []parallel.Event{
+		{Kind: "a", From: lay.Root, To: med},
+		{Kind: "b", From: med, To: lay.Dispatcher},
+		{Kind: "b", From: lay.Dispatcher, To: med},
+		{Kind: "b", From: med, To: cli},
+		{Kind: "c", From: cli, To: med},
+		{Kind: "d", From: med, To: lay.Root},
+	}
+	if err := Validate(evs, parallel.RoundRobin, lay); err != nil {
+		t.Fatalf("minimal valid round rejected: %v", err)
+	}
+}
+
+func TestDiagramRendering(t *testing.T) {
+	events, lay := runTraced(t, parallel.LastMinute)
+	d := Diagram(events, lay, 120)
+	for _, want := range []string{"root", "dispatcher", "median[", "client[", "--a-->"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diagram missing %q:\n%s", want, d)
+		}
+	}
+	if !strings.Contains(d, "more events") {
+		t.Error("diagram should truncate long streams")
+	}
+}
+
+func TestMaxOutstandingSingleClient(t *testing.T) {
+	// With one client there is never more than one job in flight.
+	col := &Collector{}
+	spec := cluster.Homogeneous(1)
+	cfg := parallel.Config{
+		Algo: parallel.LastMinute, Level: 2, Root: game.NewArmTree(3, 2, 9),
+		Seed: 1, Memorize: true, Tracer: col,
+	}
+	_, err := parallel.RunVirtual(spec, cfg, parallel.VirtualOptions{
+		UnitCost: time.Microsecond, Medians: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := spec.Layout(4)
+	if max := MaxOutstanding(col.Events(), lay); max != 1 {
+		t.Fatalf("single client max outstanding %d, want 1", max)
+	}
+}

@@ -1,0 +1,246 @@
+// Package vtime is a deterministic discrete-event simulator with
+// cooperative goroutine processes.
+//
+// It is the substitution substrate for the paper's physical cluster: the
+// parallel search processes (root, medians, dispatcher, clients) run as
+// goroutines against a virtual clock. Exactly one process executes at a
+// time — the scheduler hands control to the process owning the earliest
+// pending event and waits for it to park again — so simulations are fully
+// deterministic: same seed, same event order, same virtual makespan,
+// regardless of the host's core count or load. Ties in event time are
+// broken by schedule order (a monotonically increasing sequence number).
+//
+// Processes spend virtual CPU time with Proc.Advance (the cluster layer
+// scales real work units by per-node speed, modelling the paper's
+// heterogeneous 1.86/2.33 GHz nodes) and communicate through higher-level
+// primitives (internal/mpi) built on Park/Wake.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Sim is a discrete-event simulation. Create with NewSim; not safe for use
+// from multiple host goroutines except through the documented process API.
+type Sim struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+
+	ctl    chan struct{} // control handoff: process -> scheduler
+	procs  []*Proc
+	nSteps uint64 // events executed, for introspection and loop guards
+
+	// MaxSteps aborts Run with a panic after this many events when >0;
+	// a backstop against accidental infinite simulations in tests.
+	MaxSteps uint64
+}
+
+// NewSim returns an empty simulation at virtual time zero.
+func NewSim() *Sim {
+	return &Sim{ctl: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Sim) Steps() uint64 { return s.nSteps }
+
+type event struct {
+	t   time.Duration
+	seq uint64
+	// Exactly one of fn / p is set: fn events run inline in the scheduler,
+	// p events resume a parked process.
+	fn func()
+	p  *Proc
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (s *Sim) push(e *event) { e.seq = s.seq; s.seq++; heap.Push(&s.events, e) }
+
+// At schedules fn to run after delay of virtual time. fn executes in
+// scheduler context: it must not block, Park or Sleep; it may schedule
+// further events and Wake processes. Negative delays are treated as zero.
+func (s *Sim) At(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.push(&event{t: s.now + delay, fn: fn})
+}
+
+// Proc is a simulated process. Its body runs on a dedicated goroutine but
+// only while the scheduler has handed it control.
+type Proc struct {
+	Name string
+
+	sim      *Sim
+	resume   chan struct{}
+	done     bool
+	parked   bool
+	shutdown bool
+}
+
+// errShutdown is panicked inside a process body when the simulation is
+// closed; the spawn trampoline recovers it.
+type errShutdown struct{}
+
+// Spawn creates a process and schedules its body to start at the current
+// virtual time. It may be called before Run or from inside a running
+// process.
+func (s *Sim) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{Name: name, sim: s, resume: make(chan struct{})}
+	s.procs = append(s.procs, p)
+	p.parked = true // waiting for its start event
+	s.push(&event{t: s.now, p: p})
+	go func() {
+		<-p.resume
+		p.parked = false
+		defer func() {
+			p.done = true
+			if r := recover(); r != nil {
+				if _, ok := r.(errShutdown); ok {
+					s.ctl <- struct{}{}
+					return
+				}
+				// Real panic from the body: mark done and re-raise on the
+				// process goroutine after releasing the scheduler would
+				// deadlock tests; instead surface it via the control
+				// channel by panicking the whole program with context.
+				panic(fmt.Sprintf("vtime: process %q panicked: %v", name, r))
+			}
+			s.ctl <- struct{}{}
+		}()
+		body(p)
+	}()
+	return p
+}
+
+// Run executes events until none remain, then returns the final virtual
+// time. Processes still parked when the queue drains (e.g. servers waiting
+// for requests) simply stay parked; use Close to terminate them.
+func (s *Sim) Run() time.Duration {
+	for len(s.events) > 0 {
+		s.nSteps++
+		if s.MaxSteps > 0 && s.nSteps > s.MaxSteps {
+			panic("vtime: MaxSteps exceeded, runaway simulation")
+		}
+		e := heap.Pop(&s.events).(*event)
+		if e.t > s.now {
+			s.now = e.t
+		}
+		switch {
+		case e.fn != nil:
+			e.fn()
+		case e.p.done:
+			// Stale wakeup for a finished process.
+		case !e.p.parked:
+			// Stale wakeup: the process was already resumed by an earlier
+			// event at this timestamp and is parked... or not parked at
+			// all. Since only the scheduler runs here, !parked means the
+			// wakeup is redundant; drop it.
+		default:
+			e.p.parked = false
+			e.p.resume <- struct{}{}
+			<-s.ctl
+		}
+	}
+	return s.now
+}
+
+// Close terminates every parked process by resuming it with a shutdown
+// signal, releasing their goroutines. The simulation cannot be used
+// afterwards.
+func (s *Sim) Close() {
+	for _, p := range s.procs {
+		if p.done || !p.parked {
+			continue
+		}
+		p.shutdown = true
+		p.parked = false
+		p.resume <- struct{}{}
+		<-s.ctl
+	}
+}
+
+// Parked returns the names of processes currently parked, for debugging
+// stuck simulations.
+func (s *Sim) Parked() []string {
+	var names []string
+	for _, p := range s.procs {
+		if !p.done && p.parked {
+			names = append(names, p.Name)
+		}
+	}
+	return names
+}
+
+// park hands control back to the scheduler and blocks until resumed.
+func (p *Proc) park() {
+	p.parked = true
+	p.sim.ctl <- struct{}{}
+	<-p.resume
+	if p.shutdown {
+		panic(errShutdown{})
+	}
+}
+
+// Park blocks the process until another event wakes it with Sim.Wake.
+// Spurious wakeups are possible; callers must re-check their condition in
+// a loop, condition-variable style.
+func (p *Proc) Park() { p.park() }
+
+// Wake schedules q to resume at the current virtual time. Safe to call
+// from scheduler context (At closures) or from another process. Waking a
+// non-parked or finished process is a harmless no-op at dispatch time.
+func (s *Sim) Wake(q *Proc) {
+	s.push(&event{t: s.now, p: q})
+}
+
+// Sleep blocks the process for d of virtual time. Other events targeting
+// the process during the sleep (e.g. message deliveries) do not shorten
+// it: the process re-parks until its deadline has passed.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	deadline := p.sim.now + d
+	p.sim.push(&event{t: deadline, p: p})
+	for {
+		p.park()
+		if p.sim.now >= deadline {
+			return
+		}
+	}
+}
+
+// Advance spends d of virtual CPU time. Semantically identical to Sleep —
+// the distinction is documentation: Advance models computation, Sleep
+// models waiting.
+func (p *Proc) Advance(d time.Duration) { p.Sleep(d) }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.sim.now }
+
+// Sim returns the simulation owning the process.
+func (p *Proc) Sim() *Sim { return p.sim }

@@ -1,0 +1,197 @@
+// Package pnmcs is a Go reproduction of "Parallel Nested Monte-Carlo
+// Search" (Tristan Cazenave and Nicolas Jouandeau, 12th International
+// Workshop on Nature Inspired Distributed Computing, IPDPS workshops,
+// 2009).
+//
+// It provides:
+//
+//   - Sequential Nested Monte-Carlo Search at any level (the paper's §III
+//     algorithm, with best-sequence memorization): NewSearcher / Nested.
+//   - The paper's parallel search (§IV) with both dispatching policies,
+//     Round-Robin and Last-Minute, written once against a message-passing
+//     substrate and runnable either natively on goroutines or on a
+//     deterministic simulated cluster with per-node speeds and a network
+//     model — the substitution for the paper's 64-core MPI testbed that
+//     regenerates the timing tables on a laptop: RunVirtual / RunWall.
+//   - The evaluation domains: Morpion Solitaire (5T/5D/4T/4D, the paper's
+//     puzzle), SameGame and 16×16 Sudoku (the companion NMCS domains):
+//     NewMorpion / NewSameGame / NewSudoku.
+//   - Cluster topologies from §V, including the heterogeneous layouts of
+//     Table VI: Homogeneous / PaperCluster / Hetero16x4p16x2 / Hetero8x4p8x2.
+//
+// A minimal search:
+//
+//	searcher := pnmcs.NewSearcher(pnmcs.NewRand(42), pnmcs.DefaultSearchOptions())
+//	result := searcher.Nested(pnmcs.NewMorpion(pnmcs.Var5D), 2)
+//	fmt.Println(result.Score)
+//
+// And the paper's parallel run on a simulated 64-client cluster:
+//
+//	res, err := pnmcs.RunVirtual(pnmcs.PaperCluster(), pnmcs.ParallelConfig{
+//		Algo: pnmcs.LastMinute, Level: 3,
+//		Root: pnmcs.NewMorpion(pnmcs.Var5D), Seed: 1, Memorize: true,
+//	}, pnmcs.VirtualOptions{})
+//
+// The experiment harness that regenerates every table and figure of the
+// paper lives in cmd/experiments; DESIGN.md maps each experiment to the
+// modules implementing it and EXPERIMENTS.md records paper-vs-measured.
+package pnmcs
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/game"
+	"repro/internal/morpion"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+	"repro/internal/samegame"
+	"repro/internal/sudoku"
+)
+
+// Domain abstraction (see internal/game).
+type (
+	// Move is a compact domain-encoded move.
+	Move = game.Move
+	// State is a search domain position.
+	State = game.State
+)
+
+// Random number generation.
+type (
+	// Rand is the deterministic xoshiro256** generator used everywhere.
+	Rand = rng.Rand
+)
+
+// NewRand returns a generator seeded from seed.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// NewRandStream returns the stream-th independent stream for a seed, used
+// to give each process its own decorrelated randomness.
+func NewRandStream(seed, stream uint64) *Rand { return rng.NewStream(seed, stream) }
+
+// Sequential search (the paper's §III).
+type (
+	// Searcher runs sequential nested Monte-Carlo searches.
+	Searcher = core.Searcher
+	// SearchOptions configure a Searcher.
+	SearchOptions = core.Options
+	// SearchResult is a search outcome: score and move sequence.
+	SearchResult = core.Result
+)
+
+// NewSearcher returns a sequential searcher.
+func NewSearcher(r *Rand, opt SearchOptions) *Searcher { return core.NewSearcher(r, opt) }
+
+// DefaultSearchOptions matches the paper: memorization on.
+func DefaultSearchOptions() SearchOptions { return core.DefaultOptions() }
+
+// Parallel search (the paper's §IV).
+type (
+	// ParallelConfig parameterizes a parallel run.
+	ParallelConfig = parallel.Config
+	// ParallelResult is the outcome of a parallel run.
+	ParallelResult = parallel.Result
+	// Algorithm selects the dispatcher: RoundRobin or LastMinute.
+	Algorithm = parallel.Algorithm
+	// VirtualOptions tune the simulated cluster transport.
+	VirtualOptions = parallel.VirtualOptions
+)
+
+// The two dispatching policies of the paper.
+const (
+	RoundRobin = parallel.RoundRobin
+	LastMinute = parallel.LastMinute
+)
+
+// PaperMedians is the paper's median process count (40).
+const PaperMedians = parallel.PaperMedians
+
+// RunVirtual executes a parallel search on a simulated cluster and returns
+// the result with the deterministic virtual makespan.
+func RunVirtual(spec ClusterSpec, cfg ParallelConfig, opts VirtualOptions) (ParallelResult, error) {
+	return parallel.RunVirtual(spec, cfg, opts)
+}
+
+// RunWall executes a parallel search natively on goroutines.
+func RunWall(nClients, medians int, cfg ParallelConfig) (ParallelResult, error) {
+	return parallel.RunWall(nClients, medians, cfg)
+}
+
+// Cluster topologies (the paper's §V testbeds).
+type (
+	// ClusterSpec describes a testbed: nodes, speeds, client placement.
+	ClusterSpec = cluster.Spec
+)
+
+// Homogeneous builds n reference-speed clients (two per dual-core PC).
+func Homogeneous(n int) ClusterSpec { return cluster.Homogeneous(n) }
+
+// PaperCluster is the paper's 64-client mixed 1.86/2.33 GHz cluster.
+func PaperCluster() ClusterSpec { return cluster.Paper64() }
+
+// Hetero16x4p16x2 is Table VI's 16×4+16×2 unbalanced layout.
+func Hetero16x4p16x2() ClusterSpec { return cluster.Hetero16x4p16x2() }
+
+// Hetero8x4p8x2 is Table VI's 8×4+8×2 unbalanced layout.
+func Hetero8x4p8x2() ClusterSpec { return cluster.Hetero8x4p8x2() }
+
+// Morpion Solitaire (the paper's evaluation domain).
+type (
+	// Morpion is a Morpion Solitaire position.
+	Morpion = morpion.State
+	// MorpionVariant is a rule set (5T, 5D, 4T, 4D).
+	MorpionVariant = morpion.Variant
+)
+
+// The four standard Morpion variants; the paper evaluates Var5D.
+var (
+	Var5T = morpion.Var5T
+	Var5D = morpion.Var5D
+	Var4T = morpion.Var4T
+	Var4D = morpion.Var4D
+)
+
+// NewMorpion returns the initial cross position of a variant.
+func NewMorpion(v MorpionVariant) *Morpion { return morpion.New(v) }
+
+// MorpionVariantByName resolves "5T", "5D", "4T" or "4D".
+func MorpionVariantByName(name string) (MorpionVariant, error) {
+	return morpion.VariantByName(name)
+}
+
+// RenderMorpionSequence replays a sequence from the initial position of v
+// and draws the final grid (the paper's figure-1 style).
+func RenderMorpionSequence(v MorpionVariant, seq []Move) (string, error) {
+	return morpion.RenderSequence(v, seq)
+}
+
+// MorpionArchive stores record sequences for one variant, validated and
+// deduplicated up to the cross's symmetry group — the bookkeeping behind
+// the paper's "two new world-record sequences" claim.
+type MorpionArchive = morpion.Archive
+
+// NewMorpionArchive returns an empty archive for a variant.
+func NewMorpionArchive(v MorpionVariant) *MorpionArchive { return morpion.NewArchive(v) }
+
+// EquivalentMorpionSequences reports whether two games are images of each
+// other under the symmetry group of the initial cross.
+func EquivalentMorpionSequences(v MorpionVariant, a, b []Move) (bool, error) {
+	return morpion.EquivalentSequences(v, a, b)
+}
+
+// SameGame (companion domain).
+type SameGame = samegame.State
+
+// NewSameGame returns the standard random 15×15, 5-colour board for seed.
+func NewSameGame(seed uint64) *SameGame { return samegame.NewStandard(seed) }
+
+// NewSameGameSized returns a random w×h board with the given colours.
+func NewSameGameSized(w, h, colors int, seed uint64) *SameGame {
+	return samegame.NewRandom(w, h, colors, seed)
+}
+
+// Sudoku (companion domain).
+type Sudoku = sudoku.State
+
+// NewSudoku returns an empty grid with the given box side (4 → 16×16).
+func NewSudoku(box int) *Sudoku { return sudoku.New(box) }

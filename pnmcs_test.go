@@ -1,0 +1,108 @@
+package pnmcs_test
+
+// Integration tests against the public facade: everything an external user
+// of the library touches, wired end-to-end.
+
+import (
+	"testing"
+
+	pnmcs "repro"
+)
+
+func TestFacadeSequentialSearch(t *testing.T) {
+	s := pnmcs.NewSearcher(pnmcs.NewRand(1), pnmcs.DefaultSearchOptions())
+	res := s.Nested(pnmcs.NewMorpion(pnmcs.Var4D), 1)
+	if res.Score <= 0 || len(res.Sequence) != int(res.Score) {
+		t.Fatalf("bad search result: %+v", res)
+	}
+	grid, err := pnmcs.RenderMorpionSequence(pnmcs.Var4D, res.Sequence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) == 0 {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestFacadeAllVariants(t *testing.T) {
+	for _, name := range []string{"5T", "5D", "4T", "4D"} {
+		v, err := pnmcs.MorpionVariantByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := pnmcs.NewMorpion(v)
+		if st.Terminal() {
+			t.Fatalf("%s: initial position terminal", name)
+		}
+	}
+}
+
+func TestFacadeParallelVirtual(t *testing.T) {
+	res, err := pnmcs.RunVirtual(pnmcs.Homogeneous(8), pnmcs.ParallelConfig{
+		Algo: pnmcs.LastMinute, Level: 2, Root: pnmcs.NewMorpion(pnmcs.Var4D),
+		Seed: 3, Memorize: true, FirstMoveOnly: true, JobScale: 100,
+	}, pnmcs.VirtualOptions{Medians: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score <= 0 || res.Elapsed <= 0 || res.Jobs == 0 {
+		t.Fatalf("bad parallel result: %+v", res)
+	}
+}
+
+func TestFacadeParallelWall(t *testing.T) {
+	res, err := pnmcs.RunWall(2, 8, pnmcs.ParallelConfig{
+		Algo: pnmcs.RoundRobin, Level: 2, Root: pnmcs.NewMorpion(pnmcs.Var4D),
+		Seed: 5, Memorize: true, FirstMoveOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score <= 0 {
+		t.Fatalf("bad wall result: %+v", res)
+	}
+}
+
+func TestFacadeClusterSpecs(t *testing.T) {
+	if pnmcs.PaperCluster().NumClients() != 64 {
+		t.Fatal("paper cluster size wrong")
+	}
+	if pnmcs.Hetero16x4p16x2().NumClients() != 96 {
+		t.Fatal("16x4+16x2 size wrong")
+	}
+	if pnmcs.Hetero8x4p8x2().NumClients() != 48 {
+		t.Fatal("8x4+8x2 size wrong")
+	}
+	if pnmcs.Homogeneous(7).NumClients() != 7 {
+		t.Fatal("homogeneous size wrong")
+	}
+}
+
+func TestFacadeSameGame(t *testing.T) {
+	s := pnmcs.NewSearcher(pnmcs.NewRand(2), pnmcs.DefaultSearchOptions())
+	board := pnmcs.NewSameGameSized(8, 8, 4, 1)
+	res := s.Nested(board, 1)
+	if res.Score <= 0 {
+		t.Fatalf("SameGame search scored %v", res.Score)
+	}
+}
+
+func TestFacadeSudoku(t *testing.T) {
+	s := pnmcs.NewSearcher(pnmcs.NewRand(2), pnmcs.DefaultSearchOptions())
+	grid := pnmcs.NewSudoku(3)
+	res := s.Nested(grid, 1)
+	if res.Score <= 0 {
+		t.Fatalf("Sudoku search filled %v cells", res.Score)
+	}
+	if !grid.Valid() {
+		t.Fatal("grid violates constraints after search")
+	}
+}
+
+func TestFacadeRandStreams(t *testing.T) {
+	a := pnmcs.NewRandStream(1, 1)
+	b := pnmcs.NewRandStream(1, 2)
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("streams correlated")
+	}
+}
