@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/morpion"
+	"repro/internal/rng"
+)
+
+// BenchmarkNestedLevel2 compares the two traversals of the argmax loop on
+// Morpion 4D at level 2: the allocation-free Play/Undo fast path against
+// the clone-per-candidate baseline (Options.NoUndo). The undo traversal
+// must show at least 2× fewer allocations per op and lower ns/op; the
+// recorded numbers live in CHANGES.md.
+func BenchmarkNestedLevel2(b *testing.B) {
+	run := func(b *testing.B, noUndo bool) {
+		opt := DefaultOptions()
+		opt.NoUndo = noUndo
+		s := NewSearcher(rng.New(1), opt)
+		base := morpion.New(morpion.Var4D)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Nested(base.Clone(), 2)
+		}
+	}
+	b.Run("undo", func(b *testing.B) { run(b, false) })
+	b.Run("clone", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkNestedLevel1 is the same comparison one level down, where the
+// argmax loop runs a playout per candidate instead of a nested search.
+func BenchmarkNestedLevel1(b *testing.B) {
+	run := func(b *testing.B, noUndo bool) {
+		opt := DefaultOptions()
+		opt.NoUndo = noUndo
+		s := NewSearcher(rng.New(1), opt)
+		base := morpion.New(morpion.Var4D)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Nested(base.Clone(), 1)
+		}
+	}
+	b.Run("undo", func(b *testing.B) { run(b, false) })
+	b.Run("clone", func(b *testing.B) { run(b, true) })
+}

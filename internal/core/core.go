@@ -15,11 +15,23 @@
 // the paper's "level 1 rollout" (argmax over samples) is Nested(st, 1),
 // matching the paper's numbering exactly.
 //
+// The argmax loop (paper lines 3–6) dominates the run time, so its
+// traversal is allocation-free where the domain allows it: when the
+// searched position implements game.Undoer, every candidate move is
+// evaluated by playing it on the single mutable state, recursing, and
+// rewinding with Undo back to the step position — no clone, no allocation.
+// Domains without Undo take the historical clone-per-candidate path, which
+// itself recycles scratch states through a free list when the domain
+// implements game.Copier. Both traversals consume the random stream
+// identically, so for a fixed seed they return bit-identical Results
+// (Options.NoUndo forces the clone path; the equivalence tests pin this).
+//
 // The search is instrumented through the Meter interface: every simulated
-// move and every position clone reports work units. The virtual-time cluster
-// transport uses those units to charge simulated CPU time, which is how the
-// repository regenerates the paper's wall-clock tables on arbitrary
-// simulated cluster topologies (see internal/mpi and internal/harness).
+// move, every undo and every position clone reports work units. The
+// virtual-time cluster transport uses those units to charge simulated CPU
+// time, which is how the repository regenerates the paper's wall-clock
+// tables on arbitrary simulated cluster topologies (see internal/mpi and
+// internal/harness).
 package core
 
 import (
@@ -43,6 +55,11 @@ type Meter interface {
 // times, not speedup shapes.
 const CloneCost = 4
 
+// UndoCost is the metered cost of one Undo on the allocation-free
+// traversal. Reverting a move is the same incremental bookkeeping as
+// playing one, so it is charged like a move, not like a clone.
+const UndoCost = 1
+
 // nopMeter is used when the caller does not need work accounting.
 type nopMeter struct{}
 
@@ -59,7 +76,8 @@ type Result struct {
 type Stats struct {
 	Playouts int64 // number of random playouts run
 	Steps    int64 // moves played inside simulations (incl. argmax play)
-	Clones   int64 // position clones
+	Clones   int64 // position clones (zero on the undo traversal)
+	Undos    int64 // moves reverted by the undo traversal
 }
 
 // Options configure a Searcher.
@@ -76,6 +94,11 @@ type Options struct {
 	// true the search stops branching and completes the current game with
 	// cheap random playouts so that a full sequence is still returned.
 	Stop func() bool
+	// NoUndo forces the clone-per-candidate traversal even when the domain
+	// implements game.Undoer. Used by ablations, benchmarks and the
+	// equivalence tests that pin undo-vs-clone determinism; leave it false
+	// to let the searcher take the allocation-free fast path.
+	NoUndo bool
 }
 
 // DefaultOptions returns the configuration matching the paper: best-sequence
@@ -95,6 +118,16 @@ type Searcher struct {
 
 	movebuf []game.Move // shared scratch for move lists at sample level
 	levels  []levelBuf  // per-recursion-level scratch
+
+	// undo is non-nil while the current top-level search traverses with
+	// Play/Undo on the single mutable root state (capability-checked once
+	// in Nested). When nil, the clone-per-candidate fallback runs.
+	undo game.Undoer
+
+	// scratch is the free list of the clone fallback: released candidate
+	// states of game.Copier domains, recycled via CopyFrom so the fallback
+	// stops allocating after warmup.
+	scratch StatePool
 }
 
 type levelBuf struct {
@@ -150,14 +183,32 @@ func (s *Searcher) sample(st game.State, seq *[]game.Move) float64 {
 // is left at the terminal position of the played game. Level 0 is Sample.
 //
 // This is the paper's "nested" function; the argmax over moves evaluates
-// each move with a level-(level−1) search on a clone of the position.
+// each move with a level-(level−1) search. When st implements game.Undoer
+// (and Options.NoUndo is unset) the evaluation plays the candidate on st
+// itself and rewinds with Undo — the allocation-free fast path; otherwise
+// each candidate is evaluated on a clone. Both paths return bit-identical
+// results for the same random stream.
 func (s *Searcher) Nested(st game.State, level int) Result {
 	if level < 0 {
 		panic(fmt.Sprintf("core: negative nesting level %d", level))
 	}
+	if u, ok := st.(game.Undoer); ok && !s.opt.NoUndo {
+		s.undo = u
+		defer func() { s.undo = nil }()
+	}
 	var seq []game.Move
 	score := s.nested(st, level, &seq)
 	return Result{Score: score, Sequence: seq}
+}
+
+// cloneFor returns a state equal to st for candidate evaluation on the
+// clone fallback, recycling a released scratch state via the StatePool.
+// The metered cost is CloneCost either way: recycling changes allocation
+// pressure, not the simulated work model.
+func (s *Searcher) cloneFor(st game.State) game.State {
+	s.stats.Clones++
+	s.meter.Add(CloneCost)
+	return s.scratch.Get(st)
 }
 
 // nested implements one level of the paper's nested rollout. The suffix of
@@ -194,20 +245,36 @@ func (s *Searcher) nested(st game.State, level int, out *[]game.Move) float64 {
 		// but the re-fetch at the top of the loop reuses its backing array.
 		moves := lb.moves
 
-		// Argmax over the moves of this step (paper lines 3–6).
+		// Argmax over the moves of this step (paper lines 3–6). On the
+		// undo traversal the candidate is played on st itself and the
+		// lower search's whole game is rewound afterwards; on the clone
+		// fallback it is played on a (recycled) copy.
 		stepScore := 0.0
 		stepMove := moves[0]
 		stepFirst := true
 		for _, m := range moves {
-			child := st.Clone()
-			s.stats.Clones++
-			s.meter.Add(CloneCost)
-			child.Play(m)
-			s.meter.Add(1)
-			s.stats.Steps++
-
+			var sc float64
 			lb.scratch = lb.scratch[:0]
-			sc := s.nested(child, level-1, &lb.scratch)
+			if s.undo != nil {
+				depth := st.MovesPlayed()
+				st.Play(m)
+				s.meter.Add(1)
+				s.stats.Steps++
+				sc = s.nested(st, level-1, &lb.scratch)
+				undone := int64(st.MovesPlayed() - depth)
+				for st.MovesPlayed() > depth {
+					s.undo.Undo()
+				}
+				s.stats.Undos += undone
+				s.meter.Add(UndoCost * undone)
+			} else {
+				child := s.cloneFor(st)
+				child.Play(m)
+				s.meter.Add(1)
+				s.stats.Steps++
+				sc = s.nested(child, level-1, &lb.scratch)
+				s.scratch.Put(child)
+			}
 			if stepFirst || sc > stepScore {
 				stepScore = sc
 				stepMove = m

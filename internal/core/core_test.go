@@ -163,6 +163,8 @@ type countMeter struct{ units int64 }
 func (c *countMeter) Add(n int64) { c.units += n }
 
 func TestMeterCountsWork(t *testing.T) {
+	// Undo traversal (Morpion implements game.Undoer): every simulated
+	// move and every rewound move is charged, and no clones happen.
 	meter := &countMeter{}
 	opts := DefaultOptions()
 	opts.Meter = meter
@@ -172,15 +174,40 @@ func TestMeterCountsWork(t *testing.T) {
 		t.Fatal("meter saw no work")
 	}
 	st := s.Stats()
-	if st.Playouts == 0 || st.Steps == 0 || st.Clones == 0 {
+	if st.Playouts == 0 || st.Steps == 0 || st.Undos == 0 {
 		t.Fatalf("stats not collected: %+v", st)
+	}
+	if st.Clones != 0 {
+		t.Fatalf("undo traversal cloned %d times", st.Clones)
+	}
+	want := st.Steps + CloneCost*st.Clones + UndoCost*st.Undos
+	if meter.units != want {
+		t.Fatalf("meter units %d != steps %d + %d*clones %d + %d*undos %d",
+			meter.units, st.Steps, CloneCost, st.Clones, UndoCost, st.Undos)
+	}
+	if res.Score <= 0 {
+		t.Fatal("suspicious zero score")
+	}
+}
+
+func TestMeterCountsWorkCloneFallback(t *testing.T) {
+	// Same identity on the forced clone path: clones are charged CloneCost
+	// and no undos happen.
+	meter := &countMeter{}
+	opts := DefaultOptions()
+	opts.Meter = meter
+	opts.NoUndo = true
+	s := NewSearcher(rng.New(4), opts)
+	if res := s.Nested(morpion.New(morpion.Var4D), 1); res.Score <= 0 {
+		t.Fatal("suspicious zero score")
+	}
+	st := s.Stats()
+	if st.Clones == 0 || st.Undos != 0 {
+		t.Fatalf("clone fallback stats wrong: %+v", st)
 	}
 	want := st.Steps + CloneCost*st.Clones
 	if meter.units != want {
 		t.Fatalf("meter units %d != steps %d + %d*clones %d", meter.units, st.Steps, CloneCost, st.Clones)
-	}
-	if res.Score <= 0 {
-		t.Fatal("suspicious zero score")
 	}
 }
 

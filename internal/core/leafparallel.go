@@ -40,6 +40,21 @@ func ParallelNested(root game.State, level, workers int, seed uint64, opt Option
 	haveBest := false
 	var bestSeq []game.Move // memorized best suffix; head is the next move
 
+	type evalResult struct {
+		score float64
+		seq   []game.Move
+	}
+
+	// Candidate states are genuinely cloned here — workers run them
+	// concurrently, so Play/Undo on the shared position cannot apply — but
+	// the clones are recycled across steps through a StatePool: once a
+	// step's argmax is done its states are released and the next step
+	// rewrites them in place via game.Copier. The per-step results and
+	// states slices are likewise reused.
+	var pool StatePool
+	var states []game.State
+	var results []evalResult
+
 	step := 0
 	var moves []game.Move
 	for {
@@ -61,31 +76,34 @@ func ParallelNested(root game.State, level, workers int, seed uint64, opt Option
 			return Result{Score: st.Score(), Sequence: out}
 		}
 
-		type evalResult struct {
-			score float64
-			seq   []game.Move
+		if cap(results) >= len(moves) {
+			results = results[:len(moves)] // fully overwritten below
+		} else {
+			results = make([]evalResult, len(moves))
 		}
-		results := make([]evalResult, len(moves))
+		states = states[:0]
 
 		// Fan the candidates out over the worker pool. Each candidate
-		// clones the position up front (in the coordinating goroutine, so
-		// domain states never see concurrent access).
-		jobs := make(chan int, len(moves))
-		states := make([]game.State, len(moves))
-		for i, m := range moves {
-			child := st.Clone()
+		// state is prepared up front in the coordinating goroutine, so
+		// domain states never see concurrent access; workers pull job
+		// indices from a shared atomic cursor.
+		for _, m := range moves {
+			child := pool.Get(st)
 			child.Play(m)
-			states[i] = child
-			jobs <- i
+			states = append(states, child)
 		}
-		close(jobs)
 
+		var cursor atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for i := range jobs {
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(moves) {
+						return
+					}
 					r := rng.NewStream(seed, uint64(step)<<24|uint64(i))
 					s := NewSearcher(r, opt)
 					res := s.Nested(states[i], level-1)
@@ -94,6 +112,12 @@ func ParallelNested(root game.State, level, workers int, seed uint64, opt Option
 			}()
 		}
 		wg.Wait()
+
+		// Workers are done with this step's states; recycle the copyable
+		// ones for the next step.
+		for _, c := range states {
+			pool.Put(c)
+		}
 
 		// Argmax and memorization, identical to the sequential nested.
 		stepBest := 0

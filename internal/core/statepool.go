@@ -1,0 +1,49 @@
+package core
+
+import (
+	"reflect"
+
+	"repro/internal/game"
+)
+
+// StatePool is a free list of scratch position states for the places that
+// still genuinely need a copy of a position: the clone fallback of the
+// sequential search, leaf-parallel candidate states, and positions shipped
+// between the parallel processes. Released states of game.Copier domains
+// are rewritten in place via CopyFrom instead of freshly allocated, so the
+// copies are allocation-free after warmup.
+//
+// A pool belongs to a single goroutine and is not safe for concurrent use;
+// give each process or searcher its own.
+type StatePool struct {
+	free []game.State
+	ty   reflect.Type // dynamic type of the pooled states
+}
+
+// Get returns an independent deep copy of src, recycling a released state
+// when one of the same dynamic type is available. The pool resets itself
+// when src's domain changes, so a pool owner may be reused across domains;
+// same-domain parameter changes (variant, board size) are absorbed by
+// CopyFrom itself, which reallocates the recycled state's buffers.
+func (p *StatePool) Get(src game.State) game.State {
+	if ty := reflect.TypeOf(src); ty != p.ty {
+		p.ty = ty
+		p.free = p.free[:0]
+	}
+	if n := len(p.free); n > 0 {
+		st := p.free[n-1]
+		p.free = p.free[:n-1]
+		st.(game.Copier).CopyFrom(src)
+		return st
+	}
+	return src.Clone()
+}
+
+// Put releases a state obtained from Get once its user is done with it.
+// Only game.Copier states can be rewritten in place, so others are left to
+// the garbage collector.
+func (p *StatePool) Put(st game.State) {
+	if _, ok := st.(game.Copier); ok {
+		p.free = append(p.free, st)
+	}
+}

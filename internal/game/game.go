@@ -43,13 +43,60 @@ type State interface {
 	Score() float64
 
 	// Clone returns a deep copy sharing no mutable structure.
+	//
+	// Clone-with-undo contract: a clone does NOT inherit the undo history
+	// of its source. The clone point becomes the clone's undo floor — on a
+	// domain implementing Undoer, Undo rewinds a clone at most back to the
+	// position it was cloned from, and rewinding past that floor panics.
+	// Dropping the history keeps Clone cheap (history arenas can be large
+	// after a long game) and is what the search relies on: cloned
+	// positions are searched forward with Play/Undo from the clone point.
 	Clone() State
 
 	// MovesPlayed returns the number of moves played from the domain's
 	// initial position. The Last-Minute dispatcher uses it as the expected
 	// remaining-work heuristic (paper §IV-B: fewer moves played means a
-	// longer expected job).
+	// longer expected job). The search core also uses it as the depth
+	// marker for rewinding Undoer domains.
 	MovesPlayed() int
+}
+
+// Undoer is optionally implemented by domains whose Play can be reverted.
+//
+// The search core capability-checks for Undoer once at search start: when
+// the root position implements it, the argmax loop of nested search
+// traverses with Play followed by Undo on a single mutable state instead of
+// cloning the position for every candidate move, which removes all
+// per-candidate allocations from the hot path. Domains that cannot undo
+// simply do not implement the interface and take the clone-per-candidate
+// fallback.
+//
+// Undo must restore the complete observable state — score, move count,
+// terminal status and the exact order of the LegalMoves list — to what it
+// was before the corresponding Play, so that an undo traversal is
+// bit-identical to a clone traversal under the same random stream. Undo
+// panics when no move is available to revert (initial position, or the
+// clone floor — see the Clone contract).
+type Undoer interface {
+	State
+	Undo()
+}
+
+// Copier is optionally implemented by domains that can overwrite an
+// existing state allocation with the contents of another state of the same
+// domain. CopyFrom(src) makes the receiver an independent deep copy of src
+// (equivalent to src.Clone() but reusing the receiver's buffers) with an
+// empty undo history, exactly like a fresh clone.
+//
+// The search and parallel layers keep free lists of scratch states and use
+// CopyFrom to recycle them where clones are still required (shipping
+// positions to workers), making those clones allocation-free after warmup.
+// src must have the same concrete type as the receiver (implementations
+// may panic otherwise); differing parameters (board size, variant) are
+// legal and handled by reallocating the receiver's buffers, so pooled
+// states stay safe when a searcher is reused across configurations.
+type Copier interface {
+	CopyFrom(src State)
 }
 
 // Sizer optionally reports the encoded size of a state in bytes. The

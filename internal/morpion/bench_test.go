@@ -1,0 +1,63 @@
+package morpion
+
+import (
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/rng"
+)
+
+// midGame returns a 5D position a dozen moves in — representative of where
+// the nested search spends its argmax time.
+func midGame(b *testing.B) *State {
+	b.Helper()
+	r := rng.New(1)
+	s := New(Var5D)
+	var buf []game.Move
+	for i := 0; i < 12; i++ {
+		buf = s.LegalMoves(buf[:0])
+		s.Play(buf[r.Intn(len(buf))])
+	}
+	return s
+}
+
+// BenchmarkClone measures what the search used to pay per candidate move:
+// a full deep copy of the position.
+func BenchmarkClone(b *testing.B) {
+	s := midGame(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Clone()
+	}
+}
+
+// BenchmarkPlayUndo measures what the search pays now: playing a candidate
+// on the single mutable state and rewinding it. Compare with
+// BenchmarkClone — the clone does not even include the Play.
+func BenchmarkPlayUndo(b *testing.B) {
+	s := midGame(b)
+	var buf []game.Move
+	buf = s.LegalMoves(buf[:0])
+	if len(buf) == 0 {
+		b.Fatal("mid-game position is terminal")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Play(buf[i%len(buf)])
+		s.Undo()
+	}
+}
+
+// BenchmarkCopyFrom measures the recycled-clone path used where shipping a
+// position still requires a copy (parallel layers).
+func BenchmarkCopyFrom(b *testing.B) {
+	s := midGame(b)
+	dst := New(Var5D)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.CopyFrom(s)
+	}
+}

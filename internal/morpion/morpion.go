@@ -157,22 +157,28 @@ type State struct {
 	moves []game.Move // current legal moves, deterministic order
 	seq   []game.Move // moves played since the initial position
 
-	// trackUndo enables per-move history. It is on for states built with
-	// New and off for clones: search clones are never rewound, and skipping
-	// the bookkeeping removes most allocations from the playout inner loop.
-	trackUndo bool
-	hist      []histEntry // per-move undo information
+	// Undo history. Every Play records one histEntry; the moves it removed
+	// from the legal list (and their original indices) are pushed onto the
+	// histMoves/histIdx arena stacks rather than per-entry slices, so the
+	// bookkeeping allocates nothing once the arenas have grown to the
+	// game's depth — Play/Undo is allocation-free in steady state, which is
+	// what lets nested search traverse with Undo instead of Clone.
+	hist      []histEntry
+	histMoves []game.Move // arena: removed moves, stacked per entry
+	histIdx   []int32     // arena: their original list positions, ascending
 
 	// originX/Y is the top-left corner of the cross's bounding box, used by
 	// the human-readable notation so coordinates are board-size independent.
 	originX, originY int
 }
 
+// histEntry is the undo record of one Play. The removed moves occupy the
+// top numRemoved slots of the histMoves/histIdx arenas (undo is LIFO, so
+// offsets are implicit in the stack discipline).
 type histEntry struct {
 	move       game.Move
-	removed    []game.Move // moves deleted from the list by this move
-	removedIdx []int32     // their original positions, ascending
-	numAdded   int         // moves appended to the list by this move
+	numRemoved int32 // moves deleted from the legal list by this move
+	numAdded   int32 // moves appended to the list by this move
 }
 
 // New returns the initial position of the given variant, with the standard
@@ -186,7 +192,7 @@ func New(v Variant) *State {
 	if w < len(cross)+4*v.LineLen {
 		panic(fmt.Sprintf("morpion: board size %d too small for line length %d", w, v.LineLen))
 	}
-	s := &State{v: v, w: w, trackUndo: true}
+	s := &State{v: v, w: w}
 	s.attachPlanes(make([]uint8, 5*w*w))
 	s.originX = (w - len(cross)) / 2
 	s.originY = (w - len(cross)) / 2
@@ -243,9 +249,13 @@ func (s *State) LegalMoves(buf []game.Move) []game.Move {
 // NumLegalMoves returns the current branching factor.
 func (s *State) NumLegalMoves() int { return len(s.moves) }
 
-// Clone returns a deep copy of the position. Clones do not track undo
-// history (they are what the search ships around and never rewinds); Undo
-// on a clone panics. Use New and replay a sequence if rewind is needed.
+// Clone returns a deep copy of the position. Per the game.State
+// clone-with-undo contract, the clone does NOT inherit the source's undo
+// history: it starts with an empty history whose floor is the clone point,
+// so a clone can be searched forward with Play/Undo but rewinds at most
+// back to the position it was cloned from (Undo past the floor panics, and
+// Reset rewinds a clone only to the clone point). Dropping the history is
+// what keeps Clone a handful of slice copies regardless of game length.
 func (s *State) Clone() game.State {
 	c := &State{
 		v:       s.v,
@@ -257,6 +267,30 @@ func (s *State) Clone() game.State {
 	}
 	c.attachPlanes(append([]uint8(nil), s.planes...))
 	return c
+}
+
+// CopyFrom implements game.Copier: it overwrites s with a deep copy of src,
+// reusing s's backing arrays where sizes allow (a variant or board-size
+// change reallocates them, so cross-variant copies are safe, just not
+// free). Like Clone, the copy starts with an empty undo history floored at
+// the copied position. src must be a Morpion state.
+func (s *State) CopyFrom(src game.State) {
+	o, ok := src.(*State)
+	if !ok {
+		panic("morpion: CopyFrom with a non-Morpion state")
+	}
+	s.v = o.v
+	if s.w != o.w {
+		s.w = o.w
+		s.attachPlanes(make([]uint8, len(o.planes)))
+	}
+	copy(s.planes, o.planes)
+	s.moves = append(s.moves[:0], o.moves...)
+	s.seq = append(s.seq[:0], o.seq...)
+	s.originX, s.originY = o.originX, o.originY
+	s.hist = s.hist[:0]
+	s.histMoves = s.histMoves[:0]
+	s.histIdx = s.histIdx[:0]
 }
 
 // EncodedSize implements game.Sizer: an upper bound on the bytes needed to
@@ -422,32 +456,22 @@ func (s *State) Play(m game.Move) {
 	//  2. a listed move's line conflicts with the just-claimed line under
 	//     the same-direction rule.
 	// And one creation cause: lines through newCell that now have exactly
-	// one empty point.
-	if s.trackUndo {
-		var removed []game.Move
-		var removedIdx []int32
-		keep := s.moves[:0]
-		for i, mv := range s.moves {
-			if s.moveInvalidated(mv, newCell, base, d, step) {
-				removed = append(removed, mv)
-				removedIdx = append(removedIdx, int32(i))
-			} else {
-				keep = append(keep, mv)
-			}
-		}
-		s.moves = keep
-		added := s.addMovesThrough(newCell)
-		s.hist = append(s.hist, histEntry{move: m, removed: removed, removedIdx: removedIdx, numAdded: added})
-		return
-	}
+	// one empty point. Removed moves go onto the arena stacks so Undo can
+	// restore the list in its exact pre-Play order.
+	removed := int32(0)
 	keep := s.moves[:0]
-	for _, mv := range s.moves {
-		if !s.moveInvalidated(mv, newCell, base, d, step) {
+	for i, mv := range s.moves {
+		if s.moveInvalidated(mv, newCell, base, d, step) {
+			s.histMoves = append(s.histMoves, mv)
+			s.histIdx = append(s.histIdx, int32(i))
+			removed++
+		} else {
 			keep = append(keep, mv)
 		}
 	}
 	s.moves = keep
-	s.addMovesThrough(newCell)
+	added := s.addMovesThrough(newCell)
+	s.hist = append(s.hist, histEntry{move: m, numRemoved: removed, numAdded: int32(added)})
 }
 
 // moveInvalidated reports whether listed move mv is killed by playing the
@@ -518,14 +542,12 @@ func (s *State) addMovesThrough(p int) int {
 	return added
 }
 
-// Undo reverts the most recent move. It panics if no move has been played
-// since the position was created or cloned.
+// Undo reverts the most recent move, implementing game.Undoer. It panics
+// if no move has been played since the position was created or cloned (the
+// clone floor — clones drop the history of their source).
 func (s *State) Undo() {
-	if !s.trackUndo {
-		panic("morpion: Undo on a clone (history tracking is disabled on clones)")
-	}
 	if len(s.hist) == 0 {
-		panic("morpion: Undo on initial position")
+		panic("morpion: Undo on initial position or past a clone floor")
 	}
 	h := s.hist[len(s.hist)-1]
 	s.hist = s.hist[:len(s.hist)-1]
@@ -552,16 +574,21 @@ func (s *State) Undo() {
 	}
 	s.seq = s.seq[:len(s.seq)-1]
 	// Restore the move list to its exact pre-Play order: drop the appended
-	// moves, then reinsert the removed ones at their original positions.
-	// Ascending insertion order keeps later original indices valid, and the
-	// exact order is what makes nested undos compose correctly.
-	s.moves = s.moves[:len(s.moves)-h.numAdded]
-	for i, mv := range h.removed {
-		idx := int(h.removedIdx[i])
+	// moves, then reinsert the removed ones (popped off the arena stacks)
+	// at their original positions. Ascending insertion order keeps later
+	// original indices valid, and the exact order is what makes an undo
+	// traversal bit-identical to a clone traversal.
+	s.moves = s.moves[:len(s.moves)-int(h.numAdded)]
+	lo := len(s.histMoves) - int(h.numRemoved)
+	for i := 0; i < int(h.numRemoved); i++ {
+		mv := s.histMoves[lo+i]
+		idx := int(s.histIdx[lo+i])
 		s.moves = append(s.moves, 0)
 		copy(s.moves[idx+1:], s.moves[idx:])
 		s.moves[idx] = mv
 	}
+	s.histMoves = s.histMoves[:lo]
+	s.histIdx = s.histIdx[:lo]
 }
 
 // Reset implements game.Replayer: it rewinds the position to the initial
@@ -575,5 +602,7 @@ func (s *State) Reset() {
 }
 
 var _ game.State = (*State)(nil)
+var _ game.Undoer = (*State)(nil)
+var _ game.Copier = (*State)(nil)
 var _ game.Sizer = (*State)(nil)
 var _ game.Replayer = (*State)(nil)

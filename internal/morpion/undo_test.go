@@ -1,0 +1,141 @@
+package morpion
+
+import (
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/rng"
+)
+
+// observe captures the full observable state: rendering, score, move count
+// and the exact legal move order (order matters — the undo traversal of
+// the search is only bit-identical to the clone traversal if Undo restores
+// list order, not just the set).
+func observe(s *State) (string, float64, int, []game.Move) {
+	return s.Render(), s.Score(), s.MovesPlayed(), s.LegalMoves(nil)
+}
+
+func requireEqual(t *testing.T, label string, a, b *State) {
+	t.Helper()
+	ra, sa, ma, la := observe(a)
+	rb, sb, mb, lb := observe(b)
+	if ra != rb || sa != sb || ma != mb {
+		t.Fatalf("%s: positions differ (%v/%d vs %v/%d)", label, sa, ma, sb, mb)
+	}
+	if len(la) != len(lb) {
+		t.Fatalf("%s: legal move counts differ: %d vs %d", label, len(la), len(lb))
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("%s: legal move order differs at %d", label, i)
+		}
+	}
+}
+
+// TestUndoMatchesPristineReplay plays k random moves, then undoes them one
+// by one; after every undo the position — including legal move ORDER —
+// must equal a pristine replay of the remaining prefix.
+func TestUndoMatchesPristineReplay(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		r := rng.New(seed)
+		s := New(Var4D)
+		var played []game.Move
+		var buf []game.Move
+		for {
+			buf = s.LegalMoves(buf[:0])
+			if len(buf) == 0 {
+				break
+			}
+			m := buf[r.Intn(len(buf))]
+			s.Play(m)
+			played = append(played, m)
+		}
+		for k := len(played); k > 0; k-- {
+			s.Undo()
+			replay := New(Var4D)
+			for _, m := range played[:k-1] {
+				replay.Play(m)
+			}
+			requireEqual(t, "after undo", s, replay)
+		}
+	}
+}
+
+// TestCloneFloorRoundTrip checks the clone-with-undo contract: a clone can
+// be searched forward with Play/Undo and rewinds exactly to the clone
+// point, while undoing past that floor panics.
+func TestCloneFloorRoundTrip(t *testing.T) {
+	r := rng.New(21)
+	s := New(Var4D)
+	for i := 0; i < 6; i++ {
+		buf := s.LegalMoves(nil)
+		s.Play(buf[r.Intn(len(buf))])
+	}
+	c := s.Clone().(*State)
+	played := 0
+	for !c.Terminal() {
+		buf := c.LegalMoves(nil)
+		c.Play(buf[r.Intn(len(buf))])
+		played++
+	}
+	if played == 0 {
+		t.Fatal("clone was already terminal")
+	}
+	for i := 0; i < played; i++ {
+		c.Undo()
+	}
+	requireEqual(t, "clone rewound to floor", c, s)
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Undo past the clone floor did not panic")
+		}
+	}()
+	c.Undo()
+}
+
+// TestCopyFromMatchesClone checks that CopyFrom yields a position
+// indistinguishable from a fresh clone and independent of the source.
+func TestCopyFromMatchesClone(t *testing.T) {
+	r := rng.New(4)
+	src := New(Var4D)
+	for i := 0; i < 8; i++ {
+		buf := src.LegalMoves(nil)
+		src.Play(buf[r.Intn(len(buf))])
+	}
+	dst := New(Var4D)
+	for i := 0; i < 3; i++ {
+		buf := dst.LegalMoves(nil)
+		dst.Play(buf[r.Intn(len(buf))])
+	}
+	dst.CopyFrom(src)
+	requireEqual(t, "CopyFrom", dst, src.Clone().(*State))
+
+	before, _, _, _ := observe(src)
+	for i := 0; i < 5 && !dst.Terminal(); i++ {
+		buf := dst.LegalMoves(nil)
+		dst.Play(buf[r.Intn(len(buf))])
+	}
+	after, _, _, _ := observe(src)
+	if before != after {
+		t.Fatal("mutating a CopyFrom copy changed the source")
+	}
+}
+
+// TestCopyFromAcrossVariants pins the documented contract: a parameter
+// mismatch reallocates instead of panicking, so pooled states survive a
+// searcher being reused across variants and board sizes.
+func TestCopyFromAcrossVariants(t *testing.T) {
+	dst := New(Var4D)
+	src := New(Var5D)
+	dst.CopyFrom(src)
+	requireEqual(t, "CopyFrom across variants", dst, src.Clone().(*State))
+	r := rng.New(6)
+	for i := 0; i < 10; i++ {
+		buf := dst.LegalMoves(nil)
+		dst.Play(buf[r.Intn(len(buf))])
+	}
+	if src.MovesPlayed() != 0 {
+		t.Fatal("mutating the adapted copy changed the source")
+	}
+}

@@ -28,6 +28,8 @@ import (
 // computation"); their metered work is just cloning and playing.
 func runMedian(c mpi.Comm, lay cluster.Layout, cfg *Config) {
 	var moves []game.Move
+	var pool core.StatePool
+	var shipped []game.State // this step's job positions, by move index
 	for {
 		msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
 		switch msg.Tag {
@@ -55,11 +57,13 @@ func runMedian(c mpi.Comm, lay cluster.Layout, cfg *Config) {
 			// the Last-Minute dispatcher uses it to order pending jobs by
 			// expected remaining work.
 			queues := make(map[mpi.Rank][]int, len(moves))
+			shipped = shipped[:0]
 			for i, m := range moves {
-				child := st.Clone()
+				child := pool.Get(st)
 				c.Work(core.CloneCost)
 				child.Play(m)
 				c.Work(1)
+				shipped = append(shipped, child)
 
 				cfg.trace("b", c.Rank(), lay.Dispatcher, c.Now())
 				c.Send(lay.Dispatcher, tagRequest, child.MovesPlayed())
@@ -78,6 +82,7 @@ func runMedian(c mpi.Comm, lay cluster.Layout, cfg *Config) {
 				r := c.Recv(mpi.AnyRank, tagResult)
 				q := queues[r.From]
 				scores[q[0]] = r.Payload.(float64)
+				pool.Put(shipped[q[0]])
 				queues[r.From] = q[1:]
 			}
 

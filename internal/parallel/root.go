@@ -28,6 +28,8 @@ import (
 func runRoot(c mpi.Comm, lay cluster.Layout, cfg *Config, res *Result) {
 	st := cfg.Root.Clone()
 	var moves []game.Move
+	var pool core.StatePool
+	var shipped []game.State // this step's shipped positions, by move index
 
 	for {
 		moves = st.LegalMoves(moves[:0])
@@ -36,11 +38,16 @@ func runRoot(c mpi.Comm, lay cluster.Layout, cfg *Config, res *Result) {
 		}
 
 		// Send each candidate position to the next median (lines 2–6).
+		// Shipped positions come from the free list: a median is done with
+		// a position once it has sent its score back, so last step's
+		// states are rewritten in place instead of allocating fresh ones.
+		shipped = shipped[:0]
 		for i, m := range moves {
-			child := st.Clone()
+			child := pool.Get(st)
 			c.Work(core.CloneCost)
 			child.Play(m)
 			c.Work(1)
+			shipped = append(shipped, child)
 			med := lay.Medians[i%len(lay.Medians)]
 			cfg.trace("a", c.Rank(), med, c.Now())
 			c.Send(med, tagPosition, child)
@@ -48,7 +55,8 @@ func runRoot(c mpi.Comm, lay cluster.Layout, cfg *Config, res *Result) {
 
 		// Receive one score per candidate (lines 7–8). A median that got
 		// several positions answers them in send order, so pairing scores
-		// to moves only needs a per-median FIFO of move indices.
+		// to moves only needs a per-median FIFO of move indices. Each
+		// received score also releases the position it answers.
 		queues := make(map[mpi.Rank][]int, len(lay.Medians))
 		for i := range moves {
 			med := lay.Medians[i%len(lay.Medians)]
@@ -59,6 +67,7 @@ func runRoot(c mpi.Comm, lay cluster.Layout, cfg *Config, res *Result) {
 			msg := c.Recv(mpi.AnyRank, tagScore)
 			q := queues[msg.From]
 			scores[q[0]] = msg.Payload.(float64)
+			pool.Put(shipped[q[0]])
 			queues[msg.From] = q[1:]
 		}
 

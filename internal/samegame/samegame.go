@@ -43,6 +43,14 @@ type State struct {
 	mark    []int32
 	markGen int32
 	stack   []int32
+
+	// Undo history. Gravity and column collapse scramble cell positions
+	// irreversibly, so each Play snapshots the pre-move board into the
+	// histCells arena (w×h bytes, a fraction of what Clone allocates) plus
+	// the pre-move score. The arena grows once to the game depth and is
+	// then reused, so Play/Undo allocates nothing in steady state.
+	hist      []float64 // pre-move scores, one per played move
+	histCells []int8    // arena: pre-move boards, stacked w*h at a time
 }
 
 // NewRandom returns a uniformly random w×h board with the given number of
@@ -224,6 +232,8 @@ func (s *State) Play(m game.Move) {
 	if n < 2 {
 		panic(fmt.Sprintf("samegame: move %d names a singleton group", idx))
 	}
+	s.histCells = append(s.histCells, s.cells...)
+	s.hist = append(s.hist, s.score)
 	for _, c := range members {
 		s.cells[c] = 0
 	}
@@ -280,7 +290,24 @@ func (s *State) empty() bool {
 	return true
 }
 
-// Clone implements game.State.
+// Undo implements game.Undoer: it restores the board and score to their
+// state before the most recent Play. It panics on the initial position or
+// past a clone floor (clones drop history; see the game.State contract).
+func (s *State) Undo() {
+	if len(s.hist) == 0 {
+		panic("samegame: Undo on initial position or past a clone floor")
+	}
+	n := len(s.cells)
+	lo := len(s.histCells) - n
+	copy(s.cells, s.histCells[lo:])
+	s.histCells = s.histCells[:lo]
+	s.score = s.hist[len(s.hist)-1]
+	s.hist = s.hist[:len(s.hist)-1]
+	s.moves--
+}
+
+// Clone implements game.State. Per the clone-with-undo contract the clone
+// starts with an empty undo history floored at the cloned position.
 func (s *State) Clone() game.State {
 	c := &State{
 		w: s.w, h: s.h, colors: s.colors,
@@ -289,6 +316,26 @@ func (s *State) Clone() game.State {
 	}
 	c.initScratch()
 	return c
+}
+
+// CopyFrom implements game.Copier: it overwrites s with a deep copy of
+// src, reusing s's buffers where sizes allow (a dimension change
+// reallocates them). src must be a SameGame state.
+func (s *State) CopyFrom(src game.State) {
+	o, ok := src.(*State)
+	if !ok {
+		panic("samegame: CopyFrom with a non-SameGame state")
+	}
+	if s.w != o.w || s.h != o.h {
+		s.w, s.h = o.w, o.h
+		s.cells = make([]int8, len(o.cells))
+		s.initScratch()
+	}
+	copy(s.cells, o.cells)
+	s.colors = o.colors
+	s.score, s.moves = o.score, o.moves
+	s.hist = s.hist[:0]
+	s.histCells = s.histCells[:0]
 }
 
 // EncodedSize implements game.Sizer.
@@ -324,4 +371,6 @@ func (s *State) Remaining() int {
 }
 
 var _ game.State = (*State)(nil)
+var _ game.Undoer = (*State)(nil)
+var _ game.Copier = (*State)(nil)
 var _ game.Sizer = (*State)(nil)

@@ -1,0 +1,144 @@
+package samegame
+
+import (
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/rng"
+)
+
+// describe captures the full observable state of a position for
+// comparison: board rendering (cells + score), move count, terminal flag
+// and the exact legal move order.
+func describe(s *State) (string, int, bool, []game.Move) {
+	return s.Render(), s.MovesPlayed(), s.Terminal(), s.LegalMoves(nil)
+}
+
+func statesEqual(t *testing.T, label string, a, b *State) {
+	t.Helper()
+	ra, ma, ta, la := describe(a)
+	rb, mb, tb, lb := describe(b)
+	if ra != rb {
+		t.Fatalf("%s: boards differ:\n%s\nvs\n%s", label, ra, rb)
+	}
+	if ma != mb || ta != tb {
+		t.Fatalf("%s: moves/terminal differ: %d/%v vs %d/%v", label, ma, ta, mb, tb)
+	}
+	if len(la) != len(lb) {
+		t.Fatalf("%s: legal move counts differ: %d vs %d", label, len(la), len(lb))
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("%s: legal move %d differs: %v vs %v", label, i, la[i], lb[i])
+		}
+	}
+}
+
+// TestPlayUndoRoundTrip plays k random moves, undoes all k, and checks the
+// position against a pristine replay of the prefix at every undo depth.
+func TestPlayUndoRoundTrip(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		r := rng.New(seed)
+		s := NewRandom(8, 8, 4, seed)
+
+		// Record the played prefix while playing a random full game.
+		var played []game.Move
+		var buf []game.Move
+		for {
+			buf = s.LegalMoves(buf[:0])
+			if len(buf) == 0 {
+				break
+			}
+			m := buf[r.Intn(len(buf))]
+			s.Play(m)
+			played = append(played, m)
+		}
+		if len(played) == 0 {
+			t.Fatal("random game played zero moves")
+		}
+
+		// Undo one move at a time; after each undo the state must match a
+		// pristine replay of the remaining prefix.
+		for k := len(played); k > 0; k-- {
+			s.Undo()
+			replay := NewRandom(8, 8, 4, seed)
+			for _, m := range played[:k-1] {
+				replay.Play(m)
+			}
+			statesEqual(t, "after undo", s, replay)
+		}
+	}
+}
+
+// TestUndoPanicsAtFloor checks both floors: the initial position and the
+// clone point (clones drop their source's history).
+func TestUndoPanicsAtFloor(t *testing.T) {
+	expectPanic := func(label string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", label)
+			}
+		}()
+		f()
+	}
+	expectPanic("Undo on initial position", func() { NewRandom(5, 5, 3, 1).Undo() })
+
+	s := NewRandom(5, 5, 3, 1)
+	s.Play(s.LegalMoves(nil)[0])
+	c := s.Clone().(*State)
+	expectPanic("Undo past clone floor", c.Undo)
+}
+
+// TestCloneFloorRoundTrip plays past a clone point and undoes back to it:
+// the clone must land exactly on the cloned position.
+func TestCloneFloorRoundTrip(t *testing.T) {
+	r := rng.New(3)
+	s := NewRandom(8, 8, 4, 9)
+	for i := 0; i < 4; i++ {
+		buf := s.LegalMoves(nil)
+		if len(buf) == 0 {
+			t.Fatal("board died too early")
+		}
+		s.Play(buf[r.Intn(len(buf))])
+	}
+	c := s.Clone().(*State)
+	played := 0
+	for !c.Terminal() {
+		buf := c.LegalMoves(nil)
+		c.Play(buf[r.Intn(len(buf))])
+		played++
+	}
+	for i := 0; i < played; i++ {
+		c.Undo()
+	}
+	statesEqual(t, "clone rewound to floor", c, s)
+}
+
+// TestCopyFromMatchesClone checks that CopyFrom produces a state
+// indistinguishable from a fresh clone, independent of the receiver's
+// prior contents.
+func TestCopyFromMatchesClone(t *testing.T) {
+	r := rng.New(8)
+	src := NewRandom(8, 8, 4, 2)
+	for i := 0; i < 3; i++ {
+		src.Play(src.LegalMoves(nil)[0])
+	}
+	dst := NewRandom(8, 8, 4, 77) // unrelated board, same dimensions
+	for i := 0; i < 5 && !dst.Terminal(); i++ {
+		buf := dst.LegalMoves(nil)
+		dst.Play(buf[r.Intn(len(buf))])
+	}
+	dst.CopyFrom(src)
+	statesEqual(t, "CopyFrom", dst, src.Clone().(*State))
+
+	// The copy must be independent: mutating it leaves src untouched.
+	before, _, _, _ := describe(src)
+	for !dst.Terminal() {
+		buf := dst.LegalMoves(nil)
+		dst.Play(buf[r.Intn(len(buf))])
+	}
+	after, _, _, _ := describe(src)
+	if before != after {
+		t.Fatal("mutating a CopyFrom copy changed the source")
+	}
+}

@@ -29,6 +29,18 @@ type State struct {
 	filled int // cells filled by play (excludes givens)
 	givens int
 	next   int // index of the first empty cell at or after next
+
+	// hist records, for each Play, the played cell and the pre-move value
+	// of next, which is all Undo needs: clearing the cell and its
+	// constraint bits is exact, and everything else is derived. The slice
+	// keeps its capacity across games, so Play/Undo never allocates in
+	// steady state.
+	hist []histEntry
+}
+
+type histEntry struct {
+	cell     int32
+	prevNext int32
 }
 
 // New returns an empty grid with the given box side (box=4 for the paper's
@@ -163,11 +175,34 @@ func (s *State) Play(m game.Move) {
 	if idx < 0 || idx >= len(s.grid) || v < 1 || int(v) > s.side || !s.canPlace(idx, v) {
 		panic(fmt.Sprintf("sudoku: illegal move cell=%d value=%d", idx, v))
 	}
+	s.hist = append(s.hist, histEntry{cell: int32(idx), prevNext: int32(s.next)})
 	s.place(idx, v)
 	s.filled++
 	if idx >= s.next {
 		s.next = idx + 1
 	}
+}
+
+// Undo implements game.Undoer: it erases the most recently played cell and
+// restores the constraint masks and the next-empty cursor. It panics on a
+// position with no played moves (givens are not undoable) or past a clone
+// floor (clones drop history; see the game.State contract).
+func (s *State) Undo() {
+	if len(s.hist) == 0 {
+		panic("sudoku: Undo with no played moves or past a clone floor")
+	}
+	h := s.hist[len(s.hist)-1]
+	s.hist = s.hist[:len(s.hist)-1]
+	idx := int(h.cell)
+	v := s.grid[idx]
+	bit := uint32(1) << (v - 1)
+	r, c := idx/s.side, idx%s.side
+	s.grid[idx] = 0
+	s.rows[r] &^= bit
+	s.cols[c] &^= bit
+	s.boxes[s.boxIndex(idx)] &^= bit
+	s.filled--
+	s.next = int(h.prevNext)
 }
 
 // Terminal implements game.State: the grid is full or the next empty cell
@@ -191,7 +226,8 @@ func (s *State) MovesPlayed() int { return s.filled }
 // Solved reports whether every cell is filled.
 func (s *State) Solved() bool { return s.nextEmpty() < 0 }
 
-// Clone implements game.State.
+// Clone implements game.State. Per the clone-with-undo contract the clone
+// starts with an empty undo history floored at the cloned position.
 func (s *State) Clone() game.State {
 	return &State{
 		box: s.box, side: s.side,
@@ -201,6 +237,29 @@ func (s *State) Clone() game.State {
 		boxes:  append([]uint32(nil), s.boxes...),
 		filled: s.filled, givens: s.givens, next: s.next,
 	}
+}
+
+// CopyFrom implements game.Copier: it overwrites s with a deep copy of
+// src, reusing s's buffers where sizes allow (a box-side change
+// reallocates them). src must be a Sudoku state.
+func (s *State) CopyFrom(src game.State) {
+	o, ok := src.(*State)
+	if !ok {
+		panic("sudoku: CopyFrom with a non-Sudoku state")
+	}
+	if s.box != o.box {
+		s.box, s.side = o.box, o.side
+		s.grid = make([]int8, len(o.grid))
+		s.rows = make([]uint32, o.side)
+		s.cols = make([]uint32, o.side)
+		s.boxes = make([]uint32, o.side)
+	}
+	copy(s.grid, o.grid)
+	copy(s.rows, o.rows)
+	copy(s.cols, o.cols)
+	copy(s.boxes, o.boxes)
+	s.filled, s.givens, s.next = o.filled, o.givens, o.next
+	s.hist = s.hist[:0]
 }
 
 // EncodedSize implements game.Sizer.
@@ -286,4 +345,6 @@ func (s *State) Valid() bool {
 }
 
 var _ game.State = (*State)(nil)
+var _ game.Undoer = (*State)(nil)
+var _ game.Copier = (*State)(nil)
 var _ game.Sizer = (*State)(nil)

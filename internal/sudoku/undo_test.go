@@ -1,0 +1,119 @@
+package sudoku
+
+import (
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/rng"
+)
+
+func describe(s *State) (string, float64, int, bool, []game.Move) {
+	return s.Render(), s.Score(), s.MovesPlayed(), s.Terminal(), s.LegalMoves(nil)
+}
+
+func statesEqual(t *testing.T, label string, a, b *State) {
+	t.Helper()
+	ra, sa, ma, ta, la := describe(a)
+	rb, sb, mb, tb, lb := describe(b)
+	if ra != rb {
+		t.Fatalf("%s: grids differ:\n%s\nvs\n%s", label, ra, rb)
+	}
+	if sa != sb || ma != mb || ta != tb {
+		t.Fatalf("%s: score/moves/terminal differ: %v/%d/%v vs %v/%d/%v",
+			label, sa, ma, ta, sb, mb, tb)
+	}
+	if len(la) != len(lb) {
+		t.Fatalf("%s: legal move counts differ: %d vs %d", label, len(la), len(lb))
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("%s: legal move %d differs", label, i)
+		}
+	}
+}
+
+// TestPlayUndoRoundTrip plays a random filling game, then undoes move by
+// move, checking the position against a pristine replay of each prefix.
+func TestPlayUndoRoundTrip(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		r := rng.New(seed)
+		s := New(3)
+		var played []game.Move
+		var buf []game.Move
+		for {
+			buf = s.LegalMoves(buf[:0])
+			if len(buf) == 0 {
+				break
+			}
+			m := buf[r.Intn(len(buf))]
+			s.Play(m)
+			played = append(played, m)
+		}
+		if len(played) == 0 {
+			t.Fatal("random game played zero moves")
+		}
+		for k := len(played); k > 0; k-- {
+			s.Undo()
+			replay := New(3)
+			for _, m := range played[:k-1] {
+				replay.Play(m)
+			}
+			statesEqual(t, "after undo", s, replay)
+			if !s.Valid() {
+				t.Fatal("undo left an inconsistent grid")
+			}
+		}
+	}
+}
+
+// TestUndoPanicsAtFloor checks the initial-position and clone floors, and
+// that givens are not undoable.
+func TestUndoPanicsAtFloor(t *testing.T) {
+	expectPanic := func(label string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", label)
+			}
+		}()
+		f()
+	}
+	expectPanic("Undo on empty grid", func() { New(3).Undo() })
+
+	g, err := ParseGivens(2, "12..\n..1.\n.1..\n..2.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectPanic("Undo of a given", g.Undo)
+
+	s := New(3)
+	s.Play(s.LegalMoves(nil)[0])
+	c := s.Clone().(*State)
+	expectPanic("Undo past clone floor", c.Undo)
+}
+
+// TestCopyFromMatchesClone checks CopyFrom equivalence and independence.
+func TestCopyFromMatchesClone(t *testing.T) {
+	r := rng.New(5)
+	src := New(3)
+	for i := 0; i < 10; i++ {
+		buf := src.LegalMoves(nil)
+		src.Play(buf[r.Intn(len(buf))])
+	}
+	dst := New(3)
+	for i := 0; i < 4; i++ {
+		buf := dst.LegalMoves(nil)
+		dst.Play(buf[r.Intn(len(buf))])
+	}
+	dst.CopyFrom(src)
+	statesEqual(t, "CopyFrom", dst, src.Clone().(*State))
+
+	before, _, _, _, _ := describe(src)
+	buf := dst.LegalMoves(nil)
+	if len(buf) > 0 {
+		dst.Play(buf[0])
+	}
+	after, _, _, _, _ := describe(src)
+	if before != after {
+		t.Fatal("mutating a CopyFrom copy changed the source")
+	}
+}

@@ -7,6 +7,10 @@
 //
 //   - Sequential Nested Monte-Carlo Search at any level (the paper's §III
 //     algorithm, with best-sequence memorization): NewSearcher / Nested.
+//     The argmax hot path is allocation-free: domains implementing
+//     game.Undoer (all three bundled domains do) are traversed with
+//     Play/Undo on a single mutable state instead of a clone per
+//     candidate move (see DESIGN.md §4).
 //   - The paper's parallel search (§IV) with both dispatching policies,
 //     Round-Robin and Last-Minute, written once against a message-passing
 //     substrate and runnable either natively on goroutines or on a
