@@ -30,6 +30,7 @@ func main() {
 		fig       = flag.String("fig", "", "regenerate figures: 1 or 2 (2 covers the protocol figures 2-5)")
 		summary   = flag.Bool("summary", false, "print only the headline summary (runs tables II, IV, VI)")
 		ablation  = flag.Bool("ablations", false, "run the ablation studies (dispatcher policy, median pool, memorization)")
+		scheduler = flag.Bool("schedulers", false, "compare the static cyclic and demand-driven pull schedulers (homogeneous sweep + straggler ablation)")
 		extension = flag.Bool("extensions", false, "run the extension experiments (score amplification by level)")
 		jsonPath  = flag.String("json", "", "additionally export table measurements as JSON to this file")
 		seed      = flag.Uint64("seed", 7, "seed for the figure-1 record hunt")
@@ -45,15 +46,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(p, *table, *fig, *summary, *ablation, *extension, *jsonPath, *seed); err != nil {
+	if err := run(p, *table, *fig, *summary, *ablation, *scheduler, *extension, *jsonPath, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(p harness.Preset, table, fig string, summaryOnly, ablations, extensions bool, jsonPath string, seed uint64) error {
+func run(p harness.Preset, table, fig string, summaryOnly, ablations, schedulers, extensions bool, jsonPath string, seed uint64) error {
 	if ablations {
 		return runAblations(p)
+	}
+	if schedulers {
+		return runSchedulers(p, jsonPath)
 	}
 	if extensions {
 		res, err := harness.ScoreByLevel(p, 2, 3)
@@ -110,17 +114,25 @@ func runTable(p harness.Preset, id string, jsonPath string) error {
 		return err
 	}
 	fmt.Println(res.Rendered)
-	if jsonPath != "" && len(res.Measurements) > 0 {
-		f, err := os.OpenFile(jsonPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := harness.ExportJSON(f, p, res); err != nil {
-			return err
-		}
+	return exportJSON(jsonPath, p, res)
+}
+
+// exportJSON appends the tables' measurements to path; a no-op without a
+// path or without measurements.
+func exportJSON(path string, p harness.Preset, tables ...harness.TableResult) error {
+	n := 0
+	for _, t := range tables {
+		n += len(t.Measurements)
 	}
-	return nil
+	if path == "" || n == 0 {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return harness.ExportJSON(f, p, tables...)
 }
 
 func runFigure(p harness.Preset, id string, seed uint64) error {
@@ -160,6 +172,20 @@ func runAblations(p harness.Preset) error {
 	}
 	fmt.Println(mem.Rendered)
 	return nil
+}
+
+func runSchedulers(p harness.Preset, jsonPath string) error {
+	sweep, err := harness.SchedulerSweep(p, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(sweep.Rendered)
+	straggler, _, err := harness.StragglerAblation(p)
+	if err != nil {
+		return err
+	}
+	fmt.Println(straggler.Rendered)
+	return exportJSON(jsonPath, p, sweep, straggler)
 }
 
 func runSummary(p harness.Preset) error {

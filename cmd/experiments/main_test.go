@@ -25,30 +25,37 @@ func testPreset() harness.Preset {
 
 func TestRunSingleTable(t *testing.T) {
 	for _, id := range []string{"I", "II", "VI"} {
-		if err := run(testPreset(), id, "", false, false, false, "", 1); err != nil {
+		if err := run(testPreset(), id, "", false, false, false, false, "", 1); err != nil {
 			t.Fatalf("table %s: %v", id, err)
 		}
 	}
 }
 
 func TestRunFigures(t *testing.T) {
-	if err := run(testPreset(), "", "2", false, false, false, "", 1); err != nil {
+	if err := run(testPreset(), "", "2", false, false, false, false, "", 1); err != nil {
 		t.Fatalf("protocol figures: %v", err)
 	}
-	if err := run(testPreset(), "", "1", false, false, false, "", 1); err != nil {
+	if err := run(testPreset(), "", "1", false, false, false, false, "", 1); err != nil {
 		t.Fatalf("figure 1: %v", err)
 	}
 }
 
 func TestRunSummary(t *testing.T) {
-	if err := run(testPreset(), "", "", true, false, false, "", 1); err != nil {
+	if err := run(testPreset(), "", "", true, false, false, false, "", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSchedulers(t *testing.T) {
+	p := testPreset()
+	if err := run(p, "", "", false, false, true, false, "", 1); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunJSONExport(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.json")
-	if err := run(testPreset(), "II", "", false, false, false, path, 1); err != nil {
+	if err := run(testPreset(), "II", "", false, false, false, false, path, 1); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(path)
@@ -69,10 +76,10 @@ func TestRunJSONExport(t *testing.T) {
 }
 
 func TestRunUnknownTableAndFigure(t *testing.T) {
-	if err := run(testPreset(), "IX", "", false, false, false, "", 1); err == nil {
+	if err := run(testPreset(), "IX", "", false, false, false, false, "", 1); err == nil {
 		t.Error("unknown table accepted")
 	}
-	if err := run(testPreset(), "", "9", false, false, false, "", 1); err == nil {
+	if err := run(testPreset(), "", "9", false, false, false, false, "", 1); err == nil {
 		t.Error("unknown figure accepted")
 	}
 }

@@ -30,9 +30,13 @@ func main() {
 	for _, spec := range specs {
 		var lmTime float64
 		for _, algo := range algos {
+			// Static pins the paper's cyclic root scheduler: table VI
+			// isolates the dispatcher policies, and the default pull
+			// scheduler would level much of the imbalance on its own.
 			res, err := pnmcs.RunVirtual(spec, pnmcs.ParallelConfig{
 				Algo: algo, Level: *level, Root: pnmcs.NewMorpion(pnmcs.Var4D),
 				Seed: *seed, Memorize: true, FirstMoveOnly: true, JobScale: 8000,
+				Static: true,
 			}, pnmcs.VirtualOptions{})
 			if err != nil {
 				log.Fatal(err)

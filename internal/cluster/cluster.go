@@ -51,6 +51,41 @@ type Spec struct {
 	// bookkeeping overhead.
 	ServerSpeed float64
 	Nodes       []Node
+	// MedianFactors optionally scales individual median processes relative
+	// to ServerSpeed, by median index; missing entries default to 1.0. A
+	// factor of 0.5 models a median sharing its core with other load (a
+	// straggler) — the scenario where the demand-driven scheduler beats
+	// the paper's static cyclic assignment. See WithSlowMedian.
+	MedianFactors []float64
+}
+
+// WithSlowMedian returns a copy of the spec whose i-th median process runs
+// at factor × ServerSpeed (factor < 1 slows it down). The straggler
+// experiments use it to plant a single slow median in an otherwise
+// homogeneous testbed.
+func (s Spec) WithSlowMedian(i int, factor float64) Spec {
+	if i < 0 {
+		panic("cluster: negative median index")
+	}
+	if factor <= 0 {
+		panic("cluster: non-positive median speed factor")
+	}
+	out := s
+	out.MedianFactors = append([]float64(nil), s.MedianFactors...)
+	for len(out.MedianFactors) <= i {
+		out.MedianFactors = append(out.MedianFactors, 1)
+	}
+	out.MedianFactors[i] = factor
+	out.Name = fmt.Sprintf("%s+slow-median[%d]x%g", s.Name, i, factor)
+	return out
+}
+
+// medianFactor returns the speed factor of the i-th median.
+func (s Spec) medianFactor(i int) float64 {
+	if i < len(s.MedianFactors) && s.MedianFactors[i] > 0 {
+		return s.MedianFactors[i]
+	}
+	return 1
 }
 
 // NumClients returns the total number of client processes.
@@ -186,7 +221,7 @@ func (s Spec) Layout(medians int) Layout {
 	next := mpi.Rank(2)
 	for i := 0; i < medians; i++ {
 		l.Medians = append(l.Medians, next)
-		speeds = append(speeds, s.ServerSpeed)
+		speeds = append(speeds, s.ServerSpeed*s.medianFactor(i))
 		next++
 	}
 	for _, cs := range clients {

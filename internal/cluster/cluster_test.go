@@ -157,3 +157,39 @@ func ranksToInts[T ~int](rs []T) []int {
 	}
 	return out
 }
+
+func TestWithSlowMedian(t *testing.T) {
+	spec := Homogeneous(4).WithSlowMedian(2, 0.5)
+	lay := spec.Layout(4)
+	for i, m := range lay.Medians {
+		want := spec.ServerSpeed
+		if i == 2 {
+			want = spec.ServerSpeed * 0.5
+		}
+		if lay.Speeds[m] != want {
+			t.Fatalf("median %d speed %v, want %v", i, lay.Speeds[m], want)
+		}
+	}
+	// Medians beyond the factor slice default to full speed.
+	lay = spec.Layout(8)
+	if got := lay.Speeds[lay.Medians[7]]; got != spec.ServerSpeed {
+		t.Fatalf("unlisted median speed %v, want %v", got, spec.ServerSpeed)
+	}
+	// The original spec is untouched (value semantics).
+	if len(Homogeneous(4).MedianFactors) != 0 {
+		t.Fatal("WithSlowMedian mutated its receiver's factors")
+	}
+	for name, f := range map[string]func(){
+		"negative index": func() { Homogeneous(1).WithSlowMedian(-1, 0.5) },
+		"zero factor":    func() { Homogeneous(1).WithSlowMedian(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

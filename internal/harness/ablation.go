@@ -54,7 +54,7 @@ func DispatcherAblation(p Preset) (TableResult, []*AblationRow, error) {
 			cfg := parallel.Config{
 				Algo: v.algo, Level: p.LevelLo, Root: morpion.New(p.Variant),
 				Seed: uint64(s) + 1, Memorize: true, FirstMoveOnly: true,
-				JobScale: p.JobScale, LMFifo: v.fifo,
+				JobScale: p.JobScale, LMFifo: v.fifo, Static: true,
 			}
 			res, err := parallel.RunVirtual(spec, cfg, parallel.VirtualOptions{
 				UnitCost: p.UnitCost, Medians: p.Medians,
@@ -88,7 +88,7 @@ func MedianAblation(p Preset, medianCounts []int) (TableResult, []*AblationRow, 
 			cfg := parallel.Config{
 				Algo: parallel.RoundRobin, Level: p.LevelLo, Root: morpion.New(p.Variant),
 				Seed: uint64(s) + 1, Memorize: true, FirstMoveOnly: true,
-				JobScale: p.JobScale,
+				JobScale: p.JobScale, Static: true,
 			}
 			res, err := parallel.RunVirtual(spec, cfg, parallel.VirtualOptions{
 				UnitCost: p.UnitCost, Medians: m,

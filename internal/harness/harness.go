@@ -130,12 +130,15 @@ type TableResult struct {
 	Measurements []*Measurement
 }
 
-// runOnce executes one virtual parallel run and returns its makespan.
+// runOnce executes one virtual parallel run and returns its makespan. The
+// paper's tables use the static cyclic scheduler — the reproduction
+// baseline; the scheduler comparison lives in SchedulerSweep and
+// StragglerAblation.
 func runOnce(p Preset, spec cluster.Spec, algo parallel.Algorithm, level int, firstMove bool, seed uint64) (parallel.Result, error) {
 	cfg := parallel.Config{
 		Algo: algo, Level: level, Root: morpion.New(p.Variant),
 		Seed: seed, Memorize: true, FirstMoveOnly: firstMove,
-		JobScale: p.JobScale,
+		JobScale: p.JobScale, Static: true,
 	}
 	return parallel.RunVirtual(spec, cfg, parallel.VirtualOptions{
 		UnitCost: p.UnitCost, Medians: p.Medians,
@@ -377,7 +380,7 @@ func ProtocolFigures(p Preset) (string, error) {
 		cfg := parallel.Config{
 			Algo: algo, Level: p.LevelLo, Root: morpion.New(p.Variant),
 			Seed: 21, Memorize: true, FirstMoveOnly: true,
-			JobScale: p.JobScale, Tracer: col,
+			JobScale: p.JobScale, Tracer: col, Static: true,
 		}
 		if _, err := parallel.RunVirtual(spec, cfg, parallel.VirtualOptions{
 			UnitCost: p.UnitCost, Medians: 8,

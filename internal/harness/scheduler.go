@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/morpion"
+	"repro/internal/parallel"
+	"repro/internal/stats"
+)
+
+// Scheduler experiments beyond the paper's tables: the paper schedules the
+// root's candidate positions onto medians in fixed cyclic order (§IV-A),
+// which the demand-driven pull scheduler replaces. Because client rollout
+// scores are keyed by logical job coordinates, both schedulers play
+// bit-identical games — these experiments measure the only thing that
+// differs, time and utilization.
+
+// maxIdle returns the largest idle fraction of the listed ranks.
+func maxIdle(idle []time.Duration, elapsed time.Duration) float64 {
+	worst := 0.0
+	for _, d := range idle {
+		if u := stats.Utilization(d, elapsed); u > worst {
+			worst = u
+		}
+	}
+	return worst
+}
+
+// schedulerCell measures one (spec, static?) configuration of the
+// scheduler experiments and accumulates times plus idle fractions.
+type schedulerCell struct {
+	times       stats.Acc
+	medianIdle  stats.Acc // mean idle fraction across medians
+	medianWorst stats.Acc // idle fraction of the idlest median
+	clientIdle  stats.Acc
+	queueMax    int
+}
+
+func (c *schedulerCell) measure(p Preset, spec cluster.Spec, static bool, opts parallel.VirtualOptions, seeds int) error {
+	for s := 0; s < seeds; s++ {
+		cfg := parallel.Config{
+			Algo: parallel.LastMinute, Level: p.LevelLo, Root: morpion.New(p.Variant),
+			Seed: uint64(s) + 1, Memorize: true, FirstMoveOnly: true,
+			JobScale: p.JobScale, Static: static,
+		}
+		res, err := parallel.RunVirtual(spec, cfg, opts)
+		if err != nil {
+			return err
+		}
+		c.times.AddDuration(res.Elapsed)
+		c.medianIdle.Add(stats.MeanFraction(res.MedianIdle, res.Elapsed))
+		c.medianWorst.Add(maxIdle(res.MedianIdle, res.Elapsed))
+		c.clientIdle.Add(stats.MeanFraction(res.ClientIdle, res.Elapsed))
+		if res.QueueDepthMax > c.queueMax {
+			c.queueMax = res.QueueDepthMax
+		}
+	}
+	return nil
+}
+
+// SchedulerSweep regenerates the speedup-vs-nodes comparison between the
+// static cyclic scheduler and the demand-driven pull scheduler on
+// homogeneous clusters: one row per client count, first-move times for
+// both schedulers and the pull scheduler's median idle fraction. On equal
+// node speeds the two should track each other closely — the pull
+// scheduler's win is on heterogeneous hardware (see StragglerAblation);
+// this sweep demonstrates it costs nothing when the cluster is balanced.
+func SchedulerSweep(p Preset, counts []int) (TableResult, error) {
+	if len(counts) == 0 {
+		counts = p.CountsLo
+	}
+	tbl := stats.Table{
+		Title: fmt.Sprintf("Scheduler sweep: first move, %s level %d, static cyclic vs demand-driven pull",
+			p.Variant.Name, p.LevelLo),
+		Header: []string{"clients", "static", "pull", "static/pull", "pull median idle"},
+	}
+	var ms []*Measurement
+	for _, n := range counts {
+		spec := cluster.Homogeneous(n)
+		opts := parallel.VirtualOptions{UnitCost: p.UnitCost, Medians: p.Medians}
+		var st, pl schedulerCell
+		if err := st.measure(p, spec, true, opts, p.SeedsLo); err != nil {
+			return TableResult{}, err
+		}
+		if err := pl.measure(p, spec, false, opts, p.SeedsLo); err != nil {
+			return TableResult{}, err
+		}
+		ratio := float64(st.times.MeanDuration()) / float64(pl.times.MeanDuration())
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%d", n),
+			st.times.PaperStyle(),
+			pl.times.PaperStyle(),
+			fmt.Sprintf("%.2f", ratio),
+			stats.FormatPercent(pl.medianIdle.Mean()),
+		})
+		for _, v := range []struct {
+			suffix string
+			cell   *schedulerCell
+		}{{"/static", &st}, {"/pull", &pl}} {
+			ms = append(ms, &Measurement{Table: "S1", Level: p.LevelLo, Clients: n,
+				Spec: spec.Name + v.suffix, Algo: parallel.LastMinute, FirstMove: true,
+				Times: v.cell.times})
+		}
+	}
+	return TableResult{ID: "S1", Title: tbl.Title, Rendered: tbl.Render(), Measurements: ms}, nil
+}
+
+// StragglerSpec is the heterogeneous testbed of the straggler ablation:
+// a homogeneous 64-client cluster whose first median process runs at half
+// speed — one slow rank on the server, the scenario where the static
+// cyclic order stalls every root step on the straggler.
+func StragglerSpec() cluster.Spec {
+	return cluster.Homogeneous(64).WithSlowMedian(0, 0.5)
+}
+
+// StragglerMedians is the median pool size of the ablation: small enough
+// that every median receives several candidates per root step, which is
+// what gives the demand-driven scheduler room to shift load away from the
+// straggler.
+const StragglerMedians = 6
+
+// stragglerUnitCost puts the virtual clock in the regime where the
+// medians' own cloning work — the part scaled by median speed — dominates
+// the round-trip latencies, as on the paper's cluster where positions are
+// large and links are Gigabit.
+const stragglerUnitCost = time.Millisecond
+
+// StragglerAblation measures the heterogeneous scheduler comparison: one
+// 2×-slow median, static cyclic vs demand-driven pull, first-move step
+// latency with per-rank idle fractions. The acceptance bar for the
+// scheduler rewrite is pull ≥ 25% below static here; both runs play the
+// identical game, so the gap is pure scheduling.
+func StragglerAblation(p Preset) (TableResult, []*AblationRow, error) {
+	spec := StragglerSpec()
+	sp := p
+	sp.JobScale = 1 // medians must matter: no client-side work inflation
+	opts := parallel.VirtualOptions{UnitCost: stragglerUnitCost, Medians: StragglerMedians}
+
+	tbl := stats.Table{
+		Title: fmt.Sprintf("Ablation: scheduler on a straggler cluster (%s level %d, %s, %d medians)",
+			p.Variant.Name, p.LevelLo, spec.Name, StragglerMedians),
+		Header: []string{"scheduler", "step latency", "median idle (mean)", "median idle (max)", "queue depth max"},
+	}
+	var rows []*AblationRow
+	var ms []*Measurement
+	for _, static := range []bool{true, false} {
+		var cell schedulerCell
+		if err := cell.measure(sp, spec, static, opts, sp.SeedsLo); err != nil {
+			return TableResult{}, nil, err
+		}
+		name, suffix := "demand-driven pull", "/pull"
+		if static {
+			name, suffix = "static cyclic (paper)", "/static"
+		}
+		row := &AblationRow{Name: name, Clients: spec.NumClients()}
+		row.Times = cell.times
+		rows = append(rows, row)
+		ms = append(ms, &Measurement{Table: "S2", Level: sp.LevelLo, Clients: spec.NumClients(),
+			Spec: spec.Name + suffix, Algo: parallel.LastMinute, FirstMove: true,
+			Times: cell.times})
+		tbl.Rows = append(tbl.Rows, []string{
+			name,
+			cell.times.PaperStyle(),
+			stats.FormatPercent(cell.medianIdle.Mean()),
+			stats.FormatPercent(cell.medianWorst.Mean()),
+			fmt.Sprintf("%d", cell.queueMax),
+		})
+	}
+	return TableResult{ID: "S2", Title: tbl.Title, Rendered: tbl.Render(), Measurements: ms}, rows, nil
+}

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// schedulerPreset trims the CI preset for fast scheduler-experiment tests.
+func schedulerPreset() Preset {
+	p := PresetFor(ScaleCI)
+	p.SeedsLo = 1
+	return p
+}
+
+func TestSchedulerSweep(t *testing.T) {
+	p := schedulerPreset()
+	res, err := SchedulerSweep(p, []int{4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Rendered, "static") || !strings.Contains(res.Rendered, "pull") {
+		t.Fatalf("sweep table missing scheduler columns:\n%s", res.Rendered)
+	}
+	if len(res.Measurements) != 4 {
+		t.Fatalf("sweep recorded %d measurements, want 4 (2 counts × 2 schedulers)", len(res.Measurements))
+	}
+	// On a homogeneous cluster the pull scheduler must not lose badly to
+	// static: candidate-to-median assignment is the only difference.
+	for _, n := range []int{4, 16} {
+		var static, pull float64
+		for _, m := range res.Measurements {
+			if m.Clients != n {
+				continue
+			}
+			if strings.HasSuffix(m.Spec, "/static") {
+				static = m.Times.Mean()
+			}
+			if strings.HasSuffix(m.Spec, "/pull") {
+				pull = m.Times.Mean()
+			}
+		}
+		if static == 0 || pull == 0 {
+			t.Fatalf("missing cells for %d clients", n)
+		}
+		if pull > 1.15*static {
+			t.Errorf("%d clients: pull %.3fs much slower than static %.3fs on homogeneous cluster", n, pull, static)
+		}
+	}
+}
+
+func TestStragglerAblation(t *testing.T) {
+	p := schedulerPreset()
+	res, rows, err := StragglerAblation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("ablation produced %d rows, want 2", len(rows))
+	}
+	static := durationOf(rows, "static cyclic (paper)")
+	pull := durationOf(rows, "demand-driven pull")
+	if static == 0 || pull == 0 {
+		t.Fatalf("missing rows: %+v", rows)
+	}
+	t.Logf("straggler ablation: static=%v pull=%v\n%s", static, pull, res.Rendered)
+	// The acceptance bar of the scheduler rewrite: ≥ 25% lower step
+	// latency with one 2×-slow median.
+	if float64(pull) > 0.75*float64(static) {
+		t.Errorf("pull step latency %v not >=25%% below static %v", pull, static)
+	}
+	if !strings.Contains(res.Rendered, "%") {
+		t.Errorf("ablation table missing idle percentages:\n%s", res.Rendered)
+	}
+}

@@ -1,0 +1,105 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeComm records sends for PullSource unit tests. The Msg.From field is
+// repurposed to hold the destination rank of each recorded send.
+type fakeComm struct {
+	sends []Msg
+}
+
+func (f *fakeComm) Rank() Rank { return 0 }
+func (f *fakeComm) Size() int  { return 8 }
+func (f *fakeComm) Send(to Rank, tag Tag, payload any) {
+	f.sends = append(f.sends, Msg{From: to, Tag: tag, Payload: payload})
+}
+func (f *fakeComm) Recv(from Rank, tag Tag) Msg { panic("not used") }
+func (f *fakeComm) Work(n int64)                {}
+func (f *fakeComm) Now() time.Duration          { return 0 }
+
+var _ Comm = (*fakeComm)(nil)
+
+func TestPullSourceMatchesFIFO(t *testing.T) {
+	// Items offered before any request queue up; requests then drain them
+	// in offer order. Requests arriving first queue as waiting workers and
+	// are granted in request order.
+	f := &fakeComm{}
+	s := NewPullSource(f, Tag(7))
+
+	s.Offer("x")
+	s.Offer("y")
+	if got := s.Ready(); got != 2 {
+		t.Fatalf("ready %d, want 2", got)
+	}
+	s.Request(3)
+	s.Request(4)
+	s.Request(5) // no item yet: queues
+	if len(f.sends) != 2 {
+		t.Fatalf("%d grants sent, want 2", len(f.sends))
+	}
+	if f.sends[0].Payload != "x" || f.sends[1].Payload != "y" {
+		t.Fatalf("grants out of order: %+v", f.sends)
+	}
+	if got := len(s.Waiting()); got != 1 {
+		t.Fatalf("waiting %d, want 1", got)
+	}
+	s.Offer("z") // granted straight to the waiting worker
+	if len(f.sends) != 3 || f.sends[2].From != 5 || f.sends[2].Payload != "z" {
+		t.Fatalf("third grant wrong: %+v", f.sends)
+	}
+	if s.Outstanding() != 3 {
+		t.Fatalf("outstanding %d, want 3", s.Outstanding())
+	}
+	s.Done()
+	s.Done()
+	s.Done()
+	if s.Outstanding() != 0 {
+		t.Fatalf("outstanding %d after 3 Done, want 0", s.Outstanding())
+	}
+}
+
+func TestPullSourceAbandonAndDepth(t *testing.T) {
+	f := &fakeComm{}
+	s := NewPullSource(f, Tag(7))
+	for i := 0; i < 4; i++ {
+		s.Offer(i)
+	}
+	s.Request(2) // grants item 0
+	if n := s.Abandon(); n != 3 {
+		t.Fatalf("abandoned %d, want 3", n)
+	}
+	if s.Ready() != 0 {
+		t.Fatal("ready items survived Abandon")
+	}
+	if s.Outstanding() != 1 {
+		t.Fatalf("outstanding %d after abandon, want 1 (grants unaffected)", s.Outstanding())
+	}
+	max, mean := s.DepthStats()
+	if max != 4 || mean <= 0 {
+		t.Fatalf("depth stats max=%d mean=%v, want max 4 and positive mean", max, mean)
+	}
+}
+
+func TestPullSourceDoneWithoutGrantPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Done without grant did not panic")
+		}
+	}()
+	NewPullSource(&fakeComm{}, Tag(1)).Done()
+}
+
+func TestPullSourceGrantedCallback(t *testing.T) {
+	f := &fakeComm{}
+	s := NewPullSource(f, Tag(9))
+	var to []Rank
+	s.Granted = func(r Rank) { to = append(to, r) }
+	s.Request(6)
+	s.Offer("w")
+	if len(to) != 1 || to[0] != 6 {
+		t.Fatalf("callback ranks %v, want [6]", to)
+	}
+}

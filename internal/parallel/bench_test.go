@@ -1,0 +1,89 @@
+package parallel
+
+// Microbenchmarks of the parallel layer on the virtual transport. Real
+// time here is dominated by the discrete-event simulation, so ns/op tracks
+// the scheduling and protocol overhead per run; the custom metrics carry
+// the quantities the schedulers compete on:
+//
+//	vsec          virtual makespan of the run, in seconds
+//	midle_pct     mean median idle percentage (load imbalance signal)
+//	cidle_pct     mean client idle percentage
+//	qdepth        mean ready-queue depth at the root (pull only)
+//
+// These flow into the CI benchmark artifact (cmd/benchreg), which fails on
+// ns/op regressions against the committed baseline.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/morpion"
+	"repro/internal/stats"
+)
+
+// benchRun executes one first-move run and reports the custom metrics.
+func benchRun(b *testing.B, spec cluster.Spec, static bool, medians int, unitCost time.Duration) {
+	b.Helper()
+	cfg := Config{
+		Algo: LastMinute, Level: 2, Root: morpion.New(morpion.Var4D),
+		Seed: 3, Memorize: true, FirstMoveOnly: true, Static: static,
+	}
+	opts := VirtualOptions{UnitCost: unitCost, Medians: medians}
+	var last Result
+	for i := 0; i < b.N; i++ {
+		res, err := RunVirtual(spec, cfg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportIdle(b, last)
+}
+
+func reportIdle(b *testing.B, res Result) {
+	b.Helper()
+	b.ReportMetric(res.Elapsed.Seconds(), "vsec")
+	b.ReportMetric(100*stats.MeanFraction(res.MedianIdle, res.Elapsed), "midle_pct")
+	b.ReportMetric(100*stats.MeanFraction(res.ClientIdle, res.Elapsed), "cidle_pct")
+	b.ReportMetric(res.QueueDepthMean, "qdepth")
+}
+
+// BenchmarkStaticFirstMove is the paper's scheduler: candidates pushed to
+// medians in cyclic order.
+func BenchmarkStaticFirstMove(b *testing.B) {
+	benchRun(b, cluster.Homogeneous(16), true, 8, time.Microsecond)
+}
+
+// BenchmarkPullFirstMove is the demand-driven scheduler on the identical
+// homogeneous cluster: same game, pull protocol overhead on top.
+func BenchmarkPullFirstMove(b *testing.B) {
+	benchRun(b, cluster.Homogeneous(16), false, 8, time.Microsecond)
+}
+
+// BenchmarkPullStraggler is the heterogeneous case the pull scheduler
+// exists for: one 2×-slow median. vsec (virtual makespan) is the metric
+// that must beat BenchmarkStaticStraggler's; ns/op only tracks simulation
+// overhead.
+func BenchmarkPullStraggler(b *testing.B) {
+	benchRun(b, cluster.Homogeneous(64).WithSlowMedian(0, 0.5), false, 6, time.Millisecond)
+}
+
+// BenchmarkStaticStraggler is the static baseline on the straggler
+// cluster.
+func BenchmarkStaticStraggler(b *testing.B) {
+	benchRun(b, cluster.Homogeneous(64).WithSlowMedian(0, 0.5), true, 6, time.Millisecond)
+}
+
+// BenchmarkWallPull measures the pull protocol natively on goroutines.
+func BenchmarkWallPull(b *testing.B) {
+	cfg := Config{
+		Algo: LastMinute, Level: 2, Root: morpion.New(morpion.Var4D),
+		Seed: 3, Memorize: true, FirstMoveOnly: true,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := RunWall(4, 8, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

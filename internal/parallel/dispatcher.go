@@ -6,7 +6,19 @@ import (
 )
 
 // runDispatcher runs the configured dispatching policy until shutdown.
+//
+// Under the pull scheduler the client layer is demand-driven for both
+// policies — clients announce availability after every job and requests
+// queue until a client is free — with Algo selecting only the job
+// ordering: Last-Minute serves the longest-expected pending job first,
+// Round-Robin serves in arrival order. Under Config.Static the paper's
+// §IV-A blind cyclic dispatcher is reproduced exactly for Round-Robin.
 func runDispatcher(c mpi.Comm, lay cluster.Layout, cfg *Config) {
+	if !cfg.Static {
+		longest := cfg.Algo == LastMinute && !cfg.LMFifo
+		runDemandDispatcher(c, lay, cfg, longest)
+		return
+	}
 	switch cfg.Algo {
 	case RoundRobin:
 		runRoundRobinDispatcher(c, lay, cfg)
@@ -77,6 +89,16 @@ type lmJob struct {
 // first-in free client is used, so recently freed (likely fast) nodes keep
 // cycling on a heterogeneous cluster.
 func runLastMinuteDispatcher(c mpi.Comm, lay cluster.Layout, cfg *Config) {
+	runDemandDispatcher(c, lay, cfg, !cfg.LMFifo)
+}
+
+// runDemandDispatcher is the availability-driven client dispatcher shared
+// by the paper's Last-Minute policy and the pull scheduler: free clients
+// are tracked (all start free, each announces with (c') after a job),
+// median requests queue while no client is free, and the queue is served
+// either longest-expected-job-first (the paper's §IV-B heuristic, see
+// runLastMinuteDispatcher) or in arrival order.
+func runDemandDispatcher(c mpi.Comm, lay cluster.Layout, cfg *Config, longestFirst bool) {
 	free := append([]mpi.Rank(nil), lay.Clients...) // line 1
 	var jobs []lmJob                                // line 2
 	for {
@@ -89,10 +111,11 @@ func runLastMinuteDispatcher(c mpi.Comm, lay cluster.Layout, cfg *Config) {
 			free = append(free, msg.From)
 			if len(jobs) > 0 {
 				// Find the job with the smallest number of moves played:
-				// the longest expected remaining computation. The LMFifo
-				// ablation serves jobs in arrival order instead.
+				// the longest expected remaining computation. FIFO order
+				// (LMFifo ablation, or pull-mode Round-Robin) serves jobs
+				// in arrival order instead.
 				best := 0
-				if !cfg.LMFifo {
+				if longestFirst {
 					for i := 1; i < len(jobs); i++ {
 						if jobs[i].moves < jobs[best].moves {
 							best = i

@@ -1,11 +1,37 @@
 package parallel
 
 import (
+	"time"
+
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/game"
 	"repro/internal/mpi"
+	"repro/internal/rng"
 )
+
+// median is the per-process state of a median node.
+type median struct {
+	c     mpi.Comm
+	lay   cluster.Layout
+	cfg   *Config
+	idle  time.Duration // cumulative Recv-blocked time
+	moves []game.Move
+	pool  core.StatePool
+	// shipped holds this step's job positions, by move index.
+	shipped []game.State
+	scores  []float64
+}
+
+// recv wraps Comm.Recv with idle-time accounting: every virtual (or wall)
+// nanosecond a median spends blocked — waiting for a candidate, for a
+// dispatcher assignment, or for client results — is idle capacity.
+func (m *median) recv(from mpi.Rank, tag mpi.Tag) mpi.Msg {
+	t0 := m.c.Now()
+	msg := m.c.Recv(from, tag)
+	m.idle += m.c.Now() - t0
+	return msg
+}
 
 // runMedian is the paper's median process (§IV-A pseudocode):
 //
@@ -26,12 +52,30 @@ import (
 // evaluated by a client running a level-(ℓ−2) nested rollout. Medians do no
 // heavy computation themselves (§IV: "they are not used for long
 // computation"); their metered work is just cloning and playing.
-func runMedian(c mpi.Comm, lay cluster.Layout, cfg *Config) {
-	var moves []game.Move
-	var pool core.StatePool
-	var shipped []game.State // this step's job positions, by move index
+//
+// Under the pull scheduler the median additionally *asks* for line 2's
+// position: it keeps Config.Prefetch work requests (q) in flight with the
+// root, so the next grant travels while the current game is being played,
+// and reports scores tagged with their candidate index. Under Config.Static
+// positions are pushed to it and scores are bare floats answered in FIFO
+// order, exactly as in the paper.
+func runMedian(c mpi.Comm, lay cluster.Layout, cfg *Config, index int, coll *collector) {
+	m := &median{c: c, lay: lay, cfg: cfg}
+	defer func() { coll.setMedianIdle(index, m.idle) }()
+
+	pull := !cfg.Static
+	outstanding := 0
+	request := func() {
+		cfg.trace("q", c.Rank(), lay.Root, c.Now())
+		c.Send(lay.Root, tagWorkReq, nil)
+		outstanding++
+	}
+	if pull {
+		request()
+	}
+
 	for {
-		msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
+		msg := m.recv(mpi.AnyRank, mpi.AnyTag)
 		switch msg.Tag {
 		case tagShutdown:
 			return
@@ -43,61 +87,84 @@ func runMedian(c mpi.Comm, lay cluster.Layout, cfg *Config) {
 			continue
 		}
 
-		st := msg.Payload.(game.State)
-		root := msg.From
-
-		for {
-			moves = st.LegalMoves(moves[:0])
-			if len(moves) == 0 {
-				break
+		cand := msg.Payload.(candidate)
+		if pull {
+			outstanding--
+			// Prefetch: keep the request window full before starting the
+			// game, so the root can ship the next candidate while this one
+			// is being played.
+			for outstanding < cfg.prefetch() {
+				request()
 			}
-
-			// Request a client per candidate and ship the position
-			// (lines 4–8). The request carries the child's move count:
-			// the Last-Minute dispatcher uses it to order pending jobs by
-			// expected remaining work.
-			queues := make(map[mpi.Rank][]int, len(moves))
-			shipped = shipped[:0]
-			for i, m := range moves {
-				child := pool.Get(st)
-				c.Work(core.CloneCost)
-				child.Play(m)
-				c.Work(1)
-				shipped = append(shipped, child)
-
-				cfg.trace("b", c.Rank(), lay.Dispatcher, c.Now())
-				c.Send(lay.Dispatcher, tagRequest, child.MovesPlayed())
-				asg := c.Recv(lay.Dispatcher, tagAssign)
-				client := asg.Payload.(mpi.Rank)
-
-				cfg.trace("b", c.Rank(), client, c.Now())
-				c.Send(client, tagJob, child)
-				queues[client] = append(queues[client], i)
-			}
-
-			// Gather the scores (lines 9–10); per-client FIFO pairing, as
-			// in the root.
-			scores := make([]float64, len(moves))
-			for range moves {
-				r := c.Recv(mpi.AnyRank, tagResult)
-				q := queues[r.From]
-				scores[q[0]] = r.Payload.(float64)
-				pool.Put(shipped[q[0]])
-				queues[r.From] = q[1:]
-			}
-
-			best := 0
-			for i := 1; i < len(scores); i++ {
-				if scores[i] > scores[best] {
-					best = i
-				}
-			}
-			st.Play(moves[best])
-			c.Work(1)
 		}
 
+		score := m.playGame(cand)
+
 		// Line 12: report the finished game's score to the root.
-		cfg.trace("d", c.Rank(), root, c.Now())
-		c.Send(root, tagScore, st.Score())
+		cfg.trace("d", c.Rank(), lay.Root, c.Now())
+		if pull {
+			c.Send(lay.Root, tagScore, stepScore{Cand: cand.Cand, Score: score})
+			if outstanding == 0 {
+				// Prefetch disabled: only now ask for the next candidate.
+				request()
+			}
+		} else {
+			c.Send(msg.From, tagScore, score)
+		}
 	}
+}
+
+// playGame plays the median's full level-(ℓ−1) game from the received
+// candidate position (pseudocode lines 3–11) and returns its final score.
+// Client jobs are keyed by their logical coordinates — (root step, root
+// candidate, median step, median candidate) — so the resulting scores are
+// independent of which client executes them and of scheduling order; the
+// result messages carry the candidate index, removing any pairing
+// bookkeeping.
+func (m *median) playGame(cand candidate) float64 {
+	st := cand.State
+	c, cfg, lay := m.c, m.cfg, m.lay
+	for t := 0; ; t++ {
+		m.moves = st.LegalMoves(m.moves[:0])
+		if len(m.moves) == 0 {
+			break
+		}
+
+		// Request a client per candidate and ship the position
+		// (lines 4–8). The request carries the child's move count:
+		// the Last-Minute dispatcher uses it to order pending jobs by
+		// expected remaining work.
+		m.shipped = m.shipped[:0]
+		m.scores = m.scores[:0]
+		for j, mv := range m.moves {
+			child := m.pool.Get(st)
+			c.Work(core.CloneCost)
+			child.Play(mv)
+			c.Work(1)
+			m.shipped = append(m.shipped, child)
+			m.scores = append(m.scores, 0)
+
+			cfg.trace("b", c.Rank(), lay.Dispatcher, c.Now())
+			c.Send(lay.Dispatcher, tagRequest, child.MovesPlayed())
+			asg := m.recv(lay.Dispatcher, tagAssign)
+			client := asg.Payload.(mpi.Rank)
+
+			cfg.trace("b", c.Rank(), client, c.Now())
+			key := rng.Fold(uint64(cand.Step), uint64(cand.Cand), uint64(t), uint64(j))
+			c.Send(client, tagJob, job{Key: key, Seq: j, State: child})
+		}
+
+		// Gather the scores (lines 9–10), indexed by candidate. Each
+		// received score releases the position it answers.
+		for range m.moves {
+			r := m.recv(mpi.AnyRank, tagResult)
+			js := r.Payload.(jobScore)
+			m.scores[js.Seq] = js.Score
+			m.pool.Put(m.shipped[js.Seq])
+		}
+
+		st.Play(m.moves[argmax(m.scores)])
+		c.Work(1)
+	}
+	return st.Score()
 }

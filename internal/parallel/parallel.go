@@ -18,6 +18,19 @@
 //   - Client processes run the actual nested rollouts at level ℓ−2 and
 //     return the score.
 //
+// Two root-level schedulers are provided. The default is demand-driven
+// (work stealing): idle medians pull their next candidate position from
+// the root's work queue (mpi.PullSource), so heterogeneous node speeds and
+// uneven playout lengths self-balance; a bounded prefetch window
+// (Config.Prefetch) hides the request/grant round trip without deviating
+// from the paper's small-message Gigabit cost model. Config.Static selects
+// the paper's §IV-A scheduler instead — candidate positions pushed to
+// medians in fixed cyclic order — kept for A/B reproduction of the paper's
+// tables. Client rollout scores are derived from the job's logical
+// coordinates in the search tree, not from the executing rank, so both
+// schedulers produce bit-identical move sequences for the same seed (see
+// pull_test.go).
+//
 // The code is written against mpi.Comm only and runs identically on the
 // deterministic virtual cluster (speedup tables) and on real goroutines.
 package parallel
@@ -55,17 +68,79 @@ func (a Algorithm) String() string {
 }
 
 // Message tags of the protocol. The letters refer to the communications in
-// the paper's figures 2–5.
+// the paper's figures 2–5; (q) is the pull scheduler's work request, whose
+// grant reuses tagPosition (a granted candidate is a position to play).
 const (
-	tagPosition mpi.Tag = iota + 1 // (a) root -> median: position to play
+	tagPosition mpi.Tag = iota + 1 // (a)/(g) root -> median: position to play
 	tagScore                       // (d) median -> root: score of the finished game
 	tagRequest                     // (b) median -> dispatcher: request a client
 	tagAssign                      // (b) dispatcher -> median: assigned client rank
 	tagJob                         // (b) median -> client: position to evaluate
 	tagResult                      // (c) client -> median: score of the rollout
 	tagFree                        // (c') client -> dispatcher: client is free again
+	tagWorkReq                     // (q) median -> root: idle, pull the next candidate
 	tagShutdown                    // teardown broadcast at end of run
 )
+
+// candidate is the root→median payload: one candidate position of the
+// root's current step, tagged with its logical coordinates. The
+// coordinates seed the job-key random streams (see job.Key), which is what
+// decouples search results from scheduling decisions.
+type candidate struct {
+	Step  int // root game step the candidate belongs to
+	Cand  int // candidate (move) index within that step
+	State game.State
+}
+
+// EncodedSize implements game.Sizer for the virtual network model: the
+// position's own encoded size plus the two coordinate words.
+func (c candidate) EncodedSize() int {
+	if s, ok := c.State.(game.Sizer); ok {
+		return s.EncodedSize() + 16
+	}
+	return 64 + 16
+}
+
+// job is the median→client payload: the position to evaluate, the
+// median-local candidate index echoed back in the result, and the random
+// stream key derived from the job's logical coordinates (root step, root
+// candidate, median step, median candidate). Identical coordinates yield
+// identical scores no matter which client executes the job.
+type job struct {
+	Key   uint64
+	Seq   int
+	State game.State
+}
+
+// EncodedSize implements game.Sizer.
+func (j job) EncodedSize() int {
+	if s, ok := j.State.(game.Sizer); ok {
+		return s.EncodedSize() + 16
+	}
+	return 64 + 16
+}
+
+// jobScore is the client→median result: the rollout score of the Seq-th
+// candidate of the median's current step.
+type jobScore struct {
+	Seq   int
+	Score float64
+}
+
+// EncodedSize implements game.Sizer.
+func (jobScore) EncodedSize() int { return 16 }
+
+// stepScore is the pull scheduler's median→root score message: the final
+// game score of the Cand-th candidate of the root's current step. The
+// static scheduler ships bare float64 scores instead, answered in FIFO
+// order per median, exactly like the paper's MPI messages.
+type stepScore struct {
+	Cand  int
+	Score float64
+}
+
+// EncodedSize implements game.Sizer.
+func (stepScore) EncodedSize() int { return 16 }
 
 // Config parameterizes one parallel search run.
 type Config struct {
@@ -108,6 +183,28 @@ type Config struct {
 	// with the smallest number of moves"). Only meaningful with
 	// Algo == LastMinute.
 	LMFifo bool
+	// Static selects the paper's §IV-A root scheduler: candidate positions
+	// pushed to medians in fixed cyclic order, every step blocking on the
+	// slowest median. The default (false) is the demand-driven pull
+	// scheduler, where idle medians request their next candidate from the
+	// root's work queue. Both produce bit-identical move sequences for the
+	// same seed; only the timing differs.
+	Static bool
+	// Prefetch bounds the pull scheduler's per-median request window: the
+	// number of work requests a median keeps in flight while it plays a
+	// granted game, so the next grant travels during computation instead
+	// of after it. 0 selects the default of 1; negative disables
+	// prefetching (strict request-after-finish, exposing the round-trip
+	// latency). Ignored in static mode.
+	Prefetch int
+	// StopAfter, when positive, cancels the root game once the transport
+	// clock reaches it. The pull scheduler stops mid-step: remaining
+	// ungranted candidates are abandoned and the already-granted ones are
+	// drained (their scores received) before the shutdown broadcast, so no
+	// process is torn down with work in flight. The static scheduler stops
+	// at the next step boundary. The result carries Stopped=true and the
+	// game played so far.
+	StopAfter time.Duration
 }
 
 // jobScale returns the effective client work multiplier.
@@ -116,6 +213,23 @@ func (cfg *Config) jobScale() int64 {
 		return 1
 	}
 	return cfg.JobScale
+}
+
+// prefetch returns the effective pull-scheduler request window.
+func (cfg *Config) prefetch() int {
+	switch {
+	case cfg.Prefetch < 0:
+		return 0
+	case cfg.Prefetch == 0:
+		return 1
+	default:
+		return cfg.Prefetch
+	}
+}
+
+// stopDue reports whether the StopAfter budget has run out.
+func (cfg *Config) stopDue(c mpi.Comm) bool {
+	return cfg.StopAfter > 0 && c.Now() >= cfg.StopAfter
 }
 
 // Result is the outcome of a run.
@@ -137,6 +251,24 @@ type Result struct {
 	// ClientBusy maps each client index to its cumulative busy virtual
 	// time; utilization = busy / Elapsed. Only filled by virtual runs.
 	ClientBusy []time.Duration
+	// ClientIdle maps each client index to its cumulative time blocked in
+	// Recv — waiting for a job or for the shutdown broadcast. Idle spread
+	// across ranks is the load-imbalance signal the pull scheduler exists
+	// to shrink.
+	ClientIdle []time.Duration
+	// MedianIdle maps each median index to its cumulative Recv-blocked
+	// time: waiting for a candidate (static: its turn in the cyclic order;
+	// pull: a grant), for a dispatcher assignment, or for client results.
+	MedianIdle []time.Duration
+	// Steps is the number of root game steps played.
+	Steps int
+	// Stopped is true when Config.StopAfter cancelled the game early.
+	Stopped bool
+	// QueueDepthMax / QueueDepthMean profile the pull scheduler's ready
+	// queue (candidates offered but not yet granted), sampled at every
+	// offer/request transition. Zero under the static scheduler.
+	QueueDepthMax  int
+	QueueDepthMean float64
 }
 
 // Event is one protocol communication, labelled like the paper's figures:
@@ -178,8 +310,16 @@ func Execute(cl mpi.Cluster, lay cluster.Layout, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("parallel: layout needs medians and clients")
 	}
 
-	res := &Result{ClientBusy: make([]time.Duration, len(lay.Clients))}
-	coll := &collector{busy: make([]time.Duration, len(lay.Clients))}
+	res := &Result{
+		ClientBusy: make([]time.Duration, len(lay.Clients)),
+		ClientIdle: make([]time.Duration, len(lay.Clients)),
+		MedianIdle: make([]time.Duration, len(lay.Medians)),
+	}
+	coll := &collector{
+		busy:       make([]time.Duration, len(lay.Clients)),
+		clientIdle: make([]time.Duration, len(lay.Clients)),
+		medianIdle: make([]time.Duration, len(lay.Medians)),
+	}
 
 	cl.Start(lay.Root, func(c mpi.Comm) {
 		runRoot(c, lay, &cfg, res)
@@ -187,9 +327,10 @@ func Execute(cl mpi.Cluster, lay cluster.Layout, cfg Config) (Result, error) {
 	cl.Start(lay.Dispatcher, func(c mpi.Comm) {
 		runDispatcher(c, lay, &cfg)
 	})
-	for _, m := range lay.Medians {
+	for i, m := range lay.Medians {
+		i := i
 		cl.Start(m, func(c mpi.Comm) {
-			runMedian(c, lay, &cfg)
+			runMedian(c, lay, &cfg, i, coll)
 		})
 	}
 	for i, cr := range lay.Clients {
@@ -203,5 +344,7 @@ func Execute(cl mpi.Cluster, lay cluster.Layout, cfg Config) (Result, error) {
 	res.Jobs = coll.jobs
 	res.WorkUnits = coll.units
 	copy(res.ClientBusy, coll.busy)
+	copy(res.ClientIdle, coll.clientIdle)
+	copy(res.MedianIdle, coll.medianIdle)
 	return *res, nil
 }

@@ -7,7 +7,139 @@ import (
 	"repro/internal/mpi"
 )
 
-// runRoot is the paper's root process (§IV-A pseudocode):
+// runRoot plays the top-level game. The default scheduler is demand-driven
+// (runRootPull); Config.Static selects the paper's cyclic push scheduler
+// (runRootStatic). Both play the exact same game — client scores are keyed
+// by logical job coordinates, not by executing rank — so the choice only
+// affects timing.
+func runRoot(c mpi.Comm, lay cluster.Layout, cfg *Config, res *Result) {
+	if cfg.Static {
+		runRootStatic(c, lay, cfg, res)
+	} else {
+		runRootPull(c, lay, cfg, res)
+	}
+	// Tear down every other process, as mpirun would at the end of a run.
+	for r := 0; r < c.Size(); r++ {
+		if mpi.Rank(r) != c.Rank() {
+			c.Send(mpi.Rank(r), tagShutdown, nil)
+		}
+	}
+}
+
+// argmax returns the index of the highest score; ties go to the first-seen
+// move, matching the sequential search's argmax.
+func argmax(scores []float64) int {
+	best := 0
+	for i := 1; i < len(scores); i++ {
+		if scores[i] > scores[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// runRootPull is the demand-driven root scheduler. Every step, the root
+// offers one candidate position per legal move to its work queue; idle
+// medians pull them with (q) work requests and are answered with (g)
+// grants. Grants self-balance: a 2×-slower median simply requests half as
+// often, instead of stalling the whole step as it does under the static
+// cyclic order. Scores come back tagged with their candidate index, so no
+// pairing bookkeeping is needed.
+//
+//	1 while not end of game
+//	2   offer one child position per possible move to the work queue
+//	3   while scores missing
+//	4     on work request: grant the oldest queued child (or queue the median)
+//	5     on score: record it against its candidate index
+//	6   position = play(move with best score)
+//	7 return score
+//
+// A StopAfter budget cancels mid-step: queued candidates are abandoned,
+// already-granted ones are drained (line 5 keeps running) before returning.
+func runRootPull(c mpi.Comm, lay cluster.Layout, cfg *Config, res *Result) {
+	st := cfg.Root.Clone()
+	var moves []game.Move
+	var pool core.StatePool
+	var shipped []game.State // this step's shipped positions, by move index
+	var scores []float64
+
+	src := mpi.NewPullSource(c, tagPosition)
+	src.Granted = func(to mpi.Rank) { cfg.trace("g", c.Rank(), to, c.Now()) }
+
+	for step := 0; ; step++ {
+		moves = st.LegalMoves(moves[:0])
+		if len(moves) == 0 {
+			break
+		}
+		if cfg.stopDue(c) {
+			res.Stopped = true
+			break
+		}
+
+		// Offer every candidate of the step (line 2). Medians whose
+		// requests queued up during the previous step are granted
+		// immediately; the rest of the queue drains on demand. Shipped
+		// positions recycle last step's states through the free list.
+		shipped = shipped[:0]
+		scores = scores[:0]
+		for i, m := range moves {
+			child := pool.Get(st)
+			c.Work(core.CloneCost)
+			child.Play(m)
+			c.Work(1)
+			shipped = append(shipped, child)
+			scores = append(scores, 0)
+			src.Offer(candidate{Step: step, Cand: i, State: child})
+		}
+
+		// Serve requests and gather scores (lines 3–5) until every
+		// non-abandoned candidate is scored.
+		want := len(moves)
+		got := 0
+		for got < want {
+			msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
+			switch msg.Tag {
+			case tagWorkReq:
+				src.Request(msg.From)
+			case tagScore:
+				sc := msg.Payload.(stepScore)
+				scores[sc.Cand] = sc.Score
+				pool.Put(shipped[sc.Cand])
+				src.Done()
+				got++
+			}
+			if !res.Stopped && cfg.stopDue(c) {
+				// Mid-step cancellation: stop granting, drain what is out.
+				res.Stopped = true
+				want -= src.Abandon()
+			}
+		}
+		if res.Stopped {
+			break
+		}
+
+		// Play the best move (line 6).
+		best := argmax(scores)
+		st.Play(moves[best])
+		c.Work(1)
+		res.Steps++
+		if len(res.Sequence) == 0 {
+			res.FirstMove = moves[best]
+			if cfg.FirstMoveOnly {
+				res.Score = scores[best]
+				res.Sequence = append(res.Sequence, moves[best])
+				res.QueueDepthMax, res.QueueDepthMean = src.DepthStats()
+				return
+			}
+		}
+		res.Sequence = append(res.Sequence, moves[best])
+	}
+
+	res.Score = st.Score()
+	res.QueueDepthMax, res.QueueDepthMean = src.DepthStats()
+}
+
+// runRootStatic is the paper's root process (§IV-A pseudocode):
 //
 //	1 while not end of game
 //	2   node = first median node
@@ -22,18 +154,29 @@ import (
 //
 // Candidate positions go to medians cyclically; when there are more moves
 // than medians a median receives several positions and answers them in
-// order (mailboxes are FIFO per sender, like MPI message ordering). After
-// the game (or after the first move in first-move mode) the root
-// broadcasts a shutdown to tear the world down, as mpirun would.
-func runRoot(c mpi.Comm, lay cluster.Layout, cfg *Config, res *Result) {
+// order (mailboxes are FIFO per sender, like MPI message ordering), so
+// pairing scores to moves only needs a per-median FIFO of move indices.
+// Kept behind Config.Static as the A/B baseline for the paper's tables.
+func runRootStatic(c mpi.Comm, lay cluster.Layout, cfg *Config, res *Result) {
 	st := cfg.Root.Clone()
 	var moves []game.Move
 	var pool core.StatePool
 	var shipped []game.State // this step's shipped positions, by move index
+	// The score-pairing queues are reused across steps: the map is cleared,
+	// not reallocated, every iteration.
+	queues := make(map[mpi.Rank][]int, len(lay.Medians))
+	var scores []float64
 
-	for {
+	for step := 0; ; step++ {
 		moves = st.LegalMoves(moves[:0])
 		if len(moves) == 0 {
+			break
+		}
+		if cfg.stopDue(c) {
+			// The static scheduler stops at step boundaries only: once the
+			// fan-out of lines 3–6 has happened, every shipped position
+			// must be answered anyway.
+			res.Stopped = true
 			break
 		}
 
@@ -42,27 +185,23 @@ func runRoot(c mpi.Comm, lay cluster.Layout, cfg *Config, res *Result) {
 		// a position once it has sent its score back, so last step's
 		// states are rewritten in place instead of allocating fresh ones.
 		shipped = shipped[:0]
+		scores = scores[:0]
 		for i, m := range moves {
 			child := pool.Get(st)
 			c.Work(core.CloneCost)
 			child.Play(m)
 			c.Work(1)
 			shipped = append(shipped, child)
+			scores = append(scores, 0)
 			med := lay.Medians[i%len(lay.Medians)]
 			cfg.trace("a", c.Rank(), med, c.Now())
-			c.Send(med, tagPosition, child)
-		}
-
-		// Receive one score per candidate (lines 7–8). A median that got
-		// several positions answers them in send order, so pairing scores
-		// to moves only needs a per-median FIFO of move indices. Each
-		// received score also releases the position it answers.
-		queues := make(map[mpi.Rank][]int, len(lay.Medians))
-		for i := range moves {
-			med := lay.Medians[i%len(lay.Medians)]
+			c.Send(med, tagPosition, candidate{Step: step, Cand: i, State: child})
 			queues[med] = append(queues[med], i)
 		}
-		scores := make([]float64, len(moves))
+
+		// Receive one bare score per candidate (lines 7–8), paired through
+		// the per-median FIFO. Each received score also releases the
+		// position it answers.
 		for range moves {
 			msg := c.Recv(mpi.AnyRank, tagScore)
 			q := queues[msg.From]
@@ -70,36 +209,25 @@ func runRoot(c mpi.Comm, lay cluster.Layout, cfg *Config, res *Result) {
 			pool.Put(shipped[q[0]])
 			queues[msg.From] = q[1:]
 		}
-
-		// Play the best move (line 9). Ties go to the first-seen move,
-		// matching the sequential argmax.
-		best := 0
-		for i := 1; i < len(scores); i++ {
-			if scores[i] > scores[best] {
-				best = i
-			}
+		for k := range queues {
+			delete(queues, k)
 		}
+
+		// Play the best move (line 9).
+		best := argmax(scores)
 		st.Play(moves[best])
 		c.Work(1)
+		res.Steps++
 		if len(res.Sequence) == 0 {
 			res.FirstMove = moves[best]
 			if cfg.FirstMoveOnly {
 				res.Score = scores[best]
 				res.Sequence = append(res.Sequence, moves[best])
-				break
+				return
 			}
 		}
 		res.Sequence = append(res.Sequence, moves[best])
 	}
 
-	if !cfg.FirstMoveOnly {
-		res.Score = st.Score()
-	}
-
-	// Tear down every other process.
-	for r := 0; r < c.Size(); r++ {
-		if mpi.Rank(r) != c.Rank() {
-			c.Send(mpi.Rank(r), tagShutdown, nil)
-		}
-	}
+	res.Score = st.Score()
 }

@@ -32,6 +32,28 @@ func NewStream(seed uint64, stream uint64) *Rand {
 	return New(mix(seed, stream))
 }
 
+// Fold hashes a sequence of words into a single stream identifier with a
+// strong avalanche at every step. The parallel search derives one stream
+// per client job from the job's logical coordinates in the search tree
+// (root step, root candidate, median step, median candidate), so a job's
+// random stream — and therefore its score — does not depend on which
+// physical rank happens to execute it. That independence is what lets the
+// pull and static schedulers produce bit-identical move sequences.
+func Fold(parts ...uint64) uint64 {
+	h := uint64(0x6d75706c6c)
+	for _, p := range parts {
+		h = mix(h, p)
+	}
+	return h
+}
+
+// SeedStream resets the generator to the stream-th independent stream of
+// the family identified by seed, like NewStream but reusing the receiver's
+// allocation (the client processes reseed one generator per job).
+func (r *Rand) SeedStream(seed, stream uint64) {
+	r.Seed(mix(seed, stream))
+}
+
 // mix combines two words into one with a strong avalanche, so nearby
 // (seed, stream) pairs produce unrelated states.
 func mix(a, b uint64) uint64 {

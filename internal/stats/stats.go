@@ -105,6 +105,35 @@ func FormatDuration(d time.Duration) string {
 	}
 }
 
+// FormatPercent renders a ratio as a percentage with one decimal, for the
+// idle-time and utilization columns of the scheduler tables.
+func FormatPercent(x float64) string {
+	return fmt.Sprintf("%.1f%%", 100*x)
+}
+
+// Utilization returns busy/total as a ratio in [0, 1], or 0 when total is
+// not positive.
+func Utilization(busy, total time.Duration) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return float64(busy) / float64(total)
+}
+
+// MeanFraction returns the mean of parts[i]/whole — e.g. the mean idle
+// fraction of a rank group over a run's makespan. Zero when parts is
+// empty or whole is not positive.
+func MeanFraction(parts []time.Duration, whole time.Duration) float64 {
+	if len(parts) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, p := range parts {
+		sum += p
+	}
+	return Utilization(sum, whole*time.Duration(len(parts)))
+}
+
 // PaperStyle renders the accumulator the way the paper's tables report
 // times: mean with the standard deviation in parentheses; a single run is
 // rendered fully parenthesized, as in "(2h10m)", matching the paper's

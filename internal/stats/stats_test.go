@@ -150,3 +150,15 @@ func TestTableRender(t *testing.T) {
 		t.Errorf("table has %d lines, want 5:\n%s", len(lines), out)
 	}
 }
+
+func TestFormatPercentAndUtilization(t *testing.T) {
+	if got := FormatPercent(0.346); got != "34.6%" {
+		t.Fatalf("FormatPercent: %q", got)
+	}
+	if got := Utilization(30*time.Second, 2*time.Minute); got != 0.25 {
+		t.Fatalf("Utilization: %v", got)
+	}
+	if got := Utilization(time.Second, 0); got != 0 {
+		t.Fatalf("Utilization with zero total: %v", got)
+	}
+}

@@ -67,9 +67,89 @@ func newRoles(lay cluster.Layout) roles {
 	return r
 }
 
+// ValidatePull checks the structural invariants of the pull scheduler's
+// protocol: work requests (q) go median→root, grants (g) root→median with
+// at most one grant per request, every grant is answered by a score (d),
+// and the client layer keeps the (b)/(c)/(c') invariants with every client
+// announcing availability after every job (the demand dispatcher is
+// availability-driven for both policies).
+func ValidatePull(events []parallel.Event, lay cluster.Layout) error {
+	ro := newRoles(lay)
+	var nQ, nG, nD, nJobs, nResults, nFree int
+	outstanding := map[mpi.Rank]int{} // jobs in flight per client
+
+	for i, e := range events {
+		switch e.Kind {
+		case "q": // work request: an idle median pulls from the root
+			if !ro.median[e.From] || e.To != ro.root {
+				return fmt.Errorf("event %d: (q) must go median->root, got %d->%d", i, e.From, e.To)
+			}
+			nQ++
+		case "g": // work grant: the root ships the next candidate
+			if e.From != ro.root || !ro.median[e.To] {
+				return fmt.Errorf("event %d: (g) must go root->median, got %d->%d", i, e.From, e.To)
+			}
+			nG++
+		case "b":
+			switch {
+			case ro.median[e.From] && e.To == ro.dispatcher:
+				// request
+			case e.From == ro.dispatcher && ro.median[e.To]:
+				// assignment
+			case ro.median[e.From] && ro.client[e.To]:
+				nJobs++
+				outstanding[e.To]++
+			default:
+				return fmt.Errorf("event %d: (b) between unexpected roles %d->%d", i, e.From, e.To)
+			}
+		case "c":
+			if !ro.client[e.From] || !ro.median[e.To] {
+				return fmt.Errorf("event %d: (c) must go client->median, got %d->%d", i, e.From, e.To)
+			}
+			if outstanding[e.From] <= 0 {
+				return fmt.Errorf("event %d: client %d sent a result with no job in flight", i, e.From)
+			}
+			outstanding[e.From]--
+			nResults++
+		case "c'":
+			if !ro.client[e.From] || e.To != ro.dispatcher {
+				return fmt.Errorf("event %d: (c') must go client->dispatcher, got %d->%d", i, e.From, e.To)
+			}
+			nFree++
+		case "d":
+			if !ro.median[e.From] || e.To != ro.root {
+				return fmt.Errorf("event %d: (d) must go median->root, got %d->%d", i, e.From, e.To)
+			}
+			nD++
+		default:
+			return fmt.Errorf("event %d: unknown kind %q under pull scheduling", i, e.Kind)
+		}
+	}
+
+	if nG > nQ {
+		return fmt.Errorf("more grants than requests: %d grants, %d requests", nG, nQ)
+	}
+	if nD != nG {
+		return fmt.Errorf("every grant needs a score: %d grants, %d scores", nG, nD)
+	}
+	if nJobs != nResults {
+		return fmt.Errorf("every job needs a result: %d jobs, %d results", nJobs, nResults)
+	}
+	if nFree != nResults {
+		return fmt.Errorf("every result needs a free notice: %d results, %d notices", nResults, nFree)
+	}
+	for c, n := range outstanding {
+		if n != 0 {
+			return fmt.Errorf("client %d still has %d jobs in flight at end of trace", c, n)
+		}
+	}
+	return nil
+}
+
 // Validate checks the structural invariants of the paper's communication
-// diagrams on an event stream recorded from a run with the given layout
-// and algorithm. It returns nil when the stream is consistent.
+// diagrams on an event stream recorded from a static-scheduler run with
+// the given layout and algorithm. It returns nil when the stream is
+// consistent. Pull-scheduler streams are validated by ValidatePull.
 func Validate(events []parallel.Event, algo parallel.Algorithm, lay cluster.Layout) error {
 	ro := newRoles(lay)
 	var nA, nD, nJobs, nResults, nFree int

@@ -20,6 +20,7 @@ func runTraced(t *testing.T, algo parallel.Algorithm) ([]parallel.Event, cluster
 	cfg := parallel.Config{
 		Algo: algo, Level: 2, Root: morpion.New(morpion.Var4D),
 		Seed: 4, Memorize: true, FirstMoveOnly: true, Tracer: col,
+		Static: true, // the figures document the paper's static protocol
 	}
 	_, err := parallel.RunVirtual(spec, cfg, parallel.VirtualOptions{
 		UnitCost: time.Microsecond, Medians: 8,
@@ -62,6 +63,67 @@ func TestLastMinuteTraceValidates(t *testing.T) {
 	}
 	if sum["c'"] != sum["c"] {
 		t.Fatalf("free notices %d != results %d", sum["c'"], sum["c"])
+	}
+}
+
+func TestPullTraceValidates(t *testing.T) {
+	// The pull scheduler's protocol: (q) work requests, (g) grants, and an
+	// availability-driven client layer where every result is preceded by a
+	// free notice, for both dispatcher policies.
+	for _, algo := range []parallel.Algorithm{parallel.RoundRobin, parallel.LastMinute} {
+		col := &Collector{}
+		spec := cluster.Homogeneous(4)
+		lay := spec.Layout(8)
+		cfg := parallel.Config{
+			Algo: algo, Level: 2, Root: morpion.New(morpion.Var4D),
+			Seed: 4, Memorize: true, FirstMoveOnly: true, Tracer: col,
+		}
+		if _, err := parallel.RunVirtual(spec, cfg, parallel.VirtualOptions{
+			UnitCost: time.Microsecond, Medians: 8,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		events := col.Events()
+		if err := ValidatePull(events, lay); err != nil {
+			t.Fatalf("%v: pull trace invalid: %v", algo, err)
+		}
+		sum := Summary(events)
+		if sum["q"] == 0 || sum["g"] == 0 {
+			t.Fatalf("%v: pull trace missing work requests/grants: %v", algo, sum)
+		}
+		if sum["a"] != 0 {
+			t.Fatalf("%v: pull trace recorded static pushes: %v", algo, sum)
+		}
+		if sum["g"] != sum["d"] {
+			t.Fatalf("%v: grants %d != scores %d", algo, sum["g"], sum["d"])
+		}
+	}
+}
+
+func TestValidatePullCatchesBadStreams(t *testing.T) {
+	lay := cluster.Homogeneous(2).Layout(2)
+	med := lay.Medians[0]
+
+	cases := map[string][]parallel.Event{
+		"q from non-median": {
+			{Kind: "q", From: lay.Root, To: lay.Root},
+		},
+		"grant without request": {
+			{Kind: "g", From: lay.Root, To: med},
+			{Kind: "d", From: med, To: lay.Root},
+		},
+		"grant without score": {
+			{Kind: "q", From: med, To: lay.Root},
+			{Kind: "g", From: lay.Root, To: med},
+		},
+		"static push under pull": {
+			{Kind: "a", From: lay.Root, To: med},
+		},
+	}
+	for name, evs := range cases {
+		if err := ValidatePull(evs, lay); err == nil {
+			t.Errorf("%s: invalid pull stream accepted", name)
+		}
 	}
 }
 
