@@ -1,0 +1,215 @@
+// Command pnmcsd serves nested Monte-Carlo searches over HTTP: the
+// long-lived, multi-tenant form of the paper's root/median/client cluster
+// (see internal/service). Workers are built once at startup and reused
+// across every request; concurrent jobs are multiplexed onto them with
+// bounded-queue backpressure.
+//
+// Start a daemon:
+//
+//	pnmcsd -addr :8723 -slots 4 -medians 4 -clients 8 -queue 16
+//
+// Submit a job (any bundled domain, any level ≥ 2):
+//
+//	curl -s -X POST localhost:8723/v1/jobs -d \
+//	  '{"domain":"morpion","variant":"5D","level":2,"seed":7,"memorize":true}'
+//	→ {"id":"job-1","state":"queued",...}
+//
+// Poll it, cancel it, watch the pool:
+//
+//	curl -s localhost:8723/v1/jobs/job-1      # status + streaming progress
+//	curl -s -X DELETE localhost:8723/v1/jobs/job-1
+//	curl -s localhost:8723/healthz
+//	curl -s localhost:8723/metrics            # idle / queue-depth counters
+//
+// A saturated service answers POST /v1/jobs with 503 and Retry-After
+// instead of queueing unboundedly. SIGINT/SIGTERM drains gracefully:
+// queued jobs are cancelled, running jobs finish (bounded by -drain),
+// and the pool is torn down with no work in flight.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8723", "listen address")
+	slots := flag.Int("slots", 4, "concurrent jobs served at once")
+	medians := flag.Int("medians", 4, "shared median workers")
+	clients := flag.Int("clients", 8, "shared rollout workers")
+	queue := flag.Int("queue", 16, "jobs queued beyond the running slots before 503")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for running jobs")
+	flag.Parse()
+
+	mgr, err := service.New(service.Config{
+		Slots:      *slots,
+		Medians:    *medians,
+		Clients:    *clients,
+		QueueLimit: *queue,
+		Algo:       parallel.LastMinute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newMux(mgr)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("pnmcsd listening on %s: %d slots, %d medians, %d clients, queue %d",
+		*addr, *slots, *medians, *clients, *queue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("%v: draining (budget %v)", s, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	srv.Shutdown(ctx) //nolint:errcheck // job drain below is the real teardown
+	if err := mgr.Shutdown(ctx); err != nil {
+		log.Printf("forced drain: %v", err)
+	}
+	log.Print("pnmcsd stopped")
+}
+
+// newMux wires the API routes onto a fresh mux. Split from main so the
+// handler tests can drive the full HTTP surface without a socket.
+func newMux(mgr *service.Manager) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(mgr, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, mgr.Jobs())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := mgr.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := mgr.Cancel(id); err != nil {
+			writeError(w, err)
+			return
+		}
+		st, err := mgr.Get(id)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		m := mgr.Metrics()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":  "ok",
+			"slots":   m.Slots,
+			"running": m.Running,
+			"queued":  m.Queued,
+		})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeMetrics(w, mgr.Metrics())
+	})
+	return mux
+}
+
+func handleSubmit(mgr *service.Manager, w http.ResponseWriter, r *http.Request) {
+	var spec service.JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad job spec: " + err.Error()})
+		return
+	}
+	// Fire-and-forget: the job's lifetime is owned by the service, not by
+	// this request's context.
+	id, err := mgr.Submit(context.Background(), spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := mgr.Get(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// writeError maps service errors onto HTTP statuses: saturation is the
+// documented 503 (with Retry-After), unknown ids 404, finished jobs 409,
+// shutdown 503, anything else a 400 (the spec was at fault).
+func writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, service.ErrSaturated):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	case errors.Is(err, service.ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	case errors.Is(err, service.ErrNotFound):
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+	case errors.Is(err, service.ErrFinished):
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+// writeMetrics renders the service counters and the pool's idle /
+// queue-depth instrumentation in Prometheus text exposition format.
+func writeMetrics(w http.ResponseWriter, m service.Metrics) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	emit := func(name, typ, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
+	}
+	emit("pnmcs_jobs_submitted_total", "counter", "jobs accepted by Submit", m.Submitted)
+	emit("pnmcs_jobs_rejected_total", "counter", "submissions shed with 503 (queue full)", m.Rejected)
+	emit("pnmcs_jobs_completed_total", "counter", "jobs finished normally", m.Completed)
+	emit("pnmcs_jobs_cancelled_total", "counter", "jobs cancelled", m.Cancelled)
+	emit("pnmcs_jobs_failed_total", "counter", "jobs failed", m.Failed)
+	emit("pnmcs_jobs_running", "gauge", "jobs on a slot now", m.Running)
+	emit("pnmcs_jobs_queued", "gauge", "jobs waiting for a slot", m.Queued)
+	emit("pnmcs_slots", "gauge", "concurrent job capacity", m.Slots)
+	emit("pnmcs_pool_rollouts_total", "counter", "client rollouts executed", m.Pool.Jobs)
+	emit("pnmcs_pool_work_units_total", "counter", "metered rollout work units", m.Pool.WorkUnits)
+	emit("pnmcs_pool_queue_depth_max", "gauge", "peak scheduler ready-queue depth", m.Pool.QueueDepthMax)
+	emit("pnmcs_pool_queue_depth_mean", "gauge", "mean scheduler ready-queue depth", m.Pool.QueueDepthMean)
+	for i, d := range m.Pool.MedianIdle {
+		fmt.Fprintf(&b, "pnmcs_pool_median_idle_seconds{median=\"%d\"} %g\n", i, d.Seconds())
+	}
+	for i, d := range m.Pool.ClientIdle {
+		fmt.Fprintf(&b, "pnmcs_pool_client_idle_seconds{client=\"%d\"} %g\n", i, d.Seconds())
+	}
+	w.Write([]byte(b.String())) //nolint:errcheck // client went away; nothing to do
+}

@@ -1,0 +1,209 @@
+package main
+
+// Handler-level tests of the pnmcsd HTTP surface: the full mux is driven
+// through httptest recorders (no sockets), backed by a real Manager and
+// worker pool.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+func newTestServer(t *testing.T, cfg service.Config) *http.ServeMux {
+	t.Helper()
+	mgr, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx) //nolint:errcheck // best-effort teardown
+	})
+	return newMux(mgr)
+}
+
+func do(mux *http.ServeMux, method, path, body string) *httptest.ResponseRecorder {
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, path, nil)
+	} else {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeStatus(t *testing.T, rec *httptest.ResponseRecorder) service.JobStatus {
+	t.Helper()
+	var st service.JobStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("bad status JSON: %v\n%s", err, rec.Body.String())
+	}
+	return st
+}
+
+func TestSubmitStatusLifecycle(t *testing.T) {
+	mux := newTestServer(t, service.Config{Slots: 2, Medians: 2, Clients: 2})
+
+	rec := do(mux, "POST", "/v1/jobs", `{"domain":"sudoku","box":2,"level":2,"seed":1,"memorize":true}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d\n%s", rec.Code, rec.Body.String())
+	}
+	st := decodeStatus(t, rec)
+	if st.ID == "" || st.State.Terminal() {
+		t.Fatalf("fresh job: %+v", st)
+	}
+
+	// Poll until terminal (the 4x4 grid finishes in well under a second).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rec = do(mux, "GET", "/v1/jobs/"+st.ID, "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status: %d", rec.Code)
+		}
+		st = decodeStatus(t, rec)
+		if st.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.State != service.StateDone || st.Score != 16 {
+		t.Fatalf("final status: state %s score %v", st.State, st.Score)
+	}
+
+	// The listing contains it.
+	rec = do(mux, "GET", "/v1/jobs", "")
+	var all []service.JobStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &all); err != nil || len(all) != 1 {
+		t.Fatalf("listing: %v %s", err, rec.Body.String())
+	}
+
+	// Cancelling a finished job is a conflict.
+	rec = do(mux, "DELETE", "/v1/jobs/"+st.ID, "")
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("cancel finished: %d", rec.Code)
+	}
+}
+
+func TestSubmitRejectsBadSpecs(t *testing.T) {
+	mux := newTestServer(t, service.Config{Slots: 1, Medians: 1, Clients: 1})
+	for _, body := range []string{
+		``,
+		`not json`,
+		`{"domain":"chess"}`,
+		`{"domain":"morpion","level":1}`,
+		`{"domain":"morpion","nope":1}`, // unknown field
+	} {
+		rec := do(mux, "POST", "/v1/jobs", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("body %q: code %d, want 400", body, rec.Code)
+		}
+	}
+}
+
+func TestBackpressure503(t *testing.T) {
+	mux := newTestServer(t, service.Config{Slots: 1, Medians: 1, Clients: 1, QueueLimit: 1})
+	// One long-running job fills the slot, one fills the queue.
+	long := `{"domain":"morpion","variant":"5D","level":2,"seed":%d,"memorize":true}`
+	for i := 1; i <= 2; i++ {
+		rec := do(mux, "POST", "/v1/jobs", fmt.Sprintf(long, i))
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, rec.Code)
+		}
+	}
+	rec := do(mux, "POST", "/v1/jobs", fmt.Sprintf(long, 3))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated submit: %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	mux := newTestServer(t, service.Config{Slots: 1, Medians: 2, Clients: 2})
+	rec := do(mux, "POST", "/v1/jobs", `{"domain":"morpion","variant":"5D","level":2,"seed":9,"memorize":true}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d", rec.Code)
+	}
+	id := decodeStatus(t, rec).ID
+
+	rec = do(mux, "DELETE", "/v1/jobs/"+id, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cancel: %d\n%s", rec.Code, rec.Body.String())
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := decodeStatus(t, do(mux, "GET", "/v1/jobs/"+id, ""))
+		if st.State.Terminal() {
+			if st.State != service.StateCancelled {
+				t.Fatalf("cancelled job ended as %s", st.State)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled job never drained")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestUnknownJobIs404(t *testing.T) {
+	mux := newTestServer(t, service.Config{Slots: 1, Medians: 1, Clients: 1})
+	if rec := do(mux, "GET", "/v1/jobs/job-404", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("status: %d", rec.Code)
+	}
+	if rec := do(mux, "DELETE", "/v1/jobs/job-404", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("cancel: %d", rec.Code)
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	mux := newTestServer(t, service.Config{Slots: 2, Medians: 2, Clients: 2})
+	rec := do(mux, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Run one job so the counters move.
+	id := decodeStatus(t, do(mux, "POST", "/v1/jobs",
+		`{"domain":"sudoku","box":2,"level":2,"seed":1,"memorize":true}`)).ID
+	deadline := time.Now().Add(30 * time.Second)
+	for !decodeStatus(t, do(mux, "GET", "/v1/jobs/"+id, "")).State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	rec = do(mux, "GET", "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"pnmcs_jobs_submitted_total 1",
+		"pnmcs_jobs_completed_total 1",
+		"pnmcs_pool_rollouts_total",
+		"pnmcs_pool_queue_depth_max",
+		`pnmcs_pool_median_idle_seconds{median="0"}`,
+		`pnmcs_pool_client_idle_seconds{client="1"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

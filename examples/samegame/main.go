@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	pnmcs "repro"
 )
@@ -34,4 +35,17 @@ func main() {
 			fmt.Println(final.Render())
 		}
 	}
+
+	// The same board through the paper's parallel search, natively on
+	// goroutines: the root plays at level 2 with medians evaluating every
+	// candidate move through client rollouts.
+	res, err := pnmcs.RunWall(8, 4, pnmcs.ParallelConfig{
+		Algo: pnmcs.LastMinute, Level: 2, Root: board.Clone(),
+		Seed: 99, Memorize: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nparallel level 2 on 8 clients: score %.0f in %d moves (%v wall)\n",
+		res.Score, len(res.Sequence), res.Elapsed.Round(1e6))
 }

@@ -7,6 +7,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
+	"time"
 
 	pnmcs "repro"
 )
@@ -35,4 +37,17 @@ func main() {
 			fmt.Println(grid.Render())
 		}
 	}
+
+	// The 9x9 grid through the paper's parallel search on the simulated
+	// 64-client cluster: deterministic virtual makespan, same fill count
+	// for the same seed on any machine.
+	res, err := pnmcs.RunVirtual(pnmcs.PaperCluster(), pnmcs.ParallelConfig{
+		Algo: pnmcs.LastMinute, Level: 2, Root: pnmcs.NewSudoku(3),
+		Seed: *seed, Memorize: true, JobScale: 8000,
+	}, pnmcs.VirtualOptions{UnitCost: time.Microsecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nparallel level 2 on the simulated paper cluster: filled %d/81 cells, virtual time %v\n",
+		int(res.Score), res.Elapsed.Round(1e9))
 }

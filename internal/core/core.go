@@ -151,6 +151,13 @@ func NewSearcher(r *rng.Rand, opt Options) *Searcher {
 // Stats returns the cumulative instrumentation counters.
 func (s *Searcher) Stats() Stats { return s.stats }
 
+// Reseed resets the searcher's random source to the stream-th independent
+// stream of the family identified by seed (see rng.SeedStream). Persistent
+// workers that serve one rollout per logical job reseed before every job,
+// which is what makes a job's result independent of the worker that runs
+// it and of whatever ran on that worker before.
+func (s *Searcher) Reseed(seed, stream uint64) { s.rng.SeedStream(seed, stream) }
+
 // Sample plays uniformly random moves on st until the game ends and returns
 // the terminal score and the moves played. st is mutated to the terminal
 // position. This is the paper's "sample" function.

@@ -18,17 +18,36 @@ import (
 type StatePool struct {
 	free []game.State
 	ty   reflect.Type // dynamic type of the pooled states
+	// parked holds the free lists of domains other than the current one.
+	// A long-lived worker serving interleaved jobs of different domains
+	// (the search service's shared medians and clients) switches domains
+	// every few jobs; parking instead of dropping keeps every domain's
+	// warm states across the whole pool lifetime. nil until a pool owner
+	// actually sees a second domain, so single-domain users pay nothing.
+	parked map[reflect.Type][]game.State
 }
 
 // Get returns an independent deep copy of src, recycling a released state
-// when one of the same dynamic type is available. The pool resets itself
-// when src's domain changes, so a pool owner may be reused across domains;
-// same-domain parameter changes (variant, board size) are absorbed by
-// CopyFrom itself, which reallocates the recycled state's buffers.
+// when one of the same dynamic type is available. When src's domain
+// changes the current free list is parked and the new domain's parked
+// list (if any) is taken up, so a pool owner reused across domains keeps
+// each domain's warm states; same-domain parameter changes (variant,
+// board size) are absorbed by CopyFrom itself, which reallocates the
+// recycled state's buffers.
 func (p *StatePool) Get(src game.State) game.State {
 	if ty := reflect.TypeOf(src); ty != p.ty {
+		if p.ty != nil {
+			if p.parked == nil {
+				p.parked = make(map[reflect.Type][]game.State)
+			}
+			p.parked[p.ty] = p.free
+			p.free = nil
+		}
 		p.ty = ty
-		p.free = p.free[:0]
+		if parked, ok := p.parked[ty]; ok {
+			p.free = parked
+			delete(p.parked, ty)
+		}
 	}
 	if n := len(p.free); n > 0 {
 		st := p.free[n-1]
@@ -41,9 +60,20 @@ func (p *StatePool) Get(src game.State) game.State {
 
 // Put releases a state obtained from Get once its user is done with it.
 // Only game.Copier states can be rewritten in place, so others are left to
-// the garbage collector.
+// the garbage collector. A state whose domain differs from the pool's
+// current one (it was held across a domain switch) goes to that domain's
+// parked list, never onto the current free list — CopyFrom requires
+// matching concrete types.
 func (p *StatePool) Put(st game.State) {
-	if _, ok := st.(game.Copier); ok {
-		p.free = append(p.free, st)
+	if _, ok := st.(game.Copier); !ok {
+		return
 	}
+	if ty := reflect.TypeOf(st); ty != p.ty {
+		if p.parked == nil {
+			p.parked = make(map[reflect.Type][]game.State)
+		}
+		p.parked[ty] = append(p.parked[ty], st)
+		return
+	}
+	p.free = append(p.free, st)
 }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/morpion"
+	"repro/internal/samegame"
+	"repro/internal/sudoku"
+)
+
+// TestStatePoolRecyclesWithinDomain pins the basic free-list behaviour: a
+// released Copier state is handed out again instead of a fresh clone.
+func TestStatePoolRecyclesWithinDomain(t *testing.T) {
+	var p StatePool
+	src := morpion.New(morpion.Var4D)
+	a := p.Get(src)
+	p.Put(a)
+	b := p.Get(src)
+	if a != b {
+		t.Fatal("released state was not recycled")
+	}
+}
+
+// TestStatePoolParksAcrossDomains pins the service-pool behaviour: a
+// worker alternating between domains keeps each domain's warm states
+// instead of discarding them at every switch.
+func TestStatePoolParksAcrossDomains(t *testing.T) {
+	var p StatePool
+	mor := morpion.New(morpion.Var4D)
+	sg := samegame.NewRandom(6, 6, 3, 1)
+	su := sudoku.New(2)
+
+	m1 := p.Get(mor)
+	p.Put(m1)
+	s1 := p.Get(sg) // domain switch parks the morpion free list
+	p.Put(s1)
+	u1 := p.Get(su)
+	p.Put(u1)
+
+	// Coming back to each domain must reuse the parked states.
+	if got := p.Get(mor); got != m1 {
+		t.Fatal("morpion state was not parked across the domain switch")
+	}
+	if got := p.Get(sg); got != s1 {
+		t.Fatal("samegame state was not parked across the domain switch")
+	}
+	if got := p.Get(su); got != u1 {
+		t.Fatal("sudoku state was not parked across the domain switch")
+	}
+}
+
+// TestStatePoolPutAcrossDomainSwitch pins Put's routing: a state held
+// across a domain switch must land on its own domain's parked list, not
+// on the current free list (where the next Get's CopyFrom would panic on
+// the type mismatch).
+func TestStatePoolPutAcrossDomainSwitch(t *testing.T) {
+	var p StatePool
+	mor := morpion.New(morpion.Var4D)
+	su := sudoku.New(2)
+
+	held := p.Get(mor) // morpion state stays checked out...
+	u := p.Get(su)     // ...across the switch to sudoku
+	p.Put(u)
+	p.Put(held) // late release of the foreign-domain state
+
+	if got := p.Get(su); got != u {
+		t.Fatal("sudoku free list was disturbed by the foreign Put")
+	}
+	if got := p.Get(mor); got != held {
+		t.Fatal("late-released morpion state was not parked for reuse")
+	}
+}
+
+// TestStatePoolGetIsIndependentCopy guards against a recycled state
+// aliasing its source.
+func TestStatePoolGetIsIndependentCopy(t *testing.T) {
+	var p StatePool
+	src := samegame.NewRandom(6, 6, 3, 2)
+	st := p.Get(src)
+	p.Put(st)
+	st = p.Get(src) // recycled via CopyFrom
+	moves := st.LegalMoves(nil)
+	if len(moves) == 0 {
+		t.Fatal("no legal moves on a fresh board")
+	}
+	st.Play(moves[0])
+	if src.MovesPlayed() != 0 {
+		t.Fatal("mutating a pooled copy changed the source")
+	}
+}

@@ -1,0 +1,84 @@
+package morpion
+
+// Native fuzz target extending the pinned Play/Undo round-trip property
+// (undo_test.go, core/equivalence_test.go) to arbitrary inputs: for ANY
+// move sequence, every Undo must restore the position bit-exactly —
+// score, move count and the exact ORDER of the legal-move list, captured
+// as a position hash. The search's undo traversal is only equivalent to
+// the clone traversal if this holds on every reachable position, not
+// just the seeded ones.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/game"
+)
+
+// fuzzHash folds the observable position state — move count, score and
+// the ordered legal-move list — into one position hash (FNV-1a).
+func fuzzHash(st game.State, buf []game.Move) (uint64, []game.Move) {
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= 1099511628211
+			x >>= 8
+		}
+	}
+	mix(uint64(st.MovesPlayed()))
+	mix(math.Float64bits(st.Score()))
+	buf = st.LegalMoves(buf[:0])
+	mix(uint64(len(buf)))
+	for _, m := range buf {
+		mix(uint64(m))
+	}
+	return h, buf
+}
+
+func FuzzPlayUndoRoundTrip(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0, 1, 2, 3, 4, 5})
+	f.Add([]byte{2, 255, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Add([]byte{3, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7})
+
+	variants := []Variant{Var5T, Var5D, Var4T, Var4D}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		st := New(variants[int(data[0])%len(variants)])
+		picks := data[1:]
+		if len(picks) > 256 {
+			picks = picks[:256]
+		}
+
+		var buf []game.Move
+		var hashes []uint64
+		h, buf := fuzzHash(st, buf)
+		hashes = append(hashes, h)
+
+		var legal []game.Move
+		for _, b := range picks {
+			legal = st.LegalMoves(legal[:0])
+			if len(legal) == 0 {
+				break
+			}
+			st.Play(legal[int(b)%len(legal)])
+			h, buf = fuzzHash(st, buf)
+			hashes = append(hashes, h)
+		}
+
+		for depth := len(hashes) - 1; depth > 0; depth-- {
+			st.Undo()
+			h, buf = fuzzHash(st, buf)
+			if h != hashes[depth-1] {
+				t.Fatalf("undo to depth %d: position hash %x != %x (score/move-order not restored)",
+					depth-1, h, hashes[depth-1])
+			}
+		}
+		if st.MovesPlayed() != 0 {
+			t.Fatalf("fully rewound position still has %d moves", st.MovesPlayed())
+		}
+	})
+}

@@ -32,6 +32,12 @@ type Rank int
 // AnyRank is the wildcard source for Recv, like MPI_ANY_SOURCE.
 const AnyRank Rank = -1
 
+// External is the From rank of messages injected into a cluster from
+// outside the rank world (WallCluster.Inject). A long-lived service feeds
+// job submissions and cancellations to its ranks this way; no real rank
+// ever has this value.
+const External Rank = -2
+
 // Tag labels a message kind, like an MPI tag.
 type Tag int
 

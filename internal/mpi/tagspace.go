@@ -1,0 +1,50 @@
+package mpi
+
+// TagSpace partitions a contiguous range of tag integers into fixed-width
+// per-job bands, the way MPI programs carve MPI_TAG_UB into independent
+// sub-protocols. A process that serves many logical jobs at once (the
+// search service's shared candidate scheduler) distinguishes the job a
+// message belongs to by its tag band instead of a payload field: job j's
+// message with in-band offset off travels on tag Base + j*Width + off, and
+// the receiver recovers (j, off) with Split.
+//
+// Bands must not collide with the protocol's flat tags; callers choose a
+// Base above them.
+type TagSpace struct {
+	// Base is the first tag of band 0.
+	Base Tag
+	// Width is the number of tags in each band: the count of distinct
+	// in-band message kinds.
+	Width Tag
+	// Bands is the number of jobs the space is partitioned for; tags at or
+	// beyond Base + Bands*Width are not part of the space.
+	Bands int
+}
+
+// For returns the tag of job `job`'s message kind `off`. It panics when
+// job or off is outside the space, which would silently alias another
+// band.
+func (ts TagSpace) For(job int, off Tag) Tag {
+	if job < 0 || job >= ts.Bands {
+		panic("mpi: TagSpace job outside the partition")
+	}
+	if off < 0 || off >= ts.Width {
+		panic("mpi: TagSpace offset outside the band")
+	}
+	return ts.Base + Tag(job)*ts.Width + off
+}
+
+// Split recovers the (job, off) coordinates of a tag. ok is false when the
+// tag is outside the space — a flat protocol tag, which the caller handles
+// separately.
+func (ts TagSpace) Split(t Tag) (job int, off Tag, ok bool) {
+	if t < ts.Base || ts.Width <= 0 {
+		return 0, 0, false
+	}
+	rel := t - ts.Base
+	job = int(rel / ts.Width)
+	if job >= ts.Bands {
+		return 0, 0, false
+	}
+	return job, rel % ts.Width, true
+}

@@ -1,0 +1,59 @@
+package mpi
+
+import "testing"
+
+func TestTagSpaceRoundTrip(t *testing.T) {
+	ts := TagSpace{Base: 100, Width: 4, Bands: 8}
+	seen := map[Tag]bool{}
+	for job := 0; job < ts.Bands; job++ {
+		for off := Tag(0); off < ts.Width; off++ {
+			tag := ts.For(job, off)
+			if seen[tag] {
+				t.Fatalf("tag %d assigned twice", tag)
+			}
+			seen[tag] = true
+			j, o, ok := ts.Split(tag)
+			if !ok || j != job || o != off {
+				t.Fatalf("Split(For(%d,%d)) = (%d,%d,%v)", job, off, j, o, ok)
+			}
+		}
+	}
+}
+
+func TestTagSpaceRejectsOutside(t *testing.T) {
+	ts := TagSpace{Base: 100, Width: 4, Bands: 8}
+	for _, tag := range []Tag{0, 99, 100 + 4*8, 500, AnyTag} {
+		if _, _, ok := ts.Split(tag); ok {
+			t.Fatalf("Split accepted out-of-space tag %d", tag)
+		}
+	}
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { ts.For(8, 0) })
+	mustPanic(func() { ts.For(-1, 0) })
+	mustPanic(func() { ts.For(0, 4) })
+}
+
+func TestWallInjectDeliversAsExternal(t *testing.T) {
+	c := NewWallCluster(2)
+	got := make(chan Msg, 1)
+	c.Start(0, func(comm Comm) {
+		got <- comm.Recv(External, Tag(7))
+	})
+	c.Start(1, func(Comm) {})
+	// Inject before Run: the message must be queued and delivered once the
+	// rank body starts receiving.
+	c.Inject(0, Tag(7), "hello")
+	c.Run()
+	msg := <-got
+	if msg.From != External || msg.Tag != Tag(7) || msg.Payload.(string) != "hello" {
+		t.Fatalf("unexpected injected message: %+v", msg)
+	}
+}

@@ -94,6 +94,21 @@ func (w *wallComm) Send(to Rank, tag Tag, payload any) {
 	dst.cond.Broadcast()
 }
 
+// Inject delivers a message to rank `to` from outside the rank world; the
+// message arrives with From == External. It is safe to call from any
+// goroutine, before, during or after Run: mailboxes are mutex-guarded and
+// the sender's identity is not consulted. Long-lived services use it as
+// the bridge between ordinary Go code (HTTP handlers, job managers) and
+// the message-passing world — the moral equivalent of MPI_Comm_connect
+// feeding a persistent MPI server.
+func (c *WallCluster) Inject(to Rank, tag Tag, payload any) {
+	dst := c.ranks[to]
+	dst.mu.Lock()
+	dst.mailbox = append(dst.mailbox, Msg{From: External, Tag: tag, Payload: payload})
+	dst.mu.Unlock()
+	dst.cond.Broadcast()
+}
+
 // Recv implements Comm.
 func (w *wallComm) Recv(from Rank, tag Tag) Msg {
 	w.mu.Lock()

@@ -1,0 +1,851 @@
+package parallel
+
+// Shared worker-pool engine: the long-lived, multi-job form of the paper's
+// cluster.
+//
+// Execute builds a goroutine cluster per run and tears it down with the
+// result — the right shape for reproducing the paper's tables, and the
+// wrong one for a service: nothing can run two searches at once, and the
+// warm state PR 1 and PR 2 built up (StatePool free lists, searcher
+// scratch buffers, rng streams) dies with every run. Pool keeps one
+// mpi.WallCluster alive for its whole lifetime and multiplexes any number
+// of jobs onto it:
+//
+//   - S job-slot ranks each play the top-level game of at most one job at
+//     a time (job-scoped roots). A slot is driven from outside the rank
+//     world through mpi.Inject: job starts, cancellations and the
+//     shutdown broadcast arrive as External messages.
+//   - One scheduler rank owns the per-job candidate queues — the pull
+//     protocol of PR 2 lifted to many simultaneous roots. Roots offer
+//     candidates on their slot's tag band (mpi.TagSpace), idle medians
+//     pull with work requests, and grants are served round-robin across
+//     jobs so one wide job cannot starve the others.
+//   - One dispatcher rank assigns clients to median requests, reusing the
+//     demand-driven dispatcher (availability-tracked clients, pending
+//     jobs served longest-expected-first under LastMinute).
+//   - M median ranks and C client ranks are built once and reused across
+//     every job: their StatePools, searchers and move buffers stay warm,
+//     and per-job parameters (level, seed, memorization) travel with the
+//     candidates instead of living in a per-run Config.
+//
+// Determinism: client rollouts are keyed by their logical job coordinates
+// (rng.Fold over root step, root candidate, median step, median
+// candidate) and the job's own seed, exactly as in RunWall — so a job's
+// score and sequence are bit-identical to the same Config run solo
+// through RunWall, no matter how many other jobs share the pool or where
+// its rollouts execute. The service-level equivalence tests pin this.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/game"
+	"repro/internal/mpi"
+	"repro/internal/rng"
+)
+
+// Service protocol tags, kept clear of the per-run protocol's flat tags.
+// Messages addressed to a specific slot, median or client rank use these;
+// messages multiplexed onto the shared scheduler use the per-slot tag
+// bands of Pool.space.
+const (
+	tagJobStart   mpi.Tag = 64 + iota // External -> slot: start this job
+	tagJobCancel                      // External -> slot: cancel epoch
+	tagGrant                          // scheduler -> median: candidate to play
+	tagStepScore                      // median -> slot: finished game score
+	tagAbandonAck                     // scheduler -> slot: dropped-candidate count
+)
+
+// Per-slot tag-band offsets (see mpi.TagSpace): the scheduler tells jobs
+// apart by the band their messages arrive on.
+const (
+	offOffer   mpi.Tag = iota // slot -> scheduler: candidate offered
+	offAbandon                // slot -> scheduler: drop my queued candidates
+	numOffsets
+)
+
+// tagBandBase is the first tag of slot 0's band.
+const tagBandBase mpi.Tag = 128
+
+// jobParams are the per-job knobs that travel with every candidate and
+// every client job, replacing the per-run Config the workers can no
+// longer close over.
+type jobParams struct {
+	Slot     int
+	Epoch    uint64
+	Level    int
+	Seed     uint64
+	Memorize bool
+	JobScale int64
+	Root     mpi.Rank // the slot rank that owns the job
+}
+
+// svcCandidate is the slot→scheduler→median payload: one candidate
+// position of a root step, tagged with its logical coordinates and the
+// owning job.
+type svcCandidate struct {
+	Step  int
+	Cand  int
+	P     jobParams
+	State game.State
+}
+
+// svcJob is the median→client payload: a position to roll out and the
+// parameters of the job it belongs to.
+type svcJob struct {
+	Key   uint64
+	Seq   int
+	P     jobParams
+	State game.State
+}
+
+// svcScore is the median→slot result: the final score of the Cand-th
+// candidate of the job's current root step.
+type svcScore struct {
+	Epoch uint64
+	Cand  int
+	Score float64
+}
+
+// svcAbandonAck is the scheduler→slot answer to an abandon: how many of
+// the job's candidates were still queued (and are now dropped). The
+// epoch lets a slot discard an ack that outlived its job.
+type svcAbandonAck struct {
+	Epoch   uint64
+	Dropped int
+}
+
+// Progress is a streaming snapshot of a running job, delivered to the
+// RunJob progress callback after every completed root step.
+type Progress struct {
+	// Steps is the number of root moves played so far.
+	Steps int
+	// BestScore is the lower-level evaluation backing the move just
+	// played — the best score the search has seen for the current line.
+	BestScore float64
+	// Sequence is a copy of the root's game so far.
+	Sequence []game.Move
+	// Elapsed is wall time since the job started.
+	Elapsed time.Duration
+}
+
+// PoolConfig sizes a Pool.
+type PoolConfig struct {
+	// Slots is the number of jobs the pool can run concurrently (job-slot
+	// root ranks). Default 4.
+	Slots int
+	// Medians is the number of shared median workers. Default 4.
+	Medians int
+	// Clients is the number of shared rollout workers. Default 8.
+	Clients int
+	// Algo orders the dispatcher's pending-job queue (LastMinute serves
+	// the longest-expected job first). A pool-level policy: jobs share one
+	// dispatcher, and scheduling never changes scores (see package doc).
+	Algo Algorithm
+}
+
+func (c *PoolConfig) withDefaults() PoolConfig {
+	out := *c
+	if out.Slots <= 0 {
+		out.Slots = 4
+	}
+	if out.Medians <= 0 {
+		out.Medians = 4
+	}
+	if out.Clients <= 0 {
+		out.Clients = 8
+	}
+	return out
+}
+
+// PoolMetrics aggregates the pool's lifetime counters: the idle and
+// queue-depth instrumentation PR 2 added to Result, accumulated across
+// every job the pool has served.
+type PoolMetrics struct {
+	// Jobs is the number of client rollouts executed.
+	Jobs int64
+	// WorkUnits is the total metered CPU work across client rollouts.
+	WorkUnits int64
+	// MedianIdle / ClientIdle map each worker to its cumulative
+	// Recv-blocked time — waiting for a grant, an assignment or a result.
+	MedianIdle []time.Duration
+	ClientIdle []time.Duration
+	// QueueDepthMax / QueueDepthMean profile the scheduler's ready queue
+	// (candidates offered but not yet granted) across all jobs, sampled
+	// at every offer/request transition.
+	QueueDepthMax  int
+	QueueDepthMean float64
+}
+
+// poolCollector is the shared-memory side of the pool's instrumentation,
+// written by worker goroutines and read by Metrics.
+type poolCollector struct {
+	mu           sync.Mutex
+	jobs         int64
+	units        int64
+	slotJobs     []int64 // per-slot rollout count, reset per job
+	slotUnits    []int64
+	medianIdle   []time.Duration
+	clientIdle   []time.Duration
+	depthSamples int64
+	depthSum     int64
+	depthMax     int
+}
+
+func (co *poolCollector) addRollout(slot int, units int64) {
+	co.mu.Lock()
+	co.jobs++
+	co.units += units
+	co.slotJobs[slot]++
+	co.slotUnits[slot] += units
+	co.mu.Unlock()
+}
+
+func (co *poolCollector) takeSlot(slot int) (jobs, units int64) {
+	co.mu.Lock()
+	jobs, units = co.slotJobs[slot], co.slotUnits[slot]
+	co.slotJobs[slot], co.slotUnits[slot] = 0, 0
+	co.mu.Unlock()
+	return jobs, units
+}
+
+func (co *poolCollector) addMedianIdle(i int, d time.Duration) {
+	co.mu.Lock()
+	co.medianIdle[i] += d
+	co.mu.Unlock()
+}
+
+func (co *poolCollector) addClientIdle(i int, d time.Duration) {
+	co.mu.Lock()
+	co.clientIdle[i] += d
+	co.mu.Unlock()
+}
+
+func (co *poolCollector) sampleDepth(d int) {
+	co.mu.Lock()
+	co.depthSamples++
+	co.depthSum += int64(d)
+	if d > co.depthMax {
+		co.depthMax = d
+	}
+	co.mu.Unlock()
+}
+
+// Pool is a persistent wall-clock worker pool serving many search jobs.
+// Construct with NewPool, run jobs with RunJob (one per slot at a time),
+// and tear down with Shutdown. All methods are safe for concurrent use.
+type Pool struct {
+	cfg     PoolConfig
+	cluster *mpi.WallCluster
+	space   mpi.TagSpace
+	coll    *poolCollector
+
+	schedRank  mpi.Rank
+	dispRank   mpi.Rank
+	medianRank []mpi.Rank
+	clientRank []mpi.Rank
+
+	runDone chan struct{}
+
+	mu        sync.Mutex
+	idle      *sync.Cond // signalled when a slot goes idle
+	closed    bool
+	slotBusy  []bool
+	slotEpoch []uint64
+}
+
+// jobStart is the payload injected at a slot rank to begin a job. done
+// and progress are ordinary Go callbacks: the pool is in-process, so the
+// boundary between the rank world and the caller is a function call, not
+// a wire format.
+type jobStart struct {
+	epoch    uint64
+	cfg      Config
+	progress func(Progress)
+	done     func(Result, error)
+}
+
+// ErrPoolClosed is returned by RunJob once Shutdown has begun.
+var ErrPoolClosed = fmt.Errorf("parallel: pool is shut down")
+
+// NewPool builds the worker cluster — slots, scheduler, dispatcher,
+// medians, clients — and starts it running. The pool idles until jobs are
+// submitted with RunJob.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	size := cfg.Slots + 2 + cfg.Medians + cfg.Clients
+	p := &Pool{
+		cfg:     cfg,
+		cluster: mpi.NewWallCluster(size),
+		space:   mpi.TagSpace{Base: tagBandBase, Width: numOffsets, Bands: cfg.Slots},
+		coll: &poolCollector{
+			slotJobs:   make([]int64, cfg.Slots),
+			slotUnits:  make([]int64, cfg.Slots),
+			medianIdle: make([]time.Duration, cfg.Medians),
+			clientIdle: make([]time.Duration, cfg.Clients),
+		},
+		runDone:   make(chan struct{}),
+		slotBusy:  make([]bool, cfg.Slots),
+		slotEpoch: make([]uint64, cfg.Slots),
+	}
+	p.idle = sync.NewCond(&p.mu)
+
+	// Rank map: slots first, then scheduler, dispatcher, medians, clients.
+	next := mpi.Rank(cfg.Slots)
+	p.schedRank = next
+	next++
+	p.dispRank = next
+	next++
+	for i := 0; i < cfg.Medians; i++ {
+		p.medianRank = append(p.medianRank, next)
+		next++
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		p.clientRank = append(p.clientRank, next)
+		next++
+	}
+
+	for slot := 0; slot < cfg.Slots; slot++ {
+		slot := slot
+		p.cluster.Start(mpi.Rank(slot), func(c mpi.Comm) { p.runSlot(c, slot) })
+	}
+	p.cluster.Start(p.schedRank, func(c mpi.Comm) { p.runScheduler(c) })
+	// The demand dispatcher is reused verbatim: it only needs the client
+	// rank list and the policy ordering.
+	dispLay := cluster.Layout{Clients: append([]mpi.Rank(nil), p.clientRank...)}
+	dispCfg := &Config{Algo: cfg.Algo}
+	longest := cfg.Algo == LastMinute
+	p.cluster.Start(p.dispRank, func(c mpi.Comm) {
+		runDemandDispatcher(c, dispLay, dispCfg, longest)
+	})
+	for i := 0; i < cfg.Medians; i++ {
+		i := i
+		p.cluster.Start(p.medianRank[i], func(c mpi.Comm) { p.runMedian(c, i) })
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		p.cluster.Start(p.clientRank[i], func(c mpi.Comm) { p.runClient(c, i) })
+	}
+
+	go func() {
+		p.cluster.Run()
+		close(p.runDone)
+	}()
+	return p, nil
+}
+
+// Slots returns the number of concurrent job slots.
+func (p *Pool) Slots() int { return p.cfg.Slots }
+
+// Metrics snapshots the pool's lifetime instrumentation.
+func (p *Pool) Metrics() PoolMetrics {
+	co := p.coll
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	m := PoolMetrics{
+		Jobs:          co.jobs,
+		WorkUnits:     co.units,
+		MedianIdle:    append([]time.Duration(nil), co.medianIdle...),
+		ClientIdle:    append([]time.Duration(nil), co.clientIdle...),
+		QueueDepthMax: co.depthMax,
+	}
+	if co.depthSamples > 0 {
+		m.QueueDepthMean = float64(co.depthSum) / float64(co.depthSamples)
+	}
+	return m
+}
+
+// JobHandle tracks one started job; Wait blocks for its result.
+type JobHandle struct {
+	p     *Pool
+	slot  int
+	timer *time.Timer
+	ch    chan jobOutcome
+}
+
+type jobOutcome struct {
+	res Result
+	err error
+}
+
+// StartJob launches cfg on the given slot without blocking: once it
+// returns, the job is cancellable through CancelJob. The caller owns slot
+// scheduling — a slot runs one job at a time, and starting a second job
+// on a busy slot is an error. progress, when non-nil, is invoked from the
+// job's root goroutine after every completed step. The caller must Wait
+// on the returned handle.
+func (p *Pool) StartJob(slot int, cfg Config, progress func(Progress)) (*JobHandle, error) {
+	if slot < 0 || slot >= p.cfg.Slots {
+		return nil, fmt.Errorf("parallel: slot %d outside pool of %d", slot, p.cfg.Slots)
+	}
+	if cfg.Level < 2 {
+		return nil, fmt.Errorf("parallel: level %d < 2 cannot be distributed (root, median, client need one level each)", cfg.Level)
+	}
+	if cfg.Root == nil {
+		return nil, fmt.Errorf("parallel: no root position")
+	}
+
+	h := &JobHandle{p: p, slot: slot, ch: make(chan jobOutcome, 1)}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	if p.slotBusy[slot] {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("parallel: slot %d already running a job", slot)
+	}
+	// Per-slot rollout counters start from zero: the previous job drained
+	// every outstanding rollout before completing. Reset only once the
+	// slot is provably ours — an erroneous StartJob on a busy slot must
+	// not zero the running job's counters.
+	p.coll.takeSlot(slot)
+	p.slotBusy[slot] = true
+	p.slotEpoch[slot]++
+	epoch := p.slotEpoch[slot]
+	js := jobStart{
+		epoch:    epoch,
+		cfg:      cfg,
+		progress: progress,
+		done:     func(r Result, err error) { h.ch <- jobOutcome{r, err} },
+	}
+	// Injected while holding the mutex: any cancellation for this epoch
+	// (CancelJob, the deadline timer, Shutdown's drain) observes the busy
+	// flag under the same mutex and therefore lands after the start
+	// message in the slot's FIFO mailbox.
+	p.cluster.Inject(mpi.Rank(slot), tagJobStart, js)
+	p.mu.Unlock()
+
+	// StopAfter liveness: a queued job whose candidates no median has
+	// picked up receives no messages, so the deadline is enforced by an
+	// injected cancellation, not only by in-loop clock checks.
+	if cfg.StopAfter > 0 {
+		h.timer = time.AfterFunc(cfg.StopAfter, func() {
+			p.cluster.Inject(mpi.Rank(slot), tagJobCancel, epoch)
+		})
+	}
+	return h, nil
+}
+
+// Wait blocks until the job completes (or is cancelled — Result.Stopped
+// true) and frees its slot. Must be called exactly once.
+func (h *JobHandle) Wait() (Result, error) {
+	out := <-h.ch
+	if h.timer != nil {
+		h.timer.Stop()
+	}
+	out.res.Jobs, out.res.WorkUnits = h.p.coll.takeSlot(h.slot)
+
+	h.p.mu.Lock()
+	h.p.slotBusy[h.slot] = false
+	h.p.idle.Broadcast()
+	h.p.mu.Unlock()
+	return out.res, out.err
+}
+
+// RunJob is StartJob followed by Wait: it blocks until the job completes,
+// is cancelled, or the pool shuts down.
+func (p *Pool) RunJob(slot int, cfg Config, progress func(Progress)) (Result, error) {
+	h, err := p.StartJob(slot, cfg, progress)
+	if err != nil {
+		return Result{}, err
+	}
+	return h.Wait()
+}
+
+// CancelJob cancels the job currently running on slot, if any. The job
+// drains its in-flight work and RunJob returns with Result.Stopped true.
+// Cancelling an idle slot is a no-op; a cancellation racing a completing
+// job is discarded by the epoch check.
+func (p *Pool) CancelJob(slot int) {
+	if slot < 0 || slot >= p.cfg.Slots {
+		return
+	}
+	p.mu.Lock()
+	if p.slotBusy[slot] {
+		p.cluster.Inject(mpi.Rank(slot), tagJobCancel, p.slotEpoch[slot])
+	}
+	p.mu.Unlock()
+}
+
+// Shutdown drains and tears down the pool: new RunJob calls are refused,
+// still-running jobs are cancelled and waited for (they complete with
+// Result.Stopped true), and only then is the teardown broadcast to the
+// idle ranks — the pool is never dismantled with work in flight, exactly
+// like the per-run protocol's end-of-run shutdown. Blocks until the
+// cluster exits; safe to call more than once.
+func (p *Pool) Shutdown() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.runDone
+		return
+	}
+	p.closed = true
+	for slot := 0; slot < p.cfg.Slots; slot++ {
+		if p.slotBusy[slot] {
+			p.cluster.Inject(mpi.Rank(slot), tagJobCancel, p.slotEpoch[slot])
+		}
+	}
+	for {
+		busy := false
+		for _, b := range p.slotBusy {
+			busy = busy || b
+		}
+		if !busy {
+			break
+		}
+		p.idle.Wait()
+	}
+	p.mu.Unlock()
+	for r := 0; r < p.cluster.Size(); r++ {
+		p.cluster.Inject(mpi.Rank(r), tagShutdown, nil)
+	}
+	<-p.runDone
+}
+
+// runSlot is a job-slot root rank: it idles until a job is injected, plays
+// that job's top-level game against the shared pool, reports the result
+// through the job's done callback, and goes back to idling. Its StatePool
+// persists across jobs, so consecutive jobs of the same domain ship
+// recycled candidate states.
+func (p *Pool) runSlot(c mpi.Comm, slot int) {
+	var pool core.StatePool
+	var moves []game.Move
+	for {
+		msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
+		switch msg.Tag {
+		case tagShutdown:
+			return
+		case tagJobStart:
+			js := msg.Payload.(jobStart)
+			js.done(p.playJob(c, slot, js, &pool, &moves))
+		default:
+			// A stale cancellation for a job that already completed (the
+			// deadline timer racing the job's last score): drop it.
+		}
+	}
+}
+
+// playJob plays one job's top-level game. It is runRootPull with the work
+// queue moved to the shared scheduler rank: candidates are offered on the
+// slot's tag band, scores come back tagged with the job epoch, and
+// cancellation (explicit, deadline or shutdown) abandons the queued
+// candidates at the scheduler and drains the granted ones before
+// returning, so the pool is never torn down with work in flight.
+func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, movebuf *[]game.Move) (Result, error) {
+	cfg := js.cfg
+	res := Result{}
+	st := cfg.Root.Clone()
+	start := c.Now()
+	params := jobParams{
+		Slot:     slot,
+		Epoch:    js.epoch,
+		Level:    cfg.Level,
+		Seed:     cfg.Seed,
+		Memorize: cfg.Memorize,
+		JobScale: cfg.jobScale(),
+		Root:     c.Rank(),
+	}
+	deadline := func() bool {
+		return cfg.StopAfter > 0 && c.Now()-start >= cfg.StopAfter
+	}
+
+	var shipped []game.State
+	var scores []float64
+	cancelled := false
+
+	for step := 0; !cancelled; step++ {
+		moves := st.LegalMoves((*movebuf)[:0])
+		*movebuf = moves
+		if len(moves) == 0 {
+			break
+		}
+		if deadline() {
+			res.Stopped = true
+			break
+		}
+
+		// Offer every candidate of the step to the shared scheduler.
+		shipped = shipped[:0]
+		scores = scores[:0]
+		for i, m := range moves {
+			child := pool.Get(st)
+			c.Work(core.CloneCost)
+			child.Play(m)
+			c.Work(1)
+			shipped = append(shipped, child)
+			scores = append(scores, 0)
+			c.Send(p.schedRank, p.space.For(slot, offOffer),
+				svcCandidate{Step: step, Cand: i, P: params, State: child})
+		}
+
+		// Gather scores; a cancellation mid-step abandons what is still
+		// queued at the scheduler and keeps draining what was granted.
+		want := len(moves)
+		got := 0
+		abandon := func() {
+			if !cancelled {
+				cancelled = true
+				res.Stopped = true
+				c.Send(p.schedRank, p.space.For(slot, offAbandon), js.epoch)
+			}
+		}
+		for got < want {
+			msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
+			switch msg.Tag {
+			case tagStepScore:
+				sc := msg.Payload.(svcScore)
+				if sc.Epoch != js.epoch {
+					break // stray from a previous job; cannot happen once drained
+				}
+				scores[sc.Cand] = sc.Score
+				pool.Put(shipped[sc.Cand])
+				got++
+			case tagJobCancel:
+				if msg.Payload.(uint64) == js.epoch {
+					abandon()
+				}
+			case tagAbandonAck:
+				if ack := msg.Payload.(svcAbandonAck); ack.Epoch == js.epoch {
+					want -= ack.Dropped
+				}
+			}
+			if !cancelled && deadline() {
+				abandon()
+			}
+		}
+		if cancelled {
+			break
+		}
+
+		// Play the best move; ties go to the first-seen move, matching the
+		// sequential search and the per-run root.
+		best := argmax(scores)
+		st.Play(moves[best])
+		c.Work(1)
+		res.Steps++
+		if len(res.Sequence) == 0 {
+			res.FirstMove = moves[best]
+			if cfg.FirstMoveOnly {
+				res.Score = scores[best]
+				res.Sequence = append(res.Sequence, moves[best])
+				res.Elapsed = c.Now() - start
+				return res, nil
+			}
+		}
+		res.Sequence = append(res.Sequence, moves[best])
+		if js.progress != nil {
+			js.progress(Progress{
+				Steps:     res.Steps,
+				BestScore: scores[best],
+				Sequence:  append([]game.Move(nil), res.Sequence...),
+				Elapsed:   c.Now() - start,
+			})
+		}
+	}
+
+	res.Score = st.Score()
+	res.Elapsed = c.Now() - start
+	return res, nil
+}
+
+// runScheduler owns the per-job candidate queues: the multi-root form of
+// PR 2's PullSource. Roots offer candidates on their slot's tag band;
+// idle medians pull with flat work requests; grants walk the non-empty
+// job queues round-robin, so every running job makes progress even while
+// a wide job floods the pool. An abandon message drops a job's queued
+// candidates and acks the exact count, which is what lets the root's
+// drain arithmetic converge under cancellation.
+func (p *Pool) runScheduler(c mpi.Comm) {
+	queues := make([][]svcCandidate, p.cfg.Slots)
+	var waiting []mpi.Rank
+	next := 0
+	total := 0
+
+	pick := func() (svcCandidate, bool) {
+		if total == 0 {
+			return svcCandidate{}, false
+		}
+		for i := 0; i < p.cfg.Slots; i++ {
+			s := (next + i) % p.cfg.Slots
+			if len(queues[s]) > 0 {
+				cand := queues[s][0]
+				queues[s] = queues[s][1:]
+				if len(queues[s]) == 0 {
+					queues[s] = nil // release the drained backing array
+				}
+				total--
+				next = (s + 1) % p.cfg.Slots
+				return cand, true
+			}
+		}
+		return svcCandidate{}, false
+	}
+
+	for {
+		msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
+		switch msg.Tag {
+		case tagShutdown:
+			return
+		case tagWorkReq:
+			if cand, ok := pick(); ok {
+				c.Send(msg.From, tagGrant, cand)
+			} else {
+				waiting = append(waiting, msg.From)
+			}
+			p.coll.sampleDepth(total)
+			continue
+		}
+		slot, off, ok := p.space.Split(msg.Tag)
+		if !ok {
+			continue
+		}
+		switch off {
+		case offOffer:
+			cand := msg.Payload.(svcCandidate)
+			if len(waiting) > 0 {
+				to := waiting[0]
+				waiting = waiting[:copy(waiting, waiting[1:])]
+				c.Send(to, tagGrant, cand)
+			} else {
+				queues[slot] = append(queues[slot], cand)
+				total++
+			}
+			p.coll.sampleDepth(total)
+		case offAbandon:
+			epoch := msg.Payload.(uint64)
+			dropped := 0
+			kept := queues[slot][:0]
+			for _, cd := range queues[slot] {
+				if cd.P.Epoch == epoch {
+					dropped++
+				} else {
+					kept = append(kept, cd)
+				}
+			}
+			queues[slot] = kept
+			total -= dropped
+			c.Send(mpi.Rank(slot), tagAbandonAck, svcAbandonAck{Epoch: epoch, Dropped: dropped})
+		}
+	}
+}
+
+// runMedian is the persistent form of the per-run median process: pull a
+// candidate from the shared scheduler, play its full level-(ℓ−1) game
+// with one client rollout per candidate move, report the score to the
+// owning slot, repeat. One work request is kept in flight while a game is
+// being played (the PR 2 prefetch window at its default of 1), so the
+// next grant travels during computation. The median's StatePool and move
+// buffers persist across jobs and domains.
+func (p *Pool) runMedian(c mpi.Comm, index int) {
+	var pool core.StatePool
+	var moves []game.Move
+	var shipped []game.State
+	var scores []float64
+
+	c.Send(p.schedRank, tagWorkReq, nil)
+	for {
+		t0 := c.Now()
+		msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
+		p.coll.addMedianIdle(index, c.Now()-t0)
+		switch msg.Tag {
+		case tagShutdown:
+			return
+		case tagGrant:
+			// fall through to play the granted game
+		default:
+			continue
+		}
+		cand := msg.Payload.(svcCandidate)
+		// Prefetch: ask for the next candidate before playing this one.
+		c.Send(p.schedRank, tagWorkReq, nil)
+
+		st := cand.State
+		for t := 0; ; t++ {
+			moves = st.LegalMoves(moves[:0])
+			if len(moves) == 0 {
+				break
+			}
+			shipped = shipped[:0]
+			scores = scores[:0]
+			for j, mv := range moves {
+				child := pool.Get(st)
+				c.Work(core.CloneCost)
+				child.Play(mv)
+				c.Work(1)
+				shipped = append(shipped, child)
+				scores = append(scores, 0)
+
+				c.Send(p.dispRank, tagRequest, child.MovesPlayed())
+				t1 := c.Now()
+				asg := c.Recv(p.dispRank, tagAssign)
+				p.coll.addMedianIdle(index, c.Now()-t1)
+				client := asg.Payload.(mpi.Rank)
+
+				key := rng.Fold(uint64(cand.Step), uint64(cand.Cand), uint64(t), uint64(j))
+				c.Send(client, tagJob, svcJob{Key: key, Seq: j, P: cand.P, State: child})
+			}
+			for range moves {
+				t1 := c.Now()
+				r := c.Recv(mpi.AnyRank, tagResult)
+				p.coll.addMedianIdle(index, c.Now()-t1)
+				js := r.Payload.(jobScore)
+				scores[js.Seq] = js.Score
+				pool.Put(shipped[js.Seq])
+			}
+			st.Play(moves[argmax(scores)])
+			c.Work(1)
+		}
+		c.Send(cand.P.Root, tagStepScore,
+			svcScore{Epoch: cand.P.Epoch, Cand: cand.Cand, Score: st.Score()})
+	}
+}
+
+// runClient is the persistent rollout worker. Jobs of any domain, level
+// and memorization mix arrive interleaved; the rollout's random stream is
+// reseeded per job from (job seed, logical coordinates), so a given
+// candidate's score is identical no matter which client executes it, in
+// which order, or what ran on this client before — the property the
+// service equivalence tests pin against solo RunWall runs. Searchers (one
+// per memorization mode, sharing nothing) and their scratch StatePools
+// persist across jobs.
+func (p *Pool) runClient(c mpi.Comm, index int) {
+	meter := &unitMeter{}
+	searchers := map[bool]*core.Searcher{}
+	searcherFor := func(memorize bool) *core.Searcher {
+		s, ok := searchers[memorize]
+		if !ok {
+			s = core.NewSearcher(rng.New(0), core.Options{Meter: meter, Memorize: memorize})
+			searchers[memorize] = s
+		}
+		return s
+	}
+
+	for {
+		t0 := c.Now()
+		msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
+		p.coll.addClientIdle(index, c.Now()-t0)
+		switch msg.Tag {
+		case tagShutdown:
+			return
+		case tagJob:
+			jb := msg.Payload.(svcJob)
+			median := msg.From
+
+			meter.units = 0
+			s := searcherFor(jb.P.Memorize)
+			s.Reseed(jb.P.Seed, jb.Key)
+			res := s.Nested(jb.State, jb.P.Level-2)
+			c.Work(meter.units * jb.P.JobScale)
+			p.coll.addRollout(jb.P.Slot, meter.units)
+
+			c.Send(p.dispRank, tagFree, nil)
+			c.Send(median, tagResult, jobScore{Seq: jb.Seq, Score: res.Score})
+		}
+	}
+}

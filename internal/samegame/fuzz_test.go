@@ -1,0 +1,81 @@
+package samegame
+
+// Native fuzz target extending the pinned Play/Undo round-trip property
+// (undo_test.go, core/equivalence_test.go) to arbitrary boards and move
+// sequences: every Undo must restore the position bit-exactly — score,
+// move count and the exact ORDER of the legal-move list, captured as a
+// position hash. SameGame's undo restores whole board snapshots, so
+// group renumbering after a collapse is exactly the kind of subtle state
+// this hunts.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/game"
+)
+
+// fuzzHash folds the observable position state — move count, score and
+// the ordered legal-move list — into one position hash (FNV-1a).
+func fuzzHash(st game.State, buf []game.Move) (uint64, []game.Move) {
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= 1099511628211
+			x >>= 8
+		}
+	}
+	mix(uint64(st.MovesPlayed()))
+	mix(math.Float64bits(st.Score()))
+	buf = st.LegalMoves(buf[:0])
+	mix(uint64(len(buf)))
+	for _, m := range buf {
+		mix(uint64(m))
+	}
+	return h, buf
+}
+
+func FuzzPlayUndoRoundTrip(f *testing.F) {
+	f.Add(uint8(8), uint8(8), uint8(4), uint64(1), []byte{0, 1, 2, 3})
+	f.Add(uint8(5), uint8(5), uint8(3), uint64(7), []byte{255, 0, 128, 64, 9})
+	f.Add(uint8(2), uint8(15), uint8(2), uint64(42), []byte{1, 1, 1, 1, 1, 1})
+
+	f.Fuzz(func(t *testing.T, w, hgt, colors uint8, boardSeed uint64, picks []byte) {
+		width := 2 + int(w)%14    // 2..15
+		height := 2 + int(hgt)%14 // 2..15
+		ncol := 2 + int(colors)%4 // 2..5
+		st := NewRandom(width, height, ncol, boardSeed)
+		if len(picks) > 256 {
+			picks = picks[:256]
+		}
+
+		var buf []game.Move
+		var hashes []uint64
+		h, buf := fuzzHash(st, buf)
+		hashes = append(hashes, h)
+
+		var legal []game.Move
+		for _, b := range picks {
+			legal = st.LegalMoves(legal[:0])
+			if len(legal) == 0 {
+				break
+			}
+			st.Play(legal[int(b)%len(legal)])
+			h, buf = fuzzHash(st, buf)
+			hashes = append(hashes, h)
+		}
+
+		for depth := len(hashes) - 1; depth > 0; depth-- {
+			st.Undo()
+			h, buf = fuzzHash(st, buf)
+			if h != hashes[depth-1] {
+				t.Fatalf("undo to depth %d: position hash %x != %x (score/move-order not restored)",
+					depth-1, h, hashes[depth-1])
+			}
+		}
+		if st.MovesPlayed() != 0 {
+			t.Fatalf("fully rewound position still has %d moves", st.MovesPlayed())
+		}
+	})
+}

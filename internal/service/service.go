@@ -1,0 +1,555 @@
+// Package service turns the one-shot parallel search into a long-lived,
+// concurrent search service: the serving shape of Tesauro & Galperin's
+// on-line policy improvement, backed by the paper's root/median/client
+// cluster.
+//
+// A Manager owns one parallel.Pool — a persistent worker pool whose
+// medians and clients are built once and reused across every job — and
+// multiplexes concurrently submitted jobs onto it. Each job gets a
+// job-slot root rank for the time it runs; the pool's shared scheduler
+// feeds idle medians from per-job candidate queues (PR 2's pull protocol
+// lifted to many roots), so one wide job cannot starve the others.
+//
+// Lifecycle of a job:
+//
+//	Submit ──▶ queued ──▶ running ──▶ done
+//	              │           ├────▶ cancelled   (Cancel, ctx, Shutdown)
+//	              │           └────▶ done (Stopped) on Deadline
+//	              └──────────────▶ cancelled     (Cancel while queued)
+//
+// Backpressure is bounded and explicit: at most Config.Slots jobs run at
+// once, at most Config.QueueLimit wait behind them, and a Submit beyond
+// that returns ErrSaturated immediately (cmd/pnmcsd maps it to HTTP 503)
+// — the service sheds load instead of buffering unboundedly.
+//
+// Determinism survives multiplexing: a job's score and move sequence are
+// bit-identical to the same JobSpec run solo through parallel.RunWall
+// with the same seed, no matter what else shares the pool (the
+// equivalence and storm tests pin this).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/game"
+	"repro/internal/parallel"
+)
+
+// Config sizes a Manager.
+type Config struct {
+	// Slots is the number of jobs served concurrently. Default 4.
+	Slots int
+	// Medians / Clients size the shared worker pool. Defaults 4 / 8.
+	Medians int
+	Clients int
+	// QueueLimit bounds the jobs waiting for a free slot; a Submit beyond
+	// Slots running + QueueLimit queued is rejected with ErrSaturated.
+	// Default 16; negative means no queue (running jobs only).
+	QueueLimit int
+	// Retain bounds the terminal jobs kept for status queries: beyond it
+	// the oldest finished job is evicted (its id then answers
+	// ErrNotFound), so a long-lived service holds bounded memory.
+	// Default 1024; negative evicts terminal jobs immediately.
+	Retain int
+	// Algo orders the shared dispatcher's pending rollouts; default
+	// LastMinute (the paper's best policy). Never changes job results.
+	Algo parallel.Algorithm
+}
+
+func (c Config) withDefaults() Config {
+	if c.Slots <= 0 {
+		c.Slots = 4
+	}
+	if c.Medians <= 0 {
+		c.Medians = 4
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.QueueLimit == 0 {
+		c.QueueLimit = 16
+	}
+	if c.QueueLimit < 0 {
+		c.QueueLimit = 0
+	}
+	if c.Retain == 0 {
+		c.Retain = 1024
+	}
+	if c.Retain < 0 {
+		c.Retain = 0
+	}
+	return c
+}
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+const (
+	// StateQueued: accepted, waiting for a free slot.
+	StateQueued JobState = "queued"
+	// StateRunning: playing on a pool slot.
+	StateRunning JobState = "running"
+	// StateDone: completed. Stopped marks a deadline-truncated result.
+	StateDone JobState = "done"
+	// StateCancelled: cancelled before completion (partial result kept).
+	StateCancelled JobState = "cancelled"
+	// StateFailed: rejected by the pool (bad config, pool shut down).
+	StateFailed JobState = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateCancelled || s == StateFailed
+}
+
+// JobStatus is a point-in-time snapshot of a job: its spec, lifecycle
+// state, streaming progress while running, and the result once terminal.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Spec  JobSpec  `json:"spec"`
+
+	// Steps / BestScore / Sequence stream the search's progress: the root
+	// game so far and the best lower-level evaluation backing its latest
+	// move. On a terminal job they hold the final result.
+	Steps     int         `json:"steps"`
+	BestScore float64     `json:"best_score"`
+	Sequence  []game.Move `json:"sequence,omitempty"`
+
+	// Score is the final score; valid once State is terminal.
+	Score float64 `json:"score"`
+	// Stopped marks a result truncated by cancellation or deadline.
+	Stopped bool `json:"stopped,omitempty"`
+	// Rollouts / WorkUnits are the job's client-rollout count and metered
+	// work, filled on completion.
+	Rollouts  int64 `json:"rollouts"`
+	WorkUnits int64 `json:"work_units"`
+
+	// Error is the failure reason of a StateFailed job.
+	Error string `json:"error,omitempty"`
+
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+}
+
+// Metrics are the service's cumulative counters plus the pool's lifetime
+// instrumentation; cmd/pnmcsd renders them at GET /metrics.
+type Metrics struct {
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"` // ErrSaturated submissions
+	Completed int64 `json:"completed"`
+	Cancelled int64 `json:"cancelled"`
+	Failed    int64 `json:"failed"`
+	Running   int   `json:"running"`
+	Queued    int   `json:"queued"`
+	Slots     int   `json:"slots"`
+
+	Pool parallel.PoolMetrics `json:"pool"`
+}
+
+// ErrSaturated is returned by Submit when every slot is busy and the
+// waiting queue is full. The caller should retry later (HTTP 503).
+var ErrSaturated = errors.New("service: saturated: all slots busy and queue full")
+
+// ErrClosed is returned by Submit after Shutdown has begun.
+var ErrClosed = errors.New("service: shut down")
+
+// ErrNotFound is returned for operations on unknown job ids.
+var ErrNotFound = errors.New("service: no such job")
+
+// ErrFinished is returned by Cancel on a job that already reached a
+// terminal state.
+var ErrFinished = errors.New("service: job already finished")
+
+// job is the manager-internal record of one submission.
+type job struct {
+	status   JobStatus
+	cancel   bool          // cancellation requested
+	slot     int           // valid while running
+	done     chan struct{} // closed when terminal
+	queuePos int           // index in m.queue while queued, else -1
+}
+
+// Manager is the concurrent search service. Create with New, submit with
+// Submit, and tear down with Shutdown. All methods are safe for
+// concurrent use.
+type Manager struct {
+	cfg  Config
+	pool *parallel.Pool
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	terminal  []string // terminal job ids, oldest first, for Retain eviction
+	queue     []*job
+	freeSlots []int
+	closed    bool
+	drained   chan struct{} // closed when the first Shutdown finishes
+	nextID    int64
+
+	submitted, rejected, completed, cancelled, failed int64
+}
+
+// New builds the worker pool and returns an idle Manager.
+func New(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	pool, err := parallel.NewPool(parallel.PoolConfig{
+		Slots:   cfg.Slots,
+		Medians: cfg.Medians,
+		Clients: cfg.Clients,
+		Algo:    cfg.Algo,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:     cfg,
+		pool:    pool,
+		jobs:    make(map[string]*job),
+		drained: make(chan struct{}),
+	}
+	for s := cfg.Slots - 1; s >= 0; s-- {
+		m.freeSlots = append(m.freeSlots, s)
+	}
+	return m, nil
+}
+
+// finishLocked records a job's transition to a terminal state: closes its
+// done channel and evicts the oldest terminal jobs beyond Config.Retain.
+// Caller holds m.mu and has already set the terminal status.
+func (m *Manager) finishLocked(j *job) {
+	close(j.done)
+	m.terminal = append(m.terminal, j.status.ID)
+	for len(m.terminal) > m.cfg.Retain {
+		delete(m.jobs, m.terminal[0])
+		m.terminal = m.terminal[:copy(m.terminal, m.terminal[1:])]
+	}
+}
+
+// Submit accepts a job for execution and returns its id without waiting
+// for it to run. The spec is validated up front (invalid specs are
+// rejected synchronously, not recorded as failed jobs). When every slot
+// is busy and the queue is full, Submit returns ErrSaturated.
+//
+// ctx bounds the job's whole lifetime: if it is cancelled while the job
+// is queued or running, the job is cancelled as by Cancel. Use
+// context.Background for fire-and-forget submissions.
+func (m *Manager) Submit(ctx context.Context, spec JobSpec) (string, error) {
+	if _, err := spec.Config(); err != nil {
+		return "", err
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return "", ErrClosed
+	}
+	if len(m.freeSlots) == 0 && len(m.queue) >= m.cfg.QueueLimit {
+		m.rejected++
+		m.mu.Unlock()
+		return "", ErrSaturated
+	}
+	m.nextID++
+	m.submitted++
+	j := &job{
+		status: JobStatus{
+			ID:        fmt.Sprintf("job-%d", m.nextID),
+			State:     StateQueued,
+			Spec:      spec,
+			Submitted: time.Now(),
+		},
+		slot:     -1,
+		queuePos: -1,
+		done:     make(chan struct{}),
+	}
+	m.jobs[j.status.ID] = j
+	if len(m.freeSlots) > 0 {
+		m.dispatchLocked(j)
+	} else {
+		j.queuePos = len(m.queue)
+		m.queue = append(m.queue, j)
+	}
+	m.mu.Unlock()
+
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				m.Cancel(j.status.ID) //nolint:errcheck // racing completion is fine
+			case <-j.done:
+			}
+		}()
+	}
+	return j.status.ID, nil
+}
+
+// dispatchLocked moves a job onto a free slot. Caller holds m.mu.
+func (m *Manager) dispatchLocked(j *job) {
+	slot := m.freeSlots[len(m.freeSlots)-1]
+	m.freeSlots = m.freeSlots[:len(m.freeSlots)-1]
+	j.slot = slot
+	j.queuePos = -1
+	j.status.State = StateRunning
+	j.status.Started = time.Now()
+	go m.run(j, slot)
+}
+
+// run executes one job on its slot and then hands the slot to the next
+// queued job. Runs on its own goroutine.
+func (m *Manager) run(j *job, slot int) {
+	cfg, err := j.status.Spec.Config()
+	var res parallel.Result
+	if err == nil {
+		// The start races cancellation: both sides serialize on m.mu, so
+		// either the cancel came first (skip — the job never runs) or the
+		// job is started before Cancel calls pool.CancelJob, which then
+		// observes the busy slot and lands. No cancellation is lost.
+		var h *parallel.JobHandle
+		m.mu.Lock()
+		if j.cancel {
+			res.Stopped = true
+		} else {
+			h, err = m.pool.StartJob(slot, cfg, func(p parallel.Progress) {
+				m.mu.Lock()
+				j.status.Steps = p.Steps
+				j.status.BestScore = p.BestScore
+				j.status.Sequence = p.Sequence
+				m.mu.Unlock()
+			})
+		}
+		m.mu.Unlock()
+		if h != nil {
+			res, err = h.Wait()
+		}
+	}
+
+	m.mu.Lock()
+	j.status.Finished = time.Now()
+	j.status.Steps = res.Steps
+	j.status.Sequence = res.Sequence
+	j.status.Score = res.Score
+	j.status.BestScore = res.Score
+	j.status.Stopped = res.Stopped
+	j.status.Rollouts = res.Jobs
+	j.status.WorkUnits = res.WorkUnits
+	switch {
+	case err != nil:
+		j.status.State = StateFailed
+		j.status.Error = err.Error()
+		m.failed++
+	case res.Stopped && j.cancel:
+		j.status.State = StateCancelled
+		m.cancelled++
+	default:
+		// Deadline-stopped jobs are done: the deadline is part of the
+		// spec, and the partial result is the answer it asked for.
+		j.status.State = StateDone
+		m.completed++
+	}
+	m.finishLocked(j)
+
+	m.freeSlots = append(m.freeSlots, slot)
+	for len(m.queue) > 0 && len(m.freeSlots) > 0 {
+		next := m.queue[0]
+		m.queue = m.queue[:copy(m.queue, m.queue[1:])]
+		for i, q := range m.queue {
+			q.queuePos = i
+		}
+		m.dispatchLocked(next)
+	}
+	m.mu.Unlock()
+}
+
+// Get returns a snapshot of the job's status.
+func (m *Manager) Get(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return snapshotLocked(j), nil
+}
+
+// snapshotLocked deep-copies the mutable slice so callers can hold the
+// status across the lock.
+func snapshotLocked(j *job) JobStatus {
+	st := j.status
+	st.Sequence = append([]game.Move(nil), st.Sequence...)
+	return st
+}
+
+// Jobs returns a snapshot of every job the manager knows, newest last.
+func (m *Manager) Jobs() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, snapshotLocked(j))
+	}
+	sortStatuses(out)
+	return out
+}
+
+// sortStatuses orders by numeric id suffix (submission order).
+func sortStatuses(s []JobStatus) {
+	sort.Slice(s, func(i, k int) bool { return idNum(s[i].ID) < idNum(s[k].ID) })
+}
+
+func idNum(id string) int64 {
+	var n int64
+	fmt.Sscanf(id, "job-%d", &n) //nolint:errcheck // malformed ids sort first
+	return n
+}
+
+// Cancel stops a queued or running job. A queued job is removed from the
+// queue and terminal immediately; a running job drains its in-flight
+// rollouts and completes with State cancelled. Cancelling a terminal job
+// returns ErrFinished.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return ErrNotFound
+	}
+	if j.status.State.Terminal() {
+		m.mu.Unlock()
+		return ErrFinished
+	}
+	if j.cancel {
+		m.mu.Unlock()
+		return nil // already being cancelled
+	}
+	j.cancel = true
+	switch j.status.State {
+	case StateQueued:
+		m.queue = append(m.queue[:j.queuePos], m.queue[j.queuePos+1:]...)
+		for i, q := range m.queue {
+			q.queuePos = i
+		}
+		j.queuePos = -1
+		j.status.State = StateCancelled
+		j.status.Finished = time.Now()
+		j.status.Stopped = true
+		m.cancelled++
+		m.finishLocked(j)
+	case StateRunning:
+		m.pool.CancelJob(j.slot)
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx is done) and
+// returns its final status.
+func (m *Manager) Wait(ctx context.Context, id string) (JobStatus, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	select {
+	case <-j.done:
+		return m.Get(id)
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+}
+
+// Metrics snapshots the service counters and the pool instrumentation.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	running := 0
+	for _, j := range m.jobs {
+		if j.status.State == StateRunning {
+			running++
+		}
+	}
+	out := Metrics{
+		Submitted: m.submitted,
+		Rejected:  m.rejected,
+		Completed: m.completed,
+		Cancelled: m.cancelled,
+		Failed:    m.failed,
+		Running:   running,
+		Queued:    len(m.queue),
+		Slots:     m.cfg.Slots,
+	}
+	m.mu.Unlock()
+	out.Pool = m.pool.Metrics()
+	return out
+}
+
+// Shutdown drains the service and tears the pool down. New submissions
+// are refused with ErrClosed immediately; queued jobs are cancelled;
+// running jobs are left to finish until ctx is done, then cancelled (they
+// still drain their in-flight rollouts — the pool is never dismantled
+// with work in flight). Blocks until every job is terminal and the pool
+// has exited. Returns ctx.Err() when the deadline forced the drain.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		// A concurrent Shutdown already owns the drain: wait for it to
+		// finish rather than tearing the pool down under its feet (which
+		// would force-cancel jobs the first caller's budget still allows
+		// to complete).
+		<-m.drained
+		return nil
+	}
+	m.closed = true
+	var waiting []*job
+	for len(m.queue) > 0 {
+		j := m.queue[len(m.queue)-1]
+		m.queue = m.queue[:len(m.queue)-1]
+		j.queuePos = -1
+		j.cancel = true
+		j.status.State = StateCancelled
+		j.status.Finished = time.Now()
+		j.status.Stopped = true
+		m.cancelled++
+		m.finishLocked(j)
+	}
+	for _, j := range m.jobs {
+		if !j.status.State.Terminal() {
+			waiting = append(waiting, j)
+		}
+	}
+	m.mu.Unlock()
+
+	forced := false
+	for _, j := range waiting {
+		select {
+		case <-j.done:
+			continue
+		case <-ctx.Done():
+		}
+		// Deadline passed: force the remaining jobs to drain.
+		forced = true
+		m.mu.Lock()
+		for _, k := range waiting {
+			if k.status.State == StateRunning && !k.cancel {
+				k.cancel = true
+				m.pool.CancelJob(k.slot)
+			}
+		}
+		m.mu.Unlock()
+		break
+	}
+	for _, j := range waiting {
+		<-j.done
+	}
+	m.pool.Shutdown()
+	close(m.drained)
+	if forced {
+		return ctx.Err()
+	}
+	return nil
+}

@@ -49,6 +49,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/samegame"
+	"repro/internal/service"
 	"repro/internal/sudoku"
 )
 
@@ -120,6 +121,42 @@ func RunVirtual(spec ClusterSpec, cfg ParallelConfig, opts VirtualOptions) (Para
 func RunWall(nClients, medians int, cfg ParallelConfig) (ParallelResult, error) {
 	return parallel.RunWall(nClients, medians, cfg)
 }
+
+// Concurrent search service (the long-lived, multi-job form of RunWall;
+// see internal/service and cmd/pnmcsd).
+type (
+	// Service is a persistent search service: a shared worker pool onto
+	// which concurrently submitted jobs are multiplexed. Build with
+	// NewService, submit with Submit, tear down with Shutdown.
+	Service = service.Manager
+	// ServiceConfig sizes a Service: slots, medians, clients, queue bound.
+	ServiceConfig = service.Config
+	// JobSpec describes one search job: domain position plus search
+	// parameters. Equal specs return bit-identical results, on the
+	// service or solo via RunWall.
+	JobSpec = service.JobSpec
+	// JobStatus is a point-in-time snapshot of a submitted job.
+	JobStatus = service.JobStatus
+	// JobState is a job's lifecycle state (queued, running, done,
+	// cancelled, failed).
+	JobState = service.JobState
+	// ServiceMetrics aggregates the service counters and the pool's
+	// idle / queue-depth instrumentation.
+	ServiceMetrics = service.Metrics
+)
+
+// Service errors surfaced to callers: saturation (bounded-queue
+// backpressure), shutdown, unknown ids, and double-cancellation.
+var (
+	ErrServiceSaturated = service.ErrSaturated
+	ErrServiceClosed    = service.ErrClosed
+	ErrJobNotFound      = service.ErrNotFound
+	ErrJobFinished      = service.ErrFinished
+)
+
+// NewService builds the persistent worker pool and returns an idle
+// service. cmd/pnmcsd exposes the same object over HTTP.
+func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
 
 // Cluster topologies (the paper's §V testbeds).
 type (

@@ -4,6 +4,7 @@ package pnmcs_test
 // of the library touches, wired end-to-end.
 
 import (
+	"context"
 	"testing"
 
 	pnmcs "repro"
@@ -104,5 +105,49 @@ func TestFacadeRandStreams(t *testing.T) {
 	b := pnmcs.NewRandStream(1, 2)
 	if a.Uint64() == b.Uint64() {
 		t.Fatal("streams correlated")
+	}
+}
+
+func TestFacadeService(t *testing.T) {
+	svc, err := pnmcs.NewService(pnmcs.ServiceConfig{Slots: 2, Medians: 2, Clients: 2, QueueLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := svc.Shutdown(context.Background()); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	spec := pnmcs.JobSpec{Domain: "sudoku", Box: 2, Level: 2, Seed: 3, Memorize: true}
+	id, err := svc.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := svc.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || st.Score != 16 {
+		t.Fatalf("service job: state %s score %v", st.State, st.Score)
+	}
+
+	// The service result matches the one-shot RunWall API bit for bit.
+	solo, err := pnmcs.RunWall(2, 2, pnmcs.ParallelConfig{
+		Level: 2, Root: pnmcs.NewSudoku(2), Seed: 3, Memorize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Score != solo.Score || len(st.Sequence) != len(solo.Sequence) {
+		t.Fatalf("service %v/%d != solo %v/%d", st.Score, len(st.Sequence), solo.Score, len(solo.Sequence))
+	}
+	for i := range st.Sequence {
+		if st.Sequence[i] != solo.Sequence[i] {
+			t.Fatalf("sequences differ at %d", i)
+		}
+	}
+	if m := svc.Metrics(); m.Completed != 1 || m.Pool.Jobs == 0 {
+		t.Fatalf("metrics: %+v", m)
 	}
 }
