@@ -1,0 +1,72 @@
+// Command pnmcs-worker hosts median and client ranks of a distributed
+// pnmcsd: the worker-node binary of the paper's MPI deployment, one
+// process per machine (or per core group).
+//
+// Start a coordinator that expects two workers, then dial in:
+//
+//	pnmcsd -addr :8723 -workers 2 -worker-listen :8724
+//	pnmcs-worker -connect host:8724
+//	pnmcs-worker -connect host:8724
+//
+// The handshake assigns this process a contiguous rank range and carries
+// the pool configuration, from which the worker derives the same world
+// layout the coordinator built; no further configuration is needed. The
+// process serves rollouts until the coordinator drains and shuts the rank
+// world down, then prints its service statistics and exits.
+//
+// -retry keeps dialing a not-yet-listening coordinator (connection
+// refused) for the given budget, so workers and coordinator can be
+// started in any order.
+package main
+
+import (
+	"errors"
+	"flag"
+	"log"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/mpi/codec"
+	"repro/internal/parallel"
+)
+
+func main() {
+	connect := flag.String("connect", "127.0.0.1:8724", "coordinator worker-listen address")
+	retry := flag.Duration("retry", 30*time.Second, "dial budget: keep retrying the coordinator this long")
+	flag.Parse()
+
+	deadline := time.Now().Add(*retry)
+	var w *mpi.NetWorker
+	for {
+		var err error
+		w, err = mpi.DialWorker(*connect)
+		if err == nil {
+			break
+		}
+		// A version mismatch is permanent: the same coordinator will
+		// refuse every retry, so fail fast instead of hammering it for
+		// the whole budget. A slot rejection stays retryable — a slot
+		// freed by another worker's failed handshake becomes claimable
+		// again moments later.
+		if errors.Is(err, codec.ErrVersion) {
+			log.Fatalf("dial %s: %v", *connect, err)
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("dial %s: %v (retry budget %v exhausted)", *connect, err, *retry)
+		}
+		log.Printf("dial %s: %v; retrying", *connect, err)
+		time.Sleep(250 * time.Millisecond)
+	}
+	lo, hi := w.RankRange()
+	log.Printf("connected to %s: ranks [%d, %d) of a %d-rank world", *connect, lo, hi, w.Size())
+
+	stats, err := parallel.ServeWorker(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("drained: %d medians, %d clients, idle %v", stats.Medians, stats.Clients, stats.Idle.Round(time.Millisecond))
+	log.Printf("transport: %d frames / %d bytes in, %d frames / %d bytes out, codec %v encode / %v decode",
+		stats.Net.FramesRecv, stats.Net.BytesRecv, stats.Net.FramesSent, stats.Net.BytesSent,
+		time.Duration(stats.Net.EncodeNs).Round(time.Microsecond),
+		time.Duration(stats.Net.DecodeNs).Round(time.Microsecond))
+}

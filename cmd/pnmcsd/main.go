@@ -52,14 +52,18 @@ func main() {
 	clients := flag.Int("clients", 8, "shared rollout workers")
 	queue := flag.Int("queue", 16, "jobs queued beyond the running slots before 503")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for running jobs")
+	workers := flag.Int("workers", 0, "serve medians+clients from this many pnmcs-worker processes (0 = in-process)")
+	workerListen := flag.String("worker-listen", "127.0.0.1:8724", "TCP address pnmcs-worker processes dial (with -workers); bind a non-loopback interface only on a trusted network — the worker handshake is unauthenticated")
 	flag.Parse()
 
 	mgr, err := service.New(service.Config{
-		Slots:      *slots,
-		Medians:    *medians,
-		Clients:    *clients,
-		QueueLimit: *queue,
-		Algo:       parallel.LastMinute,
+		Slots:        *slots,
+		Medians:      *medians,
+		Clients:      *clients,
+		QueueLimit:   *queue,
+		Algo:         parallel.LastMinute,
+		Workers:      *workers,
+		WorkerListen: *workerListen,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -70,6 +74,9 @@ func main() {
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("pnmcsd listening on %s: %d slots, %d medians, %d clients, queue %d",
 		*addr, *slots, *medians, *clients, *queue)
+	if *workers > 0 {
+		log.Printf("distributed pool: expecting %d pnmcs-worker processes on %s", *workers, mgr.WorkerAddr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -205,11 +212,26 @@ func writeMetrics(w http.ResponseWriter, m service.Metrics) {
 	emit("pnmcs_pool_work_units_total", "counter", "metered rollout work units", m.Pool.WorkUnits)
 	emit("pnmcs_pool_queue_depth_max", "gauge", "peak scheduler ready-queue depth", m.Pool.QueueDepthMax)
 	emit("pnmcs_pool_queue_depth_mean", "gauge", "mean scheduler ready-queue depth", m.Pool.QueueDepthMean)
-	for i, d := range m.Pool.MedianIdle {
-		fmt.Fprintf(&b, "pnmcs_pool_median_idle_seconds{median=\"%d\"} %g\n", i, d.Seconds())
+	// Per-rank idle series only exist for co-resident workers; on a
+	// distributed pool they would all read zero (remote idle time stays in
+	// the worker process), which a dashboard cannot tell apart from a
+	// saturated pool — suppress them instead.
+	if m.Pool.Net == nil {
+		for i, d := range m.Pool.MedianIdle {
+			fmt.Fprintf(&b, "pnmcs_pool_median_idle_seconds{median=\"%d\"} %g\n", i, d.Seconds())
+		}
+		for i, d := range m.Pool.ClientIdle {
+			fmt.Fprintf(&b, "pnmcs_pool_client_idle_seconds{client=\"%d\"} %g\n", i, d.Seconds())
+		}
 	}
-	for i, d := range m.Pool.ClientIdle {
-		fmt.Fprintf(&b, "pnmcs_pool_client_idle_seconds{client=\"%d\"} %g\n", i, d.Seconds())
+	if n := m.Pool.Net; n != nil {
+		emit("pnmcs_net_workers", "gauge", "worker processes connected", n.Workers)
+		emit("pnmcs_net_frames_sent_total", "counter", "frames sent to workers", n.FramesSent)
+		emit("pnmcs_net_frames_recv_total", "counter", "frames received from workers", n.FramesRecv)
+		emit("pnmcs_net_bytes_sent_total", "counter", "frame bytes sent to workers", n.BytesSent)
+		emit("pnmcs_net_bytes_recv_total", "counter", "frame bytes received from workers", n.BytesRecv)
+		emit("pnmcs_net_encode_seconds_total", "counter", "codec time spent encoding frames", float64(n.EncodeNs)/1e9)
+		emit("pnmcs_net_decode_seconds_total", "counter", "codec time spent decoding frames", float64(n.DecodeNs)/1e9)
 	}
 	w.Write([]byte(b.String())) //nolint:errcheck // client went away; nothing to do
 }

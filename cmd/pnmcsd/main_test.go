@@ -14,6 +14,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/mpi"
+	"repro/internal/parallel"
 	"repro/internal/service"
 )
 
@@ -205,5 +207,44 @@ func TestHealthAndMetrics(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, body)
 		}
+	}
+}
+
+// TestMetricsTransportCounters pins the /metrics lines a distributed
+// daemon exposes from NetCluster: frame/byte counters and codec timers
+// appear when the pool is networked, and are absent on an in-process
+// pool (no misleading zero-valued series).
+func TestMetricsTransportCounters(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeMetrics(rec, service.Metrics{
+		Slots: 2,
+		Pool: parallel.PoolMetrics{
+			Net: &mpi.NetStats{
+				FramesSent: 10, FramesRecv: 9,
+				BytesSent: 1200, BytesRecv: 900,
+				EncodeNs: 2_000_000, DecodeNs: 1_000_000,
+				Workers: 2,
+			},
+		},
+	})
+	body := rec.Body.String()
+	for _, want := range []string{
+		"pnmcs_net_workers 2",
+		"pnmcs_net_frames_sent_total 10",
+		"pnmcs_net_frames_recv_total 9",
+		"pnmcs_net_bytes_sent_total 1200",
+		"pnmcs_net_bytes_recv_total 900",
+		"pnmcs_net_encode_seconds_total 0.002",
+		"pnmcs_net_decode_seconds_total 0.001",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("transport metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	writeMetrics(rec, service.Metrics{Slots: 2})
+	if strings.Contains(rec.Body.String(), "pnmcs_net_") {
+		t.Fatalf("in-process pool leaked transport metrics:\n%s", rec.Body.String())
 	}
 }

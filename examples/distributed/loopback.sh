@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Manual walkthrough of the multi-process topology on loopback: one pnmcsd
+# coordinator, two pnmcs-worker processes, three jobs over the HTTP API.
+# (The Go program in this directory runs the same topology and additionally
+# verifies results against solo in-process runs; CI uses that.)
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+BIN="${BIN:-$(pwd)/examples/distributed/.bin}"
+HTTP=127.0.0.1:18731
+WORKER=127.0.0.1:18732
+
+mkdir -p "$BIN"
+go build -o "$BIN/pnmcsd" ./cmd/pnmcsd
+go build -o "$BIN/pnmcs-worker" ./cmd/pnmcs-worker
+
+"$BIN/pnmcsd" -addr "$HTTP" -workers 2 -worker-listen "$WORKER" \
+  -slots 2 -medians 2 -clients 4 &
+DAEMON=$!
+trap 'kill $DAEMON 2>/dev/null || true' EXIT
+
+until curl -sf "http://$HTTP/healthz" >/dev/null; do sleep 0.2; done
+
+# Workers can be started before or after the daemon, and before or after
+# jobs are submitted: candidates wait in the scheduler until ranks join.
+"$BIN/pnmcs-worker" -connect "$WORKER" &
+"$BIN/pnmcs-worker" -connect "$WORKER" &
+
+for body in \
+  '{"domain":"morpion","variant":"4D","level":2,"seed":11,"memorize":true}' \
+  '{"domain":"samegame","width":6,"height":6,"colors":3,"board_seed":3,"level":2,"seed":5,"memorize":true}' \
+  '{"domain":"sudoku","box":3,"level":2,"seed":7}'; do
+  curl -s -X POST "http://$HTTP/v1/jobs" -d "$body" | grep -o '"id": *"[^"]*"'
+done
+
+echo "polling until all jobs finish..."
+while curl -s "http://$HTTP/v1/jobs" | grep -qE '"state": *"(queued|running)"'; do
+  sleep 0.5
+done
+curl -s "http://$HTTP/v1/jobs"
+
+echo "transport counters:"
+curl -s "http://$HTTP/metrics" | grep pnmcs_net_
+
+# Graceful drain: workers exit on their own once the coordinator tears
+# the rank world down.
+kill -TERM $DAEMON
+wait

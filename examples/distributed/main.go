@@ -1,0 +1,257 @@
+// Command distributed demonstrates — and smoke-tests — the multi-process
+// deployment of the search service: one pnmcsd coordinator plus two
+// pnmcs-worker processes on loopback TCP, the topology of the paper's MPI
+// cluster (server = coordinator, worker PCs = pnmcs-worker).
+//
+// It builds both binaries, wires the processes together, submits one job
+// per domain over the HTTP API, and verifies each distributed result is
+// bit-identical to the same JobSpec run solo in-process (parallel.RunWall
+// with the same seed) — score, move sequence, and rollout accounting.
+// The CI distributed-smoke job runs exactly this program:
+//
+//	go run ./examples/distributed
+//
+// Flags: -bin keeps the built binaries in a chosen directory (default: a
+// temp dir, removed afterwards); -http / -worker pick the loopback ports.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/service"
+)
+
+var (
+	httpAddr   string
+	workerAddr string
+
+	// procs and cleanups are torn down by die() on any failure:
+	// log.Fatalf alone would skip deferred kills and leave the daemon and
+	// workers running on their fixed ports, where the NEXT smoke run
+	// would silently talk to them.
+	procs    []*exec.Cmd
+	cleanups []func()
+)
+
+// die tears the spawned processes and temp state down, then exits.
+func die(format string, args ...any) {
+	for _, p := range procs {
+		p.Process.Kill() //nolint:errcheck // going down anyway
+	}
+	for _, fn := range cleanups {
+		fn()
+	}
+	log.Fatalf(format, args...)
+}
+
+func main() {
+	binDir := flag.String("bin", "", "directory for the built binaries (default: a temp dir, removed afterwards)")
+	flag.StringVar(&httpAddr, "http", "127.0.0.1:18731", "pnmcsd HTTP address")
+	flag.StringVar(&workerAddr, "worker", "127.0.0.1:18732", "pnmcsd worker-listen address")
+	flag.Parse()
+
+	if *binDir == "" {
+		d, err := os.MkdirTemp("", "pnmcs-distributed")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(d)
+		cleanups = append(cleanups, func() { os.RemoveAll(d) })
+		*binDir = d
+	}
+
+	log.Printf("building pnmcsd and pnmcs-worker into %s", *binDir)
+	for _, cmd := range []string{"pnmcsd", "pnmcs-worker"} {
+		build := exec.Command("go", "build", "-o", filepath.Join(*binDir, cmd), "./cmd/"+cmd)
+		build.Stdout, build.Stderr = os.Stdout, os.Stderr
+		if err := build.Run(); err != nil {
+			log.Fatalf("build %s: %v", cmd, err)
+		}
+	}
+
+	// One coordinator expecting two workers. 2 slots / 2 medians / 4
+	// clients keeps the world small; determinism does not depend on it.
+	daemon := start(*binDir, "pnmcsd",
+		"-addr", httpAddr, "-workers", "2", "-worker-listen", workerAddr,
+		"-slots", "2", "-medians", "2", "-clients", "4")
+	defer daemon.Process.Kill() //nolint:errcheck // beyond the graceful path below
+
+	waitHealthy()
+
+	w1 := start(*binDir, "pnmcs-worker", "-connect", workerAddr)
+	w2 := start(*binDir, "pnmcs-worker", "-connect", workerAddr)
+
+	// One job per domain: morpion plays a full level-2 game across the
+	// wire; the others are smaller boards. Seeds are arbitrary but fixed.
+	specs := []service.JobSpec{
+		{Domain: "morpion", Variant: "4D", Level: 2, Seed: 11, Memorize: true},
+		{Domain: "samegame", Width: 6, Height: 6, Colors: 3, BoardSeed: 3, Level: 2, Seed: 5, Memorize: true},
+		{Domain: "sudoku", Box: 3, Level: 2, Seed: 7},
+	}
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		ids[i] = submit(spec)
+		log.Printf("submitted %s as %s", spec.Domain, ids[i])
+	}
+	for i, spec := range specs {
+		st := await(ids[i])
+		if st.State != service.StateDone {
+			die("%s: state %s (error %q)", spec.Domain, st.State, st.Error)
+		}
+		verify(spec, st)
+	}
+
+	// Transport counters must show the jobs crossed the wire.
+	metrics := httpGet("/metrics")
+	for _, want := range []string{"pnmcs_net_workers 2", "pnmcs_net_frames_sent_total"} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			die("/metrics missing %q", want)
+		}
+	}
+
+	// Graceful drain: SIGTERM the daemon; the workers exit by themselves
+	// once the coordinator tears the rank world down.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		die("%v", err)
+	}
+	for name, p := range map[string]*exec.Cmd{"pnmcsd": daemon, "worker-1": w1, "worker-2": w2} {
+		if err := waitFor(p, 30*time.Second); err != nil {
+			die("%s did not drain cleanly: %v", name, err)
+		}
+	}
+	fmt.Println("distributed smoke PASS: 3 domains bit-identical across 2 worker processes")
+}
+
+// start launches a built binary with stdout/stderr piped through.
+func start(binDir, name string, args ...string) *exec.Cmd {
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Start(); err != nil {
+		die("start %s: %v", name, err)
+	}
+	procs = append(procs, cmd)
+	return cmd
+}
+
+// waitFor waits for a process to exit within the budget.
+func waitFor(cmd *exec.Cmd, budget time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(budget):
+		cmd.Process.Kill() //nolint:errcheck // giving up anyway
+		return fmt.Errorf("still running after %v", budget)
+	}
+}
+
+func waitHealthy() {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get("http://" + httpAddr + "/healthz")
+		if err == nil {
+			resp.Body.Close() //nolint:errcheck // drained by Close
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			die("pnmcsd never became healthy: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func httpGet(path string) []byte {
+	resp, err := http.Get("http://" + httpAddr + path)
+	if err != nil {
+		die("%v", err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // read fully below
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		die("%v", err)
+	}
+	return body
+}
+
+func submit(spec service.JobSpec) string {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		die("%v", err)
+	}
+	resp, err := http.Post("http://"+httpAddr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		die("%v", err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // decoded below
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		die("submit %s: %d %s", spec.Domain, resp.StatusCode, raw)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		die("%v", err)
+	}
+	return st.ID
+}
+
+func await(id string) service.JobStatus {
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		var st service.JobStatus
+		if err := json.Unmarshal(httpGet("/v1/jobs/"+id), &st); err != nil {
+			die("%v", err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			die("%s never finished (state %s after %d steps)", id, st.State, st.Steps)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// verify runs the same spec solo in this process and compares every
+// deterministic field — the cross-process form of the equivalence tests.
+func verify(spec service.JobSpec, st service.JobStatus) {
+	cfg, err := spec.Config()
+	if err != nil {
+		die("%v", err)
+	}
+	solo, err := parallel.RunWall(4, 3, cfg)
+	if err != nil {
+		die("%v", err)
+	}
+	if st.Score != solo.Score {
+		die("%s: distributed score %v != solo %v", spec.Domain, st.Score, solo.Score)
+	}
+	if len(st.Sequence) != len(solo.Sequence) {
+		die("%s: sequence %d moves != solo %d", spec.Domain, len(st.Sequence), len(solo.Sequence))
+	}
+	for i := range st.Sequence {
+		if st.Sequence[i] != solo.Sequence[i] {
+			die("%s: sequences differ at move %d", spec.Domain, i)
+		}
+	}
+	if st.Rollouts != solo.Jobs || st.WorkUnits != solo.WorkUnits {
+		die("%s: accounting %d rollouts / %d units != solo %d / %d",
+			spec.Domain, st.Rollouts, st.WorkUnits, solo.Jobs, solo.WorkUnits)
+	}
+	log.Printf("%s: bit-identical (score %.0f, %d moves, %d rollouts)",
+		spec.Domain, st.Score, len(st.Sequence), st.Rollouts)
+}

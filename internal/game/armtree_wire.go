@@ -1,0 +1,78 @@
+package game
+
+// Wire encoding of ArmTree positions, so the synthetic test domain can
+// cross process boundaries exactly like the real domains (the distributed
+// tests reuse it for fast cross-transport equivalence checks).
+//
+//	uvarint arms | uvarint depth | u64 seed | uvarint len(path) | uvarint per move
+//
+// A position is a pure function of (arms, depth, seed, path), so the
+// encoding is exact by construction.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendWire appends the position's wire encoding to buf.
+func (t *ArmTree) AppendWire(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(t.arms))
+	buf = binary.AppendUvarint(buf, uint64(t.depth))
+	buf = binary.LittleEndian.AppendUint64(buf, t.seed)
+	buf = binary.AppendUvarint(buf, uint64(len(t.path)))
+	for _, m := range t.path {
+		buf = binary.AppendUvarint(buf, uint64(m))
+	}
+	return buf
+}
+
+// DecodeArmTreeWire reconstructs a position encoded by AppendWire,
+// consuming all of data. Malformed bytes return an error, never panic.
+func DecodeArmTreeWire(data []byte) (*ArmTree, error) {
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("game: armtree wire: truncated uvarint")
+		}
+		data = data[n:]
+		return v, nil
+	}
+	arms, err := next()
+	if err != nil {
+		return nil, err
+	}
+	depth, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if arms < 1 || arms > 1<<16 || depth < 1 || depth > 1<<16 {
+		return nil, fmt.Errorf("game: armtree wire: %d arms x depth %d out of range", arms, depth)
+	}
+	if len(data) < 8 {
+		return nil, fmt.Errorf("game: armtree wire: truncated seed")
+	}
+	seed := binary.LittleEndian.Uint64(data)
+	data = data[8:]
+	n, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if n > depth {
+		return nil, fmt.Errorf("game: armtree wire: path of %d moves in a depth-%d tree", n, depth)
+	}
+	t := NewArmTree(int(arms), int(depth), seed)
+	for i := uint64(0); i < n; i++ {
+		m, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if m >= arms {
+			return nil, fmt.Errorf("game: armtree wire: arm %d of %d", m, arms)
+		}
+		t.path = append(t.path, Move(m))
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("game: armtree wire: %d trailing bytes", len(data))
+	}
+	return t, nil
+}

@@ -1,0 +1,103 @@
+package morpion
+
+// Wire encoding of Morpion positions for the distributed rank world
+// (mpi.NetCluster). A position is fully determined by its variant and the
+// sequence of moves played from the initial cross, so the encoding ships
+// the variant code plus the move sequence — a handful of bytes per move
+// instead of the five w×w board planes — and the decoder replays it:
+//
+//	u8 variant code (0=5T 1=5D 2=4T 3=4D) | uvarint len(seq) | uvarint per move
+//
+// Replay goes through the same incremental Play as live search, so the
+// decoded position is observably identical to the encoded one — score,
+// move count and the exact order of the legal-move list — which is what
+// keeps cross-transport runs bit-identical (see the codec round-trip
+// tests). Decoding validates every move against the current legal list, so
+// corrupt or hostile bytes produce an error, never a corrupted position.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/game"
+)
+
+// wireVariants maps wire codes to the standard rule sets.
+var wireVariants = [...]Variant{Var5T, Var5D, Var4T, Var4D}
+
+// wireMaxMoves caps the replay length a decoder accepts. The longest known
+// Morpion games are a few hundred moves; anything beyond this is corrupt.
+const wireMaxMoves = 4096
+
+// AppendWire appends the position's wire encoding to buf. It panics on a
+// non-standard variant: only the four named rule sets have wire codes.
+func (s *State) AppendWire(buf []byte) []byte {
+	code := -1
+	for i, v := range wireVariants {
+		if v == s.v {
+			code = i
+			break
+		}
+	}
+	if code < 0 {
+		panic(fmt.Sprintf("morpion: variant %q has no wire code", s.v.Name))
+	}
+	buf = append(buf, byte(code))
+	buf = binary.AppendUvarint(buf, uint64(len(s.seq)))
+	for _, m := range s.seq {
+		buf = binary.AppendUvarint(buf, uint64(m))
+	}
+	return buf
+}
+
+// DecodeWire reconstructs a position encoded by AppendWire, consuming all
+// of data. Every replayed move is checked against the legal-move list of
+// the position it is played on; malformed bytes return an error.
+func DecodeWire(data []byte) (*State, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("morpion: wire: empty")
+	}
+	code := int(data[0])
+	if code >= len(wireVariants) {
+		return nil, fmt.Errorf("morpion: wire: unknown variant code %d", code)
+	}
+	data = data[1:]
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, fmt.Errorf("morpion: wire: truncated move count")
+	}
+	data = data[used:]
+	if n > wireMaxMoves {
+		return nil, fmt.Errorf("morpion: wire: %d moves exceeds limit %d", n, wireMaxMoves)
+	}
+	s := New(wireVariants[code])
+	for i := uint64(0); i < n; i++ {
+		v, used := binary.Uvarint(data)
+		if used <= 0 {
+			return nil, fmt.Errorf("morpion: wire: truncated move %d", i)
+		}
+		data = data[used:]
+		m := game.Move(v)
+		legal := false
+		for _, lm := range s.moves {
+			if lm == m {
+				legal = true
+				break
+			}
+		}
+		if !legal {
+			return nil, fmt.Errorf("morpion: wire: move %d (%#x) is not legal at depth %d", i, v, i)
+		}
+		s.Play(m)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("morpion: wire: %d trailing bytes", len(data))
+	}
+	// The replayed history is an artifact of decoding, not of the sender's
+	// position: shipped positions follow the clone contract (history floor
+	// at the shipped position), so drop it.
+	s.hist = s.hist[:0]
+	s.histMoves = s.histMoves[:0]
+	s.histIdx = s.histIdx[:0]
+	return s, nil
+}

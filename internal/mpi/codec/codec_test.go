@@ -1,0 +1,250 @@
+package codec
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/game"
+	"repro/internal/morpion"
+	"repro/internal/rng"
+	"repro/internal/samegame"
+	"repro/internal/sudoku"
+)
+
+// roundTrip encodes v as a payload and decodes it back.
+func roundTrip(t *testing.T, v any) any {
+	t.Helper()
+	buf, err := EncodePayload(nil, v)
+	if err != nil {
+		t.Fatalf("encode %T: %v", v, err)
+	}
+	out, err := DecodePayload(buf)
+	if err != nil {
+		t.Fatalf("decode %T: %v", v, err)
+	}
+	return out
+}
+
+// TestPrimitiveRoundTrips property-checks Decode(Encode(m)) == m for every
+// scalar payload kind with testing/quick-generated values.
+func TestPrimitiveRoundTrips(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	checks := map[string]any{
+		"int":     func(v int) bool { return roundTrip(t, v) == v },
+		"int64":   func(v int64) bool { return roundTrip(t, v) == v },
+		"uint64":  func(v uint64) bool { return roundTrip(t, v) == v },
+		"bool":    func(v bool) bool { return roundTrip(t, v) == v },
+		"string":  func(v string) bool { return roundTrip(t, v) == v },
+		"move":    func(v uint64) bool { return roundTrip(t, game.Move(v)) == game.Move(v) },
+		"float64": func(v float64) bool { return roundTrip(t, v) == v },
+		"moves": func(raw []uint64) bool {
+			v := make([]game.Move, len(raw))
+			for i, r := range raw {
+				v[i] = game.Move(r)
+			}
+			return reflect.DeepEqual(roundTrip(t, v), v)
+		},
+		"floats": func(v []float64) bool {
+			got := roundTrip(t, v).([]float64)
+			if len(got) != len(v) {
+				return false
+			}
+			for i := range v {
+				// NaN-safe bit comparison: quick generates NaNs too.
+				if math.Float64bits(got[i]) != math.Float64bits(v[i]) {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	for name, fn := range checks {
+		if err := quick.Check(fn, cfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestNilRoundTrip(t *testing.T) {
+	if got := roundTrip(t, nil); got != nil {
+		t.Fatalf("nil decoded to %v", got)
+	}
+}
+
+// stateHash folds the observable position state — move count, score and
+// the ordered legal-move list — into one hash, the same observable the
+// domain fuzz targets pin. Two positions with equal hashes are
+// indistinguishable to the search.
+func stateHash(st game.State, buf []game.Move) (uint64, []game.Move) {
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= 1099511628211
+			x >>= 8
+		}
+	}
+	mix(uint64(st.MovesPlayed()))
+	mix(math.Float64bits(st.Score()))
+	buf = st.LegalMoves(buf[:0])
+	mix(uint64(len(buf)))
+	for _, m := range buf {
+		mix(uint64(m))
+	}
+	return h, buf
+}
+
+// playRandom plays n random legal moves (or until terminal).
+func playRandom(st game.State, r *rng.Rand, n int) {
+	var buf []game.Move
+	for i := 0; i < n; i++ {
+		buf = st.LegalMoves(buf[:0])
+		if len(buf) == 0 {
+			return
+		}
+		st.Play(buf[r.Intn(len(buf))])
+	}
+}
+
+// TestStateRoundTrips ships random mid-game positions of every domain
+// through the codec and checks the decoded position is observably
+// identical — including the exact legal-move order the cross-transport
+// determinism contract depends on.
+func TestStateRoundTrips(t *testing.T) {
+	r := rng.New(7)
+	fresh := []func() game.State{
+		func() game.State { return morpion.New(morpion.Var5D) },
+		func() game.State { return morpion.New(morpion.Var4T) },
+		func() game.State { return samegame.NewRandom(8, 8, 4, 3) },
+		func() game.State { return sudoku.New(3) },
+		func() game.State { return game.NewArmTree(3, 4, 9) },
+	}
+	for _, mk := range fresh {
+		for depth := 0; depth <= 24; depth += 8 {
+			st := mk()
+			playRandom(st, r, depth)
+			var buf []game.Move
+			want, buf := stateHash(st, buf)
+
+			enc, err := EncodePayload(nil, st)
+			if err != nil {
+				t.Fatalf("%T depth %d: encode: %v", st, depth, err)
+			}
+			dec, err := DecodePayload(enc)
+			if err != nil {
+				t.Fatalf("%T depth %d: decode: %v", st, depth, err)
+			}
+			got, _ := stateHash(dec.(game.State), buf)
+			if got != want {
+				t.Fatalf("%T depth %d: decoded position differs (hash %x != %x)", st, depth, got, want)
+			}
+
+			// A second encode of the decoded position must be bit-identical:
+			// the encoding is canonical, so frames can be compared by bytes.
+			enc2, err := EncodePayload(nil, dec)
+			if err != nil {
+				t.Fatalf("%T depth %d: re-encode: %v", st, depth, err)
+			}
+			if !reflect.DeepEqual(enc, enc2) {
+				t.Fatalf("%T depth %d: re-encode differs", st, depth)
+			}
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{From: 0, To: 5, Tag: 3, Payload: 42},
+		{From: -2, To: 1, Tag: 64, Payload: uint64(7)}, // External sender
+		{From: 9, To: -100, Tag: 0, Payload: nil},      // control frame
+		{From: 1, To: 2, Tag: 8, Payload: "hello"},
+	}
+	for _, f := range frames {
+		buf, err := AppendFrame(nil, f)
+		if err != nil {
+			t.Fatalf("append %+v: %v", f, err)
+		}
+		got, err := DecodeFrame(buf[4:]) // skip the length prefix
+		if err != nil {
+			t.Fatalf("decode %+v: %v", f, err)
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Fatalf("frame round trip: got %+v, want %+v", got, f)
+		}
+	}
+}
+
+// TestFrameVersionReject pins the cross-version contract: a frame stamped
+// with any version other than ours is refused with ErrVersion, for every
+// possible foreign version byte.
+func TestFrameVersionReject(t *testing.T) {
+	buf, err := AppendFrame(nil, Frame{From: 1, To: 2, Tag: 3, Payload: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := buf[4:]
+	for v := 0; v <= 255; v++ {
+		if byte(v) == Version {
+			continue
+		}
+		tampered := append([]byte(nil), body...)
+		tampered[0] = byte(v)
+		if _, err := DecodeFrame(tampered); !errors.Is(err, ErrVersion) {
+			t.Fatalf("version %d: got %v, want ErrVersion", v, err)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeFrame(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty body: %v", err)
+	}
+	if _, err := DecodeFrame([]byte{Version, 1, 2}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header: %v", err)
+	}
+	if _, err := DecodePayload([]byte{0xff, 0xff}); !errors.Is(err, ErrKind) {
+		t.Fatalf("unknown kind: %v", err)
+	}
+	if _, err := DecodePayload([]byte{byte(KindNil), 0, 99}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("nil payload with trailing bytes: %v", err)
+	}
+	if _, err := EncodePayload(nil, struct{ X int }{1}); !errors.Is(err, ErrKind) {
+		t.Fatalf("unregistered type: %v", err)
+	}
+}
+
+// TestStateDecodeRejectsMalformed spot-checks that corrupt state payloads
+// error instead of panicking or producing inconsistent positions.
+func TestStateDecodeRejectsMalformed(t *testing.T) {
+	cases := [][]byte{
+		{byte(KindMorpion), 0},                      // empty morpion body
+		{byte(KindMorpion), 0, 9},                   // unknown variant code
+		{byte(KindMorpion), 0, 1, 1, 0xff, 0xff, 3}, // illegal replayed move
+		{byte(KindSameGame), 0, 0, 8, 4},            // zero width
+		{byte(KindSameGame), 0, 8, 8, 4, 0},         // truncated board
+		{byte(KindSudoku), 0, 9},                    // box out of range
+		{byte(KindSudoku), 0, 3, 0, 0, 0},           // truncated grid
+	}
+	for _, raw := range cases {
+		if _, err := DecodePayload(raw); err == nil {
+			t.Fatalf("malformed payload % x decoded without error", raw)
+		}
+	}
+	// A duplicated value in a sudoku row must be rejected by the
+	// constraint rebuild, and high cell bytes (0x80, 0xFF — negative as
+	// int8) must be rejected rather than wrapping into a negative shift.
+	for _, bad := range []byte{5, 0x80, 0xff} {
+		st := sudoku.New(2)
+		enc, err := EncodePayload(nil, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc[len(enc)-16] = bad // grid cell 0 on a side-4 grid
+		if _, err := DecodePayload(enc); err == nil {
+			t.Fatalf("sudoku cell byte %#x decoded without error", bad)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package codec
+
+// Builtin payload encodings: the primitives that flow through Comm.Send as
+// bare scalars (scores, epochs, move counts, assigned ranks travel as
+// primitives in the parallel protocol) and the four game domains. Domain
+// positions delegate to the compact state encoding each domain package
+// owns (wire.go in morpion, samegame, sudoku; the ArmTree methods in
+// internal/game), so board-representation knowledge stays in the domain.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/game"
+	"repro/internal/morpion"
+	"repro/internal/samegame"
+	"repro/internal/sudoku"
+)
+
+// fixed64 reads a little-endian u64, enforcing exact length.
+func fixed64(data []byte) (uint64, error) {
+	if len(data) != 8 {
+		return 0, fmt.Errorf("%w: want 8 bytes, got %d", ErrTruncated, len(data))
+	}
+	return binary.LittleEndian.Uint64(data), nil
+}
+
+func init() {
+	Register(KindInt,
+		func(buf []byte, v int) ([]byte, error) {
+			return binary.LittleEndian.AppendUint64(buf, uint64(int64(v))), nil
+		},
+		func(data []byte) (int, error) {
+			u, err := fixed64(data)
+			return int(int64(u)), err
+		})
+	Register(KindInt64,
+		func(buf []byte, v int64) ([]byte, error) {
+			return binary.LittleEndian.AppendUint64(buf, uint64(v)), nil
+		},
+		func(data []byte) (int64, error) {
+			u, err := fixed64(data)
+			return int64(u), err
+		})
+	Register(KindUint64,
+		func(buf []byte, v uint64) ([]byte, error) {
+			return binary.LittleEndian.AppendUint64(buf, v), nil
+		},
+		fixed64)
+	Register(KindFloat64,
+		func(buf []byte, v float64) ([]byte, error) {
+			return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v)), nil
+		},
+		func(data []byte) (float64, error) {
+			u, err := fixed64(data)
+			return math.Float64frombits(u), err
+		})
+	Register(KindBool,
+		func(buf []byte, v bool) ([]byte, error) {
+			b := byte(0)
+			if v {
+				b = 1
+			}
+			return append(buf, b), nil
+		},
+		func(data []byte) (bool, error) {
+			if len(data) != 1 || data[0] > 1 {
+				return false, fmt.Errorf("%w: bool", ErrMalformed)
+			}
+			return data[0] == 1, nil
+		})
+	Register(KindString,
+		func(buf []byte, v string) ([]byte, error) { return append(buf, v...), nil },
+		func(data []byte) (string, error) { return string(data), nil })
+	Register(KindMove,
+		func(buf []byte, v game.Move) ([]byte, error) {
+			return binary.LittleEndian.AppendUint64(buf, uint64(v)), nil
+		},
+		func(data []byte) (game.Move, error) {
+			u, err := fixed64(data)
+			return game.Move(u), err
+		})
+	Register(KindMoves,
+		func(buf []byte, v []game.Move) ([]byte, error) {
+			buf = binary.AppendUvarint(buf, uint64(len(v)))
+			for _, m := range v {
+				buf = binary.AppendUvarint(buf, uint64(m))
+			}
+			return buf, nil
+		},
+		func(data []byte) ([]game.Move, error) {
+			n, data, err := ReadUvarint(data)
+			if err != nil {
+				return nil, err
+			}
+			if n > uint64(len(data)) { // each move is at least one byte
+				return nil, fmt.Errorf("%w: %d moves in %d bytes", ErrMalformed, n, len(data))
+			}
+			out := make([]game.Move, 0, n)
+			for i := uint64(0); i < n; i++ {
+				var m uint64
+				m, data, err = ReadUvarint(data)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, game.Move(m))
+			}
+			if len(data) != 0 {
+				return nil, fmt.Errorf("%w: %d trailing bytes after moves", ErrMalformed, len(data))
+			}
+			return out, nil
+		})
+	Register(KindFloats,
+		func(buf []byte, v []float64) ([]byte, error) {
+			buf = binary.AppendUvarint(buf, uint64(len(v)))
+			for _, f := range v {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+			}
+			return buf, nil
+		},
+		func(data []byte) ([]float64, error) {
+			n, data, err := ReadUvarint(data)
+			if err != nil {
+				return nil, err
+			}
+			if n > uint64(len(data))/8 || uint64(len(data)) != n*8 {
+				return nil, fmt.Errorf("%w: %d floats in %d bytes", ErrMalformed, n, len(data))
+			}
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+			}
+			return out, nil
+		})
+
+	Register(KindArmTree,
+		func(buf []byte, v *game.ArmTree) ([]byte, error) { return v.AppendWire(buf), nil },
+		game.DecodeArmTreeWire)
+	Register(KindMorpion,
+		func(buf []byte, v *morpion.State) ([]byte, error) { return v.AppendWire(buf), nil },
+		morpion.DecodeWire)
+	Register(KindSameGame,
+		func(buf []byte, v *samegame.State) ([]byte, error) { return v.AppendWire(buf), nil },
+		samegame.DecodeWire)
+	Register(KindSudoku,
+		func(buf []byte, v *sudoku.State) ([]byte, error) { return v.AppendWire(buf), nil },
+		sudoku.DecodeWire)
+}
+
+// ReadUvarint decodes one uvarint from data and returns it with the
+// remaining bytes — the shared read helper for payload decoders.
+func ReadUvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: uvarint", ErrTruncated)
+	}
+	return v, data[n:], nil
+}
+
+// EncodeState appends the typed encoding of a game position. It is
+// EncodePayload restricted to game.State values, for payload encoders that
+// embed a position as their final field.
+func EncodeState(buf []byte, st game.State) ([]byte, error) {
+	return EncodePayload(buf, st)
+}
+
+// DecodeState decodes a position encoded with EncodeState, consuming all
+// of data.
+func DecodeState(data []byte) (game.State, error) {
+	v, err := DecodePayload(data)
+	if err != nil {
+		return nil, err
+	}
+	st, ok := v.(game.State)
+	if !ok {
+		return nil, fmt.Errorf("%w: payload %T is not a game state", ErrMalformed, v)
+	}
+	return st, nil
+}

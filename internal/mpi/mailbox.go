@@ -1,0 +1,44 @@
+package mpi
+
+import "sync"
+
+// mailbox is the blocking per-rank message queue shared by the wall and
+// net transports: senders push from any goroutine, the owning rank blocks
+// in take until a message matching its (from, tag) pattern arrives.
+// Messages from one sender are delivered in push order (FIFO per sender,
+// like MPI pairwise ordering); take returns the earliest match.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []Msg
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// push appends a message and wakes the owner.
+func (mb *mailbox) push(m Msg) {
+	mb.mu.Lock()
+	mb.msgs = append(mb.msgs, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// take blocks until a message matching (from, tag) is available and
+// removes and returns the earliest such message.
+func (mb *mailbox) take(from Rank, tag Tag) Msg {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.msgs {
+			if m.matches(from, tag) {
+				mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}

@@ -4,7 +4,7 @@
 // The paper's processes communicate with MPI point-to-point operations over
 // MPI_COMM_WORLD on a Gigabit cluster. Here the same primitives — blocking
 // Send/Recv with tags, wildcard receive, a world of numbered ranks — are an
-// interface with two implementations:
+// interface with three implementations:
 //
 //   - VirtualCluster: processes run under internal/vtime's deterministic
 //     discrete-event scheduler. CPU work is charged in metered work units
@@ -16,8 +16,14 @@
 //   - WallCluster: processes are plain goroutines communicating through
 //     mutex-guarded mailboxes in real time, for native runs on real cores.
 //
+//   - NetCluster / NetWorker: processes span OS processes over TCP — a
+//     coordinator hosting the control ranks plus dialed-in worker
+//     processes each hosting a rank range — with every message encoded as
+//     a typed, versioned, length-prefixed frame (internal/mpi/codec). The
+//     closest analogue of the paper's actual deployment; see net.go.
+//
 // The parallel algorithms in internal/parallel are written once against
-// Comm and run unchanged on either transport.
+// Comm and run unchanged on any transport.
 package mpi
 
 import (

@@ -1,0 +1,855 @@
+package mpi
+
+// The net transport: a rank world spanning OS processes over TCP, the
+// closest analogue of the paper's Open MPI deployment on a Gigabit
+// cluster. One coordinator process (NetCluster) hosts a contiguous prefix
+// of the ranks — by convention the control ranks: root/job slots,
+// scheduler, dispatcher — and listens for worker processes (NetWorker,
+// cmd/pnmcs-worker) that each dial in and host a contiguous range of the
+// remaining ranks (medians, clients).
+//
+// Topology is a star: every worker holds one TCP connection to the
+// coordinator, and frames between two workers are forwarded through the
+// coordinator (hub routing). This keeps the deployment story identical to
+// the paper's — the server hosts root, medians' control traffic and the
+// dispatcher; client PCs only ever talk to the server — and preserves MPI
+// pairwise FIFO ordering: any (sender, receiver) pair has exactly one
+// path, so messages arrive in send order.
+//
+// Wire format and handshake are owned by internal/mpi/codec: every
+// message is a typed, versioned, length-prefixed frame; the handshake
+// carries the protocol version, the world size, the worker's assigned
+// rank range, and an opaque configuration blob the embedding layer uses
+// to reconstruct the worker-side process bodies (internal/parallel ships
+// its PoolConfig in it). Version negotiation is strict — a worker
+// speaking a different codec.Version is rejected at handshake, and every
+// subsequent frame re-checks the version byte.
+//
+// The lifecycle mirrors WallCluster: Start registers rank bodies, Run
+// launches the local ones and blocks until they return — a cluster only
+// runs the ranks it hosts, so the same wiring code runs on every
+// transport — and then waits for each connected worker's goodbye frame
+// before tearing the connections down. Workers may dial in late: frames
+// addressed to a not-yet-connected worker queue at the coordinator and
+// flush on arrival, so a service can accept jobs before its workers have
+// joined (they wait in the scheduler's queues).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mpi/codec"
+)
+
+func init() {
+	codec.Register(codec.KindRank,
+		func(buf []byte, v Rank) ([]byte, error) {
+			return binary.LittleEndian.AppendUint64(buf, uint64(int64(v))), nil
+		},
+		func(data []byte) (Rank, error) {
+			if len(data) != 8 {
+				return 0, fmt.Errorf("%w: rank", codec.ErrTruncated)
+			}
+			return Rank(int64(binary.LittleEndian.Uint64(data))), nil
+		})
+}
+
+// handshake constants.
+const (
+	helloMagic = "PNMW"
+
+	hsOK         = 0
+	hsBadVersion = 1
+	hsNoSlot     = 2
+)
+
+// ErrWorkerRejected is wrapped by DialWorker when the coordinator refuses
+// the connection for a non-version reason (no free worker slot). Like
+// codec.ErrVersion it is permanent: retrying the same coordinator cannot
+// succeed.
+var ErrWorkerRejected = fmt.Errorf("mpi: coordinator rejected worker")
+
+// ctrlRank is the To of control frames (worker goodbye); no real rank or
+// wildcard ever has this value.
+const ctrlRank = -100
+
+// ctrlBye is the control tag a worker sends when all its rank bodies have
+// returned, so the coordinator's Run knows the worker drained cleanly.
+const ctrlBye = 0
+
+// NetStats counts one endpoint's transport activity. All counters are
+// cumulative since the cluster was created; EncodeNs/DecodeNs meter the
+// CPU nanoseconds spent in the codec, so /metrics can report serialization
+// cost separately from socket time.
+type NetStats struct {
+	FramesSent uint64 `json:"frames_sent"`
+	FramesRecv uint64 `json:"frames_recv"`
+	BytesSent  uint64 `json:"bytes_sent"`
+	BytesRecv  uint64 `json:"bytes_recv"`
+	EncodeNs   uint64 `json:"encode_ns"`
+	DecodeNs   uint64 `json:"decode_ns"`
+	// Workers is the number of worker connections currently established
+	// (coordinator side; zero on workers).
+	Workers int `json:"workers,omitempty"`
+}
+
+// netCounters is the atomic backing store of NetStats.
+type netCounters struct {
+	framesSent, framesRecv atomic.Uint64
+	bytesSent, bytesRecv   atomic.Uint64
+	encodeNs, decodeNs     atomic.Uint64
+}
+
+func (nc *netCounters) snapshot() NetStats {
+	return NetStats{
+		FramesSent: nc.framesSent.Load(),
+		FramesRecv: nc.framesRecv.Load(),
+		BytesSent:  nc.bytesSent.Load(),
+		BytesRecv:  nc.bytesRecv.Load(),
+		EncodeNs:   nc.encodeNs.Load(),
+		DecodeNs:   nc.decodeNs.Load(),
+	}
+}
+
+// encodeFrame encodes a frame, metering the codec time. The sent
+// counters are bumped by countSent only once the frame actually reaches
+// a connection — frames parked in a pending queue or dropped for a dead
+// worker must not inflate them.
+func (nc *netCounters) encodeFrame(from Rank, to Rank, tag Tag, payload any) ([]byte, error) {
+	t0 := time.Now()
+	buf, err := codec.AppendFrame(nil, codec.Frame{
+		From: int32(from), To: int32(to), Tag: int32(tag), Payload: payload,
+	})
+	nc.encodeNs.Add(uint64(time.Since(t0)))
+	return buf, err
+}
+
+// countSent records one frame written to a connection.
+func (nc *netCounters) countSent(n int) {
+	nc.framesSent.Add(1)
+	nc.bytesSent.Add(uint64(n))
+}
+
+// readBody reads one length-prefixed frame body, metering the frame size.
+func (nc *netCounters) readBody(r *bufio.Reader) ([]byte, error) {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenbuf[:])
+	if n == 0 || n > codec.MaxFrame {
+		return nil, fmt.Errorf("mpi: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	nc.framesRecv.Add(1)
+	nc.bytesRecv.Add(uint64(4 + n))
+	return body, nil
+}
+
+// decodeBody decodes a frame body, metering the codec time.
+func (nc *netCounters) decodeBody(body []byte) (codec.Frame, error) {
+	t0 := time.Now()
+	f, err := codec.DecodeFrame(body)
+	nc.decodeNs.Add(uint64(time.Since(t0)))
+	return f, err
+}
+
+// netConn is one framed TCP connection with a serialized writer.
+type netConn struct {
+	c   net.Conn
+	wmu sync.Mutex
+}
+
+func (nc *netConn) write(frame []byte) error {
+	nc.wmu.Lock()
+	defer nc.wmu.Unlock()
+	_, err := nc.c.Write(frame)
+	return err
+}
+
+// writeParts writes a frame given as separate prefix and body under one
+// lock acquisition, so the relay path forwards a received body without
+// concatenating it into a fresh buffer.
+func (nc *netConn) writeParts(prefix, body []byte) error {
+	nc.wmu.Lock()
+	defer nc.wmu.Unlock()
+	bufs := net.Buffers{prefix, body}
+	_, err := bufs.WriteTo(nc.c)
+	return err
+}
+
+// netWorld is the routing core shared by the coordinator and the worker
+// endpoint: local delivery into mailboxes, remote delivery over frames.
+type netWorld interface {
+	size() int
+	now() time.Duration
+	// route delivers (or forwards) a message. from may be External.
+	route(from, to Rank, tag Tag, payload any)
+}
+
+// netComm is a locally hosted rank's Comm on either side of the wire.
+type netComm struct {
+	w    netWorld
+	rank Rank
+	body func(Comm)
+	mb   *mailbox
+}
+
+func (c *netComm) Rank() Rank { return c.rank }
+func (c *netComm) Size() int  { return c.w.size() }
+func (c *netComm) Send(to Rank, tag Tag, payload any) {
+	c.w.route(c.rank, to, tag, payload)
+}
+func (c *netComm) Recv(from Rank, tag Tag) Msg { return c.mb.take(from, tag) }
+func (c *netComm) Work(n int64)                {}
+func (c *netComm) Now() time.Duration          { return c.w.now() }
+
+var _ Comm = (*netComm)(nil)
+
+// NetConfig describes the coordinator's side of a distributed world.
+type NetConfig struct {
+	// Listen is the TCP address workers dial ("127.0.0.1:0" binds an
+	// ephemeral port; read it back with Addr).
+	Listen string
+	// LocalRanks is the number of ranks the coordinator hosts itself:
+	// ranks [0, LocalRanks).
+	LocalRanks int
+	// WorkerRanks lists the rank count each expected worker hosts, in
+	// connection order: the i-th worker to complete the handshake hosts
+	// the i-th contiguous range after the coordinator's.
+	WorkerRanks []int
+	// Blob is handed to every worker at handshake; the embedding layer
+	// uses it to reconstruct the worker-side configuration.
+	Blob []byte
+}
+
+// NetCluster is the coordinator of a distributed rank world. It implements
+// Cluster for the ranks it hosts; Start calls for worker-hosted ranks are
+// accepted and ignored (their hosting process starts them), so the same
+// topology wiring runs unchanged on wall and net transports.
+type NetCluster struct {
+	cfg   NetConfig
+	ln    net.Listener
+	start time.Time
+	local []*netComm
+	// bounds[i] is the first rank of worker i's range; bounds[len] = Size.
+	bounds []Rank
+
+	counters netCounters
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	conns   []*netConn // per worker slot; nil until the handshake completes
+	claimed []bool     // slot reserved by an in-flight handshake
+	done    []bool     // worker sent bye or its connection died
+	pending [][][]byte // frames queued for a not-yet-connected worker
+	closed  bool       // listener shut down, no more workers accepted
+
+	wg sync.WaitGroup
+}
+
+// ListenNet binds the coordinator's listener and starts accepting worker
+// handshakes immediately; Run launches the local rank bodies. The world
+// size is LocalRanks plus the sum of WorkerRanks.
+func ListenNet(cfg NetConfig) (*NetCluster, error) {
+	if cfg.LocalRanks < 1 {
+		return nil, fmt.Errorf("mpi: net cluster needs at least one local rank")
+	}
+	size := cfg.LocalRanks
+	bounds := []Rank{Rank(cfg.LocalRanks)}
+	for i, n := range cfg.WorkerRanks {
+		if n < 1 {
+			return nil, fmt.Errorf("mpi: worker %d hosts %d ranks", i, n)
+		}
+		size += n
+		bounds = append(bounds, Rank(size))
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	c := &NetCluster{
+		cfg:     cfg,
+		ln:      ln,
+		start:   time.Now(),
+		local:   make([]*netComm, cfg.LocalRanks),
+		bounds:  bounds,
+		conns:   make([]*netConn, len(cfg.WorkerRanks)),
+		claimed: make([]bool, len(cfg.WorkerRanks)),
+		done:    make([]bool, len(cfg.WorkerRanks)),
+		pending: make([][][]byte, len(cfg.WorkerRanks)),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for r := range c.local {
+		c.local[r] = &netComm{w: c, rank: Rank(r), mb: newMailbox()}
+	}
+	go c.accept()
+	return c, nil
+}
+
+// Addr returns the listener's address, for workers dialing an ephemeral
+// port.
+func (c *NetCluster) Addr() string { return c.ln.Addr().String() }
+
+// Size implements Cluster.
+func (c *NetCluster) Size() int { return int(c.bounds[len(c.bounds)-1]) }
+
+// Stats snapshots the coordinator's transport counters.
+func (c *NetCluster) Stats() NetStats {
+	s := c.counters.snapshot()
+	c.mu.Lock()
+	for i, conn := range c.conns {
+		if conn != nil && !c.done[i] {
+			s.Workers++
+		}
+	}
+	c.mu.Unlock()
+	return s
+}
+
+func (c *NetCluster) size() int          { return c.Size() }
+func (c *NetCluster) now() time.Duration { return time.Since(c.start) }
+
+// workerOf maps a rank to its hosting worker slot, or -1 for local ranks.
+func (c *NetCluster) workerOf(to Rank) int {
+	if to < c.bounds[0] {
+		return -1
+	}
+	for i := 1; i < len(c.bounds); i++ {
+		if to < c.bounds[i] {
+			return i - 1
+		}
+	}
+	panic(fmt.Sprintf("mpi: rank %d outside the world of %d", to, c.Size()))
+}
+
+// route implements netWorld: local ranks get mailbox delivery, worker
+// ranks a frame — queued if the worker has not connected yet.
+func (c *NetCluster) route(from, to Rank, tag Tag, payload any) {
+	w := c.workerOf(to)
+	if w < 0 {
+		c.local[to].mb.push(Msg{From: from, Tag: tag, Payload: payload})
+		return
+	}
+	frame, err := c.counters.encodeFrame(from, to, tag, payload)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: unencodable payload for rank %d: %v", to, err))
+	}
+	c.sendWorker(w, frame)
+}
+
+// relayWorker forwards a received frame body to a worker slot without
+// re-encoding: the length prefix is written separately so the body slice
+// goes out as-is. Only the (rare) pending path concatenates.
+func (c *NetCluster) relayWorker(w int, body []byte) {
+	c.mu.Lock()
+	conn := c.conns[w]
+	if conn == nil {
+		if !c.done[w] {
+			frame := make([]byte, 0, 4+len(body))
+			frame = binary.LittleEndian.AppendUint32(frame, uint32(len(body)))
+			c.pending[w] = append(c.pending[w], append(frame, body...))
+		}
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	var prefix [4]byte
+	binary.LittleEndian.PutUint32(prefix[:], uint32(len(body)))
+	if conn.writeParts(prefix[:], body) == nil {
+		c.counters.countSent(4 + len(body))
+	}
+}
+
+// sendWorker ships an already-encoded frame to a worker slot — queued
+// while the worker has not connected, dropped once it is gone.
+func (c *NetCluster) sendWorker(w int, frame []byte) {
+	c.mu.Lock()
+	conn := c.conns[w]
+	if conn == nil {
+		if !c.done[w] {
+			c.pending[w] = append(c.pending[w], frame)
+		}
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	// A write error means the worker died; its reader notices and
+	// releases the slot, so the error itself is not actionable here.
+	if conn.write(frame) == nil {
+		c.counters.countSent(len(frame))
+	}
+}
+
+// Start implements Cluster. Bodies for worker-hosted ranks are ignored:
+// their hosting process constructs and runs them.
+func (c *NetCluster) Start(rank Rank, body func(Comm)) {
+	if c.workerOf(rank) >= 0 {
+		return
+	}
+	nc := c.local[rank]
+	if nc.body != nil {
+		panic(fmt.Sprintf("mpi: rank %d started twice", rank))
+	}
+	nc.body = body
+}
+
+// Inject delivers a message from outside the rank world (From ==
+// External), exactly like WallCluster.Inject; remote ranks receive it as
+// a frame.
+func (c *NetCluster) Inject(to Rank, tag Tag, payload any) {
+	c.route(External, to, tag, payload)
+}
+
+// Run implements Cluster: it launches the coordinator-hosted bodies,
+// blocks until they return, then stops accepting workers and waits for
+// every connected worker's goodbye before closing the connections. The
+// returned duration is coordinator wall time.
+func (c *NetCluster) Run() time.Duration {
+	for _, nc := range c.local {
+		if nc.body == nil {
+			panic(fmt.Sprintf("mpi: rank %d never started", nc.rank))
+		}
+	}
+	t0 := time.Now()
+	for _, nc := range c.local {
+		nc := nc
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			nc.body(nc)
+		}()
+	}
+	c.wg.Wait()
+
+	// Teardown: no new workers, then drain the connected ones. A worker
+	// that never connected keeps its pending queue unflushed and is not
+	// waited for.
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.ln.Close() //nolint:errcheck // double-close on a dead listener is fine
+	c.mu.Lock()
+	for {
+		waiting := false
+		for i, conn := range c.conns {
+			if conn != nil && !c.done[i] {
+				waiting = true
+			}
+		}
+		if !waiting {
+			break
+		}
+		c.cond.Wait()
+	}
+	conns := append([]*netConn(nil), c.conns...)
+	c.mu.Unlock()
+	for _, conn := range conns {
+		if conn != nil {
+			conn.c.Close() //nolint:errcheck // teardown
+		}
+	}
+	return time.Since(t0)
+}
+
+// accept runs the coordinator's handshake loop until the listener closes.
+func (c *NetCluster) accept() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.handshake(conn)
+	}
+}
+
+// handshakeTimeout bounds how long an accepted connection may take to
+// present its hello: a port scanner or stalled probe must not pin a
+// goroutine and a socket forever.
+const handshakeTimeout = 10 * time.Second
+
+// handshake validates a dialing worker, assigns it the next free slot and
+// starts its reader. Version mismatches and over-subscription are answered
+// with an explicit rejection status before closing.
+//
+// Ordering matters: the connection is published to route() only after the
+// welcome and every pending frame are on the wire, so the worker always
+// reads the handshake response first and the queued frames in send order
+// — live frames can never overtake them (per-pair FIFO). A handshake that
+// fails mid-way releases its slot claim, so a retrying worker can join.
+func (c *NetCluster) handshake(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout)) //nolint:errcheck // enforced by the read below
+	hello := make([]byte, len(helloMagic)+1)
+	if _, err := io.ReadFull(conn, hello); err != nil || string(hello[:len(helloMagic)]) != helloMagic {
+		conn.Close() //nolint:errcheck // not a worker
+		return
+	}
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck // frames may arrive much later
+	if hello[len(helloMagic)] != codec.Version {
+		conn.Write([]byte{hsBadVersion, codec.Version}) //nolint:errcheck // closing anyway
+		conn.Close()                                    //nolint:errcheck
+		return
+	}
+
+	c.mu.Lock()
+	slot := -1
+	if !c.closed {
+		for i := range c.conns {
+			if !c.claimed[i] && !c.done[i] {
+				slot = i
+				break
+			}
+		}
+	}
+	if slot < 0 {
+		c.mu.Unlock()
+		conn.Write([]byte{hsNoSlot, codec.Version}) //nolint:errcheck // closing anyway
+		conn.Close()                                //nolint:errcheck
+		return
+	}
+	c.claimed[slot] = true
+	lo, hi := c.bounds[slot], c.bounds[slot+1]
+	c.mu.Unlock()
+
+	nc := &netConn{c: conn}
+	// fail releases the slot claim and requeues any frames this attempt
+	// took from the pending queue but did not write, so a retrying worker
+	// still receives them (in order, ahead of anything queued since).
+	fail := func(unwritten [][]byte) {
+		conn.Close() //nolint:errcheck // teardown
+		c.mu.Lock()
+		c.claimed[slot] = false
+		if len(unwritten) > 0 {
+			c.pending[slot] = append(unwritten, c.pending[slot]...)
+		}
+		c.mu.Unlock()
+	}
+
+	welcome := []byte{hsOK, codec.Version}
+	welcome = binary.LittleEndian.AppendUint32(welcome, uint32(c.Size()))
+	welcome = binary.LittleEndian.AppendUint32(welcome, uint32(lo))
+	welcome = binary.LittleEndian.AppendUint32(welcome, uint32(hi))
+	welcome = binary.LittleEndian.AppendUint32(welcome, uint32(len(c.cfg.Blob)))
+	welcome = append(welcome, c.cfg.Blob...)
+	if err := nc.write(welcome); err != nil {
+		fail(nil)
+		return
+	}
+	// Drain the pending queue, then publish the connection in the same
+	// critical section that observes it empty — frames queued while we
+	// were flushing are picked up by the next loop turn, and once the
+	// conn is published route() writes directly.
+	for {
+		c.mu.Lock()
+		pending := c.pending[slot]
+		c.pending[slot] = nil
+		if len(pending) == 0 {
+			if c.closed {
+				// Run's teardown already snapshotted the connections; a
+				// conn published now would never be closed or waited for.
+				// Dropping it makes the worker's reader fail, so its
+				// process exits instead of idling forever.
+				c.mu.Unlock()
+				fail(nil)
+				return
+			}
+			c.conns[slot] = nc
+			c.mu.Unlock()
+			break
+		}
+		c.mu.Unlock()
+		for i, frame := range pending {
+			if err := nc.write(frame); err != nil {
+				fail(pending[i:])
+				return
+			}
+			c.counters.countSent(len(frame))
+		}
+	}
+	go c.read(slot, nc)
+}
+
+// read pumps one worker's inbound frames: local delivery, hub forwarding
+// to other workers, and the goodbye control frame. A read error (worker
+// crash, connection reset) releases the slot like a goodbye so Run can
+// finish.
+//
+// Only frames for coordinator-hosted ranks are decoded; worker-to-worker
+// frames are relayed verbatim from the envelope peek — the hub never
+// pays (or trusts) payload decoding for traffic that is just passing
+// through. The envelope is remote-controlled, so every field is bounds-
+// checked and a malformed frame is dropped, never allowed to panic.
+func (c *NetCluster) read(slot int, nc *netConn) {
+	r := bufio.NewReader(nc.c)
+	for {
+		body, err := c.counters.readBody(r)
+		if err != nil {
+			c.workerGone(slot)
+			return
+		}
+		from, to, tag, ok := codec.PeekEnvelope(body)
+		if !ok {
+			continue // truncated header or foreign version
+		}
+		if to == ctrlRank {
+			if tag == ctrlBye {
+				c.workerGone(slot)
+				return
+			}
+			continue
+		}
+		if to < 0 || int(to) >= c.Size() {
+			continue
+		}
+		// A worker may only speak as the ranks it hosts: the From field is
+		// echoed into Send targets by the scheduler and dispatcher, so a
+		// forged one (External, another worker's rank, out of world) must
+		// be dropped here, not trusted into the protocol.
+		if from < int32(c.bounds[slot]) || from >= int32(c.bounds[slot+1]) {
+			continue
+		}
+		if w := c.workerOf(Rank(to)); w >= 0 {
+			// Hub relay: re-prefix the body and forward the bytes as-is.
+			c.relayWorker(w, body)
+			continue
+		}
+		f, err := c.counters.decodeBody(body)
+		if err != nil {
+			continue // malformed payload: drop, the sender is remote
+		}
+		c.local[to].mb.push(Msg{From: Rank(from), Tag: Tag(f.Tag), Payload: f.Payload})
+	}
+}
+
+// workerGone marks a worker slot finished and wakes Run.
+func (c *NetCluster) workerGone(slot int) {
+	c.mu.Lock()
+	c.done[slot] = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+var _ Cluster = (*NetCluster)(nil)
+
+// NetWorker is the worker-process side of a distributed world: it hosts
+// the contiguous rank range the coordinator assigned at handshake and
+// implements Cluster for exactly those ranks (Start for any other rank is
+// ignored).
+type NetWorker struct {
+	conn   *netConn
+	size_  int
+	lo, hi Rank
+	blob   []byte
+	start  time.Time
+	local  []*netComm
+
+	counters netCounters
+
+	readerErr chan error
+	bodiesRun sync.WaitGroup
+}
+
+// DialWorker connects to a coordinator, performs the handshake and
+// returns the worker's endpoint. The caller inspects RankRange and Blob
+// to construct the rank bodies, Starts them, and calls Run.
+func DialWorker(addr string) (*NetWorker, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	// The whole handshake must complete within the timeout; a stalled or
+	// bogus coordinator must not hang the worker. Cleared before frame
+	// traffic starts.
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout)) //nolint:errcheck // enforced by the reads below
+	hello := append([]byte(helloMagic), codec.Version)
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close() //nolint:errcheck
+		return nil, err
+	}
+	head := make([]byte, 2)
+	if _, err := io.ReadFull(conn, head); err != nil {
+		conn.Close() //nolint:errcheck
+		return nil, fmt.Errorf("mpi: handshake: %w", err)
+	}
+	switch head[0] {
+	case hsOK:
+	case hsBadVersion:
+		conn.Close() //nolint:errcheck
+		return nil, fmt.Errorf("%w: coordinator speaks %d, this worker %d",
+			codec.ErrVersion, head[1], codec.Version)
+	default:
+		conn.Close() //nolint:errcheck
+		return nil, fmt.Errorf("%w (status %d): no free worker slot", ErrWorkerRejected, head[0])
+	}
+	rest := make([]byte, 16)
+	if _, err := io.ReadFull(conn, rest); err != nil {
+		conn.Close() //nolint:errcheck
+		return nil, fmt.Errorf("mpi: handshake: %w", err)
+	}
+	w := &NetWorker{
+		conn:      &netConn{c: conn},
+		size_:     int(binary.LittleEndian.Uint32(rest[0:])),
+		lo:        Rank(binary.LittleEndian.Uint32(rest[4:])),
+		hi:        Rank(binary.LittleEndian.Uint32(rest[8:])),
+		start:     time.Now(),
+		readerErr: make(chan error, 1),
+	}
+	bloblen := binary.LittleEndian.Uint32(rest[12:])
+	if bloblen > codec.MaxFrame {
+		conn.Close() //nolint:errcheck
+		return nil, fmt.Errorf("mpi: handshake blob of %d bytes", bloblen)
+	}
+	w.blob = make([]byte, bloblen)
+	if _, err := io.ReadFull(conn, w.blob); err != nil {
+		conn.Close() //nolint:errcheck
+		return nil, fmt.Errorf("mpi: handshake: %w", err)
+	}
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck // frames may arrive much later
+	if w.lo < 0 || w.hi <= w.lo || int(w.hi) > w.size_ {
+		conn.Close() //nolint:errcheck
+		return nil, fmt.Errorf("mpi: handshake rank range [%d, %d) in world of %d", w.lo, w.hi, w.size_)
+	}
+	w.local = make([]*netComm, w.hi-w.lo)
+	for i := range w.local {
+		w.local[i] = &netComm{w: w, rank: w.lo + Rank(i), mb: newMailbox()}
+	}
+	return w, nil
+}
+
+// RankRange returns the contiguous [lo, hi) range this worker hosts.
+func (w *NetWorker) RankRange() (lo, hi Rank) { return w.lo, w.hi }
+
+// Close tears the coordinator connection down without running the world:
+// the escape hatch for an embedder that dialed successfully but cannot
+// serve the assigned ranks (configuration mismatch). The coordinator's
+// reader observes the close and releases the worker slot. Run closes the
+// connection itself; Close is only for the never-Run path.
+func (w *NetWorker) Close() error { return w.conn.c.Close() }
+
+// Blob returns the coordinator's opaque configuration blob.
+func (w *NetWorker) Blob() []byte { return w.blob }
+
+// Stats snapshots the worker's transport counters.
+func (w *NetWorker) Stats() NetStats { return w.counters.snapshot() }
+
+// Size implements Cluster.
+func (w *NetWorker) Size() int { return w.size_ }
+
+func (w *NetWorker) size() int          { return w.size_ }
+func (w *NetWorker) now() time.Duration { return time.Since(w.start) }
+
+// route implements netWorld: locally hosted ranks get mailbox delivery,
+// everything else goes to the coordinator (which forwards worker-to-worker
+// frames).
+func (w *NetWorker) route(from, to Rank, tag Tag, payload any) {
+	if to >= w.lo && to < w.hi {
+		w.local[to-w.lo].mb.push(Msg{From: from, Tag: tag, Payload: payload})
+		return
+	}
+	frame, err := w.counters.encodeFrame(from, to, tag, payload)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: unencodable payload for rank %d: %v", to, err))
+	}
+	// A dead coordinator surfaces via the reader; the error itself is not
+	// actionable here.
+	if w.conn.write(frame) == nil {
+		w.counters.countSent(len(frame))
+	}
+}
+
+// Start implements Cluster: bodies for ranks outside this worker's range
+// are ignored (their hosting process runs them).
+func (w *NetWorker) Start(rank Rank, body func(Comm)) {
+	if rank < w.lo || rank >= w.hi {
+		return
+	}
+	nc := w.local[rank-w.lo]
+	if nc.body != nil {
+		panic(fmt.Sprintf("mpi: rank %d started twice", rank))
+	}
+	nc.body = body
+}
+
+// Run implements Cluster: it launches the hosted bodies and blocks until
+// they all return (normally after the embedding protocol's shutdown
+// broadcast), then sends the goodbye frame and closes the connection. If
+// the coordinator connection dies first, Run returns early — the hosted
+// bodies are stranded mid-Recv and the worker process is expected to
+// exit.
+func (w *NetWorker) Run() time.Duration {
+	for _, nc := range w.local {
+		if nc.body == nil {
+			panic(fmt.Sprintf("mpi: rank %d never started", nc.rank))
+		}
+	}
+	t0 := time.Now()
+	go w.read()
+	bodiesDone := make(chan struct{})
+	for _, nc := range w.local {
+		nc := nc
+		w.bodiesRun.Add(1)
+		go func() {
+			defer w.bodiesRun.Done()
+			nc.body(nc)
+		}()
+	}
+	go func() {
+		w.bodiesRun.Wait()
+		close(bodiesDone)
+	}()
+	select {
+	case <-bodiesDone:
+		if bye, err := w.counters.encodeFrame(w.lo, ctrlRank, ctrlBye, nil); err == nil {
+			if w.conn.write(bye) == nil {
+				w.counters.countSent(len(bye))
+			}
+		}
+	case <-w.readerErr:
+		// Coordinator gone: nothing left to say goodbye to.
+	}
+	w.conn.c.Close() //nolint:errcheck // teardown
+	return time.Since(t0)
+}
+
+// read pumps inbound frames into the hosted ranks' mailboxes. Only I/O
+// errors are fatal (the coordinator is gone); a frame that fails to peek
+// or decode is dropped — the hub relays worker-to-worker frames without
+// decoding them, so another worker's malformed payload can arrive here
+// and must not kill this process.
+func (w *NetWorker) read() {
+	r := bufio.NewReader(w.conn.c)
+	for {
+		body, err := w.counters.readBody(r)
+		if err != nil {
+			select {
+			case w.readerErr <- err:
+			default:
+			}
+			return
+		}
+		_, to32, _, ok := codec.PeekEnvelope(body)
+		if !ok {
+			continue // truncated header or foreign version
+		}
+		to := Rank(to32)
+		if to < w.lo || to >= w.hi {
+			continue // stray frame for a rank this worker does not host
+		}
+		f, err := w.counters.decodeBody(body)
+		if err != nil {
+			continue // malformed payload: drop
+		}
+		w.local[to-w.lo].mb.push(Msg{From: Rank(f.From), Tag: Tag(f.Tag), Payload: f.Payload})
+	}
+}
+
+var _ Cluster = (*NetWorker)(nil)

@@ -26,9 +26,7 @@ func NewWallCluster(n int) *WallCluster {
 	c := &WallCluster{}
 	c.ranks = make([]*wallComm, n)
 	for r := range c.ranks {
-		wc := &wallComm{cluster: c, rank: Rank(r)}
-		wc.cond = sync.NewCond(&wc.mu)
-		c.ranks[r] = wc
+		c.ranks[r] = &wallComm{cluster: c, rank: Rank(r), mb: newMailbox()}
 	}
 	return c
 }
@@ -76,10 +74,7 @@ type wallComm struct {
 	cluster *WallCluster
 	rank    Rank
 	body    func(Comm)
-
-	mu      sync.Mutex
-	cond    *sync.Cond
-	mailbox []Msg
+	mb      *mailbox
 }
 
 func (w *wallComm) Rank() Rank { return w.rank }
@@ -87,11 +82,7 @@ func (w *wallComm) Size() int  { return w.cluster.Size() }
 
 // Send implements Comm.
 func (w *wallComm) Send(to Rank, tag Tag, payload any) {
-	dst := w.cluster.ranks[to]
-	dst.mu.Lock()
-	dst.mailbox = append(dst.mailbox, Msg{From: w.rank, Tag: tag, Payload: payload})
-	dst.mu.Unlock()
-	dst.cond.Broadcast()
+	w.cluster.ranks[to].mb.push(Msg{From: w.rank, Tag: tag, Payload: payload})
 }
 
 // Inject delivers a message to rank `to` from outside the rank world; the
@@ -102,26 +93,12 @@ func (w *wallComm) Send(to Rank, tag Tag, payload any) {
 // the message-passing world — the moral equivalent of MPI_Comm_connect
 // feeding a persistent MPI server.
 func (c *WallCluster) Inject(to Rank, tag Tag, payload any) {
-	dst := c.ranks[to]
-	dst.mu.Lock()
-	dst.mailbox = append(dst.mailbox, Msg{From: External, Tag: tag, Payload: payload})
-	dst.mu.Unlock()
-	dst.cond.Broadcast()
+	c.ranks[to].mb.push(Msg{From: External, Tag: tag, Payload: payload})
 }
 
 // Recv implements Comm.
 func (w *wallComm) Recv(from Rank, tag Tag) Msg {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	for {
-		for i, m := range w.mailbox {
-			if m.matches(from, tag) {
-				w.mailbox = append(w.mailbox[:i], w.mailbox[i+1:]...)
-				return m
-			}
-		}
-		w.cond.Wait()
-	}
+	return w.mb.take(from, tag)
 }
 
 // Work implements Comm: real work already burned real CPU; optionally

@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"slices"
+
 	"repro/internal/cluster"
 	"repro/internal/mpi"
 )
@@ -105,9 +107,23 @@ func runDemandDispatcher(c mpi.Comm, lay cluster.Layout, cfg *Config, longestFir
 		msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
 		switch msg.Tag {
 		case tagShutdown:
+			// Teardown comes from the per-run root or from outside the
+			// rank world (the pool's Inject) — never from a worker rank,
+			// so a forged wire frame cannot dismantle the dispatcher.
+			if msg.From != mpi.External && msg.From != lay.Root {
+				break
+			}
 			return
 
 		case tagFree: // lines 5–11: a client reports it is available
+			// Role and duplication guards: only known clients enter the
+			// free list, and never twice — a duplicated entry would let
+			// the dispatcher assign one client two concurrent jobs while
+			// others idle. Legit traffic never trips either check; wire
+			// frames are remote-controlled and might.
+			if !slices.Contains(lay.Clients, msg.From) || slices.Contains(free, msg.From) {
+				break
+			}
 			free = append(free, msg.From)
 			if len(jobs) > 0 {
 				// Find the job with the smallest number of moves played:
@@ -131,7 +147,18 @@ func runDemandDispatcher(c mpi.Comm, lay cluster.Layout, cfg *Config, longestFir
 			}
 
 		case tagRequest: // lines 12–15: a median wants a client
-			moves := msg.Payload.(int)
+			// Only medians request clients; a forged request would burn a
+			// client on a rank that never runs the job (losing it from
+			// the rotation). A real median's request is never wrong-typed,
+			// but a corrupted one is still answered (as the longest
+			// expected job) so the median's assignment wait stays live.
+			if !slices.Contains(lay.Medians, msg.From) {
+				break
+			}
+			moves, ok := msg.Payload.(int)
+			if !ok {
+				moves = 0
+			}
 			if len(free) == 0 {
 				jobs = append(jobs, lmJob{sender: msg.From, moves: moves})
 				break

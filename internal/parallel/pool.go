@@ -28,6 +28,15 @@ package parallel
 //     and per-job parameters (level, seed, memorization) travel with the
 //     candidates instead of living in a per-run Config.
 //
+// The pool is transport-blind: NewPool hosts every rank as a goroutine of
+// this process (mpi.WallCluster), NewNetPool hosts only the control ranks
+// here and serves the medians and clients from external pnmcs-worker
+// processes over TCP (mpi.NetCluster) — the deployment shape of the
+// paper's MPI cluster, with the coordinator in the server role. The rank
+// bodies are identical either way; everything a worker needs (job
+// parameters, positions, scores, rollout accounting) travels in the
+// protocol messages, never through shared memory.
+//
 // Determinism: client rollouts are keyed by their logical job coordinates
 // (rng.Fold over root step, root candidate, median step, median
 // candidate) and the job's own seed, exactly as in RunWall — so a job's
@@ -103,11 +112,25 @@ type svcJob struct {
 }
 
 // svcScore is the median→slot result: the final score of the Cand-th
-// candidate of the job's current root step.
+// candidate of the job's current root step, plus the rollout accounting
+// of the candidate's whole level-(ℓ−1) game. Rollout counts ride the
+// protocol instead of a shared-memory collector so they survive process
+// boundaries: on the net transport the median that played the game lives
+// in another OS process.
 type svcScore struct {
-	Epoch uint64
-	Cand  int
+	Epoch    uint64
+	Cand     int
+	Score    float64
+	Rollouts int64 // client rollouts executed for this candidate's game
+	Units    int64 // metered work units across those rollouts
+}
+
+// svcResult is the client→median rollout result: the score of the Seq-th
+// candidate of the median's current step and the rollout's metered work.
+type svcResult struct {
+	Seq   int
 	Score float64
+	Units int64
 }
 
 // svcAbandonAck is the scheduler→slot answer to an abandon: how many of
@@ -171,6 +194,9 @@ type PoolMetrics struct {
 	WorkUnits int64
 	// MedianIdle / ClientIdle map each worker to its cumulative
 	// Recv-blocked time — waiting for a grant, an assignment or a result.
+	// Only workers co-resident with the coordinator report here; a worker
+	// hosted by a remote pnmcs-worker process keeps its idle counters in
+	// its own process (its entry stays zero).
 	MedianIdle []time.Duration
 	ClientIdle []time.Duration
 	// QueueDepthMax / QueueDepthMean profile the scheduler's ready queue
@@ -178,16 +204,22 @@ type PoolMetrics struct {
 	// at every offer/request transition.
 	QueueDepthMax  int
 	QueueDepthMean float64
+	// Net carries the transport counters of a distributed pool
+	// (frames/bytes sent and received, codec nanoseconds); nil when the
+	// pool runs in-process on a WallCluster.
+	Net *mpi.NetStats
 }
 
-// poolCollector is the shared-memory side of the pool's instrumentation,
-// written by worker goroutines and read by Metrics.
+// poolCollector is the coordinator-side store of the pool's lifetime
+// instrumentation. Rollout counts arrive through the protocol (svcScore)
+// and are recorded by the slot ranks, which always live in the
+// coordinator process; only the idle times of co-resident workers are
+// written directly (a remote worker's idle time stays in its own
+// process — see PoolMetrics).
 type poolCollector struct {
 	mu           sync.Mutex
 	jobs         int64
 	units        int64
-	slotJobs     []int64 // per-slot rollout count, reset per job
-	slotUnits    []int64
 	medianIdle   []time.Duration
 	clientIdle   []time.Duration
 	depthSamples int64
@@ -195,21 +227,11 @@ type poolCollector struct {
 	depthMax     int
 }
 
-func (co *poolCollector) addRollout(slot int, units int64) {
+func (co *poolCollector) addRollouts(jobs, units int64) {
 	co.mu.Lock()
-	co.jobs++
+	co.jobs += jobs
 	co.units += units
-	co.slotJobs[slot]++
-	co.slotUnits[slot] += units
 	co.mu.Unlock()
-}
-
-func (co *poolCollector) takeSlot(slot int) (jobs, units int64) {
-	co.mu.Lock()
-	jobs, units = co.slotJobs[slot], co.slotUnits[slot]
-	co.slotJobs[slot], co.slotUnits[slot] = 0, 0
-	co.mu.Unlock()
-	return jobs, units
 }
 
 func (co *poolCollector) addMedianIdle(i int, d time.Duration) {
@@ -234,19 +256,71 @@ func (co *poolCollector) sampleDepth(d int) {
 	co.mu.Unlock()
 }
 
-// Pool is a persistent wall-clock worker pool serving many search jobs.
-// Construct with NewPool, run jobs with RunJob (one per slot at a time),
-// and tear down with Shutdown. All methods are safe for concurrent use.
+// poolWorld is the pool's rank topology, a pure function of PoolConfig:
+// slots first, then scheduler, dispatcher, medians, clients. The
+// coordinator derives it when building the pool and a pnmcs-worker
+// process derives the identical layout from the PoolConfig in its
+// handshake blob, so both sides agree on every rank and tag without
+// exchanging anything beyond the config.
+type poolWorld struct {
+	cfg     PoolConfig
+	sched   mpi.Rank
+	disp    mpi.Rank
+	medians []mpi.Rank
+	clients []mpi.Rank
+	space   mpi.TagSpace
+}
+
+// newPoolWorld lays out the world of a pool with the given (defaulted)
+// config.
+func newPoolWorld(cfg PoolConfig) *poolWorld {
+	w := &poolWorld{
+		cfg:   cfg,
+		sched: mpi.Rank(cfg.Slots),
+		disp:  mpi.Rank(cfg.Slots + 1),
+		space: mpi.TagSpace{Base: tagBandBase, Width: numOffsets, Bands: cfg.Slots},
+	}
+	next := mpi.Rank(cfg.Slots + 2)
+	for i := 0; i < cfg.Medians; i++ {
+		w.medians = append(w.medians, next)
+		next++
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		w.clients = append(w.clients, next)
+		next++
+	}
+	return w
+}
+
+// size returns the world size: slots + scheduler + dispatcher + workers.
+func (w *poolWorld) size() int {
+	return w.cfg.Slots + 2 + w.cfg.Medians + w.cfg.Clients
+}
+
+// firstWorker is the first median rank — every rank at or beyond it may
+// be hosted by a remote worker process.
+func (w *poolWorld) firstWorker() mpi.Rank { return mpi.Rank(w.cfg.Slots + 2) }
+
+// poolCluster is what a Pool needs from its transport: the Cluster
+// life-cycle plus out-of-world injection. WallCluster and NetCluster both
+// satisfy it, which is the whole point — the pool wiring and the search
+// protocol are transport-blind.
+type poolCluster interface {
+	mpi.Cluster
+	Inject(to mpi.Rank, tag mpi.Tag, payload any)
+}
+
+// Pool is a persistent worker pool serving many search jobs. Construct
+// with NewPool (in-process goroutine workers) or NewNetPool (workers in
+// separate OS processes over TCP), run jobs with RunJob (one per slot at
+// a time), and tear down with Shutdown. All methods are safe for
+// concurrent use.
 type Pool struct {
 	cfg     PoolConfig
-	cluster *mpi.WallCluster
-	space   mpi.TagSpace
+	world   *poolWorld
+	cluster poolCluster
+	net     *mpi.NetCluster // nil for in-process pools
 	coll    *poolCollector
-
-	schedRank  mpi.Rank
-	dispRank   mpi.Rank
-	medianRank []mpi.Rank
-	clientRank []mpi.Rank
 
 	runDone chan struct{}
 
@@ -258,9 +332,10 @@ type Pool struct {
 }
 
 // jobStart is the payload injected at a slot rank to begin a job. done
-// and progress are ordinary Go callbacks: the pool is in-process, so the
+// and progress are ordinary Go callbacks: slot ranks always live in the
+// coordinator process (only medians and clients are ever remote), so the
 // boundary between the rank world and the caller is a function call, not
-// a wire format.
+// a wire format — jobStart never crosses the wire and has no codec kind.
 type jobStart struct {
 	epoch    uint64
 	cfg      Config
@@ -272,18 +347,80 @@ type jobStart struct {
 var ErrPoolClosed = fmt.Errorf("parallel: pool is shut down")
 
 // NewPool builds the worker cluster — slots, scheduler, dispatcher,
-// medians, clients — and starts it running. The pool idles until jobs are
-// submitted with RunJob.
+// medians, clients — as goroutines of this process and starts it running.
+// The pool idles until jobs are submitted with RunJob.
 func NewPool(cfg PoolConfig) (*Pool, error) {
 	cfg = cfg.withDefaults()
-	size := cfg.Slots + 2 + cfg.Medians + cfg.Clients
+	world := newPoolWorld(cfg)
+	return newPoolOn(world, mpi.NewWallCluster(world.size()), nil)
+}
+
+// NetPoolConfig describes the distributed deployment of a NewNetPool.
+type NetPoolConfig struct {
+	// Listen is the TCP address worker processes dial; "127.0.0.1:0"
+	// binds an ephemeral port (read it back with Pool.WorkerAddr).
+	Listen string
+	// Workers is the number of pnmcs-worker processes expected. The
+	// pool's medians and clients are split across them as contiguous rank
+	// ranges, as evenly as possible.
+	Workers int
+}
+
+// NewNetPool builds a distributed pool: the control ranks — job slots,
+// scheduler, dispatcher — run in this process (the coordinator), and the
+// median and client ranks are hosted by Workers external processes
+// running cmd/pnmcs-worker (or parallel.ServeWorker). The pool accepts
+// jobs immediately; until workers dial in, candidates simply wait in the
+// scheduler's queues. Scores are bit-identical to the same jobs on an
+// in-process pool or solo RunWall: rollout streams are keyed by logical
+// job coordinates, never by where a rollout runs.
+//
+// Fault tolerance limitation (see DESIGN.md §7 and the ROADMAP): a
+// worker process that dies mid-job strands the candidates granted to its
+// medians — the owning job, and therefore Shutdown's drain, block until
+// the work is re-granted, which this version does not do. Workers are
+// expected to outlive the coordinator's drain.
+func NewNetPool(cfg PoolConfig, net NetPoolConfig) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	if net.Workers < 1 {
+		return nil, fmt.Errorf("parallel: net pool needs at least one worker process")
+	}
+	world := newPoolWorld(cfg)
+	remote := cfg.Medians + cfg.Clients
+	if net.Workers > remote {
+		return nil, fmt.Errorf("parallel: %d workers for %d median+client ranks", net.Workers, remote)
+	}
+	ranks := make([]int, net.Workers)
+	for i := range ranks {
+		ranks[i] = remote / net.Workers
+		if i < remote%net.Workers {
+			ranks[i]++
+		}
+	}
+	nc, err := mpi.ListenNet(mpi.NetConfig{
+		Listen:      net.Listen,
+		LocalRanks:  cfg.Slots + 2,
+		WorkerRanks: ranks,
+		Blob:        appendWorkerBlob(nil, cfg),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newPoolOn(world, nc, nc)
+}
+
+// newPoolOn wires the pool's ranks onto a transport and starts it. The
+// same wiring runs for every transport: a cluster hosting only a subset
+// of the ranks (the net coordinator) ignores Start calls for the ranks
+// other processes host.
+func newPoolOn(world *poolWorld, cl poolCluster, nc *mpi.NetCluster) (*Pool, error) {
+	cfg := world.cfg
 	p := &Pool{
 		cfg:     cfg,
-		cluster: mpi.NewWallCluster(size),
-		space:   mpi.TagSpace{Base: tagBandBase, Width: numOffsets, Bands: cfg.Slots},
+		world:   world,
+		cluster: cl,
+		net:     nc,
 		coll: &poolCollector{
-			slotJobs:   make([]int64, cfg.Slots),
-			slotUnits:  make([]int64, cfg.Slots),
 			medianIdle: make([]time.Duration, cfg.Medians),
 			clientIdle: make([]time.Duration, cfg.Clients),
 		},
@@ -293,48 +430,73 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	}
 	p.idle = sync.NewCond(&p.mu)
 
-	// Rank map: slots first, then scheduler, dispatcher, medians, clients.
-	next := mpi.Rank(cfg.Slots)
-	p.schedRank = next
-	next++
-	p.dispRank = next
-	next++
-	for i := 0; i < cfg.Medians; i++ {
-		p.medianRank = append(p.medianRank, next)
-		next++
-	}
-	for i := 0; i < cfg.Clients; i++ {
-		p.clientRank = append(p.clientRank, next)
-		next++
-	}
-
 	for slot := 0; slot < cfg.Slots; slot++ {
 		slot := slot
 		p.cluster.Start(mpi.Rank(slot), func(c mpi.Comm) { p.runSlot(c, slot) })
 	}
-	p.cluster.Start(p.schedRank, func(c mpi.Comm) { p.runScheduler(c) })
-	// The demand dispatcher is reused verbatim: it only needs the client
-	// rank list and the policy ordering.
-	dispLay := cluster.Layout{Clients: append([]mpi.Rank(nil), p.clientRank...)}
+	p.cluster.Start(world.sched, func(c mpi.Comm) { p.runScheduler(c) })
+	// The demand dispatcher is reused verbatim: it only needs the worker
+	// rank lists (medians for request validation, clients for the free
+	// list) and the policy ordering.
+	dispLay := cluster.Layout{
+		Medians: append([]mpi.Rank(nil), world.medians...),
+		Clients: append([]mpi.Rank(nil), world.clients...),
+	}
 	dispCfg := &Config{Algo: cfg.Algo}
 	longest := cfg.Algo == LastMinute
-	p.cluster.Start(p.dispRank, func(c mpi.Comm) {
+	p.cluster.Start(world.disp, func(c mpi.Comm) {
 		runDemandDispatcher(c, dispLay, dispCfg, longest)
 	})
-	for i := 0; i < cfg.Medians; i++ {
-		i := i
-		p.cluster.Start(p.medianRank[i], func(c mpi.Comm) { p.runMedian(c, i) })
-	}
-	for i := 0; i < cfg.Clients; i++ {
-		i := i
-		p.cluster.Start(p.clientRank[i], func(c mpi.Comm) { p.runClient(c, i) })
-	}
+	startPoolWorkers(p.cluster, world, p.coll.addMedianIdle, p.coll.addClientIdle)
 
 	go func() {
 		p.cluster.Run()
 		close(p.runDone)
 	}()
 	return p, nil
+}
+
+// startPoolWorkers starts the median and client bodies on cl, reporting
+// each worker's Recv-blocked intervals to the given sinks. Used by the
+// pool itself (collector-backed sinks) and by ServeWorker in a remote
+// worker process (worker-local sinks) — the bodies are identical on both
+// sides of the wire, and a cluster hosting only some of the ranks ignores
+// the Start calls for the others.
+func startPoolWorkers(cl mpi.Cluster, world *poolWorld, medianIdle, clientIdle func(i int, d time.Duration)) {
+	for i := 0; i < world.cfg.Medians; i++ {
+		i := i
+		cl.Start(world.medians[i], func(c mpi.Comm) {
+			runPoolMedian(c, world, func(d time.Duration) { medianIdle(i, d) })
+		})
+	}
+	for i := 0; i < world.cfg.Clients; i++ {
+		i := i
+		cl.Start(world.clients[i], func(c mpi.Comm) {
+			runPoolClient(c, world, func(d time.Duration) { clientIdle(i, d) })
+		})
+	}
+}
+
+// isMedianRank reports whether r is one of the world's median ranks
+// (medians occupy a contiguous range after the control ranks).
+func isMedianRank(w *poolWorld, r mpi.Rank) bool {
+	return r >= w.firstWorker() && r < w.firstWorker()+mpi.Rank(w.cfg.Medians)
+}
+
+// isClientRank reports whether r is one of the world's client ranks
+// (clients occupy the contiguous range after the medians).
+func isClientRank(w *poolWorld, r mpi.Rank) bool {
+	first := w.firstWorker() + mpi.Rank(w.cfg.Medians)
+	return r >= first && r < first+mpi.Rank(w.cfg.Clients)
+}
+
+// WorkerAddr returns the address worker processes dial, or "" for an
+// in-process pool.
+func (p *Pool) WorkerAddr() string {
+	if p.net == nil {
+		return ""
+	}
+	return p.net.Addr()
 }
 
 // Slots returns the number of concurrent job slots.
@@ -354,6 +516,10 @@ func (p *Pool) Metrics() PoolMetrics {
 	}
 	if co.depthSamples > 0 {
 		m.QueueDepthMean = float64(co.depthSum) / float64(co.depthSamples)
+	}
+	if p.net != nil {
+		st := p.net.Stats()
+		m.Net = &st
 	}
 	return m
 }
@@ -399,11 +565,6 @@ func (p *Pool) StartJob(slot int, cfg Config, progress func(Progress)) (*JobHand
 		p.mu.Unlock()
 		return nil, fmt.Errorf("parallel: slot %d already running a job", slot)
 	}
-	// Per-slot rollout counters start from zero: the previous job drained
-	// every outstanding rollout before completing. Reset only once the
-	// slot is provably ours — an erroneous StartJob on a busy slot must
-	// not zero the running job's counters.
-	p.coll.takeSlot(slot)
 	p.slotBusy[slot] = true
 	p.slotEpoch[slot]++
 	epoch := p.slotEpoch[slot]
@@ -438,8 +599,6 @@ func (h *JobHandle) Wait() (Result, error) {
 	if h.timer != nil {
 		h.timer.Stop()
 	}
-	out.res.Jobs, out.res.WorkUnits = h.p.coll.takeSlot(h.slot)
-
 	h.p.mu.Lock()
 	h.p.slotBusy[h.slot] = false
 	h.p.idle.Broadcast()
@@ -520,9 +679,20 @@ func (p *Pool) runSlot(c mpi.Comm, slot int) {
 		msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
 		switch msg.Tag {
 		case tagShutdown:
+			// Teardown only ever arrives from outside the rank world
+			// (Pool.Shutdown's Inject); a forged wire frame must not
+			// dismantle a rank.
+			if msg.From != mpi.External {
+				break
+			}
 			return
 		case tagJobStart:
-			js := msg.Payload.(jobStart)
+			// jobStart has no codec kind, so only a local Inject can carry
+			// one; a wire frame that lands on this tag is dropped.
+			js, ok := msg.Payload.(jobStart)
+			if !ok {
+				break
+			}
 			js.done(p.playJob(c, slot, js, &pool, &moves))
 		default:
 			// A stale cancellation for a job that already completed (the
@@ -557,6 +727,7 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 
 	var shipped []game.State
 	var scores []float64
+	var scored []bool // per-candidate received flag, guards duplicate frames
 	cancelled := false
 
 	for step := 0; !cancelled; step++ {
@@ -573,6 +744,7 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 		// Offer every candidate of the step to the shared scheduler.
 		shipped = shipped[:0]
 		scores = scores[:0]
+		scored = scored[:0]
 		for i, m := range moves {
 			child := pool.Get(st)
 			c.Work(core.CloneCost)
@@ -580,7 +752,8 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 			c.Work(1)
 			shipped = append(shipped, child)
 			scores = append(scores, 0)
-			c.Send(p.schedRank, p.space.For(slot, offOffer),
+			scored = append(scored, false)
+			c.Send(p.world.sched, p.world.space.For(slot, offOffer),
 				svcCandidate{Step: step, Cand: i, P: params, State: child})
 		}
 
@@ -592,26 +765,43 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 			if !cancelled {
 				cancelled = true
 				res.Stopped = true
-				c.Send(p.schedRank, p.space.For(slot, offAbandon), js.epoch)
+				c.Send(p.world.sched, p.world.space.For(slot, offAbandon), js.epoch)
 			}
 		}
+		// Payload type checks throughout the gather loop: frames arriving
+		// over the wire carry remote-controlled payloads, and a
+		// wrong-typed one must be dropped, not allowed to panic the
+		// coordinator.
 		for got < want {
 			msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
 			switch msg.Tag {
 			case tagStepScore:
-				sc := msg.Payload.(svcScore)
-				if sc.Epoch != js.epoch {
+				// Scores come from medians only; cancellations only from
+				// outside the rank world (Inject); abandon acks only from
+				// the scheduler. Anything else is a forged wire frame.
+				sc, ok := msg.Payload.(svcScore)
+				if !ok || !isMedianRank(p.world, msg.From) || sc.Epoch != js.epoch {
 					break // stray from a previous job; cannot happen once drained
 				}
+				// Range and duplication guards: a duplicated frame must not
+				// double-free the shipped state or end the gather early
+				// (which would let a real score bleed into the next step).
+				if sc.Cand < 0 || sc.Cand >= len(scores) || scored[sc.Cand] {
+					break
+				}
+				scored[sc.Cand] = true
 				scores[sc.Cand] = sc.Score
+				res.Jobs += sc.Rollouts
+				res.WorkUnits += sc.Units
+				p.coll.addRollouts(sc.Rollouts, sc.Units)
 				pool.Put(shipped[sc.Cand])
 				got++
 			case tagJobCancel:
-				if msg.Payload.(uint64) == js.epoch {
+				if epoch, ok := msg.Payload.(uint64); ok && msg.From == mpi.External && epoch == js.epoch {
 					abandon()
 				}
 			case tagAbandonAck:
-				if ack := msg.Payload.(svcAbandonAck); ack.Epoch == js.epoch {
+				if ack, ok := msg.Payload.(svcAbandonAck); ok && msg.From == p.world.sched && ack.Epoch == js.epoch {
 					want -= ack.Dropped
 				}
 			}
@@ -691,8 +881,17 @@ func (p *Pool) runScheduler(c mpi.Comm) {
 		msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
 		switch msg.Tag {
 		case tagShutdown:
+			if msg.From != mpi.External {
+				continue // forged wire frame; see runSlot
+			}
 			return
 		case tagWorkReq:
+			// Only medians pull work. A forged request from any other
+			// rank would swallow a granted candidate (nothing else plays
+			// candidates or reports scores), wedging the owning job.
+			if !isMedianRank(p.world, msg.From) {
+				continue
+			}
 			if cand, ok := pick(); ok {
 				c.Send(msg.From, tagGrant, cand)
 			} else {
@@ -701,13 +900,22 @@ func (p *Pool) runScheduler(c mpi.Comm) {
 			p.coll.sampleDepth(total)
 			continue
 		}
-		slot, off, ok := p.space.Split(msg.Tag)
+		slot, off, ok := p.world.space.Split(msg.Tag)
 		if !ok {
+			continue
+		}
+		// Band messages only come from the band's own slot rank — a wire
+		// frame claiming another job's band could abandon or pollute that
+		// tenant's queue.
+		if msg.From != mpi.Rank(slot) {
 			continue
 		}
 		switch off {
 		case offOffer:
-			cand := msg.Payload.(svcCandidate)
+			cand, ok := msg.Payload.(svcCandidate)
+			if !ok {
+				continue
+			}
 			if len(waiting) > 0 {
 				to := waiting[0]
 				waiting = waiting[:copy(waiting, waiting[1:])]
@@ -718,7 +926,10 @@ func (p *Pool) runScheduler(c mpi.Comm) {
 			}
 			p.coll.sampleDepth(total)
 		case offAbandon:
-			epoch := msg.Payload.(uint64)
+			epoch, ok := msg.Payload.(uint64)
+			if !ok {
+				continue
+			}
 			dropped := 0
 			kept := queues[slot][:0]
 			for _, cd := range queues[slot] {
@@ -735,37 +946,50 @@ func (p *Pool) runScheduler(c mpi.Comm) {
 	}
 }
 
-// runMedian is the persistent form of the per-run median process: pull a
-// candidate from the shared scheduler, play its full level-(ℓ−1) game
-// with one client rollout per candidate move, report the score to the
-// owning slot, repeat. One work request is kept in flight while a game is
-// being played (the PR 2 prefetch window at its default of 1), so the
-// next grant travels during computation. The median's StatePool and move
-// buffers persist across jobs and domains.
-func (p *Pool) runMedian(c mpi.Comm, index int) {
+// runPoolMedian is the persistent form of the per-run median process:
+// pull a candidate from the shared scheduler, play its full level-(ℓ−1)
+// game with one client rollout per candidate move, report the score to
+// the owning slot, repeat. One work request is kept in flight while a
+// game is being played (the PR 2 prefetch window at its default of 1), so
+// the next grant travels during computation. The median's StatePool and
+// move buffers persist across jobs and domains.
+//
+// The body is written against mpi.Comm and the poolWorld layout only, so
+// the identical function runs as a coordinator goroutine (wall pool) or
+// inside a pnmcs-worker process (net pool). idle receives each
+// Recv-blocked interval; a remote worker passes its own sink.
+func runPoolMedian(c mpi.Comm, w *poolWorld, idle func(time.Duration)) {
 	var pool core.StatePool
 	var moves []game.Move
 	var shipped []game.State
 	var scores []float64
+	var scored []bool // per-candidate received flag, guards duplicate frames
 
-	c.Send(p.schedRank, tagWorkReq, nil)
+	c.Send(w.sched, tagWorkReq, nil)
 	for {
 		t0 := c.Now()
 		msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
-		p.coll.addMedianIdle(index, c.Now()-t0)
+		idle(c.Now() - t0)
 		switch msg.Tag {
 		case tagShutdown:
+			if msg.From != mpi.External {
+				continue // forged wire frame; see runSlot
+			}
 			return
 		case tagGrant:
 			// fall through to play the granted game
 		default:
 			continue
 		}
-		cand := msg.Payload.(svcCandidate)
+		cand, ok := msg.Payload.(svcCandidate)
+		if !ok || msg.From != w.sched {
+			continue // wrong-typed or forged wire frame on the grant tag
+		}
 		// Prefetch: ask for the next candidate before playing this one.
-		c.Send(p.schedRank, tagWorkReq, nil)
+		c.Send(w.sched, tagWorkReq, nil)
 
 		st := cand.State
+		rollouts, units := int64(0), int64(0)
 		for t := 0; ; t++ {
 			moves = st.LegalMoves(moves[:0])
 			if len(moves) == 0 {
@@ -773,6 +997,7 @@ func (p *Pool) runMedian(c mpi.Comm, index int) {
 			}
 			shipped = shipped[:0]
 			scores = scores[:0]
+			scored = scored[:0]
 			for j, mv := range moves {
 				child := pool.Get(st)
 				c.Work(core.CloneCost)
@@ -780,41 +1005,59 @@ func (p *Pool) runMedian(c mpi.Comm, index int) {
 				c.Work(1)
 				shipped = append(shipped, child)
 				scores = append(scores, 0)
+				scored = append(scored, false)
 
-				c.Send(p.dispRank, tagRequest, child.MovesPlayed())
-				t1 := c.Now()
-				asg := c.Recv(p.dispRank, tagAssign)
-				p.coll.addMedianIdle(index, c.Now()-t1)
-				client := asg.Payload.(mpi.Rank)
+				c.Send(w.disp, tagRequest, child.MovesPlayed())
+				var client mpi.Rank
+				for {
+					t1 := c.Now()
+					asg := c.Recv(w.disp, tagAssign)
+					idle(c.Now() - t1)
+					var ok bool
+					if client, ok = asg.Payload.(mpi.Rank); ok {
+						break // drop wrong-typed frames spoofed onto the assign tag
+					}
+				}
 
 				key := rng.Fold(uint64(cand.Step), uint64(cand.Cand), uint64(t), uint64(j))
 				c.Send(client, tagJob, svcJob{Key: key, Seq: j, P: cand.P, State: child})
 			}
-			for range moves {
+			for got := 0; got < len(moves); {
 				t1 := c.Now()
 				r := c.Recv(mpi.AnyRank, tagResult)
-				p.coll.addMedianIdle(index, c.Now()-t1)
-				js := r.Payload.(jobScore)
-				scores[js.Seq] = js.Score
-				pool.Put(shipped[js.Seq])
+				idle(c.Now() - t1)
+				res, ok := r.Payload.(svcResult)
+				if !ok || !isClientRank(w, r.From) || res.Seq < 0 || res.Seq >= len(scores) || scored[res.Seq] {
+					continue // wrong-typed, forged, out-of-range or duplicated wire frame
+				}
+				scored[res.Seq] = true
+				scores[res.Seq] = res.Score
+				rollouts++
+				units += res.Units
+				pool.Put(shipped[res.Seq])
+				got++
 			}
 			st.Play(moves[argmax(scores)])
 			c.Work(1)
 		}
-		c.Send(cand.P.Root, tagStepScore,
-			svcScore{Epoch: cand.P.Epoch, Cand: cand.Cand, Score: st.Score()})
+		c.Send(cand.P.Root, tagStepScore, svcScore{
+			Epoch: cand.P.Epoch, Cand: cand.Cand, Score: st.Score(),
+			Rollouts: rollouts, Units: units,
+		})
 	}
 }
 
-// runClient is the persistent rollout worker. Jobs of any domain, level
-// and memorization mix arrive interleaved; the rollout's random stream is
-// reseeded per job from (job seed, logical coordinates), so a given
-// candidate's score is identical no matter which client executes it, in
-// which order, or what ran on this client before — the property the
-// service equivalence tests pin against solo RunWall runs. Searchers (one
-// per memorization mode, sharing nothing) and their scratch StatePools
-// persist across jobs.
-func (p *Pool) runClient(c mpi.Comm, index int) {
+// runPoolClient is the persistent rollout worker. Jobs of any domain,
+// level and memorization mix arrive interleaved; the rollout's random
+// stream is reseeded per job from (job seed, logical coordinates), so a
+// given candidate's score is identical no matter which client executes
+// it, in which order, or what ran on this client before — the property
+// the equivalence tests pin against solo RunWall runs on both the wall
+// and net transports. Searchers (one per memorization mode, sharing
+// nothing) and their scratch StatePools persist across jobs. Like
+// runPoolMedian, the body is transport-blind and runs unchanged in the
+// coordinator or in a pnmcs-worker process.
+func runPoolClient(c mpi.Comm, w *poolWorld, idle func(time.Duration)) {
 	meter := &unitMeter{}
 	searchers := map[bool]*core.Searcher{}
 	searcherFor := func(memorize bool) *core.Searcher {
@@ -829,12 +1072,22 @@ func (p *Pool) runClient(c mpi.Comm, index int) {
 	for {
 		t0 := c.Now()
 		msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
-		p.coll.addClientIdle(index, c.Now()-t0)
+		idle(c.Now() - t0)
 		switch msg.Tag {
 		case tagShutdown:
+			if msg.From != mpi.External {
+				continue // forged wire frame; see runSlot
+			}
 			return
 		case tagJob:
-			jb := msg.Payload.(svcJob)
+			jb, ok := msg.Payload.(svcJob)
+			if !ok || !isMedianRank(w, msg.From) || jb.State == nil || jb.P.Level < 2 {
+				// Wrong-typed or degenerate wire frame. Still announce
+				// availability: the dispatcher must not lose this client
+				// from its free list over a frame the client refused.
+				c.Send(w.disp, tagFree, nil)
+				continue
+			}
 			median := msg.From
 
 			meter.units = 0
@@ -842,10 +1095,9 @@ func (p *Pool) runClient(c mpi.Comm, index int) {
 			s.Reseed(jb.P.Seed, jb.Key)
 			res := s.Nested(jb.State, jb.P.Level-2)
 			c.Work(meter.units * jb.P.JobScale)
-			p.coll.addRollout(jb.P.Slot, meter.units)
 
-			c.Send(p.dispRank, tagFree, nil)
-			c.Send(median, tagResult, jobScore{Seq: jb.Seq, Score: res.Score})
+			c.Send(w.disp, tagFree, nil)
+			c.Send(median, tagResult, svcResult{Seq: jb.Seq, Score: res.Score, Units: meter.units})
 		}
 	}
 }

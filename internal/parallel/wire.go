@@ -1,0 +1,382 @@
+package parallel
+
+// Wire encodings of the parallel protocol's payloads, registered with the
+// frame codec so every message of the per-run protocol (candidates, jobs,
+// scores) and the pool protocol (service candidates, rollout results,
+// abandon acks) can cross process boundaries on the net transport. The
+// in-process transports never touch these: payloads stay bare Go values
+// between goroutines, so the per-run hot path allocates exactly what it
+// did before the codec existed.
+//
+// Encodings follow the codec conventions: fixed-width little-endian
+// scalars via encoding/binary, uvarints for small counts, and a nested
+// typed state as the final field (a payload always extends to the end of
+// its frame, so the state needs no length prefix).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/mpi"
+	"repro/internal/mpi/codec"
+)
+
+// Application payload kinds (64+ is the application band, see codec).
+const (
+	kindCandidate     codec.Kind = 64 + iota // per-run root -> median
+	kindJob                                  // per-run median -> client
+	kindJobScore                             // per-run client -> median
+	kindStepScore                            // per-run median -> root (pull)
+	kindSvcCandidate                         // pool slot -> scheduler -> median
+	kindSvcJob                               // pool median -> client
+	kindSvcScore                             // pool median -> slot
+	kindSvcResult                            // pool client -> median
+	kindSvcAbandonAck                        // pool scheduler -> slot
+)
+
+// The worker handshake blob (appendWorkerBlob) is NOT a frame payload: it
+// travels inside the handshake welcome with its own version byte, so it
+// has no codec kind.
+
+func init() {
+	codec.Register(kindCandidate,
+		func(buf []byte, v candidate) ([]byte, error) {
+			buf = binary.AppendUvarint(buf, uint64(v.Step))
+			buf = binary.AppendUvarint(buf, uint64(v.Cand))
+			return codec.EncodeState(buf, v.State)
+		},
+		func(data []byte) (candidate, error) {
+			var c candidate
+			step, data, err := codec.ReadUvarint(data)
+			if err != nil {
+				return c, err
+			}
+			cand, data, err := codec.ReadUvarint(data)
+			if err != nil {
+				return c, err
+			}
+			st, err := codec.DecodeState(data)
+			if err != nil {
+				return c, err
+			}
+			return candidate{Step: int(step), Cand: int(cand), State: st}, nil
+		})
+
+	codec.Register(kindJob,
+		func(buf []byte, v job) ([]byte, error) {
+			buf = binary.LittleEndian.AppendUint64(buf, v.Key)
+			buf = binary.AppendUvarint(buf, uint64(v.Seq))
+			return codec.EncodeState(buf, v.State)
+		},
+		func(data []byte) (job, error) {
+			var j job
+			if len(data) < 8 {
+				return j, fmt.Errorf("%w: job key", codec.ErrTruncated)
+			}
+			key := binary.LittleEndian.Uint64(data)
+			seq, data, err := codec.ReadUvarint(data[8:])
+			if err != nil {
+				return j, err
+			}
+			st, err := codec.DecodeState(data)
+			if err != nil {
+				return j, err
+			}
+			return job{Key: key, Seq: int(seq), State: st}, nil
+		})
+
+	codec.Register(kindJobScore,
+		func(buf []byte, v jobScore) ([]byte, error) {
+			buf = binary.AppendUvarint(buf, uint64(v.Seq))
+			return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Score)), nil
+		},
+		func(data []byte) (jobScore, error) {
+			seq, data, err := codec.ReadUvarint(data)
+			if err != nil {
+				return jobScore{}, err
+			}
+			if len(data) != 8 {
+				return jobScore{}, fmt.Errorf("%w: jobScore", codec.ErrTruncated)
+			}
+			return jobScore{Seq: int(seq), Score: math.Float64frombits(binary.LittleEndian.Uint64(data))}, nil
+		})
+
+	codec.Register(kindStepScore,
+		func(buf []byte, v stepScore) ([]byte, error) {
+			buf = binary.AppendUvarint(buf, uint64(v.Cand))
+			return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Score)), nil
+		},
+		func(data []byte) (stepScore, error) {
+			cand, data, err := codec.ReadUvarint(data)
+			if err != nil {
+				return stepScore{}, err
+			}
+			if len(data) != 8 {
+				return stepScore{}, fmt.Errorf("%w: stepScore", codec.ErrTruncated)
+			}
+			return stepScore{Cand: int(cand), Score: math.Float64frombits(binary.LittleEndian.Uint64(data))}, nil
+		})
+
+	codec.Register(kindSvcCandidate,
+		func(buf []byte, v svcCandidate) ([]byte, error) {
+			buf = binary.AppendUvarint(buf, uint64(v.Step))
+			buf = binary.AppendUvarint(buf, uint64(v.Cand))
+			buf = appendJobParams(buf, v.P)
+			return codec.EncodeState(buf, v.State)
+		},
+		func(data []byte) (svcCandidate, error) {
+			var c svcCandidate
+			step, data, err := codec.ReadUvarint(data)
+			if err != nil {
+				return c, err
+			}
+			cand, data, err := codec.ReadUvarint(data)
+			if err != nil {
+				return c, err
+			}
+			p, data, err := readJobParams(data)
+			if err != nil {
+				return c, err
+			}
+			st, err := codec.DecodeState(data)
+			if err != nil {
+				return c, err
+			}
+			return svcCandidate{Step: int(step), Cand: int(cand), P: p, State: st}, nil
+		})
+
+	codec.Register(kindSvcJob,
+		func(buf []byte, v svcJob) ([]byte, error) {
+			buf = binary.LittleEndian.AppendUint64(buf, v.Key)
+			buf = binary.AppendUvarint(buf, uint64(v.Seq))
+			buf = appendJobParams(buf, v.P)
+			return codec.EncodeState(buf, v.State)
+		},
+		func(data []byte) (svcJob, error) {
+			var j svcJob
+			if len(data) < 8 {
+				return j, fmt.Errorf("%w: svcJob key", codec.ErrTruncated)
+			}
+			key := binary.LittleEndian.Uint64(data)
+			seq, data, err := codec.ReadUvarint(data[8:])
+			if err != nil {
+				return j, err
+			}
+			p, data, err := readJobParams(data)
+			if err != nil {
+				return j, err
+			}
+			st, err := codec.DecodeState(data)
+			if err != nil {
+				return j, err
+			}
+			return svcJob{Key: key, Seq: int(seq), P: p, State: st}, nil
+		})
+
+	codec.Register(kindSvcScore,
+		func(buf []byte, v svcScore) ([]byte, error) {
+			buf = binary.LittleEndian.AppendUint64(buf, v.Epoch)
+			buf = binary.AppendUvarint(buf, uint64(v.Cand))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Score))
+			buf = binary.AppendUvarint(buf, uint64(v.Rollouts))
+			return binary.AppendUvarint(buf, uint64(v.Units)), nil
+		},
+		func(data []byte) (svcScore, error) {
+			var s svcScore
+			if len(data) < 8 {
+				return s, fmt.Errorf("%w: svcScore epoch", codec.ErrTruncated)
+			}
+			s.Epoch = binary.LittleEndian.Uint64(data)
+			cand, data, err := codec.ReadUvarint(data[8:])
+			if err != nil {
+				return s, err
+			}
+			s.Cand = int(cand)
+			if len(data) < 8 {
+				return s, fmt.Errorf("%w: svcScore score", codec.ErrTruncated)
+			}
+			s.Score = math.Float64frombits(binary.LittleEndian.Uint64(data))
+			rollouts, data, err := codec.ReadUvarint(data[8:])
+			if err != nil {
+				return s, err
+			}
+			units, data, err := codec.ReadUvarint(data)
+			if err != nil {
+				return s, err
+			}
+			if len(data) != 0 {
+				return s, fmt.Errorf("%w: svcScore trailing bytes", codec.ErrMalformed)
+			}
+			s.Rollouts, s.Units = int64(rollouts), int64(units)
+			return s, nil
+		})
+
+	codec.Register(kindSvcResult,
+		func(buf []byte, v svcResult) ([]byte, error) {
+			buf = binary.AppendUvarint(buf, uint64(v.Seq))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Score))
+			return binary.AppendUvarint(buf, uint64(v.Units)), nil
+		},
+		func(data []byte) (svcResult, error) {
+			var r svcResult
+			seq, data, err := codec.ReadUvarint(data)
+			if err != nil {
+				return r, err
+			}
+			r.Seq = int(seq)
+			if len(data) < 8 {
+				return r, fmt.Errorf("%w: svcResult score", codec.ErrTruncated)
+			}
+			r.Score = math.Float64frombits(binary.LittleEndian.Uint64(data))
+			units, data, err := codec.ReadUvarint(data[8:])
+			if err != nil {
+				return r, err
+			}
+			if len(data) != 0 {
+				return r, fmt.Errorf("%w: svcResult trailing bytes", codec.ErrMalformed)
+			}
+			r.Units = int64(units)
+			return r, nil
+		})
+
+	codec.Register(kindSvcAbandonAck,
+		func(buf []byte, v svcAbandonAck) ([]byte, error) {
+			buf = binary.LittleEndian.AppendUint64(buf, v.Epoch)
+			return binary.AppendUvarint(buf, uint64(v.Dropped)), nil
+		},
+		func(data []byte) (svcAbandonAck, error) {
+			var a svcAbandonAck
+			if len(data) < 8 {
+				return a, fmt.Errorf("%w: abandon ack", codec.ErrTruncated)
+			}
+			a.Epoch = binary.LittleEndian.Uint64(data)
+			dropped, data, err := codec.ReadUvarint(data[8:])
+			if err != nil {
+				return a, err
+			}
+			if len(data) != 0 {
+				return a, fmt.Errorf("%w: abandon ack trailing bytes", codec.ErrMalformed)
+			}
+			a.Dropped = int(dropped)
+			return a, nil
+		})
+}
+
+// wireMaxLevel caps the nesting level a decoded job may carry. The paper
+// evaluates levels 3 and 4; anything near the cap is already infeasible,
+// and an unbounded value would drive unbounded recursion in the client's
+// nested search (jobParams decode from remote-controlled frames).
+const wireMaxLevel = 64
+
+// appendJobParams encodes the per-job knobs that ride every candidate and
+// client job.
+func appendJobParams(buf []byte, p jobParams) []byte {
+	buf = binary.AppendUvarint(buf, uint64(p.Slot))
+	buf = binary.LittleEndian.AppendUint64(buf, p.Epoch)
+	buf = binary.AppendUvarint(buf, uint64(p.Level))
+	buf = binary.LittleEndian.AppendUint64(buf, p.Seed)
+	b := byte(0)
+	if p.Memorize {
+		b = 1
+	}
+	buf = append(buf, b)
+	buf = binary.AppendUvarint(buf, uint64(p.JobScale))
+	return binary.AppendUvarint(buf, uint64(p.Root))
+}
+
+// readJobParams decodes appendJobParams' encoding and returns the
+// remaining bytes.
+func readJobParams(data []byte) (jobParams, []byte, error) {
+	var p jobParams
+	slot, data, err := codec.ReadUvarint(data)
+	if err != nil {
+		return p, nil, err
+	}
+	if len(data) < 8 {
+		return p, nil, fmt.Errorf("%w: job params epoch", codec.ErrTruncated)
+	}
+	epoch := binary.LittleEndian.Uint64(data)
+	level, data, err := codec.ReadUvarint(data[8:])
+	if err != nil {
+		return p, nil, err
+	}
+	if level > wireMaxLevel {
+		return p, nil, fmt.Errorf("%w: job level %d exceeds limit %d", codec.ErrMalformed, level, wireMaxLevel)
+	}
+	if len(data) < 9 {
+		return p, nil, fmt.Errorf("%w: job params seed", codec.ErrTruncated)
+	}
+	seed := binary.LittleEndian.Uint64(data)
+	memorize := data[8]
+	if memorize > 1 {
+		return p, nil, fmt.Errorf("%w: job params memorize flag %d", codec.ErrMalformed, memorize)
+	}
+	scale, data, err := codec.ReadUvarint(data[9:])
+	if err != nil {
+		return p, nil, err
+	}
+	root, data, err := codec.ReadUvarint(data)
+	if err != nil {
+		return p, nil, err
+	}
+	return jobParams{
+		Slot:     int(slot),
+		Epoch:    epoch,
+		Level:    int(level),
+		Seed:     seed,
+		Memorize: memorize == 1,
+		JobScale: int64(scale),
+		Root:     mpi.Rank(root),
+	}, data, nil
+}
+
+// workerBlobVersion guards the handshake blob layout independently of the
+// frame version: the blob is interpreted by parallel, not by the codec.
+const workerBlobVersion = 1
+
+// appendWorkerBlob encodes the PoolConfig a pnmcs-worker needs to derive
+// the identical poolWorld the coordinator built.
+func appendWorkerBlob(buf []byte, cfg PoolConfig) []byte {
+	buf = append(buf, workerBlobVersion)
+	buf = binary.AppendUvarint(buf, uint64(cfg.Slots))
+	buf = binary.AppendUvarint(buf, uint64(cfg.Medians))
+	buf = binary.AppendUvarint(buf, uint64(cfg.Clients))
+	return binary.AppendUvarint(buf, uint64(cfg.Algo))
+}
+
+// decodeWorkerBlob reverses appendWorkerBlob.
+func decodeWorkerBlob(data []byte) (PoolConfig, error) {
+	var cfg PoolConfig
+	if len(data) < 1 {
+		return cfg, fmt.Errorf("parallel: empty worker blob")
+	}
+	if data[0] != workerBlobVersion {
+		return cfg, fmt.Errorf("parallel: worker blob version %d, want %d", data[0], workerBlobVersion)
+	}
+	data = data[1:]
+	fields := []*int{&cfg.Slots, &cfg.Medians, &cfg.Clients}
+	for _, f := range fields {
+		v, rest, err := codec.ReadUvarint(data)
+		if err != nil {
+			return cfg, fmt.Errorf("parallel: worker blob: %w", err)
+		}
+		*f, data = int(v), rest
+	}
+	algo, rest, err := codec.ReadUvarint(data)
+	if err != nil {
+		return cfg, fmt.Errorf("parallel: worker blob: %w", err)
+	}
+	if len(rest) != 0 {
+		// Trailing bytes mean version skew (a field added without bumping
+		// workerBlobVersion): fail loudly — a misparsed blob would
+		// desynchronize the whole rank/tag layout.
+		return cfg, fmt.Errorf("parallel: worker blob: %d trailing bytes", len(rest))
+	}
+	cfg.Algo = Algorithm(algo)
+	if cfg.Slots < 1 || cfg.Medians < 1 || cfg.Clients < 1 {
+		return cfg, fmt.Errorf("parallel: worker blob: degenerate pool %d/%d/%d",
+			cfg.Slots, cfg.Medians, cfg.Clients)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,160 @@
+package parallel
+
+// Round-trip property tests for the parallel protocol's wire payloads:
+// Decode(Encode(m)) == m for every registered kind, with
+// testing/quick-generated field values, plus the worker handshake blob.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/game"
+	"repro/internal/mpi"
+	"repro/internal/mpi/codec"
+)
+
+// payloadTrip encodes and decodes one payload value.
+func payloadTrip(t *testing.T, v any) any {
+	t.Helper()
+	buf, err := codec.EncodePayload(nil, v)
+	if err != nil {
+		t.Fatalf("encode %T: %v", v, err)
+	}
+	out, err := codec.DecodePayload(buf)
+	if err != nil {
+		t.Fatalf("decode %T: %v", v, err)
+	}
+	return out
+}
+
+// nonneg maps arbitrary quick-generated ints onto the non-negative ranges
+// the protocol uses (steps, candidate indexes, counters).
+func nonneg(v int) int {
+	if v < 0 {
+		return -(v + 1)
+	}
+	return v
+}
+
+func quickParams(slot int, epoch uint64, level int, seed uint64, memorize bool, scale int64, root int) jobParams {
+	if scale < 0 {
+		scale = -(scale + 1)
+	}
+	return jobParams{
+		Slot:     nonneg(slot),
+		Epoch:    epoch,
+		Level:    nonneg(level) % (wireMaxLevel + 1), // decoders reject levels beyond the cap
+		Seed:     seed,
+		Memorize: memorize,
+		JobScale: scale,
+		Root:     mpi.Rank(nonneg(root)),
+	}
+}
+
+func TestScalarPayloadRoundTrips(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	checks := map[string]any{
+		"jobScore": func(seq int, score float64) bool {
+			v := jobScore{Seq: nonneg(seq), Score: score}
+			got := payloadTrip(t, v).(jobScore)
+			return got.Seq == v.Seq && math.Float64bits(got.Score) == math.Float64bits(v.Score)
+		},
+		"stepScore": func(cand int, score float64) bool {
+			v := stepScore{Cand: nonneg(cand), Score: score}
+			got := payloadTrip(t, v).(stepScore)
+			return got.Cand == v.Cand && math.Float64bits(got.Score) == math.Float64bits(v.Score)
+		},
+		"svcScore": func(epoch uint64, cand int, score float64, rollouts, units int64) bool {
+			v := svcScore{
+				Epoch: epoch, Cand: nonneg(cand), Score: score,
+				Rollouts: int64(nonneg(int(rollouts % (1 << 40)))), Units: int64(nonneg(int(units % (1 << 40)))),
+			}
+			got := payloadTrip(t, v).(svcScore)
+			return got.Epoch == v.Epoch && got.Cand == v.Cand &&
+				got.Rollouts == v.Rollouts && got.Units == v.Units &&
+				math.Float64bits(got.Score) == math.Float64bits(v.Score)
+		},
+		"svcResult": func(seq int, score float64, units int64) bool {
+			v := svcResult{Seq: nonneg(seq), Score: score, Units: int64(nonneg(int(units % (1 << 40))))}
+			got := payloadTrip(t, v).(svcResult)
+			return got.Seq == v.Seq && got.Units == v.Units &&
+				math.Float64bits(got.Score) == math.Float64bits(v.Score)
+		},
+		"svcAbandonAck": func(epoch uint64, dropped int) bool {
+			v := svcAbandonAck{Epoch: epoch, Dropped: nonneg(dropped)}
+			return payloadTrip(t, v).(svcAbandonAck) == v
+		},
+	}
+	for name, fn := range checks {
+		if err := quick.Check(fn, cfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestStateCarryingPayloadRoundTrips(t *testing.T) {
+	st := game.NewArmTree(3, 4, 9)
+	st.Play(1)
+	st.Play(2)
+
+	cand := candidate{Step: 4, Cand: 2, State: st}
+	got := payloadTrip(t, cand).(candidate)
+	if got.Step != cand.Step || got.Cand != cand.Cand {
+		t.Fatalf("candidate coordinates: %+v", got)
+	}
+	if got.State.MovesPlayed() != 2 || got.State.Score() != st.Score() {
+		t.Fatalf("candidate state not restored: %+v", got.State)
+	}
+
+	jb := job{Key: 0xdeadbeef, Seq: 3, State: st}
+	gj := payloadTrip(t, jb).(job)
+	if gj.Key != jb.Key || gj.Seq != jb.Seq || gj.State.MovesPlayed() != 2 {
+		t.Fatalf("job: %+v", gj)
+	}
+
+	if err := quick.Check(func(step, candIdx int, slot int, epoch uint64, level int, seed uint64, mem bool, scale int64, root int) bool {
+		v := svcCandidate{
+			Step: nonneg(step), Cand: nonneg(candIdx),
+			P:     quickParams(slot, epoch, level, seed, mem, scale, root),
+			State: st,
+		}
+		g := payloadTrip(t, v).(svcCandidate)
+		return g.Step == v.Step && g.Cand == v.Cand && g.P == v.P && g.State.MovesPlayed() == 2
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Errorf("svcCandidate: %v", err)
+	}
+
+	if err := quick.Check(func(key uint64, seq int, slot int, epoch uint64, level int, seed uint64, mem bool, scale int64, root int) bool {
+		v := svcJob{
+			Key: key, Seq: nonneg(seq),
+			P:     quickParams(slot, epoch, level, seed, mem, scale, root),
+			State: st,
+		}
+		g := payloadTrip(t, v).(svcJob)
+		return g.Key == v.Key && g.Seq == v.Seq && g.P == v.P && g.State.MovesPlayed() == 2
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Errorf("svcJob: %v", err)
+	}
+}
+
+func TestWorkerBlobRoundTrip(t *testing.T) {
+	cfg := PoolConfig{Slots: 3, Medians: 5, Clients: 9, Algo: LastMinute}
+	got, err := decodeWorkerBlob(appendWorkerBlob(nil, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cfg {
+		t.Fatalf("blob round trip: %+v != %+v", got, cfg)
+	}
+
+	if _, err := decodeWorkerBlob(nil); err == nil {
+		t.Fatal("empty blob accepted")
+	}
+	if _, err := decodeWorkerBlob([]byte{workerBlobVersion + 1, 1, 1, 1, 0}); err == nil {
+		t.Fatal("foreign blob version accepted")
+	}
+	if _, err := decodeWorkerBlob(appendWorkerBlob(nil, PoolConfig{})); err == nil {
+		t.Fatal("degenerate pool config accepted")
+	}
+}

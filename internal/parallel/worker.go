@@ -1,0 +1,72 @@
+package parallel
+
+// The worker-process side of a distributed pool: cmd/pnmcs-worker dials
+// the coordinator and hands the connection to ServeWorker, which rebuilds
+// the pool topology from the handshake blob and runs the median and
+// client bodies for the rank range the coordinator assigned. The bodies
+// are the very same functions the in-process pool runs as goroutines
+// (runPoolMedian, runPoolClient); only the transport underneath differs.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// WorkerStats summarizes one worker process's service, for logging.
+type WorkerStats struct {
+	// Medians / Clients are the counts of hosted ranks by role.
+	Medians, Clients int
+	// Idle is the cumulative Recv-blocked time across hosted ranks.
+	Idle time.Duration
+	// Net is the worker-side transport counter snapshot.
+	Net mpi.NetStats
+}
+
+// ServeWorker runs the pool ranks assigned to a dialed worker connection
+// until the coordinator broadcasts shutdown, and returns the worker's
+// service statistics. It fails fast when the handshake blob does not
+// decode or the assigned range contains coordinator-only ranks (slots,
+// scheduler, dispatcher always live with the coordinator).
+func ServeWorker(w *mpi.NetWorker) (WorkerStats, error) {
+	var stats WorkerStats
+	// Validation failures close the dialed connection: the handshake
+	// already claimed a coordinator worker slot, and a long-lived
+	// embedder that merely drops the NetWorker would occupy it forever
+	// (the coordinator frees the slot when the connection dies).
+	cfg, err := decodeWorkerBlob(w.Blob())
+	if err != nil {
+		w.Close() //nolint:errcheck // already failing
+		return stats, err
+	}
+	world := newPoolWorld(cfg.withDefaults())
+	lo, hi := w.RankRange()
+	if lo < world.firstWorker() {
+		w.Close() //nolint:errcheck // already failing
+		return stats, fmt.Errorf("parallel: assigned range [%d, %d) includes coordinator rank %d",
+			lo, hi, lo)
+	}
+	if int(hi) > world.size() {
+		w.Close() //nolint:errcheck // already failing
+		return stats, fmt.Errorf("parallel: assigned range [%d, %d) beyond world of %d ranks",
+			lo, hi, world.size())
+	}
+
+	for r := lo; r < hi; r++ {
+		if int(r-world.firstWorker()) < cfg.Medians {
+			stats.Medians++
+		} else {
+			stats.Clients++
+		}
+	}
+	var idleNs atomic.Int64
+	idle := func(_ int, d time.Duration) { idleNs.Add(int64(d)) }
+	startPoolWorkers(w, world, idle, idle)
+
+	w.Run()
+	stats.Idle = time.Duration(idleNs.Load())
+	stats.Net = w.Stats()
+	return stats, nil
+}

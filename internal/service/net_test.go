@@ -1,0 +1,97 @@
+package service
+
+// The service on a distributed pool: a Manager configured with external
+// workers must serve jobs bit-identically to the in-process pool, through
+// the same Submit/Wait surface cmd/pnmcsd exposes. The workers run
+// in-process over loopback TCP; the CI distributed smoke job repeats the
+// check with real pnmcs-worker processes.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/parallel"
+)
+
+func TestDistributedServiceEquivalence(t *testing.T) {
+	m, err := New(Config{
+		Slots: 2, Medians: 2, Clients: 2,
+		Workers: 2, WorkerListen: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WorkerAddr() == "" {
+		t.Fatal("distributed manager reports no worker address")
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		w, err := mpi.DialWorker(m.WorkerAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := parallel.ServeWorker(w); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+
+	specs := []JobSpec{
+		{Domain: "sudoku", Box: 2, Level: 2, Seed: 7},
+		{Domain: "samegame", Width: 5, Height: 5, Colors: 3, BoardSeed: 3, Level: 2, Seed: 5, Memorize: true},
+		{Domain: "morpion", Variant: "4D", Level: 2, Seed: 11, Memorize: true, FirstMoveOnly: true},
+	}
+	for _, spec := range specs {
+		id, err := m.Submit(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Domain, err)
+		}
+		st, err := m.Wait(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("%s: state %s (err %q)", spec.Domain, st.State, st.Error)
+		}
+
+		cfg, err := spec.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo, err := parallel.RunWall(4, 3, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Score != solo.Score {
+			t.Fatalf("%s: score %v != solo %v", spec.Domain, st.Score, solo.Score)
+		}
+		if len(st.Sequence) != len(solo.Sequence) {
+			t.Fatalf("%s: sequence length %d != %d", spec.Domain, len(st.Sequence), len(solo.Sequence))
+		}
+		for i := range st.Sequence {
+			if st.Sequence[i] != solo.Sequence[i] {
+				t.Fatalf("%s: sequences differ at %d", spec.Domain, i)
+			}
+		}
+		if st.Rollouts != solo.Jobs || st.WorkUnits != solo.WorkUnits {
+			t.Fatalf("%s: accounting %d/%d != solo %d/%d",
+				spec.Domain, st.Rollouts, st.WorkUnits, solo.Jobs, solo.WorkUnits)
+		}
+	}
+
+	mt := m.Metrics()
+	if mt.Pool.Net == nil || mt.Pool.Net.FramesSent == 0 {
+		t.Fatalf("no transport counters in service metrics: %+v", mt.Pool.Net)
+	}
+
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}

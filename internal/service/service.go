@@ -59,6 +59,17 @@ type Config struct {
 	// Algo orders the shared dispatcher's pending rollouts; default
 	// LastMinute (the paper's best policy). Never changes job results.
 	Algo parallel.Algorithm
+
+	// Workers, when positive, serves the pool's median and client ranks
+	// from that many external pnmcs-worker processes instead of
+	// goroutines: the manager becomes the coordinator of a distributed
+	// rank world (parallel.NewNetPool) and listens on WorkerListen for
+	// the workers to dial in. Job results are bit-identical either way.
+	Workers int
+	// WorkerListen is the TCP address workers dial; ":0" binds an
+	// ephemeral port (read it back with Manager.WorkerAddr). Only used
+	// when Workers > 0.
+	WorkerListen string
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +93,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Retain < 0 {
 		c.Retain = 0
+	}
+	// Loopback by default: the worker handshake is unauthenticated, so a
+	// distributed manager must not listen on all interfaces unless the
+	// caller asked for it explicitly (DESIGN.md §7).
+	if c.Workers > 0 && c.WorkerListen == "" {
+		c.WorkerListen = "127.0.0.1:0"
 	}
 	return c
 }
@@ -195,15 +212,27 @@ type Manager struct {
 	submitted, rejected, completed, cancelled, failed int64
 }
 
-// New builds the worker pool and returns an idle Manager.
+// New builds the worker pool — in-process goroutines by default, a
+// distributed coordinator when Config.Workers is set — and returns an
+// idle Manager.
 func New(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
-	pool, err := parallel.NewPool(parallel.PoolConfig{
+	pcfg := parallel.PoolConfig{
 		Slots:   cfg.Slots,
 		Medians: cfg.Medians,
 		Clients: cfg.Clients,
 		Algo:    cfg.Algo,
-	})
+	}
+	var pool *parallel.Pool
+	var err error
+	if cfg.Workers > 0 {
+		pool, err = parallel.NewNetPool(pcfg, parallel.NetPoolConfig{
+			Listen:  cfg.WorkerListen,
+			Workers: cfg.Workers,
+		})
+	} else {
+		pool, err = parallel.NewPool(pcfg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -364,6 +393,10 @@ func (m *Manager) run(j *job, slot int) {
 	}
 	m.mu.Unlock()
 }
+
+// WorkerAddr returns the address pnmcs-worker processes dial, or "" when
+// the pool is in-process.
+func (m *Manager) WorkerAddr() string { return m.pool.WorkerAddr() }
 
 // Get returns a snapshot of the job's status.
 func (m *Manager) Get(id string) (JobStatus, error) {

@@ -46,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/game"
 	"repro/internal/morpion"
+	"repro/internal/mpi"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/samegame"
@@ -155,8 +156,26 @@ var (
 )
 
 // NewService builds the persistent worker pool and returns an idle
-// service. cmd/pnmcsd exposes the same object over HTTP.
+// service. cmd/pnmcsd exposes the same object over HTTP. Setting
+// ServiceConfig.Workers > 0 makes the service the coordinator of a
+// distributed rank world whose median and client ranks are hosted by
+// external worker processes (cmd/pnmcs-worker, or ServeWorker below).
 func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
+
+// WorkerStats summarizes one worker process's service: hosted ranks,
+// cumulative idle time, transport counters.
+type WorkerStats = parallel.WorkerStats
+
+// ServeWorker dials a distributed service's coordinator and hosts the
+// assigned median and client ranks until the coordinator shuts down.
+// cmd/pnmcs-worker is a thin wrapper around this call.
+func ServeWorker(addr string) (WorkerStats, error) {
+	w, err := mpi.DialWorker(addr)
+	if err != nil {
+		return WorkerStats{}, err
+	}
+	return parallel.ServeWorker(w)
+}
 
 // Cluster topologies (the paper's §V testbeds).
 type (
