@@ -33,22 +33,24 @@ import (
 func main() {
 	connect := flag.String("connect", "127.0.0.1:8724", "coordinator worker-listen address")
 	retry := flag.Duration("retry", 30*time.Second, "dial budget: keep retrying the coordinator this long")
+	token := flag.String("worker-token", "", "shared secret presented at handshake (must match the coordinator's -worker-token)")
 	flag.Parse()
 
 	deadline := time.Now().Add(*retry)
 	var w *mpi.NetWorker
 	for {
 		var err error
-		w, err = mpi.DialWorker(*connect)
+		w, err = mpi.DialWorker(*connect, *token)
 		if err == nil {
 			break
 		}
-		// A version mismatch is permanent: the same coordinator will
-		// refuse every retry, so fail fast instead of hammering it for
-		// the whole budget. A slot rejection stays retryable — a slot
-		// freed by another worker's failed handshake becomes claimable
-		// again moments later.
-		if errors.Is(err, codec.ErrVersion) {
+		// A version or token mismatch is permanent: the same coordinator
+		// will refuse every retry, so fail fast instead of hammering it
+		// for the whole budget. A slot rejection stays retryable — a slot
+		// freed by another worker's failed handshake, or by a crashed
+		// worker whose place this process is taking (rolling
+		// replacement), becomes claimable again moments later.
+		if errors.Is(err, codec.ErrVersion) || errors.Is(err, mpi.ErrBadToken) {
 			log.Fatalf("dial %s: %v", *connect, err)
 		}
 		if time.Now().After(deadline) {

@@ -53,7 +53,8 @@ func main() {
 	queue := flag.Int("queue", 16, "jobs queued beyond the running slots before 503")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for running jobs")
 	workers := flag.Int("workers", 0, "serve medians+clients from this many pnmcs-worker processes (0 = in-process)")
-	workerListen := flag.String("worker-listen", "127.0.0.1:8724", "TCP address pnmcs-worker processes dial (with -workers); bind a non-loopback interface only on a trusted network — the worker handshake is unauthenticated")
+	workerListen := flag.String("worker-listen", "127.0.0.1:8724", "TCP address pnmcs-worker processes dial (with -workers); set -worker-token before binding a non-loopback interface")
+	workerToken := flag.String("worker-token", "", "shared secret pnmcs-worker processes must present at handshake (empty = accept any; loopback only)")
 	flag.Parse()
 
 	mgr, err := service.New(service.Config{
@@ -64,6 +65,7 @@ func main() {
 		Algo:         parallel.LastMinute,
 		Workers:      *workers,
 		WorkerListen: *workerListen,
+		WorkerToken:  *workerToken,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -212,19 +214,19 @@ func writeMetrics(w http.ResponseWriter, m service.Metrics) {
 	emit("pnmcs_pool_work_units_total", "counter", "metered rollout work units", m.Pool.WorkUnits)
 	emit("pnmcs_pool_queue_depth_max", "gauge", "peak scheduler ready-queue depth", m.Pool.QueueDepthMax)
 	emit("pnmcs_pool_queue_depth_mean", "gauge", "mean scheduler ready-queue depth", m.Pool.QueueDepthMean)
-	// Per-rank idle series only exist for co-resident workers; on a
-	// distributed pool they would all read zero (remote idle time stays in
-	// the worker process), which a dashboard cannot tell apart from a
-	// saturated pool — suppress them instead.
-	if m.Pool.Net == nil {
-		for i, d := range m.Pool.MedianIdle {
-			fmt.Fprintf(&b, "pnmcs_pool_median_idle_seconds{median=\"%d\"} %g\n", i, d.Seconds())
-		}
-		for i, d := range m.Pool.ClientIdle {
-			fmt.Fprintf(&b, "pnmcs_pool_client_idle_seconds{client=\"%d\"} %g\n", i, d.Seconds())
-		}
+	// Per-rank idle series: co-resident workers account directly, remote
+	// workers push theirs on every heartbeat pong and on the goodbye
+	// frame, so the series exist on every transport.
+	for i, d := range m.Pool.MedianIdle {
+		fmt.Fprintf(&b, "pnmcs_pool_median_idle_seconds{median=\"%d\"} %g\n", i, d.Seconds())
+	}
+	for i, d := range m.Pool.ClientIdle {
+		fmt.Fprintf(&b, "pnmcs_pool_client_idle_seconds{client=\"%d\"} %g\n", i, d.Seconds())
 	}
 	if n := m.Pool.Net; n != nil {
+		emit("pnmcs_worker_lost_total", "counter", "worker connections lost before teardown", m.Pool.WorkersLost)
+		emit("pnmcs_worker_rejoined_total", "counter", "replacement workers that reclaimed a lost slot", m.Pool.WorkersRejoined)
+		emit("pnmcs_worker_regranted_total", "counter", "candidate grants re-queued after worker loss", m.Pool.Regranted)
 		emit("pnmcs_net_workers", "gauge", "worker processes connected", n.Workers)
 		emit("pnmcs_net_frames_sent_total", "counter", "frames sent to workers", n.FramesSent)
 		emit("pnmcs_net_frames_recv_total", "counter", "frames received from workers", n.FramesRecv)

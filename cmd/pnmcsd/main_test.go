@@ -219,6 +219,9 @@ func TestMetricsTransportCounters(t *testing.T) {
 	writeMetrics(rec, service.Metrics{
 		Slots: 2,
 		Pool: parallel.PoolMetrics{
+			WorkersLost:     1,
+			WorkersRejoined: 1,
+			Regranted:       3,
 			Net: &mpi.NetStats{
 				FramesSent: 10, FramesRecv: 9,
 				BytesSent: 1200, BytesRecv: 900,
@@ -236,6 +239,9 @@ func TestMetricsTransportCounters(t *testing.T) {
 		"pnmcs_net_bytes_recv_total 900",
 		"pnmcs_net_encode_seconds_total 0.002",
 		"pnmcs_net_decode_seconds_total 0.001",
+		"pnmcs_worker_lost_total 1",
+		"pnmcs_worker_rejoined_total 1",
+		"pnmcs_worker_regranted_total 3",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("transport metrics missing %q:\n%s", want, body)
@@ -246,5 +252,8 @@ func TestMetricsTransportCounters(t *testing.T) {
 	writeMetrics(rec, service.Metrics{Slots: 2})
 	if strings.Contains(rec.Body.String(), "pnmcs_net_") {
 		t.Fatalf("in-process pool leaked transport metrics:\n%s", rec.Body.String())
+	}
+	if strings.Contains(rec.Body.String(), "pnmcs_worker_") {
+		t.Fatalf("in-process pool leaked worker-churn metrics:\n%s", rec.Body.String())
 	}
 }

@@ -3,10 +3,21 @@
 // pnmcs-worker processes on loopback TCP, the topology of the paper's MPI
 // cluster (server = coordinator, worker PCs = pnmcs-worker).
 //
-// It builds both binaries, wires the processes together, submits one job
-// per domain over the HTTP API, and verifies each distributed result is
-// bit-identical to the same JobSpec run solo in-process (parallel.RunWall
-// with the same seed) — score, move sequence, and rollout accounting.
+// It builds both binaries, wires the processes together (with handshake
+// authentication: every worker presents the shared -worker-token),
+// submits one job per domain over the HTTP API, and verifies each
+// distributed result is bit-identical to the same JobSpec run solo
+// in-process (parallel.RunWall with the same seed) — score, move
+// sequence, and rollout accounting.
+//
+// It then rehearses the failure model (DESIGN.md §8): another job is
+// submitted, one worker process is SIGKILLed mid-run, a replacement
+// worker dials in and reclaims the lost rank range, and the job must
+// still complete bit-identical to its solo twin — the coordinator
+// re-queues the dead worker's candidate grants and the surviving ranks
+// re-issue the lost rollouts, which /metrics must show
+// (pnmcs_worker_lost_total, pnmcs_worker_rejoined_total).
+//
 // The CI distributed-smoke job runs exactly this program:
 //
 //	go run ./examples/distributed
@@ -83,15 +94,18 @@ func main() {
 
 	// One coordinator expecting two workers. 2 slots / 2 medians / 4
 	// clients keeps the world small; determinism does not depend on it.
+	// The shared token exercises handshake authentication end-to-end.
+	const token = "smoke-secret"
 	daemon := start(*binDir, "pnmcsd",
 		"-addr", httpAddr, "-workers", "2", "-worker-listen", workerAddr,
+		"-worker-token", token,
 		"-slots", "2", "-medians", "2", "-clients", "4")
 	defer daemon.Process.Kill() //nolint:errcheck // beyond the graceful path below
 
 	waitHealthy()
 
-	w1 := start(*binDir, "pnmcs-worker", "-connect", workerAddr)
-	w2 := start(*binDir, "pnmcs-worker", "-connect", workerAddr)
+	w1 := start(*binDir, "pnmcs-worker", "-connect", workerAddr, "-worker-token", token)
+	w2 := start(*binDir, "pnmcs-worker", "-connect", workerAddr, "-worker-token", token)
 
 	// One job per domain: morpion plays a full level-2 game across the
 	// wire; the others are smaller boards. Seeds are arbitrary but fixed.
@@ -121,17 +135,67 @@ func main() {
 		}
 	}
 
+	// Chaos phase: SIGKILL worker 2 mid-job, dial a replacement in, and
+	// require the job to ride the churn out bit-identically.
+	chaosSpec := service.JobSpec{
+		Domain: "samegame", Width: 8, Height: 8, Colors: 3, BoardSeed: 9,
+		Level: 2, Seed: 13, Memorize: true,
+	}
+	chaosID := submit(chaosSpec)
+	log.Printf("chaos: submitted %s as %s", chaosSpec.Domain, chaosID)
+	awaitSteps(chaosID, 1)
+	if err := w2.Process.Kill(); err != nil { // SIGKILL: no drain, no goodbye
+		die("kill worker-2: %v", err)
+	}
+	log.Printf("chaos: worker-2 SIGKILLed mid-job; starting replacement")
+	w3 := start(*binDir, "pnmcs-worker", "-connect", workerAddr, "-worker-token", token)
+	st := await(chaosID)
+	if st.State != service.StateDone {
+		die("chaos job state %s (error %q)", st.State, st.Error)
+	}
+	verify(chaosSpec, st)
+	metrics = httpGet("/metrics")
+	for _, want := range []string{"pnmcs_worker_lost_total 1", "pnmcs_worker_rejoined_total 1"} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			die("/metrics missing %q after the kill", want)
+		}
+	}
+	w2.Wait() //nolint:errcheck // reap the SIGKILLed worker
+
 	// Graceful drain: SIGTERM the daemon; the workers exit by themselves
 	// once the coordinator tears the rank world down.
 	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
 		die("%v", err)
 	}
-	for name, p := range map[string]*exec.Cmd{"pnmcsd": daemon, "worker-1": w1, "worker-2": w2} {
+	for name, p := range map[string]*exec.Cmd{"pnmcsd": daemon, "worker-1": w1, "worker-3": w3} {
 		if err := waitFor(p, 30*time.Second); err != nil {
 			die("%s did not drain cleanly: %v", name, err)
 		}
 	}
-	fmt.Println("distributed smoke PASS: 3 domains bit-identical across 2 worker processes")
+	fmt.Println("distributed smoke PASS: 3 domains bit-identical across 2 worker processes, " +
+		"plus a SIGKILL mid-job survived with a bit-identical result")
+}
+
+// awaitSteps polls a job until it has played at least n root steps (so a
+// fault injected now lands mid-job, not before it).
+func awaitSteps(id string, n int) {
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		var st service.JobStatus
+		if err := json.Unmarshal(httpGet("/v1/jobs/"+id), &st); err != nil {
+			die("%v", err)
+		}
+		if st.Steps >= n {
+			return
+		}
+		if st.State.Terminal() {
+			die("%s finished before the fault could land (state %s)", id, st.State)
+		}
+		if time.Now().After(deadline) {
+			die("%s never reached %d steps", id, n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }
 
 // start launches a built binary with stdout/stderr piped through.

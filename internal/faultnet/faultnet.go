@@ -1,0 +1,256 @@
+// Package faultnet is the fault-injection harness behind the chaos test
+// layer: a controllable TCP proxy that sits between a dialing peer (a
+// pnmcs-worker) and its target (the pnmcsd coordinator) and can sever,
+// delay, or blackhole the stream on command.
+//
+// The chaos tests in internal/parallel and internal/mpi point a worker's
+// dial address at a Proxy instead of the coordinator and then inject the
+// failure mode under test:
+//
+//   - Sever: both legs of every proxied connection are closed — the
+//     TCP-visible crash (SIGKILL, reset). Each side's reader fails
+//     immediately, which is the loss signal mpi.NetCluster acts on.
+//   - Blackhole: bytes in both directions are silently discarded while
+//     both connections stay open — the pathological failure (partition,
+//     wedged NIC, frozen VM) that only a heartbeat timeout can detect.
+//   - Delay: every delivery is held for a fixed duration — cheap latency
+//     injection for shaking out ordering assumptions.
+//   - SeverAfter: the upstream leg is cut after N relayed bytes — frames
+//     and handshakes torn mid-message.
+//
+// A Proxy accepts any number of consecutive connections (a worker that
+// redials gets a fresh link through the same failure configuration), so
+// rolling-replacement scenarios drive loss and rejoin through one
+// address. FaultConn, the per-connection wrapper the proxy is built on,
+// is exported for tests that want to wrap a single net.Conn directly.
+package faultnet
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultConn wraps a net.Conn with switchable failure behavior. The zero
+// modes pass traffic through unchanged. Safe for concurrent use; mode
+// switches apply to in-flight operations at their next byte boundary.
+type FaultConn struct {
+	net.Conn
+
+	blackhole atomic.Bool
+	delayNs   atomic.Int64
+
+	// severAfter, when positive, counts down relayed Write bytes; the
+	// connection is severed once it reaches zero.
+	severAfter atomic.Int64
+	severArmed atomic.Bool
+
+	closeOnce sync.Once
+}
+
+// NewFaultConn wraps c.
+func NewFaultConn(c net.Conn) *FaultConn { return &FaultConn{Conn: c} }
+
+// Blackhole switches byte-discard mode: writes report success but deliver
+// nothing, reads consume and discard inbound bytes without returning
+// them, and the connection stays open — exactly the silence a heartbeat
+// timeout exists to catch.
+func (f *FaultConn) Blackhole(on bool) { f.blackhole.Store(on) }
+
+// SetDelay holds every read delivery for d. Zero disables.
+func (f *FaultConn) SetDelay(d time.Duration) { f.delayNs.Store(int64(d)) }
+
+// Sever closes the underlying connection; both endpoints observe a dead
+// stream. Idempotent.
+func (f *FaultConn) Sever() {
+	f.closeOnce.Do(func() { f.Conn.Close() }) //nolint:errcheck // severing
+}
+
+// SeverAfter arms a byte fuse: the connection is severed as soon as n
+// more bytes have been written through it. n <= 0 severs immediately.
+func (f *FaultConn) SeverAfter(n int64) {
+	f.severAfter.Store(n)
+	f.severArmed.Store(true)
+	if n <= 0 {
+		f.Sever()
+	}
+}
+
+// Read implements net.Conn. Blackholed reads consume the peer's bytes and
+// keep blocking, so the stream looks alive to TCP but silent to the
+// application.
+func (f *FaultConn) Read(p []byte) (int, error) {
+	for {
+		n, err := f.Conn.Read(p)
+		if err != nil {
+			return n, err
+		}
+		if d := time.Duration(f.delayNs.Load()); d > 0 {
+			time.Sleep(d)
+		}
+		if !f.blackhole.Load() {
+			return n, nil
+		}
+		// Discard and wait for more — or for the peer to give up.
+	}
+}
+
+// Write implements net.Conn.
+func (f *FaultConn) Write(p []byte) (int, error) {
+	if f.blackhole.Load() {
+		return len(p), nil // swallowed
+	}
+	if f.severArmed.Load() {
+		left := f.severAfter.Load()
+		if int64(len(p)) >= left {
+			// Deliver the fuse's worth, then cut.
+			n, _ := f.Conn.Write(p[:left])
+			f.Sever()
+			return n, io.ErrClosedPipe
+		}
+		f.severAfter.Add(int64(-len(p)))
+	}
+	return f.Conn.Write(p)
+}
+
+// Close implements net.Conn.
+func (f *FaultConn) Close() error {
+	f.closeOnce.Do(func() { f.Conn.Close() }) //nolint:errcheck // closing
+	return nil
+}
+
+// Proxy is a TCP relay whose links can be broken on command. All controls
+// apply to every current and future link.
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	mu      sync.Mutex
+	links   []*FaultConn // upstream legs of the live links
+	inbound []net.Conn   // matching downstream (accepted) conns
+	closed  bool
+
+	blackhole  bool
+	delay      time.Duration
+	severAfter int64 // pending byte fuse for the next link; -1 = none
+}
+
+// NewProxy starts a proxy listening on a loopback ephemeral port,
+// relaying every accepted connection to target.
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{target: target, ln: ln, severAfter: -1}
+	go p.accept()
+	return p, nil
+}
+
+// Addr returns the address peers dial instead of the target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *Proxy) accept() {
+	for {
+		in, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			in.Close() //nolint:errcheck // nothing to relay to
+			continue
+		}
+		f := NewFaultConn(up)
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			in.Close() //nolint:errcheck // shutting down
+			f.Sever()
+			continue
+		}
+		f.Blackhole(p.blackhole)
+		f.SetDelay(p.delay)
+		if p.severAfter >= 0 {
+			f.SeverAfter(p.severAfter)
+		}
+		p.links = append(p.links, f)
+		p.inbound = append(p.inbound, in)
+		p.mu.Unlock()
+
+		// Two pumps per link; when either leg dies, drag the other down so
+		// neither endpoint hangs on a half-open relay (unless blackholed —
+		// then FaultConn swallows traffic while both legs stay up).
+		go func() {
+			io.Copy(f, in) //nolint:errcheck // relay until error
+			f.Sever()
+			in.Close() //nolint:errcheck // teardown
+		}()
+		go func() {
+			io.Copy(in, f) //nolint:errcheck // relay until error
+			f.Sever()
+			in.Close() //nolint:errcheck // teardown
+		}()
+	}
+}
+
+// Sever cuts every live link: both endpoints observe a dead stream, like
+// a SIGKILLed process. New connections still relay (a replacement worker
+// can dial through the same proxy).
+func (p *Proxy) Sever() {
+	p.mu.Lock()
+	links := append([]*FaultConn(nil), p.links...)
+	inbound := append([]net.Conn(nil), p.inbound...)
+	p.links, p.inbound = nil, nil
+	p.mu.Unlock()
+	for _, f := range links {
+		f.Sever()
+	}
+	for _, in := range inbound {
+		in.Close() //nolint:errcheck // severing
+	}
+}
+
+// Blackhole silently discards traffic in both directions on every current
+// and future link while keeping the connections open.
+func (p *Proxy) Blackhole(on bool) {
+	p.mu.Lock()
+	p.blackhole = on
+	links := append([]*FaultConn(nil), p.links...)
+	p.mu.Unlock()
+	for _, f := range links {
+		f.Blackhole(on)
+	}
+}
+
+// SetDelay holds every delivery for d on current and future links.
+func (p *Proxy) SetDelay(d time.Duration) {
+	p.mu.Lock()
+	p.delay = d
+	links := append([]*FaultConn(nil), p.links...)
+	p.mu.Unlock()
+	for _, f := range links {
+		f.SetDelay(d)
+	}
+}
+
+// SeverAfter arms a byte fuse on the next accepted link (and every link
+// after it): the upstream leg is cut once n bytes have been relayed
+// toward the target — a handshake or frame torn mid-message. Negative
+// disarms.
+func (p *Proxy) SeverAfter(n int64) {
+	p.mu.Lock()
+	p.severAfter = n
+	p.mu.Unlock()
+}
+
+// Close stops accepting and severs everything.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.ln.Close() //nolint:errcheck // teardown
+	p.Sever()
+}

@@ -1,0 +1,151 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// startEcho runs a TCP echo server and returns its address.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() }) //nolint:errcheck // teardown
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(c, c) //nolint:errcheck // echo until error
+				c.Close()     //nolint:errcheck // teardown
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() }) //nolint:errcheck // teardown
+	return c
+}
+
+// roundTrip writes msg and expects it echoed back within the deadline.
+func roundTrip(t *testing.T, c net.Conn, msg string) error {
+	t.Helper()
+	if _, err := c.Write([]byte(msg)); err != nil {
+		return err
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck // test bound
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return err
+	}
+	if string(buf) != msg {
+		t.Fatalf("echoed %q, want %q", buf, msg)
+	}
+	return nil
+}
+
+func TestProxyRelaysAndSevers(t *testing.T) {
+	p, err := NewProxy(startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	if err := roundTrip(t, c, "hello"); err != nil {
+		t.Fatalf("relay: %v", err)
+	}
+
+	p.Sever()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck // test bound
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("severed link still delivered bytes")
+	}
+
+	// A fresh dial through the same proxy relays again (rolling
+	// replacement path).
+	c2 := dialProxy(t, p)
+	if err := roundTrip(t, c2, "again"); err != nil {
+		t.Fatalf("post-sever relay: %v", err)
+	}
+}
+
+func TestProxyBlackholeSilencesWithoutClosing(t *testing.T) {
+	p, err := NewProxy(startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	if err := roundTrip(t, c, "warm"); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Blackhole(true)
+	if _, err := c.Write([]byte("void")); err != nil {
+		t.Fatalf("blackholed write must look successful: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(150 * time.Millisecond)) //nolint:errcheck // expecting silence
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("blackholed link delivered bytes")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("blackholed link closed instead of staying silent: %v", err)
+	}
+
+	// Lifting the blackhole restores the link for NEW traffic (the
+	// swallowed bytes stay lost, like a real partition).
+	p.Blackhole(false)
+	if err := roundTrip(t, c, "back"); err != nil {
+		t.Fatalf("post-blackhole relay: %v", err)
+	}
+}
+
+func TestProxyDelayHoldsDelivery(t *testing.T) {
+	p, err := NewProxy(startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetDelay(120 * time.Millisecond)
+
+	c := dialProxy(t, p)
+	t0 := time.Now()
+	if err := roundTrip(t, c, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 100*time.Millisecond {
+		t.Fatalf("delayed round trip took only %v", d)
+	}
+}
+
+func TestProxySeverAfterCutsMidMessage(t *testing.T) {
+	p, err := NewProxy(startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SeverAfter(3)
+
+	c := dialProxy(t, p)
+	c.Write([]byte("0123456789"))                      //nolint:errcheck // fuse may trip mid-write
+	c.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck // test bound
+	buf := make([]byte, 10)
+	n, err := io.ReadFull(c, buf)
+	if err == nil || n > 3 {
+		t.Fatalf("fuse delivered %d bytes (err %v), want ≤3 then a dead stream", n, err)
+	}
+}

@@ -39,8 +39,12 @@ import (
 
 // Version is the wire protocol version stamped on every frame and offered
 // in the NetCluster handshake. Bump it on any incompatible change to the
-// frame layout or a payload encoding.
-const Version = 1
+// frame layout, the handshake layout, or a payload encoding.
+//
+// History: 1 = the original frame format; 2 = fault-tolerance wire
+// changes (token field in the worker hello, svcScore gained Step,
+// svcResult gained Key).
+const Version = 2
 
 // MaxFrame bounds the body length a reader will accept. A corrupt or
 // hostile length prefix must not make a worker allocate gigabytes; the

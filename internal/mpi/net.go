@@ -33,9 +33,21 @@ package mpi
 // addressed to a not-yet-connected worker queue at the coordinator and
 // flush on arrival, so a service can accept jobs before its workers have
 // joined (they wait in the scheduler's queues).
+//
+// Failure model (DESIGN.md §8): a worker's stream dying — read error on
+// either side, or a missed-heartbeat timeout on a blackholed connection —
+// is a worker loss. The coordinator fires OnWorkerLost (so the embedding
+// layer can re-queue the work the worker held), then reopens the slot: a
+// replacement process dialing in reclaims the same rank range and resumes
+// receiving frames, including everything queued for the slot while it was
+// down (rolling replacement). Liveness is probed with ping/pong control
+// frames; pong and goodbye frames carry worker telemetry (per-rank idle
+// counters) back to the coordinator. The hello may carry a shared-secret
+// token, compared in constant time at the coordinator.
 
 import (
 	"bufio"
+	"crypto/subtle"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -67,6 +79,7 @@ const (
 	hsOK         = 0
 	hsBadVersion = 1
 	hsNoSlot     = 2
+	hsBadToken   = 3
 )
 
 // ErrWorkerRejected is wrapped by DialWorker when the coordinator refuses
@@ -75,13 +88,35 @@ const (
 // succeed.
 var ErrWorkerRejected = fmt.Errorf("mpi: coordinator rejected worker")
 
-// ctrlRank is the To of control frames (worker goodbye); no real rank or
-// wildcard ever has this value.
+// ErrBadToken is wrapped by DialWorker when the coordinator refuses the
+// worker's shared-secret token. Permanent: the same credentials will be
+// refused on every retry.
+var ErrBadToken = fmt.Errorf("mpi: coordinator rejected worker token")
+
+// ctrlRank is the To of control frames (goodbye, ping, pong); no real
+// rank or wildcard ever has this value.
 const ctrlRank = -100
 
-// ctrlBye is the control tag a worker sends when all its rank bodies have
-// returned, so the coordinator's Run knows the worker drained cleanly.
-const ctrlBye = 0
+// Control tags, exchanged on frames addressed to ctrlRank.
+const (
+	// ctrlBye is sent by a worker when all its rank bodies have returned,
+	// so the coordinator's Run knows the worker drained cleanly. Its
+	// payload may carry the worker's telemetry (see ctrlPong).
+	ctrlBye Tag = 0
+	// ctrlPing is the coordinator's liveness probe. Any inbound frame
+	// counts as liveness; pings guarantee traffic (in both directions, via
+	// the pong) on an otherwise idle connection, so a blackholed stream is
+	// detected within the heartbeat timeout instead of never.
+	ctrlPing Tag = 1
+	// ctrlPong answers a ping. Its payload, when non-nil, is the worker's
+	// telemetry: cumulative Recv-idle seconds per hosted rank ([]float64,
+	// index i = rank lo+i), delivered to NetConfig.OnWorkerStats.
+	ctrlPong Tag = 2
+)
+
+// defaultHeartbeat is the ping interval when NetConfig.Heartbeat is zero;
+// the matching timeout default is 4× the effective interval (ListenNet).
+const defaultHeartbeat = 2 * time.Second
 
 // NetStats counts one endpoint's transport activity. All counters are
 // cumulative since the cluster was created; EncodeNs/DecodeNs meter the
@@ -230,6 +265,37 @@ type NetConfig struct {
 	// Blob is handed to every worker at handshake; the embedding layer
 	// uses it to reconstruct the worker-side configuration.
 	Blob []byte
+	// Token, when non-empty, is the shared secret every dialing worker
+	// must present in its hello. It is compared in constant time; a
+	// mismatch is answered with an explicit rejection status. An empty
+	// Token accepts any worker (the pre-auth behavior — loopback only).
+	Token string
+	// Heartbeat is the interval at which the coordinator pings each
+	// connected worker. Zero selects the default (2s); negative disables
+	// liveness probing (losses are then detected by read errors only).
+	Heartbeat time.Duration
+	// HeartbeatTimeout is the silence budget: a connected worker whose
+	// stream has carried no frame (data, pong or goodbye) for this long is
+	// declared lost and its connection closed. Zero selects 4×Heartbeat.
+	HeartbeatTimeout time.Duration
+
+	// OnWorkerLost, when non-nil, is called when a connected worker's
+	// stream dies before teardown (read error, reset, missed heartbeat, or
+	// a goodbye outside teardown). It runs on a transport goroutine,
+	// before the slot reopens for a replacement, so anything it sends into
+	// the rank world is ordered ahead of every frame from a rejoining
+	// worker. lo/hi is the rank range the worker hosted.
+	OnWorkerLost func(worker int, lo, hi Rank)
+	// OnWorkerJoined, when non-nil, is called after a worker completes its
+	// handshake and its queued frames have flushed. rejoin reports that
+	// the slot had been held (and lost) by an earlier connection — a
+	// rolling replacement rather than a first join.
+	OnWorkerJoined func(worker int, lo, hi Rank, rejoin bool)
+	// OnWorkerStats, when non-nil, receives worker telemetry piggybacked
+	// on pong and goodbye control frames: cumulative Recv-idle seconds per
+	// hosted rank (index i = rank lo+i). Values are cumulative for one
+	// connection's lifetime; a replacement worker restarts from zero.
+	OnWorkerStats func(worker int, lo Rank, idleSeconds []float64)
 }
 
 // NetCluster is the coordinator of a distributed rank world. It implements
@@ -249,10 +315,18 @@ type NetCluster struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	conns   []*netConn // per worker slot; nil until the handshake completes
-	claimed []bool     // slot reserved by an in-flight handshake
-	done    []bool     // worker sent bye or its connection died
-	pending [][][]byte // frames queued for a not-yet-connected worker
+	claimed []bool     // slot reserved by an in-flight handshake or live conn
+	done    []bool     // connection ended; reset when the slot reopens
+	served  []bool     // slot has completed a handshake at least once
+	pending [][][]byte // frames queued for a not-yet-(re)connected worker
 	closed  bool       // listener shut down, no more workers accepted
+
+	// lastSeen[i] is the unix-nano arrival time of worker i's latest
+	// frame, updated lock-free by the per-connection readers and consumed
+	// by the heartbeat monitor.
+	lastSeen []atomic.Int64
+	hbStop   chan struct{}
+	hbOnce   sync.Once
 
 	wg sync.WaitGroup
 }
@@ -278,22 +352,87 @@ func ListenNet(cfg NetConfig) (*NetCluster, error) {
 		return nil, err
 	}
 	c := &NetCluster{
-		cfg:     cfg,
-		ln:      ln,
-		start:   time.Now(),
-		local:   make([]*netComm, cfg.LocalRanks),
-		bounds:  bounds,
-		conns:   make([]*netConn, len(cfg.WorkerRanks)),
-		claimed: make([]bool, len(cfg.WorkerRanks)),
-		done:    make([]bool, len(cfg.WorkerRanks)),
-		pending: make([][][]byte, len(cfg.WorkerRanks)),
+		cfg:      cfg,
+		ln:       ln,
+		start:    time.Now(),
+		local:    make([]*netComm, cfg.LocalRanks),
+		bounds:   bounds,
+		conns:    make([]*netConn, len(cfg.WorkerRanks)),
+		claimed:  make([]bool, len(cfg.WorkerRanks)),
+		done:     make([]bool, len(cfg.WorkerRanks)),
+		served:   make([]bool, len(cfg.WorkerRanks)),
+		pending:  make([][][]byte, len(cfg.WorkerRanks)),
+		lastSeen: make([]atomic.Int64, len(cfg.WorkerRanks)),
+		hbStop:   make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	for r := range c.local {
 		c.local[r] = &netComm{w: c, rank: Rank(r), mb: newMailbox()}
 	}
 	go c.accept()
+	if interval := cfg.Heartbeat; interval >= 0 && len(cfg.WorkerRanks) > 0 {
+		if interval == 0 {
+			interval = defaultHeartbeat
+		}
+		timeout := cfg.HeartbeatTimeout
+		if timeout == 0 {
+			timeout = 4 * interval
+		}
+		go c.heartbeat(interval, timeout)
+	}
 	return c, nil
+}
+
+// heartbeat pings every connected worker each interval and severs any
+// connection silent for longer than timeout. Closing the stale connection
+// is enough: its reader fails and runs the shared loss path (workerGone),
+// so missed-heartbeat and read-error losses are handled identically.
+func (c *NetCluster) heartbeat(interval, timeout time.Duration) {
+	ping, err := c.counters.encodeFrame(ctrlRank, ctrlRank, ctrlPing, nil)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: unencodable ping frame: %v", err))
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now().UnixNano()
+		var live, stale []*netConn
+		c.mu.Lock()
+		for i, conn := range c.conns {
+			if conn == nil {
+				continue
+			}
+			if now-c.lastSeen[i].Load() > int64(timeout) {
+				stale = append(stale, conn)
+			} else {
+				live = append(live, conn)
+			}
+		}
+		c.mu.Unlock()
+		for _, conn := range stale {
+			conn.c.Close() //nolint:errcheck // reader runs the loss path
+		}
+		for _, conn := range live {
+			// Pings are written off the monitor goroutine: a frozen peer
+			// whose send buffer is full blocks writers on the connection's
+			// write mutex, and a blocked monitor could never reach the
+			// staleness check that closes exactly such connections. The
+			// blocked goroutines are bounded: the peer stays silent, so
+			// within the timeout the staleness close unblocks them all
+			// with write errors.
+			conn := conn
+			go func() {
+				if conn.write(ping) == nil {
+					c.counters.countSent(len(ping))
+				}
+			}()
+		}
+	}
 }
 
 // Addr returns the listener's address, for workers dialing an ephemeral
@@ -302,6 +441,20 @@ func (c *NetCluster) Addr() string { return c.ln.Addr().String() }
 
 // Size implements Cluster.
 func (c *NetCluster) Size() int { return int(c.bounds[len(c.bounds)-1]) }
+
+// Drain announces teardown ahead of Run's own closing: no new workers
+// are accepted and a connection ending from here on is a clean departure
+// (teardown accounting), never a loss. The embedding layer calls it
+// after draining its jobs, just before broadcasting shutdown into the
+// rank world — otherwise a fast worker's goodbye can race the local
+// bodies' unwind, be misread as a crash, fire the loss hooks into
+// already-exiting ranks and reopen the slot for a replacement that
+// would never learn about the shutdown.
+func (c *NetCluster) Drain() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+}
 
 // Stats snapshots the coordinator's transport counters.
 func (c *NetCluster) Stats() NetStats {
@@ -354,7 +507,10 @@ func (c *NetCluster) relayWorker(w int, body []byte) {
 	c.mu.Lock()
 	conn := c.conns[w]
 	if conn == nil {
-		if !c.done[w] {
+		// Not connected — never joined, or lost and awaiting a
+		// replacement: queue, so the frame reaches whichever process next
+		// claims the slot. Only teardown drops frames.
+		if !c.closed {
 			frame := make([]byte, 0, 4+len(body))
 			frame = binary.LittleEndian.AppendUint32(frame, uint32(len(body)))
 			c.pending[w] = append(c.pending[w], append(frame, body...))
@@ -371,12 +527,13 @@ func (c *NetCluster) relayWorker(w int, body []byte) {
 }
 
 // sendWorker ships an already-encoded frame to a worker slot — queued
-// while the worker has not connected, dropped once it is gone.
+// while the slot has no connection (not yet joined, or lost and awaiting
+// its replacement), dropped only once the cluster is tearing down.
 func (c *NetCluster) sendWorker(w int, frame []byte) {
 	c.mu.Lock()
 	conn := c.conns[w]
 	if conn == nil {
-		if !c.done[w] {
+		if !c.closed {
 			c.pending[w] = append(c.pending[w], frame)
 		}
 		c.mu.Unlock()
@@ -432,11 +589,12 @@ func (c *NetCluster) Run() time.Duration {
 	c.wg.Wait()
 
 	// Teardown: no new workers, then drain the connected ones. A worker
-	// that never connected keeps its pending queue unflushed and is not
-	// waited for.
+	// that never connected (or was lost and never replaced) keeps its
+	// pending queue unflushed and is not waited for.
 	c.mu.Lock()
 	c.closed = true
 	c.mu.Unlock()
+	c.hbOnce.Do(func() { close(c.hbStop) })
 	c.ln.Close() //nolint:errcheck // double-close on a dead listener is fine
 	c.mu.Lock()
 	for {
@@ -478,8 +636,9 @@ func (c *NetCluster) accept() {
 const handshakeTimeout = 10 * time.Second
 
 // handshake validates a dialing worker, assigns it the next free slot and
-// starts its reader. Version mismatches and over-subscription are answered
-// with an explicit rejection status before closing.
+// starts its reader. Version mismatches, token mismatches and
+// over-subscription are answered with an explicit rejection status before
+// closing.
 //
 // Ordering matters: the connection is published to route() only after the
 // welcome and every pending frame are on the wire, so the worker always
@@ -487,16 +646,33 @@ const handshakeTimeout = 10 * time.Second
 // — live frames can never overtake them (per-pair FIFO). A handshake that
 // fails mid-way releases its slot claim, so a retrying worker can join.
 func (c *NetCluster) handshake(conn net.Conn) {
-	conn.SetReadDeadline(time.Now().Add(handshakeTimeout)) //nolint:errcheck // enforced by the read below
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout)) //nolint:errcheck // enforced by the reads below
 	hello := make([]byte, len(helloMagic)+1)
 	if _, err := io.ReadFull(conn, hello); err != nil || string(hello[:len(helloMagic)]) != helloMagic {
 		conn.Close() //nolint:errcheck // not a worker
 		return
 	}
-	conn.SetReadDeadline(time.Time{}) //nolint:errcheck // frames may arrive much later
+	// Version gates the rest of the hello's layout: answer a mismatch
+	// before trying to parse a token field a foreign version may not send.
 	if hello[len(helloMagic)] != codec.Version {
 		conn.Write([]byte{hsBadVersion, codec.Version}) //nolint:errcheck // closing anyway
 		conn.Close()                                    //nolint:errcheck
+		return
+	}
+	var toklen [1]byte
+	if _, err := io.ReadFull(conn, toklen[:]); err != nil {
+		conn.Close() //nolint:errcheck // hello torn mid-frame
+		return
+	}
+	token := make([]byte, toklen[0])
+	if _, err := io.ReadFull(conn, token); err != nil {
+		conn.Close() //nolint:errcheck // hello torn mid-frame
+		return
+	}
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck // frames may arrive much later
+	if !tokenOK(c.cfg.Token, token) {
+		conn.Write([]byte{hsBadToken, codec.Version}) //nolint:errcheck // closing anyway
+		conn.Close()                                  //nolint:errcheck
 		return
 	}
 
@@ -517,6 +693,7 @@ func (c *NetCluster) handshake(conn net.Conn) {
 		return
 	}
 	c.claimed[slot] = true
+	rejoin := c.served[slot]
 	lo, hi := c.bounds[slot], c.bounds[slot+1]
 	c.mu.Unlock()
 
@@ -563,6 +740,8 @@ func (c *NetCluster) handshake(conn net.Conn) {
 				return
 			}
 			c.conns[slot] = nc
+			c.served[slot] = true
+			c.lastSeen[slot].Store(time.Now().UnixNano())
 			c.mu.Unlock()
 			break
 		}
@@ -575,13 +754,33 @@ func (c *NetCluster) handshake(conn net.Conn) {
 			c.counters.countSent(len(frame))
 		}
 	}
+	if c.cfg.OnWorkerJoined != nil {
+		c.cfg.OnWorkerJoined(slot, lo, hi, rejoin)
+	}
 	go c.read(slot, nc)
 }
 
+// tokenOK compares a presented worker token against the configured shared
+// secret in constant time. An empty configured token accepts anything.
+func tokenOK(want string, got []byte) bool {
+	if want == "" {
+		return true
+	}
+	if len(got) != len(want) {
+		// Burn a comparison of the same width anyway so a length mismatch
+		// costs what a content mismatch costs.
+		subtle.ConstantTimeCompare([]byte(want), []byte(want))
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(want), got) == 1
+}
+
 // read pumps one worker's inbound frames: local delivery, hub forwarding
-// to other workers, and the goodbye control frame. A read error (worker
-// crash, connection reset) releases the slot like a goodbye so Run can
-// finish.
+// to other workers, and the control frames (goodbye, pong). A read error
+// (worker crash, connection reset, heartbeat-triggered close) runs the
+// loss path: Run stops waiting for the worker during teardown, and before
+// teardown the slot reopens for a rolling replacement after OnWorkerLost
+// has fired.
 //
 // Only frames for coordinator-hosted ranks are decoded; worker-to-worker
 // frames are relayed verbatim from the envelope peek — the hub never
@@ -593,17 +792,22 @@ func (c *NetCluster) read(slot int, nc *netConn) {
 	for {
 		body, err := c.counters.readBody(r)
 		if err != nil {
-			c.workerGone(slot)
+			c.workerGone(slot, nc)
 			return
 		}
+		c.lastSeen[slot].Store(time.Now().UnixNano())
 		from, to, tag, ok := codec.PeekEnvelope(body)
 		if !ok {
 			continue // truncated header or foreign version
 		}
 		if to == ctrlRank {
-			if tag == ctrlBye {
-				c.workerGone(slot)
+			switch Tag(tag) {
+			case ctrlBye:
+				c.workerTelemetry(slot, body)
+				c.workerGone(slot, nc)
 				return
+			case ctrlPong:
+				c.workerTelemetry(slot, body)
 			}
 			continue
 		}
@@ -630,12 +834,59 @@ func (c *NetCluster) read(slot int, nc *netConn) {
 	}
 }
 
-// workerGone marks a worker slot finished and wakes Run.
-func (c *NetCluster) workerGone(slot int) {
+// workerTelemetry decodes the idle counters piggybacked on a pong or
+// goodbye frame and hands them to the embedding layer.
+func (c *NetCluster) workerTelemetry(slot int, body []byte) {
+	if c.cfg.OnWorkerStats == nil {
+		return
+	}
+	f, err := c.counters.decodeBody(body)
+	if err != nil {
+		return // malformed control payload: drop
+	}
+	idle, ok := f.Payload.([]float64)
+	if !ok || len(idle) == 0 {
+		return
+	}
+	lo, hi := c.bounds[slot], c.bounds[slot+1]
+	if len(idle) > int(hi-lo) {
+		idle = idle[:hi-lo]
+	}
+	c.cfg.OnWorkerStats(slot, lo, idle)
+}
+
+// workerGone handles one worker connection ending, by goodbye or by
+// stream death. During teardown the slot is marked drained so Run can
+// finish; before teardown this is a worker loss: OnWorkerLost fires
+// first, and only then does the slot reopen for a replacement — so
+// everything the loss hook sends into the rank world is ordered ahead of
+// any frame from a rejoining worker, and frames routed to the slot in the
+// meantime queue in its pending list.
+func (c *NetCluster) workerGone(slot int, nc *netConn) {
+	nc.c.Close() //nolint:errcheck // may already be closed
 	c.mu.Lock()
+	if c.conns[slot] != nc {
+		// A stale notification for a connection this slot no longer owns.
+		c.mu.Unlock()
+		return
+	}
+	c.conns[slot] = nil
 	c.done[slot] = true
+	closed := c.closed
 	c.mu.Unlock()
 	c.cond.Broadcast()
+	if closed {
+		return
+	}
+	if c.cfg.OnWorkerLost != nil {
+		c.cfg.OnWorkerLost(slot, c.bounds[slot], c.bounds[slot+1])
+	}
+	c.mu.Lock()
+	if !c.closed {
+		c.done[slot] = false
+		c.claimed[slot] = false
+	}
+	c.mu.Unlock()
 }
 
 var _ Cluster = (*NetCluster)(nil)
@@ -654,14 +905,23 @@ type NetWorker struct {
 
 	counters netCounters
 
+	// telemetry, when set (before Run), samples the worker's cumulative
+	// per-rank idle seconds; the snapshot rides pong and goodbye frames.
+	telemetry func() []float64
+
 	readerErr chan error
 	bodiesRun sync.WaitGroup
 }
 
-// DialWorker connects to a coordinator, performs the handshake and
-// returns the worker's endpoint. The caller inspects RankRange and Blob
-// to construct the rank bodies, Starts them, and calls Run.
-func DialWorker(addr string) (*NetWorker, error) {
+// DialWorker connects to a coordinator, performs the handshake —
+// presenting the shared-secret token, which may be empty when the
+// coordinator does not require one — and returns the worker's endpoint.
+// The caller inspects RankRange and Blob to construct the rank bodies,
+// Starts them, and calls Run.
+func DialWorker(addr, token string) (*NetWorker, error) {
+	if len(token) > 255 {
+		return nil, fmt.Errorf("mpi: worker token of %d bytes exceeds 255", len(token))
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -670,7 +930,8 @@ func DialWorker(addr string) (*NetWorker, error) {
 	// bogus coordinator must not hang the worker. Cleared before frame
 	// traffic starts.
 	conn.SetReadDeadline(time.Now().Add(handshakeTimeout)) //nolint:errcheck // enforced by the reads below
-	hello := append([]byte(helloMagic), codec.Version)
+	hello := append([]byte(helloMagic), codec.Version, byte(len(token)))
+	hello = append(hello, token...)
 	if _, err := conn.Write(hello); err != nil {
 		conn.Close() //nolint:errcheck
 		return nil, err
@@ -686,6 +947,9 @@ func DialWorker(addr string) (*NetWorker, error) {
 		conn.Close() //nolint:errcheck
 		return nil, fmt.Errorf("%w: coordinator speaks %d, this worker %d",
 			codec.ErrVersion, head[1], codec.Version)
+	case hsBadToken:
+		conn.Close() //nolint:errcheck
+		return nil, fmt.Errorf("%w: shared secret mismatch", ErrBadToken)
 	default:
 		conn.Close() //nolint:errcheck
 		return nil, fmt.Errorf("%w (status %d): no free worker slot", ErrWorkerRejected, head[0])
@@ -737,6 +1001,31 @@ func (w *NetWorker) Close() error { return w.conn.c.Close() }
 
 // Blob returns the coordinator's opaque configuration blob.
 func (w *NetWorker) Blob() []byte { return w.blob }
+
+// SetTelemetry installs the sampler whose snapshot — cumulative Recv-idle
+// seconds per hosted rank, index i = rank lo+i — is piggybacked on every
+// pong and on the goodbye frame. Must be called before Run; the sampler
+// is invoked from transport goroutines and must be safe for concurrent
+// use.
+func (w *NetWorker) SetTelemetry(sample func() []float64) { w.telemetry = sample }
+
+// sendCtrl ships a control frame (pong, goodbye) carrying the current
+// telemetry snapshot, when a sampler is installed.
+func (w *NetWorker) sendCtrl(tag Tag) {
+	var payload any
+	if w.telemetry != nil {
+		if idle := w.telemetry(); len(idle) > 0 {
+			payload = idle
+		}
+	}
+	frame, err := w.counters.encodeFrame(w.lo, ctrlRank, tag, payload)
+	if err != nil {
+		return // unencodable telemetry: drop the control frame, not the conn
+	}
+	if w.conn.write(frame) == nil {
+		w.counters.countSent(len(frame))
+	}
+}
 
 // Stats snapshots the worker's transport counters.
 func (w *NetWorker) Stats() NetStats { return w.counters.snapshot() }
@@ -808,11 +1097,10 @@ func (w *NetWorker) Run() time.Duration {
 	}()
 	select {
 	case <-bodiesDone:
-		if bye, err := w.counters.encodeFrame(w.lo, ctrlRank, ctrlBye, nil); err == nil {
-			if w.conn.write(bye) == nil {
-				w.counters.countSent(len(bye))
-			}
-		}
+		// The goodbye carries the final telemetry snapshot, so the
+		// coordinator's metrics see the worker's complete idle accounting
+		// even if the last pong predates the drain.
+		w.sendCtrl(ctrlBye)
 	case <-w.readerErr:
 		// Coordinator gone: nothing left to say goodbye to.
 	}
@@ -836,9 +1124,15 @@ func (w *NetWorker) read() {
 			}
 			return
 		}
-		_, to32, _, ok := codec.PeekEnvelope(body)
+		_, to32, tag32, ok := codec.PeekEnvelope(body)
 		if !ok {
 			continue // truncated header or foreign version
+		}
+		if to32 == ctrlRank {
+			if Tag(tag32) == ctrlPing {
+				w.sendCtrl(ctrlPong)
+			}
+			continue
 		}
 		to := Rank(to32)
 		if to < w.lo || to >= w.hi {

@@ -18,7 +18,7 @@ import (
 // assigned ranks on a background goroutine.
 func startWorker(t *testing.T, addr string, body func(Comm), wg *sync.WaitGroup) *NetWorker {
 	t.Helper()
-	w, err := DialWorker(addr)
+	w, err := DialWorker(addr, "")
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}
@@ -223,7 +223,7 @@ func TestNetHandshakeVersionReject(t *testing.T) {
 	conn.Close()
 
 	// A well-versioned worker still gets the slot afterwards.
-	w, err := DialWorker(nc.Addr())
+	w, err := DialWorker(nc.Addr(), "")
 	if err != nil {
 		t.Fatalf("good dial after bad: %v", err)
 	}
@@ -259,12 +259,12 @@ func TestNetWorkerNoSlot(t *testing.T) {
 	nc.Start(0, func(c Comm) { <-stop })
 	defer close(stop)
 
-	w, err := DialWorker(nc.Addr())
+	w, err := DialWorker(nc.Addr(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer w.conn.c.Close()
-	if _, err := DialWorker(nc.Addr()); err == nil {
+	if _, err := DialWorker(nc.Addr(), ""); err == nil {
 		t.Fatal("third worker accepted into a one-worker world")
 	} else if errors.Is(err, codec.ErrVersion) {
 		t.Fatalf("wrong rejection: %v", err)

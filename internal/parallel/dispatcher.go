@@ -101,8 +101,56 @@ func runLastMinuteDispatcher(c mpi.Comm, lay cluster.Layout, cfg *Config) {
 // either longest-expected-job-first (the paper's §IV-B heuristic, see
 // runLastMinuteDispatcher) or in arrival order.
 func runDemandDispatcher(c mpi.Comm, lay cluster.Layout, cfg *Config, longestFirst bool) {
+	runDispatcherLoop(c, lay, cfg, longestFirst, false)
+}
+
+// runFaultAwareDispatcher is the pool's form of the demand dispatcher: it
+// additionally tracks which median each busy client is assigned to, so a
+// worker-loss notice (tagRanksLost) can return stranded clients to the
+// free list — clients whose assign or job frame died with a median, and
+// clients that died with their worker and whose replacement (same rank)
+// boots free. The per-run protocol never sees losses and skips the
+// bookkeeping entirely, so its hot path is untouched.
+func runFaultAwareDispatcher(c mpi.Comm, lay cluster.Layout, cfg *Config, longestFirst bool) {
+	runDispatcherLoop(c, lay, cfg, longestFirst, true)
+}
+
+func runDispatcherLoop(c mpi.Comm, lay cluster.Layout, cfg *Config, longestFirst, faultAware bool) {
 	free := append([]mpi.Rank(nil), lay.Clients...) // line 1
 	var jobs []lmJob                                // line 2
+	var assigned map[mpi.Rank]mpi.Rank              // busy client -> median it serves
+	if faultAware {
+		assigned = make(map[mpi.Rank]mpi.Rank, len(lay.Clients))
+	}
+	// assign hands the first free client to a median, recording the pair.
+	assign := func(to mpi.Rank) {
+		client := free[0]
+		free = free[1:]
+		if faultAware {
+			assigned[client] = to
+		}
+		cfg.trace("b", c.Rank(), to, c.Now())
+		c.Send(to, tagAssign, client)
+	}
+	// serve matches a newly available client against the pending queue:
+	// longest-expected-job-first or arrival order.
+	serve := func() {
+		if len(jobs) == 0 || len(free) == 0 {
+			return
+		}
+		best := 0
+		if longestFirst {
+			for i := 1; i < len(jobs); i++ {
+				if jobs[i].moves < jobs[best].moves {
+					best = i
+				}
+			}
+		}
+		j := jobs[best]
+		jobs = append(jobs[:best], jobs[best+1:]...)
+		assign(j.sender)
+	}
+
 	for {
 		msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
 		switch msg.Tag {
@@ -120,31 +168,16 @@ func runDemandDispatcher(c mpi.Comm, lay cluster.Layout, cfg *Config, longestFir
 			// free list, and never twice — a duplicated entry would let
 			// the dispatcher assign one client two concurrent jobs while
 			// others idle. Legit traffic never trips either check; wire
-			// frames are remote-controlled and might.
+			// frames are remote-controlled and might (and after worker
+			// churn a preemptively re-freed client's own notice does).
 			if !slices.Contains(lay.Clients, msg.From) || slices.Contains(free, msg.From) {
 				break
 			}
-			free = append(free, msg.From)
-			if len(jobs) > 0 {
-				// Find the job with the smallest number of moves played:
-				// the longest expected remaining computation. FIFO order
-				// (LMFifo ablation, or pull-mode Round-Robin) serves jobs
-				// in arrival order instead.
-				best := 0
-				if longestFirst {
-					for i := 1; i < len(jobs); i++ {
-						if jobs[i].moves < jobs[best].moves {
-							best = i
-						}
-					}
-				}
-				j := jobs[best]
-				jobs = append(jobs[:best], jobs[best+1:]...)
-				client := free[0]
-				free = free[1:]
-				cfg.trace("b", c.Rank(), j.sender, c.Now())
-				c.Send(j.sender, tagAssign, client)
+			if faultAware {
+				delete(assigned, msg.From)
 			}
+			free = append(free, msg.From)
+			serve()
 
 		case tagRequest: // lines 12–15: a median wants a client
 			// Only medians request clients; a forged request would burn a
@@ -163,10 +196,46 @@ func runDemandDispatcher(c mpi.Comm, lay cluster.Layout, cfg *Config, longestFir
 				jobs = append(jobs, lmJob{sender: msg.From, moves: moves})
 				break
 			}
-			client := free[0]
-			free = free[1:]
-			cfg.trace("b", c.Rank(), msg.From, c.Now())
-			c.Send(msg.From, tagAssign, client)
+			assign(msg.From)
+
+		case tagRanksLost:
+			// A worker died. Requests from its medians will never be
+			// consumed (the replacement re-requests for itself), and
+			// clients tied up by the lost ranks would otherwise be
+			// reserved forever: a client assigned to a dead median got a
+			// job that will never be collected, and a dead client's
+			// replacement boots idle without knowing it owes a job. Both
+			// are returned to the free list; if the obligation does
+			// survive (the job reached a live client, or was queued for
+			// the slot and flushes to the replacement), the eventual
+			// free notice from the client is shed by the duplicate guard
+			// above, and extra jobs queue at the client's mailbox — load
+			// skew for a moment, never corruption.
+			lost, ok := msg.Payload.(svcRanksLost)
+			if !ok || msg.From != mpi.External || !faultAware {
+				break // forged wire frame: only the pool declares losses
+			}
+			kept := jobs[:0]
+			for _, j := range jobs {
+				if j.sender < lost.Lo || j.sender >= lost.Hi {
+					kept = append(kept, j)
+				}
+			}
+			jobs = kept
+			for client, median := range assigned {
+				dead := client >= lost.Lo && client < lost.Hi
+				orphaned := median >= lost.Lo && median < lost.Hi
+				if !dead && !orphaned {
+					continue
+				}
+				delete(assigned, client)
+				if !slices.Contains(free, client) {
+					free = append(free, client)
+				}
+			}
+			for len(jobs) > 0 && len(free) > 0 {
+				serve()
+			}
 		}
 	}
 }

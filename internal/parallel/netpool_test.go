@@ -30,7 +30,7 @@ func startNetWorkers(t *testing.T, addr string, n int) func() {
 	t.Helper()
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		w, err := mpi.DialWorker(addr)
+		w, err := mpi.DialWorker(addr, "")
 		if err != nil {
 			t.Fatalf("worker %d dial: %v", i, err)
 		}

@@ -264,6 +264,11 @@ type Result struct {
 	Steps int
 	// Stopped is true when Config.StopAfter cancelled the game early.
 	Stopped bool
+	// Regranted counts candidate grants this job lost to worker crashes
+	// and had re-queued (distributed pools only; see PoolMetrics). The
+	// churn costs compute, never correctness: Score, Sequence, Jobs and
+	// WorkUnits are unaffected.
+	Regranted int64
 	// QueueDepthMax / QueueDepthMean profile the pull scheduler's ready
 	// queue (candidates offered but not yet granted), sampled at every
 	// offer/request transition. Zero under the static scheduler.

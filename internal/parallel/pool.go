@@ -46,7 +46,9 @@ package parallel
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -66,6 +68,8 @@ const (
 	tagGrant                          // scheduler -> median: candidate to play
 	tagStepScore                      // median -> slot: finished game score
 	tagAbandonAck                     // scheduler -> slot: dropped-candidate count
+	tagRanksLost                      // External -> scheduler/dispatcher/median: worker ranks died
+	tagRegrant                        // scheduler -> slot: lost candidates re-queued
 )
 
 // Per-slot tag-band offsets (see mpi.TagSpace): the scheduler tells jobs
@@ -112,13 +116,19 @@ type svcJob struct {
 }
 
 // svcScore is the median→slot result: the final score of the Cand-th
-// candidate of the job's current root step, plus the rollout accounting
-// of the candidate's whole level-(ℓ−1) game. Rollout counts ride the
-// protocol instead of a shared-memory collector so they survive process
+// candidate of the root step Step, plus the rollout accounting of the
+// candidate's whole level-(ℓ−1) game. Rollout counts ride the protocol
+// instead of a shared-memory collector so they survive process
 // boundaries: on the net transport the median that played the game lives
-// in another OS process.
+// in another OS process. Step exists for worker churn: when a lost
+// median's score turns out to have survived the crash, the re-granted
+// duplicate finishes during some later root step, and without the step
+// echo its score — Epoch valid, Cand in range — would be accepted as that
+// later step's answer. Undisturbed runs never produce a cross-step score;
+// churn does.
 type svcScore struct {
 	Epoch    uint64
+	Step     int
 	Cand     int
 	Score    float64
 	Rollouts int64 // client rollouts executed for this candidate's game
@@ -127,10 +137,48 @@ type svcScore struct {
 
 // svcResult is the client→median rollout result: the score of the Seq-th
 // candidate of the median's current step and the rollout's metered work.
+// Key is the job's identity echo (resultKey: the rng key folded with the
+// owning job's slot and epoch) — the median uses it to reject stale
+// results: under worker churn a lost job may be both re-issued and (via
+// the rejoin pending-queue flush) computed by the dead client's
+// replacement, and the duplicate — or a result surviving from an earlier
+// step, or from another job at the same logical coordinates — must never
+// be mistaken for a live one.
 type svcResult struct {
+	Key   uint64
 	Seq   int
 	Score float64
 	Units int64
+}
+
+// resultKey folds a rollout's rng key with its job's identity. The rng
+// key alone is unique only within one job's coordinate grid (step,
+// candidate, median step, median candidate); folding slot and epoch in
+// distinguishes same-coordinate rollouts of different jobs. Computed
+// independently by the issuing median and the executing client, so it
+// never needs to travel in svcJob.
+func resultKey(p jobParams, rngKey uint64) uint64 {
+	return rng.Fold(uint64(p.Slot), p.Epoch, rngKey)
+}
+
+// svcRanksLost is the worker-loss notice the pool injects at the
+// scheduler, the dispatcher and every median when a worker process dies:
+// the contiguous rank range [Lo, Hi) the worker hosted. Each recipient
+// repairs its own bookkeeping — the scheduler re-queues the medians'
+// outstanding candidate grants, the dispatcher re-frees dead or
+// dead-assigned clients, and each median re-issues rollout jobs it had in
+// flight on dead clients.
+type svcRanksLost struct {
+	Lo, Hi mpi.Rank
+}
+
+// svcRegrant is the scheduler→slot notice that Count of the job's granted
+// candidates were lost with a worker and re-queued; the slot accumulates
+// it into Result.Regranted. Informational only: the re-granted candidates
+// re-enter the normal grant/score flow and change no score.
+type svcRegrant struct {
+	Epoch uint64
+	Count int
 }
 
 // svcAbandonAck is the scheduler→slot answer to an abandon: how many of
@@ -204,6 +252,16 @@ type PoolMetrics struct {
 	// at every offer/request transition.
 	QueueDepthMax  int
 	QueueDepthMean float64
+	// WorkersLost / WorkersRejoined count worker-process churn on a
+	// distributed pool: connections lost before teardown (crash, reset,
+	// missed heartbeat) and replacements that reclaimed a lost slot.
+	WorkersLost     int64
+	WorkersRejoined int64
+	// Regranted counts candidate grants that were outstanding on a lost
+	// worker and re-queued for another median. Re-granted work never
+	// changes a score (rollout streams are keyed by logical coordinates);
+	// this meters how much compute churn cost.
+	Regranted int64
 	// Net carries the transport counters of a distributed pool
 	// (frames/bytes sent and received, codec nanoseconds); nil when the
 	// pool runs in-process on a WallCluster.
@@ -225,6 +283,18 @@ type poolCollector struct {
 	depthSamples int64
 	depthSum     int64
 	depthMax     int
+
+	// Worker-churn accounting (distributed pools only).
+	workersLost     int64
+	workersRejoined int64
+	regranted       int64
+
+	// Remote workers push cumulative idle counters with every pong and
+	// goodbye (piggybacked telemetry); each connection reports from zero,
+	// so on a loss the connection's last report folds into the base and
+	// the exported series stays monotonic across replacements.
+	remoteMedianBase, remoteMedianCur []time.Duration
+	remoteClientBase, remoteClientCur []time.Duration
 }
 
 func (co *poolCollector) addRollouts(jobs, units int64) {
@@ -252,6 +322,62 @@ func (co *poolCollector) sampleDepth(d int) {
 	co.depthSum += int64(d)
 	if d > co.depthMax {
 		co.depthMax = d
+	}
+	co.mu.Unlock()
+}
+
+func (co *poolCollector) addWorkerLost() {
+	co.mu.Lock()
+	co.workersLost++
+	co.mu.Unlock()
+}
+
+func (co *poolCollector) addWorkerRejoined() {
+	co.mu.Lock()
+	co.workersRejoined++
+	co.mu.Unlock()
+}
+
+func (co *poolCollector) addRegranted(n int) {
+	co.mu.Lock()
+	co.regranted += int64(n)
+	co.mu.Unlock()
+}
+
+// setRemoteIdle records one worker's telemetry snapshot: cumulative idle
+// per hosted rank since that worker connected. w maps ranks onto
+// median/client indexes.
+func (co *poolCollector) setRemoteIdle(w *poolWorld, lo mpi.Rank, idleSeconds []float64) {
+	co.mu.Lock()
+	for i, sec := range idleSeconds {
+		r := lo + mpi.Rank(i)
+		d := time.Duration(sec * float64(time.Second))
+		switch {
+		case isMedianRank(w, r):
+			co.remoteMedianCur[r-w.firstWorker()] = d
+		case isClientRank(w, r):
+			co.remoteClientCur[int(r-w.firstWorker())-w.cfg.Medians] = d
+		}
+	}
+	co.mu.Unlock()
+}
+
+// foldRemoteIdle retires a lost worker's connection: its last-reported
+// idle folds into the base so the replacement's from-zero reports don't
+// rewind the exported counters.
+func (co *poolCollector) foldRemoteIdle(w *poolWorld, lo, hi mpi.Rank) {
+	co.mu.Lock()
+	for r := lo; r < hi; r++ {
+		switch {
+		case isMedianRank(w, r):
+			i := r - w.firstWorker()
+			co.remoteMedianBase[i] += co.remoteMedianCur[i]
+			co.remoteMedianCur[i] = 0
+		case isClientRank(w, r):
+			i := int(r-w.firstWorker()) - w.cfg.Medians
+			co.remoteClientBase[i] += co.remoteClientCur[i]
+			co.remoteClientCur[i] = 0
+		}
 	}
 	co.mu.Unlock()
 }
@@ -352,7 +478,7 @@ var ErrPoolClosed = fmt.Errorf("parallel: pool is shut down")
 func NewPool(cfg PoolConfig) (*Pool, error) {
 	cfg = cfg.withDefaults()
 	world := newPoolWorld(cfg)
-	return newPoolOn(world, mpi.NewWallCluster(world.size()), nil)
+	return newPoolOn(world, mpi.NewWallCluster(world.size()), nil, newPoolCollector(cfg))
 }
 
 // NetPoolConfig describes the distributed deployment of a NewNetPool.
@@ -364,6 +490,16 @@ type NetPoolConfig struct {
 	// pool's medians and clients are split across them as contiguous rank
 	// ranges, as evenly as possible.
 	Workers int
+	// Token, when non-empty, is the shared secret every worker must
+	// present at handshake (constant-time compared by the coordinator).
+	Token string
+	// Heartbeat / HeartbeatTimeout tune worker liveness probing: the
+	// coordinator pings each worker every Heartbeat and declares a worker
+	// lost after HeartbeatTimeout of silence. Zero selects the transport
+	// defaults (2s / 8s); negative Heartbeat disables probing (losses are
+	// then detected by read errors only). See mpi.NetConfig.
+	Heartbeat        time.Duration
+	HeartbeatTimeout time.Duration
 }
 
 // NewNetPool builds a distributed pool: the control ranks — job slots,
@@ -375,11 +511,17 @@ type NetPoolConfig struct {
 // in-process pool or solo RunWall: rollout streams are keyed by logical
 // job coordinates, never by where a rollout runs.
 //
-// Fault tolerance limitation (see DESIGN.md §7 and the ROADMAP): a
-// worker process that dies mid-job strands the candidates granted to its
-// medians — the owning job, and therefore Shutdown's drain, block until
-// the work is re-granted, which this version does not do. Workers are
-// expected to outlive the coordinator's drain.
+// The pool survives worker churn (DESIGN.md §8): when a worker's stream
+// dies — crash, reset, or missed heartbeat — the candidates granted to
+// its medians are re-queued at the head of their jobs' queues and
+// re-granted to surviving medians, medians re-issue rollout jobs they had
+// in flight on the dead worker's clients, and the dispatcher returns the
+// stranded clients to its free list. A replacement worker dialing in
+// reclaims the lost slot's rank range mid-job and starts serving
+// immediately, receiving everything queued for the slot while it was
+// down. Results stay bit-identical through all of it: re-executed work
+// replays the same coordinate-keyed rollout streams and duplicates are
+// shed by key/epoch guards at every consumer.
 func NewNetPool(cfg PoolConfig, net NetPoolConfig) (*Pool, error) {
 	cfg = cfg.withDefaults()
 	if net.Workers < 1 {
@@ -397,33 +539,86 @@ func NewNetPool(cfg PoolConfig, net NetPoolConfig) (*Pool, error) {
 			ranks[i]++
 		}
 	}
+	coll := newPoolCollector(cfg)
+
+	// The transport hooks fire from the coordinator's connection
+	// goroutines, potentially before ListenNet has returned the cluster;
+	// they spin on the pointer for that (microsecond) window so no loss or
+	// join event is ever dropped.
+	var ncp atomic.Pointer[mpi.NetCluster]
+	cluster := func() *mpi.NetCluster {
+		for {
+			if nc := ncp.Load(); nc != nil {
+				return nc
+			}
+			runtime.Gosched()
+		}
+	}
 	nc, err := mpi.ListenNet(mpi.NetConfig{
-		Listen:      net.Listen,
-		LocalRanks:  cfg.Slots + 2,
-		WorkerRanks: ranks,
-		Blob:        appendWorkerBlob(nil, cfg),
+		Listen:           net.Listen,
+		LocalRanks:       cfg.Slots + 2,
+		WorkerRanks:      ranks,
+		Blob:             appendWorkerBlob(nil, cfg),
+		Token:            net.Token,
+		Heartbeat:        net.Heartbeat,
+		HeartbeatTimeout: net.HeartbeatTimeout,
+		OnWorkerLost: func(_ int, lo, hi mpi.Rank) {
+			coll.addWorkerLost()
+			coll.foldRemoteIdle(world, lo, hi)
+			// Repair order does not matter — each recipient only fixes its
+			// own bookkeeping — but all notices are injected before the
+			// transport reopens the slot, so they are ordered ahead of
+			// anything a replacement worker says.
+			c := cluster()
+			c.Inject(world.sched, tagRanksLost, svcRanksLost{Lo: lo, Hi: hi})
+			c.Inject(world.disp, tagRanksLost, svcRanksLost{Lo: lo, Hi: hi})
+			for _, m := range world.medians {
+				if m >= lo && m < hi {
+					continue // the dead worker's own medians
+				}
+				c.Inject(m, tagRanksLost, svcRanksLost{Lo: lo, Hi: hi})
+			}
+		},
+		OnWorkerJoined: func(_ int, _, _ mpi.Rank, rejoin bool) {
+			if rejoin {
+				coll.addWorkerRejoined()
+			}
+		},
+		OnWorkerStats: func(_ int, lo mpi.Rank, idleSeconds []float64) {
+			coll.setRemoteIdle(world, lo, idleSeconds)
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	return newPoolOn(world, nc, nc)
+	ncp.Store(nc)
+	return newPoolOn(world, nc, nc, coll)
+}
+
+// newPoolCollector sizes the pool's lifetime-instrumentation store.
+func newPoolCollector(cfg PoolConfig) *poolCollector {
+	return &poolCollector{
+		medianIdle:       make([]time.Duration, cfg.Medians),
+		clientIdle:       make([]time.Duration, cfg.Clients),
+		remoteMedianBase: make([]time.Duration, cfg.Medians),
+		remoteMedianCur:  make([]time.Duration, cfg.Medians),
+		remoteClientBase: make([]time.Duration, cfg.Clients),
+		remoteClientCur:  make([]time.Duration, cfg.Clients),
+	}
 }
 
 // newPoolOn wires the pool's ranks onto a transport and starts it. The
 // same wiring runs for every transport: a cluster hosting only a subset
 // of the ranks (the net coordinator) ignores Start calls for the ranks
 // other processes host.
-func newPoolOn(world *poolWorld, cl poolCluster, nc *mpi.NetCluster) (*Pool, error) {
+func newPoolOn(world *poolWorld, cl poolCluster, nc *mpi.NetCluster, coll *poolCollector) (*Pool, error) {
 	cfg := world.cfg
 	p := &Pool{
-		cfg:     cfg,
-		world:   world,
-		cluster: cl,
-		net:     nc,
-		coll: &poolCollector{
-			medianIdle: make([]time.Duration, cfg.Medians),
-			clientIdle: make([]time.Duration, cfg.Clients),
-		},
+		cfg:       cfg,
+		world:     world,
+		cluster:   cl,
+		net:       nc,
+		coll:      coll,
 		runDone:   make(chan struct{}),
 		slotBusy:  make([]bool, cfg.Slots),
 		slotEpoch: make([]uint64, cfg.Slots),
@@ -445,7 +640,11 @@ func newPoolOn(world *poolWorld, cl poolCluster, nc *mpi.NetCluster) (*Pool, err
 	dispCfg := &Config{Algo: cfg.Algo}
 	longest := cfg.Algo == LastMinute
 	p.cluster.Start(world.disp, func(c mpi.Comm) {
-		runDemandDispatcher(c, dispLay, dispCfg, longest)
+		// The pool's dispatcher runs fault-aware: it tracks client
+		// assignments so worker-loss notices can return stranded clients
+		// to the free list. The per-run dispatcher never sees losses and
+		// skips the bookkeeping.
+		runFaultAwareDispatcher(c, dispLay, dispCfg, longest)
 	})
 	startPoolWorkers(p.cluster, world, p.coll.addMedianIdle, p.coll.addClientIdle)
 
@@ -502,21 +701,33 @@ func (p *Pool) WorkerAddr() string {
 // Slots returns the number of concurrent job slots.
 func (p *Pool) Slots() int { return p.cfg.Slots }
 
-// Metrics snapshots the pool's lifetime instrumentation.
+// Metrics snapshots the pool's lifetime instrumentation. Each per-rank
+// idle entry merges the co-resident worker's direct accounting with the
+// telemetry a remote worker pushes on its pong/goodbye frames (a rank is
+// only ever one of the two).
 func (p *Pool) Metrics() PoolMetrics {
 	co := p.coll
 	co.mu.Lock()
-	defer co.mu.Unlock()
 	m := PoolMetrics{
-		Jobs:          co.jobs,
-		WorkUnits:     co.units,
-		MedianIdle:    append([]time.Duration(nil), co.medianIdle...),
-		ClientIdle:    append([]time.Duration(nil), co.clientIdle...),
-		QueueDepthMax: co.depthMax,
+		Jobs:            co.jobs,
+		WorkUnits:       co.units,
+		MedianIdle:      append([]time.Duration(nil), co.medianIdle...),
+		ClientIdle:      append([]time.Duration(nil), co.clientIdle...),
+		QueueDepthMax:   co.depthMax,
+		WorkersLost:     co.workersLost,
+		WorkersRejoined: co.workersRejoined,
+		Regranted:       co.regranted,
+	}
+	for i := range m.MedianIdle {
+		m.MedianIdle[i] += co.remoteMedianBase[i] + co.remoteMedianCur[i]
+	}
+	for i := range m.ClientIdle {
+		m.ClientIdle[i] += co.remoteClientBase[i] + co.remoteClientCur[i]
 	}
 	if co.depthSamples > 0 {
 		m.QueueDepthMean = float64(co.depthSum) / float64(co.depthSamples)
 	}
+	co.mu.Unlock()
 	if p.net != nil {
 		st := p.net.Stats()
 		m.Net = &st
@@ -661,6 +872,13 @@ func (p *Pool) Shutdown() {
 		p.idle.Wait()
 	}
 	p.mu.Unlock()
+	// From here on a worker connection ending is the drain, not a crash:
+	// without this, a fast worker's goodbye can race the local bodies'
+	// unwind and be misclassified as a loss (spurious churn counters, a
+	// slot reopened for a replacement that would never hear the shutdown).
+	if p.net != nil {
+		p.net.Drain()
+	}
 	for r := 0; r < p.cluster.Size(); r++ {
 		p.cluster.Inject(mpi.Rank(r), tagShutdown, nil)
 	}
@@ -778,10 +996,12 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 			case tagStepScore:
 				// Scores come from medians only; cancellations only from
 				// outside the rank world (Inject); abandon acks only from
-				// the scheduler. Anything else is a forged wire frame.
+				// the scheduler. Anything else is a forged wire frame. The
+				// step check sheds a re-granted duplicate of an earlier
+				// step whose original score survived a worker crash.
 				sc, ok := msg.Payload.(svcScore)
-				if !ok || !isMedianRank(p.world, msg.From) || sc.Epoch != js.epoch {
-					break // stray from a previous job; cannot happen once drained
+				if !ok || !isMedianRank(p.world, msg.From) || sc.Epoch != js.epoch || sc.Step != step {
+					break // stray from a previous job or step; harmless
 				}
 				// Range and duplication guards: a duplicated frame must not
 				// double-free the shipped state or end the gather early
@@ -803,6 +1023,14 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 			case tagAbandonAck:
 				if ack, ok := msg.Payload.(svcAbandonAck); ok && msg.From == p.world.sched && ack.Epoch == js.epoch {
 					want -= ack.Dropped
+				}
+			case tagRegrant:
+				// The scheduler re-queued candidates of this job that were
+				// lost with a dead worker. Purely informational: the
+				// re-granted candidates come back through tagStepScore like
+				// any others, so the gather arithmetic is untouched.
+				if rg, ok := msg.Payload.(svcRegrant); ok && msg.From == p.world.sched && rg.Epoch == js.epoch {
+					res.Regranted += int64(rg.Count)
 				}
 			}
 			if !cancelled && deadline() {
@@ -851,8 +1079,30 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 // a wide job floods the pool. An abandon message drops a job's queued
 // candidates and acks the exact count, which is what lets the root's
 // drain arithmetic converge under cancellation.
+//
+// Fault tolerance: the scheduler tracks which grants are outstanding per
+// median, so a worker-loss notice can re-queue the dead medians' unscored
+// candidates at the head of their jobs' queues (the same logical
+// coordinates are re-granted, so rng.Fold keying keeps every re-executed
+// score bit-identical). The bookkeeping costs no extra messages — it
+// exploits the pull protocol's own ordering. A median's lifecycle is
+//
+//	recv grant Gₖ → send work request → play Gₖ → send score(Gₖ) → recv Gₖ₊₁
+//
+// so a work request from median M proves M has started its latest grant,
+// which it could only do after sending the score of the grant before it —
+// and because the score and the work request ride the same FIFO stream
+// (the score is delivered to the slot's mailbox before the scheduler ever
+// sees the request), "score sent" is "score delivered". A request
+// therefore retires all but the newest outstanding grant; at most the
+// grant being played and one prefetched successor are ever at risk, and
+// exactly those are re-queued when the worker dies. A re-queued candidate
+// whose score did arrive (lost worker, surviving score) is replayed for
+// nothing — the slot's duplicate guard sheds the second score — but never
+// corrupts state.
 func (p *Pool) runScheduler(c mpi.Comm) {
 	queues := make([][]svcCandidate, p.cfg.Slots)
+	granted := make(map[mpi.Rank][]svcCandidate) // outstanding grants per median
 	var waiting []mpi.Rank
 	next := 0
 	total := 0
@@ -876,6 +1126,10 @@ func (p *Pool) runScheduler(c mpi.Comm) {
 		}
 		return svcCandidate{}, false
 	}
+	grant := func(to mpi.Rank, cand svcCandidate) {
+		granted[to] = append(granted[to], cand)
+		c.Send(to, tagGrant, cand)
+	}
 
 	for {
 		msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
@@ -892,10 +1146,64 @@ func (p *Pool) runScheduler(c mpi.Comm) {
 			if !isMedianRank(p.world, msg.From) {
 				continue
 			}
+			// The request proves every outstanding grant but the newest
+			// one has been scored (see the function comment).
+			if g := granted[msg.From]; len(g) > 1 {
+				granted[msg.From] = append(g[:0], g[len(g)-1])
+			}
 			if cand, ok := pick(); ok {
-				c.Send(msg.From, tagGrant, cand)
+				grant(msg.From, cand)
 			} else {
 				waiting = append(waiting, msg.From)
+			}
+			p.coll.sampleDepth(total)
+			continue
+		case tagRanksLost:
+			// A worker died. Re-queue its medians' outstanding grants at
+			// the head of the owning jobs' queues, drop its medians from
+			// the waiting list (a replacement announces itself with a
+			// fresh work request), and tell the owning slots how much work
+			// churned.
+			lost, ok := msg.Payload.(svcRanksLost)
+			if !ok || msg.From != mpi.External {
+				continue // forged wire frame: only the pool declares losses
+			}
+			type jobKey struct {
+				root  mpi.Rank
+				epoch uint64
+			}
+			regrants := map[jobKey]int{} // owning job -> re-queued count
+			for m := lost.Lo; m < lost.Hi; m++ {
+				g := granted[m]
+				if len(g) == 0 {
+					continue
+				}
+				delete(granted, m)
+				// Head insertion, oldest grant first, so re-granted work
+				// runs before anything queued behind it.
+				for i := len(g) - 1; i >= 0; i-- {
+					cand := g[i]
+					queues[cand.P.Slot] = append([]svcCandidate{cand}, queues[cand.P.Slot]...)
+					total++
+					regrants[jobKey{cand.P.Root, cand.P.Epoch}]++
+				}
+			}
+			kept := waiting[:0]
+			for _, m := range waiting {
+				if m < lost.Lo || m >= lost.Hi {
+					kept = append(kept, m)
+				}
+			}
+			waiting = kept
+			// Surviving waiting medians can take the re-queued work now.
+			for len(waiting) > 0 && total > 0 {
+				cand, _ := pick()
+				grant(waiting[0], cand)
+				waiting = waiting[:copy(waiting, waiting[1:])]
+			}
+			for k, n := range regrants {
+				p.coll.addRegranted(n)
+				c.Send(k.root, tagRegrant, svcRegrant{Epoch: k.epoch, Count: n})
 			}
 			p.coll.sampleDepth(total)
 			continue
@@ -919,7 +1227,7 @@ func (p *Pool) runScheduler(c mpi.Comm) {
 			if len(waiting) > 0 {
 				to := waiting[0]
 				waiting = waiting[:copy(waiting, waiting[1:])]
-				c.Send(to, tagGrant, cand)
+				grant(to, cand)
 			} else {
 				queues[slot] = append(queues[slot], cand)
 				total++
@@ -946,6 +1254,56 @@ func (p *Pool) runScheduler(c mpi.Comm) {
 	}
 }
 
+// medianComm is the event-driven heart of runPoolMedian: every Recv is a
+// wildcard, dispatched by tag, so a worker-loss notice can never be
+// starved behind a selective wait — the flaw that would wedge a median
+// waiting on a result from a client that no longer exists. Messages that
+// belong to a later phase (a prefetched grant mid-game) are buffered;
+// stale ones (an assign answering a dead predecessor's request, a result
+// from a superseded step) are absorbed without corrupting state.
+type medianComm struct {
+	c    mpi.Comm
+	w    *poolWorld
+	idle func(time.Duration)
+
+	grants []svcCandidate // prefetched/stale grants awaiting play
+	// clients holds dispatcher assigns received but not yet spent on a
+	// job, in arrival order. Normally at most one (one request in flight
+	// at a time); a stale assign flushed to a replacement median (whose
+	// dead predecessor requested it) adds a surplus, which is spent on
+	// the next outgoing jobs so the reserved client is never stranded.
+	clients []mpi.Rank
+	// reqs counts our own unanswered client requests.
+	reqs int
+	shut bool // shutdown broadcast seen; unwind without new work
+}
+
+// recv is the single blocking wait: it meters idle time and handles the
+// messages every phase treats identically.
+func (mc *medianComm) recv() mpi.Msg {
+	t0 := mc.c.Now()
+	msg := mc.c.Recv(mpi.AnyRank, mpi.AnyTag)
+	mc.idle(mc.c.Now() - t0)
+	switch msg.Tag {
+	case tagShutdown:
+		if msg.From == mpi.External {
+			mc.shut = true
+		}
+	case tagGrant:
+		if cand, ok := msg.Payload.(svcCandidate); ok && msg.From == mc.w.sched {
+			mc.grants = append(mc.grants, cand)
+		}
+	case tagAssign:
+		if client, ok := msg.Payload.(mpi.Rank); ok && msg.From == mc.w.disp {
+			mc.clients = append(mc.clients, client)
+			if mc.reqs > 0 {
+				mc.reqs--
+			}
+		}
+	}
+	return msg
+}
+
 // runPoolMedian is the persistent form of the per-run median process:
 // pull a candidate from the shared scheduler, play its full level-(ℓ−1)
 // game with one client rollout per candidate move, report the score to
@@ -958,34 +1316,46 @@ func (p *Pool) runScheduler(c mpi.Comm) {
 // the identical function runs as a coordinator goroutine (wall pool) or
 // inside a pnmcs-worker process (net pool). idle receives each
 // Recv-blocked interval; a remote worker passes its own sink.
+//
+// Fault tolerance: each in-flight rollout remembers which client it went
+// to; a worker-loss notice (tagRanksLost) re-enqueues the rollouts lost
+// with dead clients, and they are re-requested and re-sent with the same
+// coordinate-derived key — so the replayed score is bit-identical and a
+// late duplicate (the original job flushed to the dead client's
+// replacement) is shed by the key/seq guard. The rollout's rng key also
+// disambiguates steps: only a result echoing the exact key issued for a
+// seq in the current step is accepted, so churn can never smuggle a stale
+// step's score into a later one.
 func runPoolMedian(c mpi.Comm, w *poolWorld, idle func(time.Duration)) {
 	var pool core.StatePool
 	var moves []game.Move
 	var shipped []game.State
 	var scores []float64
-	var scored []bool // per-candidate received flag, guards duplicate frames
+	var scored []bool    // per-candidate received flag, guards duplicate frames
+	var keys []uint64    // per-candidate rollout rng key (travels in svcJob)
+	var expect []uint64  // per-candidate result identity echo (resultKey)
+	var owner []mpi.Rank // per-candidate client the job was sent to (-1 = none)
+	var sendq []int      // candidate seqs awaiting a client
+	mc := &medianComm{c: c, w: w, idle: idle}
 
 	c.Send(w.sched, tagWorkReq, nil)
 	for {
-		t0 := c.Now()
-		msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
-		idle(c.Now() - t0)
-		switch msg.Tag {
-		case tagShutdown:
-			if msg.From != mpi.External {
-				continue // forged wire frame; see runSlot
+		// Take the next grant: buffered from a previous phase, or awaited.
+		var cand svcCandidate
+		for {
+			if mc.shut {
+				return
 			}
-			return
-		case tagGrant:
-			// fall through to play the granted game
-		default:
-			continue
-		}
-		cand, ok := msg.Payload.(svcCandidate)
-		if !ok || msg.From != w.sched {
-			continue // wrong-typed or forged wire frame on the grant tag
+			if len(mc.grants) > 0 {
+				cand = mc.grants[0]
+				mc.grants = mc.grants[:copy(mc.grants, mc.grants[1:])]
+				break
+			}
+			mc.recv()
 		}
 		// Prefetch: ask for the next candidate before playing this one.
+		// Sent at play start, never at frame arrival — the scheduler's
+		// outstanding-grant retirement depends on that ordering.
 		c.Send(w.sched, tagWorkReq, nil)
 
 		st := cand.State
@@ -998,6 +1368,10 @@ func runPoolMedian(c mpi.Comm, w *poolWorld, idle func(time.Duration)) {
 			shipped = shipped[:0]
 			scores = scores[:0]
 			scored = scored[:0]
+			keys = keys[:0]
+			expect = expect[:0]
+			owner = owner[:0]
+			sendq = sendq[:0]
 			for j, mv := range moves {
 				child := pool.Get(st)
 				c.Work(core.CloneCost)
@@ -1006,42 +1380,69 @@ func runPoolMedian(c mpi.Comm, w *poolWorld, idle func(time.Duration)) {
 				shipped = append(shipped, child)
 				scores = append(scores, 0)
 				scored = append(scored, false)
+				key := rng.Fold(uint64(cand.Step), uint64(cand.Cand), uint64(t), uint64(j))
+				keys = append(keys, key)
+				expect = append(expect, resultKey(cand.P, key))
+				owner = append(owner, -1)
+				sendq = append(sendq, j)
+			}
 
-				c.Send(w.disp, tagRequest, child.MovesPlayed())
-				var client mpi.Rank
-				for {
-					t1 := c.Now()
-					asg := c.Recv(w.disp, tagAssign)
-					idle(c.Now() - t1)
-					var ok bool
-					if client, ok = asg.Payload.(mpi.Rank); ok {
-						break // drop wrong-typed frames spoofed onto the assign tag
+			for got := 0; got < len(moves); {
+				// Spend assigned clients on queued rollouts, then keep one
+				// client request in flight while anything remains unsent.
+				for len(mc.clients) > 0 && len(sendq) > 0 {
+					j := sendq[0]
+					sendq = sendq[:copy(sendq, sendq[1:])]
+					client := mc.clients[0]
+					mc.clients = mc.clients[:copy(mc.clients, mc.clients[1:])]
+					owner[j] = client
+					c.Send(client, tagJob, svcJob{Key: keys[j], Seq: j, P: cand.P, State: shipped[j]})
+				}
+				if len(sendq) > 0 && mc.reqs == 0 {
+					c.Send(w.disp, tagRequest, shipped[sendq[0]].MovesPlayed())
+					mc.reqs++
+				}
+
+				msg := mc.recv()
+				if mc.shut {
+					return
+				}
+				switch msg.Tag {
+				case tagResult:
+					res, ok := msg.Payload.(svcResult)
+					if !ok || !isClientRank(w, msg.From) ||
+						res.Seq < 0 || res.Seq >= len(scores) ||
+						scored[res.Seq] || res.Key != expect[res.Seq] {
+						continue // wrong-typed, forged, stale or duplicated wire frame
+					}
+					scored[res.Seq] = true
+					scores[res.Seq] = res.Score
+					owner[res.Seq] = -1
+					rollouts++
+					units += res.Units
+					pool.Put(shipped[res.Seq])
+					got++
+				case tagRanksLost:
+					lost, ok := msg.Payload.(svcRanksLost)
+					if !ok || msg.From != mpi.External {
+						continue // forged wire frame: only the pool declares losses
+					}
+					// Re-enqueue every unscored rollout that was sent to a
+					// now-dead client; the loop head re-requests and
+					// re-sends them under their original keys.
+					for j, cl := range owner {
+						if cl >= lost.Lo && cl < lost.Hi && !scored[j] {
+							owner[j] = -1
+							sendq = append(sendq, j)
+						}
 					}
 				}
-
-				key := rng.Fold(uint64(cand.Step), uint64(cand.Cand), uint64(t), uint64(j))
-				c.Send(client, tagJob, svcJob{Key: key, Seq: j, P: cand.P, State: child})
-			}
-			for got := 0; got < len(moves); {
-				t1 := c.Now()
-				r := c.Recv(mpi.AnyRank, tagResult)
-				idle(c.Now() - t1)
-				res, ok := r.Payload.(svcResult)
-				if !ok || !isClientRank(w, r.From) || res.Seq < 0 || res.Seq >= len(scores) || scored[res.Seq] {
-					continue // wrong-typed, forged, out-of-range or duplicated wire frame
-				}
-				scored[res.Seq] = true
-				scores[res.Seq] = res.Score
-				rollouts++
-				units += res.Units
-				pool.Put(shipped[res.Seq])
-				got++
 			}
 			st.Play(moves[argmax(scores)])
 			c.Work(1)
 		}
 		c.Send(cand.P.Root, tagStepScore, svcScore{
-			Epoch: cand.P.Epoch, Cand: cand.Cand, Score: st.Score(),
+			Epoch: cand.P.Epoch, Step: cand.Step, Cand: cand.Cand, Score: st.Score(),
 			Rollouts: rollouts, Units: units,
 		})
 	}
@@ -1097,7 +1498,9 @@ func runPoolClient(c mpi.Comm, w *poolWorld, idle func(time.Duration)) {
 			c.Work(meter.units * jb.P.JobScale)
 
 			c.Send(w.disp, tagFree, nil)
-			c.Send(median, tagResult, svcResult{Seq: jb.Seq, Score: res.Score, Units: meter.units})
+			c.Send(median, tagResult, svcResult{
+				Key: resultKey(jb.P, jb.Key), Seq: jb.Seq, Score: res.Score, Units: meter.units,
+			})
 		}
 	}
 }

@@ -33,6 +33,8 @@ const (
 	kindSvcScore                             // pool median -> slot
 	kindSvcResult                            // pool client -> median
 	kindSvcAbandonAck                        // pool scheduler -> slot
+	kindSvcRanksLost                         // pool coordinator -> median: worker ranks died
+	kindSvcRegrant                           // pool scheduler -> slot: grants re-queued
 )
 
 // The worker handshake blob (appendWorkerBlob) is NOT a frame payload: it
@@ -177,6 +179,7 @@ func init() {
 	codec.Register(kindSvcScore,
 		func(buf []byte, v svcScore) ([]byte, error) {
 			buf = binary.LittleEndian.AppendUint64(buf, v.Epoch)
+			buf = binary.AppendUvarint(buf, uint64(v.Step))
 			buf = binary.AppendUvarint(buf, uint64(v.Cand))
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Score))
 			buf = binary.AppendUvarint(buf, uint64(v.Rollouts))
@@ -188,7 +191,12 @@ func init() {
 				return s, fmt.Errorf("%w: svcScore epoch", codec.ErrTruncated)
 			}
 			s.Epoch = binary.LittleEndian.Uint64(data)
-			cand, data, err := codec.ReadUvarint(data[8:])
+			step, data, err := codec.ReadUvarint(data[8:])
+			if err != nil {
+				return s, err
+			}
+			s.Step = int(step)
+			cand, data, err := codec.ReadUvarint(data)
 			if err != nil {
 				return s, err
 			}
@@ -214,13 +222,18 @@ func init() {
 
 	codec.Register(kindSvcResult,
 		func(buf []byte, v svcResult) ([]byte, error) {
+			buf = binary.LittleEndian.AppendUint64(buf, v.Key)
 			buf = binary.AppendUvarint(buf, uint64(v.Seq))
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Score))
 			return binary.AppendUvarint(buf, uint64(v.Units)), nil
 		},
 		func(data []byte) (svcResult, error) {
 			var r svcResult
-			seq, data, err := codec.ReadUvarint(data)
+			if len(data) < 8 {
+				return r, fmt.Errorf("%w: svcResult key", codec.ErrTruncated)
+			}
+			r.Key = binary.LittleEndian.Uint64(data)
+			seq, data, err := codec.ReadUvarint(data[8:])
 			if err != nil {
 				return r, err
 			}
@@ -237,6 +250,52 @@ func init() {
 				return r, fmt.Errorf("%w: svcResult trailing bytes", codec.ErrMalformed)
 			}
 			r.Units = int64(units)
+			return r, nil
+		})
+
+	codec.Register(kindSvcRanksLost,
+		func(buf []byte, v svcRanksLost) ([]byte, error) {
+			buf = binary.AppendUvarint(buf, uint64(v.Lo))
+			return binary.AppendUvarint(buf, uint64(v.Hi)), nil
+		},
+		func(data []byte) (svcRanksLost, error) {
+			var l svcRanksLost
+			lo, data, err := codec.ReadUvarint(data)
+			if err != nil {
+				return l, err
+			}
+			hi, data, err := codec.ReadUvarint(data)
+			if err != nil {
+				return l, err
+			}
+			if len(data) != 0 {
+				return l, fmt.Errorf("%w: ranks-lost trailing bytes", codec.ErrMalformed)
+			}
+			if hi < lo {
+				return l, fmt.Errorf("%w: ranks-lost range [%d, %d)", codec.ErrMalformed, lo, hi)
+			}
+			return svcRanksLost{Lo: mpi.Rank(lo), Hi: mpi.Rank(hi)}, nil
+		})
+
+	codec.Register(kindSvcRegrant,
+		func(buf []byte, v svcRegrant) ([]byte, error) {
+			buf = binary.LittleEndian.AppendUint64(buf, v.Epoch)
+			return binary.AppendUvarint(buf, uint64(v.Count)), nil
+		},
+		func(data []byte) (svcRegrant, error) {
+			var r svcRegrant
+			if len(data) < 8 {
+				return r, fmt.Errorf("%w: regrant epoch", codec.ErrTruncated)
+			}
+			r.Epoch = binary.LittleEndian.Uint64(data)
+			count, data, err := codec.ReadUvarint(data[8:])
+			if err != nil {
+				return r, err
+			}
+			if len(data) != 0 {
+				return r, fmt.Errorf("%w: regrant trailing bytes", codec.ErrMalformed)
+			}
+			r.Count = int(count)
 			return r, nil
 		})
 

@@ -65,25 +65,37 @@ func TestScalarPayloadRoundTrips(t *testing.T) {
 			got := payloadTrip(t, v).(stepScore)
 			return got.Cand == v.Cand && math.Float64bits(got.Score) == math.Float64bits(v.Score)
 		},
-		"svcScore": func(epoch uint64, cand int, score float64, rollouts, units int64) bool {
+		"svcScore": func(epoch uint64, step, cand int, score float64, rollouts, units int64) bool {
 			v := svcScore{
-				Epoch: epoch, Cand: nonneg(cand), Score: score,
+				Epoch: epoch, Step: nonneg(step), Cand: nonneg(cand), Score: score,
 				Rollouts: int64(nonneg(int(rollouts % (1 << 40)))), Units: int64(nonneg(int(units % (1 << 40)))),
 			}
 			got := payloadTrip(t, v).(svcScore)
-			return got.Epoch == v.Epoch && got.Cand == v.Cand &&
+			return got.Epoch == v.Epoch && got.Step == v.Step && got.Cand == v.Cand &&
 				got.Rollouts == v.Rollouts && got.Units == v.Units &&
 				math.Float64bits(got.Score) == math.Float64bits(v.Score)
 		},
-		"svcResult": func(seq int, score float64, units int64) bool {
-			v := svcResult{Seq: nonneg(seq), Score: score, Units: int64(nonneg(int(units % (1 << 40))))}
+		"svcResult": func(key uint64, seq int, score float64, units int64) bool {
+			v := svcResult{Key: key, Seq: nonneg(seq), Score: score, Units: int64(nonneg(int(units % (1 << 40))))}
 			got := payloadTrip(t, v).(svcResult)
-			return got.Seq == v.Seq && got.Units == v.Units &&
+			return got.Key == v.Key && got.Seq == v.Seq && got.Units == v.Units &&
 				math.Float64bits(got.Score) == math.Float64bits(v.Score)
 		},
 		"svcAbandonAck": func(epoch uint64, dropped int) bool {
 			v := svcAbandonAck{Epoch: epoch, Dropped: nonneg(dropped)}
 			return payloadTrip(t, v).(svcAbandonAck) == v
+		},
+		"svcRanksLost": func(lo, hi int) bool {
+			l, h := nonneg(lo), nonneg(hi)
+			if h < l {
+				l, h = h, l
+			}
+			v := svcRanksLost{Lo: mpi.Rank(l), Hi: mpi.Rank(h)}
+			return payloadTrip(t, v).(svcRanksLost) == v
+		},
+		"svcRegrant": func(epoch uint64, count int) bool {
+			v := svcRegrant{Epoch: epoch, Count: nonneg(count)}
+			return payloadTrip(t, v).(svcRegrant) == v
 		},
 	}
 	for name, fn := range checks {

@@ -61,12 +61,27 @@ func ServeWorker(w *mpi.NetWorker) (WorkerStats, error) {
 			stats.Clients++
 		}
 	}
-	var idleNs atomic.Int64
-	idle := func(_ int, d time.Duration) { idleNs.Add(int64(d)) }
-	startPoolWorkers(w, world, idle, idle)
+	// Idle is metered per hosted rank so the coordinator's /metrics can
+	// expose the same per-rank series a co-resident pool has: the sampler
+	// snapshot rides every pong and the goodbye frame (mpi.SetTelemetry).
+	perRank := make([]atomic.Int64, hi-lo)
+	medianIdle := func(i int, d time.Duration) { perRank[world.medians[i]-lo].Add(int64(d)) }
+	clientIdle := func(i int, d time.Duration) { perRank[world.clients[i]-lo].Add(int64(d)) }
+	w.SetTelemetry(func() []float64 {
+		out := make([]float64, len(perRank))
+		for i := range perRank {
+			out[i] = time.Duration(perRank[i].Load()).Seconds()
+		}
+		return out
+	})
+	startPoolWorkers(w, world, medianIdle, clientIdle)
 
 	w.Run()
-	stats.Idle = time.Duration(idleNs.Load())
+	var total int64
+	for i := range perRank {
+		total += perRank[i].Load()
+	}
+	stats.Idle = time.Duration(total)
 	stats.Net = w.Stats()
 	return stats, nil
 }

@@ -8,9 +8,12 @@ package service
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/faultnet"
 	"repro/internal/mpi"
 	"repro/internal/parallel"
 )
@@ -29,7 +32,7 @@ func TestDistributedServiceEquivalence(t *testing.T) {
 
 	var wg sync.WaitGroup
 	for i := 0; i < 2; i++ {
-		w, err := mpi.DialWorker(m.WorkerAddr())
+		w, err := mpi.DialWorker(m.WorkerAddr(), "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,4 +97,132 @@ func TestDistributedServiceEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	wg.Wait()
+}
+
+// TestDistributedServiceWorkerChurn kills a worker process mid-job
+// through the HTTP-facing Manager surface: the job must complete with the
+// undisturbed result once a replacement rejoins, the churn must be
+// visible in the service metrics, and an authenticated coordinator must
+// have admitted only token-bearing workers along the way.
+func TestDistributedServiceWorkerChurn(t *testing.T) {
+	const token = "churn-secret"
+	m, err := New(Config{
+		Slots: 1, Medians: 2, Clients: 3,
+		Workers: 2, WorkerListen: "127.0.0.1:0", WorkerToken: token,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A tokenless dial must be turned away before claiming a slot.
+	if _, err := mpi.DialWorker(m.WorkerAddr(), ""); !errors.Is(err, mpi.ErrBadToken) {
+		t.Fatalf("tokenless worker admitted: %v", err)
+	}
+
+	serve := func(w *mpi.NetWorker) chan struct{} {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if _, err := parallel.ServeWorker(w); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+		return done
+	}
+
+	// Worker 1 dials through a fault proxy (the one that will die),
+	// worker 2 directly.
+	proxy, err := faultnet.NewProxy(m.WorkerAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	w1, err := mpi.DialWorker(proxy.Addr(), token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1done := serve(w1)
+	w2, err := mpi.DialWorker(m.WorkerAddr(), token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2done := serve(w2)
+
+	spec := JobSpec{Domain: "samegame", Width: 6, Height: 6, Colors: 3, BoardSeed: 3, Level: 2, Seed: 5, Memorize: true}
+	id, err := m.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the proxied worker once the job has visibly started, then
+	// bring in a replacement.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Steps >= 1 {
+			break
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job finished before the kill could land: %+v", st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never made progress")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	proxy.Sever()
+	<-w1done
+	var w3 *mpi.NetWorker
+	for {
+		w3, err = mpi.DialWorker(m.WorkerAddr(), token)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replacement never admitted: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	w3done := serve(w3)
+
+	st, err := m.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("churned job state %s (error %q)", st.State, st.Error)
+	}
+
+	// Bit-identical to the undisturbed solo run, churn and all.
+	cfg, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := parallel.RunWall(4, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Score != solo.Score || st.Steps != solo.Steps ||
+		st.Rollouts != solo.Jobs || st.WorkUnits != solo.WorkUnits {
+		t.Fatalf("churned job diverged: %+v vs solo %+v", st, solo)
+	}
+	for i := range st.Sequence {
+		if st.Sequence[i] != solo.Sequence[i] {
+			t.Fatalf("sequences differ at move %d", i)
+		}
+	}
+
+	mt := m.Metrics()
+	if mt.Pool.WorkersLost < 1 || mt.Pool.WorkersRejoined < 1 {
+		t.Fatalf("churn not recorded in service metrics: %+v", mt.Pool)
+	}
+
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-w2done
+	<-w3done
 }

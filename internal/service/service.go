@@ -70,6 +70,10 @@ type Config struct {
 	// ephemeral port (read it back with Manager.WorkerAddr). Only used
 	// when Workers > 0.
 	WorkerListen string
+	// WorkerToken, when non-empty, is the shared secret every dialing
+	// worker must present at handshake (compared in constant time). Set
+	// it whenever WorkerListen leaves loopback.
+	WorkerToken string
 }
 
 func (c Config) withDefaults() Config {
@@ -94,9 +98,9 @@ func (c Config) withDefaults() Config {
 	if c.Retain < 0 {
 		c.Retain = 0
 	}
-	// Loopback by default: the worker handshake is unauthenticated, so a
-	// distributed manager must not listen on all interfaces unless the
-	// caller asked for it explicitly (DESIGN.md §7).
+	// Loopback by default: without a WorkerToken the worker handshake
+	// accepts any dialer, so a distributed manager must not listen on all
+	// interfaces unless the caller asked for it explicitly (DESIGN.md §8).
 	if c.Workers > 0 && c.WorkerListen == "" {
 		c.WorkerListen = "127.0.0.1:0"
 	}
@@ -146,6 +150,10 @@ type JobStatus struct {
 	// work, filled on completion.
 	Rollouts  int64 `json:"rollouts"`
 	WorkUnits int64 `json:"work_units"`
+	// Regranted counts candidate grants this job lost to worker crashes
+	// and had re-queued (distributed pools only). Nonzero means the job
+	// rode out worker churn; the result is unaffected.
+	Regranted int64 `json:"regranted,omitempty"`
 
 	// Error is the failure reason of a StateFailed job.
 	Error string `json:"error,omitempty"`
@@ -229,6 +237,7 @@ func New(cfg Config) (*Manager, error) {
 		pool, err = parallel.NewNetPool(pcfg, parallel.NetPoolConfig{
 			Listen:  cfg.WorkerListen,
 			Workers: cfg.Workers,
+			Token:   cfg.WorkerToken,
 		})
 	} else {
 		pool, err = parallel.NewPool(pcfg)
@@ -366,6 +375,7 @@ func (m *Manager) run(j *job, slot int) {
 	j.status.Stopped = res.Stopped
 	j.status.Rollouts = res.Jobs
 	j.status.WorkUnits = res.WorkUnits
+	j.status.Regranted = res.Regranted
 	switch {
 	case err != nil:
 		j.status.State = StateFailed

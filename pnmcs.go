@@ -166,11 +166,12 @@ func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
 // cumulative idle time, transport counters.
 type WorkerStats = parallel.WorkerStats
 
-// ServeWorker dials a distributed service's coordinator and hosts the
-// assigned median and client ranks until the coordinator shuts down.
-// cmd/pnmcs-worker is a thin wrapper around this call.
-func ServeWorker(addr string) (WorkerStats, error) {
-	w, err := mpi.DialWorker(addr)
+// ServeWorker dials a distributed service's coordinator — presenting the
+// shared-secret token when the coordinator requires one (empty otherwise)
+// — and hosts the assigned median and client ranks until the coordinator
+// shuts down. cmd/pnmcs-worker is a thin wrapper around this call.
+func ServeWorker(addr, token string) (WorkerStats, error) {
+	w, err := mpi.DialWorker(addr, token)
 	if err != nil {
 		return WorkerStats{}, err
 	}
