@@ -18,13 +18,21 @@
 //
 //	curl -s localhost:8723/v1/jobs/job-1      # status + streaming progress
 //	curl -s -X DELETE localhost:8723/v1/jobs/job-1
-//	curl -s localhost:8723/healthz
+//	curl -s localhost:8723/healthz            # liveness: process is up
+//	curl -s localhost:8723/readyz             # readiness: 503 when draining or below the worker floor
 //	curl -s localhost:8723/metrics            # idle / queue-depth counters
 //
 // A saturated service answers POST /v1/jobs with 503 and Retry-After
 // instead of queueing unboundedly. SIGINT/SIGTERM drains gracefully:
 // queued jobs are cancelled, running jobs finish (bounded by -drain),
 // and the pool is torn down with no work in flight.
+//
+// With -workers > 0 the degradation policy decides what a permanently
+// lost worker costs: -replace-grace bounds how long its slot waits for a
+// replacement, after which -degrade either re-maps the dead ranks onto
+// the survivors (down to -min-workers) or fails running jobs fast; either
+// way -job-retries re-queues failed jobs under their original seed, so a
+// revived pool finishes them bit-identical to an undisturbed run.
 package main
 
 import (
@@ -55,6 +63,10 @@ func main() {
 	workers := flag.Int("workers", 0, "serve medians+clients from this many pnmcs-worker processes (0 = in-process)")
 	workerListen := flag.String("worker-listen", "127.0.0.1:8724", "TCP address pnmcs-worker processes dial (with -workers); set -worker-token before binding a non-loopback interface")
 	workerToken := flag.String("worker-token", "", "shared secret pnmcs-worker processes must present at handshake (empty = accept any; loopback only)")
+	degrade := flag.Bool("degrade", true, "keep finishing jobs on a shrunken pool after a worker is abandoned (false = fail running jobs fast instead)")
+	minWorkers := flag.Int("min-workers", 1, "degraded floor: fail fast once fewer workers survive (with -degrade)")
+	replaceGrace := flag.Duration("replace-grace", 10*time.Second, "give a lost worker's slot up after waiting this long for a replacement (0 = wait forever)")
+	jobRetries := flag.Int("job-retries", 2, "re-queue a failed job up to this many times under its original seed")
 	flag.Parse()
 
 	mgr, err := service.New(service.Config{
@@ -66,6 +78,10 @@ func main() {
 		Workers:      *workers,
 		WorkerListen: *workerListen,
 		WorkerToken:  *workerToken,
+		Degrade:      *degrade,
+		MinWorkers:   *minWorkers,
+		ReplaceGrace: *replaceGrace,
+		Retry:        service.RetryPolicy{Max: *jobRetries},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -129,19 +145,51 @@ func newMux(mgr *service.Manager) *http.ServeMux {
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
+	// Liveness and readiness are deliberately split: /healthz answers "is
+	// the process up" and nothing else, so an orchestrator never restarts
+	// a daemon that is merely draining or waiting out a worker outage;
+	// /readyz is the traffic gate that goes 503 in those states.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		m := mgr.Metrics()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":  "ok",
-			"slots":   m.Slots,
-			"running": m.Running,
-			"queued":  m.Queued,
-		})
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		code, body := readiness(mgr.Metrics(), mgr.Draining())
+		writeJSON(w, code, body)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeMetrics(w, mgr.Metrics())
 	})
 	return mux
+}
+
+// readiness maps the service state onto a readiness verdict. Split from
+// the handler so tests can drive the degraded and failed states without
+// staging a real worker outage. Draining and a pool below its worker
+// floor are not ready (503); a degraded-but-serving pool stays ready —
+// capacity is reduced, correctness is not.
+func readiness(m service.Metrics, draining bool) (int, map[string]any) {
+	status, code := "ok", http.StatusOK
+	switch {
+	case draining:
+		status, code = "draining", http.StatusServiceUnavailable
+	case m.Pool.Failed:
+		status, code = "failed", http.StatusServiceUnavailable
+	case m.Pool.Degraded:
+		status = "degraded"
+	}
+	body := map[string]any{
+		"status":   status,
+		"draining": draining,
+		"degraded": m.Pool.Degraded,
+		"slots":    m.Slots,
+		"running":  m.Running,
+		"queued":   m.Queued,
+	}
+	if n := m.Pool.Net; n != nil {
+		body["workers_live"] = n.Workers
+		body["workers_abandoned"] = m.Pool.WorkersAbandoned
+	}
+	return code, body
 }
 
 func handleSubmit(mgr *service.Manager, w http.ResponseWriter, r *http.Request) {
@@ -207,6 +255,7 @@ func writeMetrics(w http.ResponseWriter, m service.Metrics) {
 	emit("pnmcs_jobs_completed_total", "counter", "jobs finished normally", m.Completed)
 	emit("pnmcs_jobs_cancelled_total", "counter", "jobs cancelled", m.Cancelled)
 	emit("pnmcs_jobs_failed_total", "counter", "jobs failed", m.Failed)
+	emit("pnmcs_job_retries_total", "counter", "failed jobs re-queued under their original seed", m.Retried)
 	emit("pnmcs_jobs_running", "gauge", "jobs on a slot now", m.Running)
 	emit("pnmcs_jobs_queued", "gauge", "jobs waiting for a slot", m.Queued)
 	emit("pnmcs_slots", "gauge", "concurrent job capacity", m.Slots)
@@ -227,6 +276,9 @@ func writeMetrics(w http.ResponseWriter, m service.Metrics) {
 		emit("pnmcs_worker_lost_total", "counter", "worker connections lost before teardown", m.Pool.WorkersLost)
 		emit("pnmcs_worker_rejoined_total", "counter", "replacement workers that reclaimed a lost slot", m.Pool.WorkersRejoined)
 		emit("pnmcs_worker_regranted_total", "counter", "candidate grants re-queued after worker loss", m.Pool.Regranted)
+		emit("pnmcs_worker_abandoned_total", "counter", "lost workers given up on (grace expired or pending queue overflowed)", m.Pool.WorkersAbandoned)
+		emit("pnmcs_pool_degraded", "gauge", "1 while the pool runs on a shrunken world (abandoned workers not yet revived)", b2i(m.Pool.Degraded))
+		emit("pnmcs_pool_failed", "gauge", "1 while the surviving world is below the worker floor and jobs fail fast", b2i(m.Pool.Failed))
 		emit("pnmcs_net_workers", "gauge", "worker processes connected", n.Workers)
 		emit("pnmcs_net_frames_sent_total", "counter", "frames sent to workers", n.FramesSent)
 		emit("pnmcs_net_frames_recv_total", "counter", "frames received from workers", n.FramesRecv)
@@ -236,4 +288,11 @@ func writeMetrics(w http.ResponseWriter, m service.Metrics) {
 		emit("pnmcs_net_decode_seconds_total", "counter", "codec time spent decoding frames", float64(n.DecodeNs)/1e9)
 	}
 	w.Write([]byte(b.String())) //nolint:errcheck // client went away; nothing to do
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -179,6 +179,11 @@ func TestHealthAndMetrics(t *testing.T) {
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok"`) {
 		t.Fatalf("healthz: %d %s", rec.Code, rec.Body.String())
 	}
+	// Liveness is pure: no load-dependent fields an orchestrator might
+	// misread as a health signal.
+	if body := rec.Body.String(); strings.Contains(body, "slots") || strings.Contains(body, "running") {
+		t.Fatalf("healthz leaked readiness state: %s", body)
+	}
 
 	// Run one job so the counters move.
 	id := decodeStatus(t, do(mux, "POST", "/v1/jobs",
@@ -210,6 +215,69 @@ func TestHealthAndMetrics(t *testing.T) {
 	}
 }
 
+// TestReadyzLifecycle drives /readyz through a live Manager: ready while
+// serving, 503 with "draining" once shutdown begins.
+func TestReadyzLifecycle(t *testing.T) {
+	mgr, err := service.New(service.Config{Slots: 1, Medians: 1, Clients: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := newMux(mgr)
+
+	rec := do(mux, "GET", "/readyz", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"status": "ok"`) {
+		t.Fatalf("readyz while serving: %d %s", rec.Code, rec.Body.String())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := mgr.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rec = do(mux, "GET", "/readyz", "")
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), `"draining": true`) {
+		t.Fatalf("readyz while draining: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestReadinessStates pins the readiness verdicts the handler cannot
+// reach without staging a real worker outage: a degraded pool stays
+// ready (capacity, not correctness), a failed pool does not, and the
+// worker gauges only appear on a distributed pool.
+func TestReadinessStates(t *testing.T) {
+	degraded := service.Metrics{
+		Slots: 2,
+		Pool: parallel.PoolMetrics{
+			Degraded:         true,
+			WorkersAbandoned: 1,
+			Net:              &mpi.NetStats{Workers: 1},
+		},
+	}
+	code, body := readiness(degraded, false)
+	if code != http.StatusOK || body["status"] != "degraded" {
+		t.Fatalf("degraded pool: %d %v", code, body)
+	}
+	if body["workers_live"] != 1 || body["workers_abandoned"] != int64(1) {
+		t.Fatalf("degraded pool worker gauges: %v", body)
+	}
+
+	failed := degraded
+	failed.Pool.Failed = true
+	if code, body := readiness(failed, false); code != http.StatusServiceUnavailable || body["status"] != "failed" {
+		t.Fatalf("failed pool: %d %v", code, body)
+	}
+
+	// Draining outranks everything.
+	if code, body := readiness(failed, true); code != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Fatalf("draining: %d %v", code, body)
+	}
+
+	// In-process pool: no worker gauges.
+	if _, body := readiness(service.Metrics{Slots: 2}, false); body["workers_live"] != nil {
+		t.Fatalf("in-process pool leaked worker gauges: %v", body)
+	}
+}
+
 // TestMetricsTransportCounters pins the /metrics lines a distributed
 // daemon exposes from NetCluster: frame/byte counters and codec timers
 // appear when the pool is networked, and are absent on an in-process
@@ -217,11 +285,14 @@ func TestHealthAndMetrics(t *testing.T) {
 func TestMetricsTransportCounters(t *testing.T) {
 	rec := httptest.NewRecorder()
 	writeMetrics(rec, service.Metrics{
-		Slots: 2,
+		Slots:   2,
+		Retried: 4,
 		Pool: parallel.PoolMetrics{
-			WorkersLost:     1,
-			WorkersRejoined: 1,
-			Regranted:       3,
+			WorkersLost:      1,
+			WorkersRejoined:  1,
+			Regranted:        3,
+			WorkersAbandoned: 2,
+			Degraded:         true,
 			Net: &mpi.NetStats{
 				FramesSent: 10, FramesRecv: 9,
 				BytesSent: 1200, BytesRecv: 900,
@@ -242,6 +313,10 @@ func TestMetricsTransportCounters(t *testing.T) {
 		"pnmcs_worker_lost_total 1",
 		"pnmcs_worker_rejoined_total 1",
 		"pnmcs_worker_regranted_total 3",
+		"pnmcs_worker_abandoned_total 2",
+		"pnmcs_pool_degraded 1",
+		"pnmcs_pool_failed 0",
+		"pnmcs_job_retries_total 4",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("transport metrics missing %q:\n%s", want, body)
@@ -255,5 +330,12 @@ func TestMetricsTransportCounters(t *testing.T) {
 	}
 	if strings.Contains(rec.Body.String(), "pnmcs_worker_") {
 		t.Fatalf("in-process pool leaked worker-churn metrics:\n%s", rec.Body.String())
+	}
+	if strings.Contains(rec.Body.String(), "pnmcs_pool_degraded") {
+		t.Fatalf("in-process pool leaked degradation gauges:\n%s", rec.Body.String())
+	}
+	// Retry accounting is transport-independent: present either way.
+	if !strings.Contains(rec.Body.String(), "pnmcs_job_retries_total 0") {
+		t.Fatalf("in-process pool missing retry counter:\n%s", rec.Body.String())
 	}
 }

@@ -18,6 +18,14 @@
 // re-issue the lost rollouts, which /metrics must show
 // (pnmcs_worker_lost_total, pnmcs_worker_rejoined_total).
 //
+// Last comes graceful degradation (DESIGN.md §9): the replacement worker
+// is SIGKILLed mid-job and NO new worker is started. After -replace-grace
+// the coordinator abandons the slot, re-maps the dead rank range onto the
+// one surviving worker, and the job must finish on the shrunken world —
+// still bit-identical, flagged "degraded" in its status, with the
+// abandonment visible in /metrics (pnmcs_worker_abandoned_total,
+// pnmcs_pool_degraded) and /readyz answering 200 "degraded".
+//
 // The CI distributed-smoke job runs exactly this program:
 //
 //	go run ./examples/distributed
@@ -96,16 +104,27 @@ func main() {
 	// clients keeps the world small; determinism does not depend on it.
 	// The shared token exercises handshake authentication end-to-end.
 	const token = "smoke-secret"
+	// -replace-grace 5s: far beyond the replacement phase's join latency
+	// (the replacement dials as soon as its predecessor is killed), short
+	// enough that the final no-replacement phase abandons quickly.
 	daemon := start(*binDir, "pnmcsd",
 		"-addr", httpAddr, "-workers", "2", "-worker-listen", workerAddr,
 		"-worker-token", token,
-		"-slots", "2", "-medians", "2", "-clients", "4")
+		"-slots", "2", "-medians", "2", "-clients", "4",
+		"-replace-grace", "5s")
 	defer daemon.Process.Kill() //nolint:errcheck // beyond the graceful path below
 
 	waitHealthy()
 
+	// Stagger the joins: the coordinator hands out the lowest free slot,
+	// so waiting for worker-1 before starting worker-2 pins worker-1 to
+	// the first remote range (the one holding the median ranks). The
+	// degradation phase below depends on that: it abandons worker-2's
+	// client-only range, leaving the medians alive on worker-1.
 	w1 := start(*binDir, "pnmcs-worker", "-connect", workerAddr, "-worker-token", token)
+	waitWorkers(1)
 	w2 := start(*binDir, "pnmcs-worker", "-connect", workerAddr, "-worker-token", token)
+	waitWorkers(2)
 
 	// One job per domain: morpion plays a full level-2 game across the
 	// wire; the others are smaller boards. Seeds are arbitrary but fixed.
@@ -162,18 +181,60 @@ func main() {
 	}
 	w2.Wait() //nolint:errcheck // reap the SIGKILLed worker
 
-	// Graceful drain: SIGTERM the daemon; the workers exit by themselves
-	// once the coordinator tears the rank world down.
+	// Degradation phase: SIGKILL the replacement mid-job and start NO new
+	// worker. Once -replace-grace expires the coordinator abandons the
+	// slot and re-maps its rank range onto worker-1; the job must finish
+	// on the shrunken world — bit-identical, because rollout randomness is
+	// keyed by logical job coordinates, never by which worker runs them.
+	degradeSpec := service.JobSpec{
+		Domain: "samegame", Width: 8, Height: 8, Colors: 3, BoardSeed: 17,
+		Level: 2, Seed: 29, Memorize: true,
+	}
+	degradeID := submit(degradeSpec)
+	log.Printf("degrade: submitted %s as %s", degradeSpec.Domain, degradeID)
+	awaitSteps(degradeID, 1)
+	if err := w3.Process.Kill(); err != nil {
+		die("kill worker-3: %v", err)
+	}
+	log.Printf("degrade: worker-3 SIGKILLed mid-job; no replacement — waiting out -replace-grace")
+	st = await(degradeID)
+	if st.State != service.StateDone {
+		die("degraded job state %s (error %q)", st.State, st.Error)
+	}
+	if !st.Degraded {
+		die("degraded job not flagged degraded: %+v", st)
+	}
+	verify(degradeSpec, st)
+	metrics = httpGet("/metrics")
+	for _, want := range []string{
+		"pnmcs_worker_lost_total 2",
+		"pnmcs_worker_abandoned_total 1",
+		"pnmcs_pool_degraded 1",
+		"pnmcs_net_workers 1",
+	} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			die("/metrics missing %q after the abandonment", want)
+		}
+	}
+	// The daemon keeps serving degraded — ready for traffic, flagged so.
+	if ready := httpGet("/readyz"); !bytes.Contains(ready, []byte(`"status": "degraded"`)) {
+		die("/readyz does not report degraded: %s", ready)
+	}
+	w3.Wait() //nolint:errcheck // reap the SIGKILLed replacement
+
+	// Graceful drain: SIGTERM the daemon; the surviving worker exits by
+	// itself once the coordinator tears the rank world down.
 	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
 		die("%v", err)
 	}
-	for name, p := range map[string]*exec.Cmd{"pnmcsd": daemon, "worker-1": w1, "worker-3": w3} {
+	for name, p := range map[string]*exec.Cmd{"pnmcsd": daemon, "worker-1": w1} {
 		if err := waitFor(p, 30*time.Second); err != nil {
 			die("%s did not drain cleanly: %v", name, err)
 		}
 	}
 	fmt.Println("distributed smoke PASS: 3 domains bit-identical across 2 worker processes, " +
-		"plus a SIGKILL mid-job survived with a bit-identical result")
+		"a SIGKILL mid-job survived via rolling replacement, and a second SIGKILL with no " +
+		"replacement finished degraded on one worker — all bit-identical")
 }
 
 // awaitSteps polls a job until it has played at least n root steps (so a
@@ -219,6 +280,19 @@ func waitFor(cmd *exec.Cmd, budget time.Duration) error {
 	case <-time.After(budget):
 		cmd.Process.Kill() //nolint:errcheck // giving up anyway
 		return fmt.Errorf("still running after %v", budget)
+	}
+}
+
+// waitWorkers polls /metrics until n workers are connected, pinning the
+// slot order of staggered worker starts.
+func waitWorkers(n int) {
+	want := []byte(fmt.Sprintf("pnmcs_net_workers %d", n))
+	deadline := time.Now().Add(30 * time.Second)
+	for !bytes.Contains(httpGet("/metrics"), want) {
+		if time.Now().After(deadline) {
+			die("never saw %s", want)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 

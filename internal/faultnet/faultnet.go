@@ -10,11 +10,17 @@
 //   - Sever: both legs of every proxied connection are closed — the
 //     TCP-visible crash (SIGKILL, reset). Each side's reader fails
 //     immediately, which is the loss signal mpi.NetCluster acts on.
-//   - Blackhole: bytes in both directions are silently discarded while
-//     both connections stay open — the pathological failure (partition,
-//     wedged NIC, frozen VM) that only a heartbeat timeout can detect.
-//   - Delay: every delivery is held for a fixed duration — cheap latency
-//     injection for shaking out ordering assumptions.
+//   - Blackhole: bytes are silently discarded while both connections
+//     stay open — the pathological failure (partition, wedged NIC,
+//     frozen VM) that only a heartbeat timeout can detect. The drop can
+//     be two-way (Blackhole) or one-way (BlackholeDir): dropping only
+//     the Down direction (coordinator→worker) silences the coordinator
+//     from the worker's point of view while the worker's own frames
+//     still arrive — the asymmetric partition the worker-side silence
+//     timeout exists to catch.
+//   - Delay: every delivery is held for a duration — cheap latency
+//     injection for shaking out ordering assumptions. Per direction,
+//     with optional uniform jitter (SetDelayDir).
 //   - SeverAfter: the upstream leg is cut after N relayed bytes — frames
 //     and handshakes torn mid-message.
 //
@@ -27,10 +33,23 @@ package faultnet
 
 import (
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
+)
+
+// Direction selects one leg of a proxied stream. A FaultConn wraps the
+// upstream (target-side) connection, so its Write carries Up traffic and
+// its Read carries Down traffic.
+type Direction int
+
+const (
+	// Up is dialer→target: what the worker sends the coordinator.
+	Up Direction = iota
+	// Down is target→dialer: what the coordinator sends the worker.
+	Down
 )
 
 // FaultConn wraps a net.Conn with switchable failure behavior. The zero
@@ -39,8 +58,12 @@ import (
 type FaultConn struct {
 	net.Conn
 
-	blackhole atomic.Bool
-	delayNs   atomic.Int64
+	blackholeUp   atomic.Bool
+	blackholeDown atomic.Bool
+	delayUpNs     atomic.Int64
+	delayDownNs   atomic.Int64
+	jitterUpNs    atomic.Int64
+	jitterDownNs  atomic.Int64
 
 	// severAfter, when positive, counts down relayed Write bytes; the
 	// connection is severed once it reaches zero.
@@ -53,14 +76,55 @@ type FaultConn struct {
 // NewFaultConn wraps c.
 func NewFaultConn(c net.Conn) *FaultConn { return &FaultConn{Conn: c} }
 
-// Blackhole switches byte-discard mode: writes report success but deliver
-// nothing, reads consume and discard inbound bytes without returning
-// them, and the connection stays open — exactly the silence a heartbeat
-// timeout exists to catch.
-func (f *FaultConn) Blackhole(on bool) { f.blackhole.Store(on) }
+// Blackhole switches two-way byte-discard mode: writes report success but
+// deliver nothing, reads consume and discard inbound bytes without
+// returning them, and the connection stays open — exactly the silence a
+// heartbeat timeout exists to catch.
+func (f *FaultConn) Blackhole(on bool) {
+	f.blackholeUp.Store(on)
+	f.blackholeDown.Store(on)
+}
 
-// SetDelay holds every read delivery for d. Zero disables.
-func (f *FaultConn) SetDelay(d time.Duration) { f.delayNs.Store(int64(d)) }
+// BlackholeDir discards one direction only while the other keeps
+// flowing: BlackholeDir(Down, true) silences the coordinator from the
+// worker's point of view (no data, no pings) while the worker's own
+// frames still arrive — the asymmetric partition that only a worker-side
+// silence timeout can detect.
+func (f *FaultConn) BlackholeDir(dir Direction, on bool) {
+	if dir == Up {
+		f.blackholeUp.Store(on)
+	} else {
+		f.blackholeDown.Store(on)
+	}
+}
+
+// SetDelay holds every Down (read) delivery for d. Zero disables. Kept
+// for the original two-party tests; SetDelayDir is the per-direction
+// form.
+func (f *FaultConn) SetDelay(d time.Duration) { f.delayDownNs.Store(int64(d)) }
+
+// SetDelayDir holds every delivery in dir for base plus a uniform random
+// jitter in [0, jitter). Zero base and jitter disable.
+func (f *FaultConn) SetDelayDir(dir Direction, base, jitter time.Duration) {
+	if dir == Up {
+		f.delayUpNs.Store(int64(base))
+		f.jitterUpNs.Store(int64(jitter))
+	} else {
+		f.delayDownNs.Store(int64(base))
+		f.jitterDownNs.Store(int64(jitter))
+	}
+}
+
+// holdFor sleeps out the configured delay+jitter for one delivery.
+func holdFor(baseNs, jitterNs *atomic.Int64) {
+	d := baseNs.Load()
+	if j := jitterNs.Load(); j > 0 {
+		d += rand.Int63n(j)
+	}
+	if d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
 
 // Sever closes the underlying connection; both endpoints observe a dead
 // stream. Idempotent.
@@ -87,10 +151,8 @@ func (f *FaultConn) Read(p []byte) (int, error) {
 		if err != nil {
 			return n, err
 		}
-		if d := time.Duration(f.delayNs.Load()); d > 0 {
-			time.Sleep(d)
-		}
-		if !f.blackhole.Load() {
+		holdFor(&f.delayDownNs, &f.jitterDownNs)
+		if !f.blackholeDown.Load() {
 			return n, nil
 		}
 		// Discard and wait for more — or for the peer to give up.
@@ -99,9 +161,10 @@ func (f *FaultConn) Read(p []byte) (int, error) {
 
 // Write implements net.Conn.
 func (f *FaultConn) Write(p []byte) (int, error) {
-	if f.blackhole.Load() {
+	if f.blackholeUp.Load() {
 		return len(p), nil // swallowed
 	}
+	holdFor(&f.delayUpNs, &f.jitterUpNs)
 	if f.severArmed.Load() {
 		left := f.severAfter.Load()
 		if int64(len(p)) >= left {
@@ -132,9 +195,10 @@ type Proxy struct {
 	inbound []net.Conn   // matching downstream (accepted) conns
 	closed  bool
 
-	blackhole  bool
-	delay      time.Duration
-	severAfter int64 // pending byte fuse for the next link; -1 = none
+	blackholeUp, blackholeDown bool
+	delayUp, delayDown         time.Duration
+	jitterUp, jitterDown       time.Duration
+	severAfter                 int64 // pending byte fuse for the next link; -1 = none
 }
 
 // NewProxy starts a proxy listening on a loopback ephemeral port,
@@ -171,8 +235,10 @@ func (p *Proxy) accept() {
 			f.Sever()
 			continue
 		}
-		f.Blackhole(p.blackhole)
-		f.SetDelay(p.delay)
+		f.BlackholeDir(Up, p.blackholeUp)
+		f.BlackholeDir(Down, p.blackholeDown)
+		f.SetDelayDir(Up, p.delayUp, p.jitterUp)
+		f.SetDelayDir(Down, p.delayDown, p.jitterDown)
 		if p.severAfter >= 0 {
 			f.SeverAfter(p.severAfter)
 		}
@@ -217,7 +283,7 @@ func (p *Proxy) Sever() {
 // and future link while keeping the connections open.
 func (p *Proxy) Blackhole(on bool) {
 	p.mu.Lock()
-	p.blackhole = on
+	p.blackholeUp, p.blackholeDown = on, on
 	links := append([]*FaultConn(nil), p.links...)
 	p.mu.Unlock()
 	for _, f := range links {
@@ -225,14 +291,40 @@ func (p *Proxy) Blackhole(on bool) {
 	}
 }
 
-// SetDelay holds every delivery for d on current and future links.
-func (p *Proxy) SetDelay(d time.Duration) {
+// BlackholeDir discards one direction only on every current and future
+// link: Down drops what the target (coordinator) sends while the
+// dialer's (worker's) own bytes still get through — the asymmetric
+// partition the worker-side silence timeout detects.
+func (p *Proxy) BlackholeDir(dir Direction, on bool) {
 	p.mu.Lock()
-	p.delay = d
+	if dir == Up {
+		p.blackholeUp = on
+	} else {
+		p.blackholeDown = on
+	}
 	links := append([]*FaultConn(nil), p.links...)
 	p.mu.Unlock()
 	for _, f := range links {
-		f.SetDelay(d)
+		f.BlackholeDir(dir, on)
+	}
+}
+
+// SetDelay holds every Down delivery for d on current and future links.
+func (p *Proxy) SetDelay(d time.Duration) { p.SetDelayDir(Down, d, 0) }
+
+// SetDelayDir holds every delivery in dir for base plus uniform jitter in
+// [0, jitter), on current and future links.
+func (p *Proxy) SetDelayDir(dir Direction, base, jitter time.Duration) {
+	p.mu.Lock()
+	if dir == Up {
+		p.delayUp, p.jitterUp = base, jitter
+	} else {
+		p.delayDown, p.jitterDown = base, jitter
+	}
+	links := append([]*FaultConn(nil), p.links...)
+	p.mu.Unlock()
+	for _, f := range links {
+		f.SetDelayDir(dir, base, jitter)
 	}
 }
 

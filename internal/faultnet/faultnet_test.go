@@ -132,6 +132,159 @@ func TestProxyDelayHoldsDelivery(t *testing.T) {
 	}
 }
 
+// startObservedEcho echoes like startEcho but also reports every chunk
+// the server side actually received, so directional tests can tell "the
+// bytes arrived but the reply was swallowed" (Down blackhole) apart from
+// "the bytes never arrived" (Up blackhole).
+func startObservedEcho(t *testing.T) (string, <-chan string) {
+	t.Helper()
+	got := make(chan string, 16)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() }) //nolint:errcheck // teardown
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 256)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						got <- string(buf[:n])
+						c.Write(buf[:n]) //nolint:errcheck // echo until error
+					}
+					if err != nil {
+						c.Close() //nolint:errcheck // teardown
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), got
+}
+
+// expectArrival accumulates server-side chunks until want has arrived.
+func expectArrival(t *testing.T, got <-chan string, want string) {
+	t.Helper()
+	var seen string
+	for seen != want {
+		select {
+		case chunk := <-got:
+			seen += chunk
+		case <-time.After(2 * time.Second):
+			t.Fatalf("server received %q, want %q", seen, want)
+		}
+	}
+}
+
+// TestProxyBlackholeDirDown silences only the target→dialer direction:
+// the dialer's bytes still reach the server (which replies into the
+// void), and lifting the blackhole restores new replies while the
+// swallowed one stays lost.
+func TestProxyBlackholeDirDown(t *testing.T) {
+	addr, got := startObservedEcho(t)
+	p, err := NewProxy(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	if err := roundTrip(t, c, "warm"); err != nil {
+		t.Fatal(err)
+	}
+	expectArrival(t, got, "warm")
+
+	p.BlackholeDir(Down, true)
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatalf("write through a Down blackhole must succeed: %v", err)
+	}
+	expectArrival(t, got, "ping")                             // the Up direction still relays
+	c.SetReadDeadline(time.Now().Add(150 * time.Millisecond)) //nolint:errcheck // expecting silence
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("Down-blackholed link delivered the echo")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("Down-blackholed link closed instead of staying silent: %v", err)
+	}
+
+	p.BlackholeDir(Down, false)
+	if err := roundTrip(t, c, "anew"); err != nil {
+		t.Fatalf("post-blackhole relay: %v", err)
+	}
+}
+
+// TestProxyBlackholeDirUp silences only the dialer→target direction: the
+// write looks successful but the server never sees the bytes, and there
+// is consequently no echo either.
+func TestProxyBlackholeDirUp(t *testing.T) {
+	addr, got := startObservedEcho(t)
+	p, err := NewProxy(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	if err := roundTrip(t, c, "warm"); err != nil {
+		t.Fatal(err)
+	}
+	expectArrival(t, got, "warm")
+
+	p.BlackholeDir(Up, true)
+	if _, err := c.Write([]byte("lost")); err != nil {
+		t.Fatalf("write through an Up blackhole must look successful: %v", err)
+	}
+	select {
+	case chunk := <-got:
+		t.Fatalf("Up-blackholed bytes reached the server: %q", chunk)
+	case <-time.After(150 * time.Millisecond):
+	}
+
+	p.BlackholeDir(Up, false)
+	if err := roundTrip(t, c, "seen"); err != nil {
+		t.Fatalf("post-blackhole relay: %v", err)
+	}
+	expectArrival(t, got, "seen")
+}
+
+// TestProxyDelayDirPerDirection pins per-direction delay: a base on one
+// direction slows the round trip by at least that much, and jitter only
+// ever adds on top of the base.
+func TestProxyDelayDirPerDirection(t *testing.T) {
+	p, err := NewProxy(startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+
+	p.SetDelayDir(Up, 80*time.Millisecond, 0)
+	t0 := time.Now()
+	if err := roundTrip(t, c, "up-slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 60*time.Millisecond {
+		t.Fatalf("Up-delayed round trip took only %v", d)
+	}
+
+	// Move the delay to Down, with jitter: the base is still the floor.
+	p.SetDelayDir(Up, 0, 0)
+	p.SetDelayDir(Down, 60*time.Millisecond, 60*time.Millisecond)
+	t0 = time.Now()
+	if err := roundTrip(t, c, "down-jittered"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 50*time.Millisecond {
+		t.Fatalf("jittered Down round trip took only %v (base 60ms is the floor)", d)
+	}
+}
+
 func TestProxySeverAfterCutsMidMessage(t *testing.T) {
 	p, err := NewProxy(startEcho(t))
 	if err != nil {

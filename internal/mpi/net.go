@@ -278,6 +278,18 @@ type NetConfig struct {
 	// stream has carried no frame (data, pong or goodbye) for this long is
 	// declared lost and its connection closed. Zero selects 4×Heartbeat.
 	HeartbeatTimeout time.Duration
+	// PendingLimit caps the pending-frame queue of a lost worker slot:
+	// once more than this many frames have queued for a slot awaiting a
+	// replacement, the slot is abandoned (OnWorkerAbandoned) instead of
+	// queueing forever. Zero means unbounded — the pre-degradation
+	// behavior. The cap only applies to slots that have joined at least
+	// once; a never-connected worker's queue is the late-join feature and
+	// stays unbounded.
+	PendingLimit int
+	// ReplaceGrace is how long a lost worker slot waits for a replacement
+	// before being abandoned. Zero disables the grace timer (slots then
+	// only abandon via PendingLimit overflow).
+	ReplaceGrace time.Duration
 
 	// OnWorkerLost, when non-nil, is called when a connected worker's
 	// stream dies before teardown (read error, reset, missed heartbeat, or
@@ -296,6 +308,14 @@ type NetConfig struct {
 	// hosted rank (index i = rank lo+i). Values are cumulative for one
 	// connection's lifetime; a replacement worker restarts from zero.
 	OnWorkerStats func(worker int, lo Rank, idleSeconds []float64)
+	// OnWorkerAbandoned, when non-nil, is called when a lost worker slot
+	// gives up waiting for a replacement — its ReplaceGrace expired, or
+	// its pending queue overflowed PendingLimit — at most once per loss.
+	// The slot's queued frames are dropped and further frames for its
+	// ranks are discarded instead of queued; the slot itself stays
+	// claimable, so a worker dialing in later still revives it (the join
+	// fires OnWorkerJoined with rejoin=true and queueing resumes).
+	OnWorkerAbandoned func(worker int, lo, hi Rank)
 }
 
 // NetCluster is the coordinator of a distributed rank world. It implements
@@ -312,14 +332,16 @@ type NetCluster struct {
 
 	counters netCounters
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	conns   []*netConn // per worker slot; nil until the handshake completes
-	claimed []bool     // slot reserved by an in-flight handshake or live conn
-	done    []bool     // connection ended; reset when the slot reopens
-	served  []bool     // slot has completed a handshake at least once
-	pending [][][]byte // frames queued for a not-yet-(re)connected worker
-	closed  bool       // listener shut down, no more workers accepted
+	mu        sync.Mutex
+	cond      *sync.Cond
+	conns     []*netConn // per worker slot; nil until the handshake completes
+	claimed   []bool     // slot reserved by an in-flight handshake or live conn
+	done      []bool     // connection ended; reset when the slot reopens
+	served    []bool     // slot has completed a handshake at least once
+	pending   [][][]byte // frames queued for a not-yet-(re)connected worker
+	abandoned []bool     // slot gave up on a replacement; frames are dropped
+	gen       []uint64   // bumped at each connection publish; guards stale abandons
+	closed    bool       // listener shut down, no more workers accepted
 
 	// lastSeen[i] is the unix-nano arrival time of worker i's latest
 	// frame, updated lock-free by the per-connection readers and consumed
@@ -352,18 +374,20 @@ func ListenNet(cfg NetConfig) (*NetCluster, error) {
 		return nil, err
 	}
 	c := &NetCluster{
-		cfg:      cfg,
-		ln:       ln,
-		start:    time.Now(),
-		local:    make([]*netComm, cfg.LocalRanks),
-		bounds:   bounds,
-		conns:    make([]*netConn, len(cfg.WorkerRanks)),
-		claimed:  make([]bool, len(cfg.WorkerRanks)),
-		done:     make([]bool, len(cfg.WorkerRanks)),
-		served:   make([]bool, len(cfg.WorkerRanks)),
-		pending:  make([][][]byte, len(cfg.WorkerRanks)),
-		lastSeen: make([]atomic.Int64, len(cfg.WorkerRanks)),
-		hbStop:   make(chan struct{}),
+		cfg:       cfg,
+		ln:        ln,
+		start:     time.Now(),
+		local:     make([]*netComm, cfg.LocalRanks),
+		bounds:    bounds,
+		conns:     make([]*netConn, len(cfg.WorkerRanks)),
+		claimed:   make([]bool, len(cfg.WorkerRanks)),
+		done:      make([]bool, len(cfg.WorkerRanks)),
+		served:    make([]bool, len(cfg.WorkerRanks)),
+		pending:   make([][][]byte, len(cfg.WorkerRanks)),
+		abandoned: make([]bool, len(cfg.WorkerRanks)),
+		gen:       make([]uint64, len(cfg.WorkerRanks)),
+		lastSeen:  make([]atomic.Int64, len(cfg.WorkerRanks)),
+		hbStop:    make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	for r := range c.local {
@@ -509,11 +533,16 @@ func (c *NetCluster) relayWorker(w int, body []byte) {
 	if conn == nil {
 		// Not connected — never joined, or lost and awaiting a
 		// replacement: queue, so the frame reaches whichever process next
-		// claims the slot. Only teardown drops frames.
-		if !c.closed {
+		// claims the slot. Teardown and abandonment drop frames.
+		if !c.closed && !c.abandoned[w] {
 			frame := make([]byte, 0, 4+len(body))
 			frame = binary.LittleEndian.AppendUint32(frame, uint32(len(body)))
 			c.pending[w] = append(c.pending[w], append(frame, body...))
+			if overflow, gen := c.pendingOverLimit(w); overflow {
+				c.mu.Unlock()
+				c.abandonSlot(w, gen)
+				return
+			}
 		}
 		c.mu.Unlock()
 		return
@@ -533,8 +562,13 @@ func (c *NetCluster) sendWorker(w int, frame []byte) {
 	c.mu.Lock()
 	conn := c.conns[w]
 	if conn == nil {
-		if !c.closed {
+		if !c.closed && !c.abandoned[w] {
 			c.pending[w] = append(c.pending[w], frame)
+			if overflow, gen := c.pendingOverLimit(w); overflow {
+				c.mu.Unlock()
+				c.abandonSlot(w, gen)
+				return
+			}
 		}
 		c.mu.Unlock()
 		return
@@ -544,6 +578,40 @@ func (c *NetCluster) sendWorker(w int, frame []byte) {
 	// releases the slot, so the error itself is not actionable here.
 	if conn.write(frame) == nil {
 		c.counters.countSent(len(frame))
+	}
+}
+
+// pendingOverLimit reports (under c.mu) whether slot w's pending queue
+// just exceeded the configured cap, and the generation to validate the
+// abandonment against. The cap is gated on served: a never-joined
+// worker's queue is the late-join feature and stays unbounded.
+func (c *NetCluster) pendingOverLimit(w int) (bool, uint64) {
+	if c.cfg.PendingLimit > 0 && c.served[w] && len(c.pending[w]) > c.cfg.PendingLimit {
+		return true, c.gen[w]
+	}
+	return false, 0
+}
+
+// abandonSlot marks a lost worker slot abandoned: its queued frames are
+// dropped and future frames for its ranks are discarded, and
+// OnWorkerAbandoned fires exactly once. The generation check makes stale
+// triggers harmless — a grace timer armed for a connection that has since
+// been replaced (gen bumped at publish) validates against the old gen and
+// backs off; so does any trigger racing a handshake (claimed) or arriving
+// after teardown. The slot is NOT retired: a worker dialing in later
+// still claims it, which clears the abandoned flag and revives the range.
+func (c *NetCluster) abandonSlot(slot int, gen uint64) {
+	c.mu.Lock()
+	if c.closed || c.abandoned[slot] || c.conns[slot] != nil ||
+		c.claimed[slot] || c.gen[slot] != gen {
+		c.mu.Unlock()
+		return
+	}
+	c.abandoned[slot] = true
+	c.pending[slot] = nil
+	c.mu.Unlock()
+	if c.cfg.OnWorkerAbandoned != nil {
+		c.cfg.OnWorkerAbandoned(slot, c.bounds[slot], c.bounds[slot+1])
 	}
 }
 
@@ -694,18 +762,27 @@ func (c *NetCluster) handshake(conn net.Conn) {
 	}
 	c.claimed[slot] = true
 	rejoin := c.served[slot]
+	// Claiming an abandoned slot revives it: queueing resumes for the
+	// duration of the handshake, and a completed join hands the range
+	// back to the embedding layer (rejoin=true).
+	revived := c.abandoned[slot]
+	c.abandoned[slot] = false
 	lo, hi := c.bounds[slot], c.bounds[slot+1]
 	c.mu.Unlock()
 
 	nc := &netConn{c: conn}
 	// fail releases the slot claim and requeues any frames this attempt
 	// took from the pending queue but did not write, so a retrying worker
-	// still receives them (in order, ahead of anything queued since).
+	// still receives them (in order, ahead of anything queued since). An
+	// abandoned slot goes back to being abandoned.
 	fail := func(unwritten [][]byte) {
 		conn.Close() //nolint:errcheck // teardown
 		c.mu.Lock()
 		c.claimed[slot] = false
-		if len(unwritten) > 0 {
+		if revived {
+			c.abandoned[slot] = true
+			c.pending[slot] = nil
+		} else if len(unwritten) > 0 {
 			c.pending[slot] = append(unwritten, c.pending[slot]...)
 		}
 		c.mu.Unlock()
@@ -741,6 +818,7 @@ func (c *NetCluster) handshake(conn net.Conn) {
 			}
 			c.conns[slot] = nc
 			c.served[slot] = true
+			c.gen[slot]++ // invalidate grace timers armed for the previous conn
 			c.lastSeen[slot].Store(time.Now().UnixNano())
 			c.mu.Unlock()
 			break
@@ -882,11 +960,28 @@ func (c *NetCluster) workerGone(slot int, nc *netConn) {
 		c.cfg.OnWorkerLost(slot, c.bounds[slot], c.bounds[slot+1])
 	}
 	c.mu.Lock()
+	var graceGen uint64
+	grace := false
+	overflow := false
+	var overflowGen uint64
 	if !c.closed {
 		c.done[slot] = false
 		c.claimed[slot] = false
+		if c.cfg.ReplaceGrace > 0 {
+			grace, graceGen = true, c.gen[slot]
+		}
+		// Frames queued while the loss hook ran could not trip the cap
+		// (the slot was still claimed); settle the bill now.
+		overflow, overflowGen = c.pendingOverLimit(slot)
 	}
 	c.mu.Unlock()
+	if overflow {
+		c.abandonSlot(slot, overflowGen)
+		return
+	}
+	if grace {
+		time.AfterFunc(c.cfg.ReplaceGrace, func() { c.abandonSlot(slot, graceGen) })
+	}
 }
 
 var _ Cluster = (*NetCluster)(nil)
@@ -908,6 +1003,15 @@ type NetWorker struct {
 	// telemetry, when set (before Run), samples the worker's cumulative
 	// per-rank idle seconds; the snapshot rides pong and goodbye frames.
 	telemetry func() []float64
+
+	// silence, when positive (SetSilenceTimeout, before Run), is the
+	// worker-side liveness budget: the coordinator pings every Heartbeat
+	// interval, so a stream that carries nothing for this long means the
+	// coordinator is dead or the path is blackholed. The monitor closes
+	// the connection; the reader fails and Run returns with Lost() true.
+	silence  time.Duration
+	lastRecv atomic.Int64
+	lost     atomic.Bool
 
 	readerErr chan error
 	bodiesRun sync.WaitGroup
@@ -1009,6 +1113,44 @@ func (w *NetWorker) Blob() []byte { return w.blob }
 // use.
 func (w *NetWorker) SetTelemetry(sample func() []float64) { w.telemetry = sample }
 
+// SetSilenceTimeout arms the worker-side liveness monitor: if the
+// coordinator stream carries no frame (data or ping) for d, the
+// connection is severed so Run returns instead of hanging on a dead or
+// blackholed coordinator forever — the worker-side mirror of the
+// coordinator's HeartbeatTimeout. Must be called before Run. Choose d
+// comfortably above the coordinator's ping interval (default 2s). Zero
+// or negative disables the monitor (the default).
+func (w *NetWorker) SetSilenceTimeout(d time.Duration) { w.silence = d }
+
+// Lost reports whether Run ended because the coordinator stream died
+// (read error, reset, or the SetSilenceTimeout monitor) rather than by a
+// clean drain of the hosted rank bodies. Valid after Run returns; the
+// embedding layer uses it to decide whether to redial.
+func (w *NetWorker) Lost() bool { return w.lost.Load() }
+
+// monitorSilence severs the coordinator connection once the stream has
+// been silent past the budget. Closing is enough: the reader fails and
+// Run unwinds through its loss path.
+func (w *NetWorker) monitorSilence(stop chan struct{}) {
+	interval := w.silence / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		if time.Now().UnixNano()-w.lastRecv.Load() > int64(w.silence) {
+			w.conn.c.Close() //nolint:errcheck // reader runs the loss path
+			return
+		}
+	}
+}
+
 // sendCtrl ships a control frame (pong, goodbye) carrying the current
 // telemetry snapshot, when a sampler is installed.
 func (w *NetWorker) sendCtrl(tag Tag) {
@@ -1081,6 +1223,12 @@ func (w *NetWorker) Run() time.Duration {
 		}
 	}
 	t0 := time.Now()
+	w.lastRecv.Store(time.Now().UnixNano())
+	if w.silence > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go w.monitorSilence(stop)
+	}
 	go w.read()
 	bodiesDone := make(chan struct{})
 	for _, nc := range w.local {
@@ -1103,6 +1251,7 @@ func (w *NetWorker) Run() time.Duration {
 		w.sendCtrl(ctrlBye)
 	case <-w.readerErr:
 		// Coordinator gone: nothing left to say goodbye to.
+		w.lost.Store(true)
 	}
 	w.conn.c.Close() //nolint:errcheck // teardown
 	return time.Since(t0)
@@ -1124,6 +1273,7 @@ func (w *NetWorker) read() {
 			}
 			return
 		}
+		w.lastRecv.Store(time.Now().UnixNano())
 		_, to32, tag32, ok := codec.PeekEnvelope(body)
 		if !ok {
 			continue // truncated header or foreign version

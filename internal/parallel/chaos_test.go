@@ -279,3 +279,174 @@ func TestChaosLateJoinDuringCancel(t *testing.T) {
 	pool.Shutdown()
 	wait()
 }
+
+// waitPoolCond polls the pool's metrics until cond holds.
+func waitPoolCond(t *testing.T, pool *Pool, what string, cond func(PoolMetrics) bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond(pool.Metrics()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s: %+v", what, pool.Metrics())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosDegradeNoReplacement is the graceful-degradation acceptance
+// test: one of two workers is killed mid-job and NO replacement ever
+// dials in. After the grace window the pool abandons the worker and
+// re-maps its rank range onto the survivor; the in-flight job and a
+// second job run entirely on the shrunken world must both be
+// bit-identical to the undisturbed solo run, per domain.
+func TestChaosDegradeNoReplacement(t *testing.T) {
+	cfgs := map[string]Config{
+		"morpion":  {Level: 2, Root: morpion.New(morpion.Var4D), Seed: 11, Memorize: true, FirstMoveOnly: true},
+		"samegame": {Level: 2, Root: samegame.NewRandom(6, 6, 3, 3), Seed: 5, Memorize: true},
+		"sudoku":   {Level: 2, Root: sudoku.New(2), Seed: 7},
+	}
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			solo, err := RunWall(4, 3, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool, err := NewNetPool(
+				PoolConfig{Slots: 2, Medians: 2, Clients: 3},
+				NetPoolConfig{
+					Listen: "127.0.0.1:0", Workers: 2,
+					Degrade: true, MinWorkers: 1,
+					ReplaceGrace: 150 * time.Millisecond,
+				},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			workers := []*chaosWorker{
+				startChaosWorker(t, pool.WorkerAddr()),
+				startChaosWorker(t, pool.WorkerAddr()),
+			}
+
+			// Worker 1 hosts the last two client ranks only, so the
+			// survivor keeps both medians and one client: the smallest
+			// world that can still finish any job.
+			var once sync.Once
+			kill := func() { once.Do(func() { workers[1].proxy.Sever() }) }
+			var progress func(Progress)
+			if cfg.FirstMoveOnly {
+				timer := time.AfterFunc(150*time.Millisecond, kill)
+				defer timer.Stop()
+			} else {
+				progress = func(p Progress) {
+					if p.Steps == 1 {
+						kill()
+					}
+				}
+			}
+
+			res, err := pool.RunJob(0, cfg, progress)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, "degraded kill vs solo", res, solo)
+			kill() // first-move jobs that beat the timer still degrade the pool
+
+			// With no replacement the grace window must expire into an
+			// abandonment, never a rejoin.
+			waitPoolCond(t, pool, "worker abandonment", func(m PoolMetrics) bool {
+				return m.WorkersAbandoned >= 1 && m.Degraded
+			})
+
+			// A job started on the already-shrunken world: same answer,
+			// and the degraded flag is now deterministic.
+			res2, err := pool.RunJob(0, cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, "fully degraded job vs solo", res2, solo)
+			if !res2.Degraded {
+				t.Fatal("job on a degraded pool did not report Degraded")
+			}
+			m := pool.Metrics()
+			if m.WorkersRejoined != 0 {
+				t.Fatalf("phantom rejoin with no replacement: %+v", m)
+			}
+			if m.Failed {
+				t.Fatalf("pool above its floor reported failed: %+v", m)
+			}
+
+			pool.Shutdown()
+			for _, w := range workers {
+				w.proxy.Close()
+				<-w.done
+			}
+		})
+	}
+}
+
+// TestChaosDegradeFailFast pins the bounded-loss escalation: with Degrade
+// off, an abandonment fails the running job promptly with ErrDegraded
+// (no stall), refuses new jobs, and a worker rejoining after all revives
+// the pool to full, bit-identical service.
+func TestChaosDegradeFailFast(t *testing.T) {
+	cfg := Config{Level: 2, Root: samegame.NewRandom(6, 6, 3, 3), Seed: 5, Memorize: true}
+	solo, err := RunWall(4, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewNetPool(
+		PoolConfig{Slots: 1, Medians: 2, Clients: 3},
+		NetPoolConfig{
+			Listen: "127.0.0.1:0", Workers: 2,
+			ReplaceGrace: 100 * time.Millisecond, // Degrade off: any abandonment fails the pool
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := []*chaosWorker{
+		startChaosWorker(t, pool.WorkerAddr()),
+		startChaosWorker(t, pool.WorkerAddr()),
+	}
+
+	var once sync.Once
+	res, err := pool.RunJob(0, cfg, func(p Progress) {
+		if p.Steps == 1 {
+			once.Do(func() { workers[1].proxy.Sever() })
+		}
+	})
+	if err != ErrDegraded {
+		t.Fatalf("fail-fast job returned (%+v, %v), want ErrDegraded", res, err)
+	}
+	if !res.Degraded {
+		t.Fatal("failed job did not report Degraded")
+	}
+	if _, err := pool.RunJob(0, cfg, nil); err != ErrDegraded {
+		t.Fatalf("job on failed pool returned %v, want ErrDegraded", err)
+	}
+	m := pool.Metrics()
+	if !m.Failed || m.WorkersAbandoned < 1 {
+		t.Fatalf("fail-fast not reflected in metrics: %+v", m)
+	}
+
+	// Capacity returns: the abandoned range is revived and service is
+	// restored in full — the same job now matches solo exactly.
+	replacement := startReplacementWorker(t, pool.WorkerAddr())
+	waitPoolCond(t, pool, "pool revival", func(m PoolMetrics) bool {
+		return !m.Failed && !m.Degraded && m.WorkersRejoined >= 1
+	})
+	after, err := pool.RunJob(0, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "revived pool vs solo", after, solo)
+	if after.Degraded {
+		t.Fatal("revived pool still reports Degraded")
+	}
+
+	pool.Shutdown()
+	for _, w := range workers {
+		w.proxy.Close()
+		<-w.done
+	}
+	<-replacement.done
+}

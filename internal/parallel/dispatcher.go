@@ -119,6 +119,7 @@ func runDispatcherLoop(c mpi.Comm, lay cluster.Layout, cfg *Config, longestFirst
 	free := append([]mpi.Rank(nil), lay.Clients...) // line 1
 	var jobs []lmJob                                // line 2
 	var assigned map[mpi.Rank]mpi.Rank              // busy client -> median it serves
+	var dead map[mpi.Rank]bool                      // clients abandoned with their worker
 	if faultAware {
 		assigned = make(map[mpi.Rank]mpi.Rank, len(lay.Clients))
 	}
@@ -172,6 +173,9 @@ func runDispatcherLoop(c mpi.Comm, lay cluster.Layout, cfg *Config, longestFirst
 			// churn a preemptively re-freed client's own notice does).
 			if !slices.Contains(lay.Clients, msg.From) || slices.Contains(free, msg.From) {
 				break
+			}
+			if dead[msg.From] {
+				break // a notice outliving its abandoned sender
 			}
 			if faultAware {
 				delete(assigned, msg.From)
@@ -231,6 +235,77 @@ func runDispatcherLoop(c mpi.Comm, lay cluster.Layout, cfg *Config, longestFirst
 				delete(assigned, client)
 				if !slices.Contains(free, client) {
 					free = append(free, client)
+				}
+			}
+			for len(jobs) > 0 && len(free) > 0 {
+				serve()
+			}
+
+		case tagRanksDead:
+			// A lost worker was abandoned: no replacement is coming, so
+			// unlike tagRanksLost its clients must leave the rotation
+			// entirely — re-freeing them would hand medians assignments
+			// that can never compute. Dead medians' queued requests are
+			// dropped, dead clients leave both the free list and the
+			// assignment table, and live clients stranded on dead medians
+			// are freed as in the loss path.
+			lost, ok := msg.Payload.(svcRanksLost)
+			if !ok || msg.From != mpi.External || !faultAware {
+				break // forged wire frame: only the pool declares abandonment
+			}
+			if dead == nil {
+				dead = make(map[mpi.Rank]bool, len(lay.Clients))
+			}
+			for _, cl := range lay.Clients {
+				if cl >= lost.Lo && cl < lost.Hi {
+					dead[cl] = true
+				}
+			}
+			kept := jobs[:0]
+			for _, j := range jobs {
+				if j.sender < lost.Lo || j.sender >= lost.Hi {
+					kept = append(kept, j)
+				}
+			}
+			jobs = kept
+			keptFree := free[:0]
+			for _, cl := range free {
+				if !dead[cl] {
+					keptFree = append(keptFree, cl)
+				}
+			}
+			free = keptFree
+			for client, median := range assigned {
+				if dead[client] {
+					delete(assigned, client)
+					continue
+				}
+				if median >= lost.Lo && median < lost.Hi {
+					delete(assigned, client)
+					if !slices.Contains(free, client) {
+						free = append(free, client)
+					}
+				}
+			}
+			for len(jobs) > 0 && len(free) > 0 {
+				serve()
+			}
+
+		case tagRanksRevived:
+			// An abandoned worker rejoined after all. Its clients boot
+			// idle in the fresh process, so they re-enter the free list
+			// directly; their own availability notices arrive later and
+			// are shed by the duplicate guard.
+			lost, ok := msg.Payload.(svcRanksLost)
+			if !ok || msg.From != mpi.External || !faultAware {
+				break
+			}
+			for _, cl := range lay.Clients {
+				if cl >= lost.Lo && cl < lost.Hi && dead[cl] {
+					delete(dead, cl)
+					if !slices.Contains(free, cl) {
+						free = append(free, cl)
+					}
 				}
 			}
 			for len(jobs) > 0 && len(free) > 0 {

@@ -274,6 +274,12 @@ type Result struct {
 	// offer/request transition. Zero under the static scheduler.
 	QueueDepthMax  int
 	QueueDepthMean float64
+	// Degraded is true when the job ran (or ended) on a shrunken pool:
+	// at least one worker process was abandoned — lost for good with no
+	// replacement — while this job was in flight (distributed pools
+	// only). Score, Sequence, Jobs and WorkUnits are still bit-identical
+	// to an undisturbed run; the flag reports capacity, not correctness.
+	Degraded bool
 }
 
 // Event is one protocol communication, labelled like the paper's figures:

@@ -63,13 +63,16 @@ import (
 // messages multiplexed onto the shared scheduler use the per-slot tag
 // bands of Pool.space.
 const (
-	tagJobStart   mpi.Tag = 64 + iota // External -> slot: start this job
-	tagJobCancel                      // External -> slot: cancel epoch
-	tagGrant                          // scheduler -> median: candidate to play
-	tagStepScore                      // median -> slot: finished game score
-	tagAbandonAck                     // scheduler -> slot: dropped-candidate count
-	tagRanksLost                      // External -> scheduler/dispatcher/median: worker ranks died
-	tagRegrant                        // scheduler -> slot: lost candidates re-queued
+	tagJobStart     mpi.Tag = 64 + iota // External -> slot: start this job
+	tagJobCancel                        // External -> slot: cancel epoch
+	tagGrant                            // scheduler -> median: candidate to play
+	tagStepScore                        // median -> slot: finished game score
+	tagAbandonAck                       // scheduler -> slot: dropped-candidate count
+	tagRanksLost                        // External -> scheduler/dispatcher/median: worker ranks died
+	tagRegrant                          // scheduler -> slot: lost candidates re-queued
+	tagRanksDead                        // External -> scheduler/dispatcher/median: ranks abandoned, no replacement coming
+	tagRanksRevived                     // External -> dispatcher/median: abandoned ranks rejoined after all
+	tagJobFail                          // External -> slot: pool degraded below its floor, fail the job
 )
 
 // Per-slot tag-band offsets (see mpi.TagSpace): the scheduler tells jobs
@@ -262,6 +265,18 @@ type PoolMetrics struct {
 	// changes a score (rollout streams are keyed by logical coordinates);
 	// this meters how much compute churn cost.
 	Regranted int64
+	// WorkersAbandoned counts lost workers given up on for good: their
+	// grace window (NetPoolConfig.ReplaceGrace) expired or their pending
+	// queue overflowed with no replacement in sight, and their rank range
+	// was re-mapped onto the survivors.
+	WorkersAbandoned int64
+	// Degraded reports whether the pool is currently running on a shrunken
+	// world (at least one worker abandoned and not yet revived). Failed
+	// reports the harder condition: the surviving world is below the
+	// pool's floor (MinWorkers, or any loss when Degrade is off) and jobs
+	// are refused / failed fast instead of run.
+	Degraded bool
+	Failed   bool
 	// Net carries the transport counters of a distributed pool
 	// (frames/bytes sent and received, codec nanoseconds); nil when the
 	// pool runs in-process on a WallCluster.
@@ -285,9 +300,10 @@ type poolCollector struct {
 	depthMax     int
 
 	// Worker-churn accounting (distributed pools only).
-	workersLost     int64
-	workersRejoined int64
-	regranted       int64
+	workersLost      int64
+	workersRejoined  int64
+	workersAbandoned int64
+	regranted        int64
 
 	// Remote workers push cumulative idle counters with every pong and
 	// goodbye (piggybacked telemetry); each connection reports from zero,
@@ -335,6 +351,12 @@ func (co *poolCollector) addWorkerLost() {
 func (co *poolCollector) addWorkerRejoined() {
 	co.mu.Lock()
 	co.workersRejoined++
+	co.mu.Unlock()
+}
+
+func (co *poolCollector) addWorkerAbandoned() {
+	co.mu.Lock()
+	co.workersAbandoned++
 	co.mu.Unlock()
 }
 
@@ -395,6 +417,74 @@ type poolWorld struct {
 	medians []mpi.Rank
 	clients []mpi.Rank
 	space   mpi.TagSpace
+
+	// Degraded layout: which worker ranks have been abandoned (their
+	// process lost for good, no replacement). Every participant that
+	// routes work — the coordinator's dispatcher/scheduler and each
+	// median, including medians in remote worker processes with their own
+	// poolWorld instance — learns of abandonment through
+	// tagRanksDead/tagRanksRevived notices and updates the dead set it can
+	// see. degEpoch counts dead-set transitions; it stays zero for the
+	// whole life of a healthy pool (and always for wall pools), so the
+	// healthy hot path is one atomic load, no lock, no allocation.
+	degEpoch atomic.Uint64
+	degMu    sync.Mutex
+	degDead  []bool // indexed rank - firstWorker(); nil until first abandonment
+}
+
+// markDead records [lo, hi) as abandoned.
+func (w *poolWorld) markDead(lo, hi mpi.Rank) {
+	w.degMu.Lock()
+	if w.degDead == nil {
+		w.degDead = make([]bool, w.cfg.Medians+w.cfg.Clients)
+	}
+	for r := lo; r < hi; r++ {
+		if i := int(r - w.firstWorker()); i >= 0 && i < len(w.degDead) {
+			w.degDead[i] = true
+		}
+	}
+	w.degMu.Unlock()
+	w.degEpoch.Add(1)
+}
+
+// revive clears [lo, hi) after an abandoned worker rejoined after all.
+func (w *poolWorld) revive(lo, hi mpi.Rank) {
+	w.degMu.Lock()
+	for r := lo; r < hi; r++ {
+		if i := int(r - w.firstWorker()); i >= 0 && i < len(w.degDead) {
+			w.degDead[i] = false
+		}
+	}
+	w.degMu.Unlock()
+	w.degEpoch.Add(1)
+}
+
+// isDead reports whether rank r belongs to an abandoned worker. The
+// epoch==0 fast path keeps the per-rollout check free on pools that have
+// never degraded.
+func (w *poolWorld) isDead(r mpi.Rank) bool {
+	if w.degEpoch.Load() == 0 {
+		return false
+	}
+	w.degMu.Lock()
+	defer w.degMu.Unlock()
+	i := int(r - w.firstWorker())
+	return i >= 0 && i < len(w.degDead) && w.degDead[i]
+}
+
+// anyDead reports whether the world is currently shrunken.
+func (w *poolWorld) anyDead() bool {
+	if w.degEpoch.Load() == 0 {
+		return false
+	}
+	w.degMu.Lock()
+	defer w.degMu.Unlock()
+	for _, d := range w.degDead {
+		if d {
+			return true
+		}
+	}
+	return false
 }
 
 // newPoolWorld lays out the world of a pool with the given (defaulted)
@@ -446,6 +536,7 @@ type Pool struct {
 	world   *poolWorld
 	cluster poolCluster
 	net     *mpi.NetCluster // nil for in-process pools
+	netCfg  NetPoolConfig   // normalized; zero value for in-process pools
 	coll    *poolCollector
 
 	runDone chan struct{}
@@ -455,6 +546,19 @@ type Pool struct {
 	closed    bool
 	slotBusy  []bool
 	slotEpoch []uint64
+
+	// deg tracks permanent worker loss (distributed pools only): which
+	// worker indexes have been abandoned and whether the surviving world
+	// has fallen below the pool's floor. Guarded by its own mutex — the
+	// transport hooks that write it must not contend with the job-slot
+	// path; never held while p.mu is held by the same goroutine in the
+	// deg→p.mu direction (failBusySlots acquires p.mu only after deg.mu is
+	// released).
+	deg struct {
+		mu        sync.Mutex
+		abandoned map[int]svcRanksLost // worker index -> its rank range
+		failed    bool
+	}
 }
 
 // jobStart is the payload injected at a slot rank to begin a job. done
@@ -471,6 +575,16 @@ type jobStart struct {
 
 // ErrPoolClosed is returned by RunJob once Shutdown has begun.
 var ErrPoolClosed = fmt.Errorf("parallel: pool is shut down")
+
+// ErrDegraded is returned by RunJob — immediately on submission, or as a
+// fail-fast mid-job — when permanent worker loss has shrunk the pool
+// below its floor: any abandonment with NetPoolConfig.Degrade off, or
+// fewer than MinWorkers surviving workers (or no live median / no live
+// client) with it on. The failure is deterministic and prompt: queued
+// frames for the dead worker are dropped, nothing stalls, and a re-run of
+// the same Config under the same seed (see service-level retry) produces
+// the same answer once capacity returns.
+var ErrDegraded = fmt.Errorf("parallel: pool degraded below its worker floor")
 
 // NewPool builds the worker cluster — slots, scheduler, dispatcher,
 // medians, clients — as goroutines of this process and starts it running.
@@ -500,6 +614,31 @@ type NetPoolConfig struct {
 	// then detected by read errors only). See mpi.NetConfig.
 	Heartbeat        time.Duration
 	HeartbeatTimeout time.Duration
+
+	// ReplaceGrace bounds how long a lost worker's slot waits for a
+	// replacement before the pool gives up on it: after the grace window
+	// the worker is abandoned, its queued frames are dropped, and its rank
+	// range is re-mapped onto the survivors (Degrade on) or running jobs
+	// fail fast (Degrade off). Zero keeps the PR 5 behavior — wait
+	// forever, queue forever.
+	ReplaceGrace time.Duration
+	// PendingLimit caps the per-worker pending-frame queue that buffers
+	// traffic while a lost slot awaits a replacement; overflowing it
+	// abandons the worker immediately (memory stays bounded even inside
+	// the grace window). Zero selects 8192 frames when ReplaceGrace is
+	// set and unbounded otherwise; negative forces unbounded.
+	PendingLimit int
+	// Degrade, when true, lets the pool finish jobs on a shrunken world
+	// after an abandonment: the dead ranks are re-mapped onto surviving
+	// workers and results stay bit-identical to solo runs (rollout rng is
+	// keyed by logical job coordinates, never by rank). When false, any
+	// abandonment fails running jobs deterministically with ErrDegraded.
+	Degrade bool
+	// MinWorkers is the degraded floor: with Degrade on, jobs keep
+	// running while at least MinWorkers workers (and at least one median
+	// and one client rank) survive; below it the pool fails fast. Zero
+	// means 1.
+	MinWorkers int
 }
 
 // NewNetPool builds a distributed pool: the control ranks — job slots,
@@ -541,15 +680,35 @@ func NewNetPool(cfg PoolConfig, net NetPoolConfig) (*Pool, error) {
 	}
 	coll := newPoolCollector(cfg)
 
+	if net.MinWorkers <= 0 {
+		net.MinWorkers = 1
+	}
+	pendingLimit := net.PendingLimit
+	if pendingLimit == 0 && net.ReplaceGrace > 0 {
+		pendingLimit = 8192
+	}
+	if pendingLimit < 0 {
+		pendingLimit = 0
+	}
+
 	// The transport hooks fire from the coordinator's connection
-	// goroutines, potentially before ListenNet has returned the cluster;
-	// they spin on the pointer for that (microsecond) window so no loss or
-	// join event is ever dropped.
+	// goroutines, potentially before ListenNet (and NewNetPool itself)
+	// has returned; they spin on the pointers for that (microsecond)
+	// window so no loss, join or abandonment event is ever dropped.
 	var ncp atomic.Pointer[mpi.NetCluster]
 	cluster := func() *mpi.NetCluster {
 		for {
 			if nc := ncp.Load(); nc != nil {
 				return nc
+			}
+			runtime.Gosched()
+		}
+	}
+	var pp atomic.Pointer[Pool]
+	pool := func() *Pool {
+		for {
+			if p := pp.Load(); p != nil {
+				return p
 			}
 			runtime.Gosched()
 		}
@@ -562,6 +721,8 @@ func NewNetPool(cfg PoolConfig, net NetPoolConfig) (*Pool, error) {
 		Token:            net.Token,
 		Heartbeat:        net.Heartbeat,
 		HeartbeatTimeout: net.HeartbeatTimeout,
+		ReplaceGrace:     net.ReplaceGrace,
+		PendingLimit:     pendingLimit,
 		OnWorkerLost: func(_ int, lo, hi mpi.Rank) {
 			coll.addWorkerLost()
 			coll.foldRemoteIdle(world, lo, hi)
@@ -579,10 +740,14 @@ func NewNetPool(cfg PoolConfig, net NetPoolConfig) (*Pool, error) {
 				c.Inject(m, tagRanksLost, svcRanksLost{Lo: lo, Hi: hi})
 			}
 		},
-		OnWorkerJoined: func(_ int, _, _ mpi.Rank, rejoin bool) {
+		OnWorkerJoined: func(worker int, lo, hi mpi.Rank, rejoin bool) {
 			if rejoin {
 				coll.addWorkerRejoined()
 			}
+			pool().handleJoined(worker, lo, hi)
+		},
+		OnWorkerAbandoned: func(worker int, lo, hi mpi.Rank) {
+			pool().handleAbandoned(worker, lo, hi)
 		},
 		OnWorkerStats: func(_ int, lo mpi.Rank, idleSeconds []float64) {
 			coll.setRemoteIdle(world, lo, idleSeconds)
@@ -592,7 +757,112 @@ func NewNetPool(cfg PoolConfig, net NetPoolConfig) (*Pool, error) {
 		return nil, err
 	}
 	ncp.Store(nc)
-	return newPoolOn(world, nc, nc, coll)
+	p, err := newPoolOn(world, nc, nc, coll)
+	if err != nil {
+		return nil, err
+	}
+	p.netCfg = net
+	pp.Store(p)
+	return p, nil
+}
+
+// handleAbandoned runs when the transport gives up on a lost worker for
+// good (grace expired or pending queue overflowed, see OnWorkerAbandoned):
+// the pool re-maps the dead rank range onto the survivors, or fails
+// running jobs fast when the shrunken world is below its floor.
+func (p *Pool) handleAbandoned(worker int, lo, hi mpi.Rank) {
+	p.coll.addWorkerAbandoned()
+	p.world.markDead(lo, hi)
+	// Dead notices first — scheduler, dispatcher, surviving medians — so
+	// that by the time a slot's fail-fast abandon reaches the scheduler,
+	// the scheduler has already repaired its grant bookkeeping. Inject is
+	// a synchronous mailbox push, so this ordering is a guarantee, not a
+	// hope.
+	p.cluster.Inject(p.world.sched, tagRanksDead, svcRanksLost{Lo: lo, Hi: hi})
+	p.cluster.Inject(p.world.disp, tagRanksDead, svcRanksLost{Lo: lo, Hi: hi})
+	for _, m := range p.world.medians {
+		if m >= lo && m < hi {
+			continue // the abandoned worker's own medians
+		}
+		p.cluster.Inject(m, tagRanksDead, svcRanksLost{Lo: lo, Hi: hi})
+	}
+	p.deg.mu.Lock()
+	if p.deg.abandoned == nil {
+		p.deg.abandoned = make(map[int]svcRanksLost)
+	}
+	p.deg.abandoned[worker] = svcRanksLost{Lo: lo, Hi: hi}
+	p.recomputeFailedLocked()
+	failed := p.deg.failed
+	p.deg.mu.Unlock()
+	if failed {
+		p.failBusySlots()
+	}
+}
+
+// handleJoined reverses an abandonment when a replacement turns up after
+// all: the revived ranks rejoin the routable world and a failed pool may
+// recover its floor.
+func (p *Pool) handleJoined(worker int, lo, hi mpi.Rank) {
+	p.deg.mu.Lock()
+	_, wasAbandoned := p.deg.abandoned[worker]
+	if wasAbandoned {
+		delete(p.deg.abandoned, worker)
+		p.recomputeFailedLocked()
+	}
+	p.deg.mu.Unlock()
+	if !wasAbandoned {
+		return
+	}
+	p.world.revive(lo, hi)
+	p.cluster.Inject(p.world.disp, tagRanksRevived, svcRanksLost{Lo: lo, Hi: hi})
+	for _, m := range p.world.medians {
+		if m >= lo && m < hi {
+			continue // the revived worker's own medians announce themselves
+		}
+		p.cluster.Inject(m, tagRanksRevived, svcRanksLost{Lo: lo, Hi: hi})
+	}
+}
+
+// recomputeFailedLocked re-derives the fail-fast condition from the
+// abandoned set. Caller holds p.deg.mu.
+func (p *Pool) recomputeFailedLocked() {
+	surviving := p.netCfg.Workers - len(p.deg.abandoned)
+	liveMedians, liveClients := p.cfg.Medians, p.cfg.Clients
+	for _, rg := range p.deg.abandoned {
+		for r := rg.Lo; r < rg.Hi; r++ {
+			switch {
+			case isMedianRank(p.world, r):
+				liveMedians--
+			case isClientRank(p.world, r):
+				liveClients--
+			}
+		}
+	}
+	floor := p.netCfg.MinWorkers
+	if !p.netCfg.Degrade {
+		floor = p.netCfg.Workers // any abandonment at all fails the pool
+	}
+	p.deg.failed = surviving < floor || liveMedians == 0 || liveClients == 0
+}
+
+// failBusySlots injects a fail-fast order at every slot with a running
+// job. The epoch ride-along makes a late fail order for an already-
+// finished job harmless.
+func (p *Pool) failBusySlots() {
+	p.mu.Lock()
+	for slot := 0; slot < p.cfg.Slots; slot++ {
+		if p.slotBusy[slot] {
+			p.cluster.Inject(mpi.Rank(slot), tagJobFail, p.slotEpoch[slot])
+		}
+	}
+	p.mu.Unlock()
+}
+
+// failedNow reports the pool's current fail-fast state.
+func (p *Pool) failedNow() bool {
+	p.deg.mu.Lock()
+	defer p.deg.mu.Unlock()
+	return p.deg.failed
 }
 
 // newPoolCollector sizes the pool's lifetime-instrumentation store.
@@ -709,14 +979,15 @@ func (p *Pool) Metrics() PoolMetrics {
 	co := p.coll
 	co.mu.Lock()
 	m := PoolMetrics{
-		Jobs:            co.jobs,
-		WorkUnits:       co.units,
-		MedianIdle:      append([]time.Duration(nil), co.medianIdle...),
-		ClientIdle:      append([]time.Duration(nil), co.clientIdle...),
-		QueueDepthMax:   co.depthMax,
-		WorkersLost:     co.workersLost,
-		WorkersRejoined: co.workersRejoined,
-		Regranted:       co.regranted,
+		Jobs:             co.jobs,
+		WorkUnits:        co.units,
+		MedianIdle:       append([]time.Duration(nil), co.medianIdle...),
+		ClientIdle:       append([]time.Duration(nil), co.clientIdle...),
+		QueueDepthMax:    co.depthMax,
+		WorkersLost:      co.workersLost,
+		WorkersRejoined:  co.workersRejoined,
+		WorkersAbandoned: co.workersAbandoned,
+		Regranted:        co.regranted,
 	}
 	for i := range m.MedianIdle {
 		m.MedianIdle[i] += co.remoteMedianBase[i] + co.remoteMedianCur[i]
@@ -732,6 +1003,10 @@ func (p *Pool) Metrics() PoolMetrics {
 		st := p.net.Stats()
 		m.Net = &st
 	}
+	p.deg.mu.Lock()
+	m.Degraded = len(p.deg.abandoned) > 0
+	m.Failed = p.deg.failed
+	p.deg.mu.Unlock()
 	return m
 }
 
@@ -775,6 +1050,14 @@ func (p *Pool) StartJob(slot int, cfg Config, progress func(Progress)) (*JobHand
 	if p.slotBusy[slot] {
 		p.mu.Unlock()
 		return nil, fmt.Errorf("parallel: slot %d already running a job", slot)
+	}
+	if p.failedNow() {
+		// Refuse outright rather than inject a job the degradation hook
+		// would immediately fail: deterministic, and no protocol traffic.
+		// (deg.mu nests inside p.mu here; nothing acquires them in the
+		// other order while holding either.)
+		p.mu.Unlock()
+		return nil, ErrDegraded
 	}
 	p.slotBusy[slot] = true
 	p.slotEpoch[slot]++
@@ -947,6 +1230,7 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 	var scores []float64
 	var scored []bool // per-candidate received flag, guards duplicate frames
 	cancelled := false
+	var failErr error
 
 	for step := 0; !cancelled; step++ {
 		moves := st.LegalMoves((*movebuf)[:0])
@@ -990,7 +1274,7 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 		// over the wire carry remote-controlled payloads, and a
 		// wrong-typed one must be dropped, not allowed to panic the
 		// coordinator.
-		for got < want {
+		for got < want && failErr == nil {
 			msg := c.Recv(mpi.AnyRank, mpi.AnyTag)
 			switch msg.Tag {
 			case tagStepScore:
@@ -1020,6 +1304,17 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 				if epoch, ok := msg.Payload.(uint64); ok && msg.From == mpi.External && epoch == js.epoch {
 					abandon()
 				}
+			case tagJobFail:
+				// The pool degraded below its floor mid-job: fail fast. The
+				// abandon is fire-and-forget — no ack wait, no drain — so
+				// the failure is prompt even with zero live workers; the
+				// scheduler's ack and any straggling scores are shed by the
+				// next job's epoch/step guards, and this step's shipped
+				// states are left to the garbage collector.
+				if epoch, ok := msg.Payload.(uint64); ok && msg.From == mpi.External && epoch == js.epoch {
+					failErr = ErrDegraded
+					c.Send(p.world.sched, p.world.space.For(slot, offAbandon), js.epoch)
+				}
 			case tagAbandonAck:
 				if ack, ok := msg.Payload.(svcAbandonAck); ok && msg.From == p.world.sched && ack.Epoch == js.epoch {
 					want -= ack.Dropped
@@ -1037,6 +1332,11 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 				abandon()
 			}
 		}
+		if failErr != nil {
+			res.Degraded = true
+			res.Elapsed = c.Now() - start
+			return res, failErr
+		}
 		if cancelled {
 			break
 		}
@@ -1053,6 +1353,7 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 				res.Score = scores[best]
 				res.Sequence = append(res.Sequence, moves[best])
 				res.Elapsed = c.Now() - start
+				res.Degraded = p.world.anyDead()
 				return res, nil
 			}
 		}
@@ -1069,6 +1370,7 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 
 	res.Score = st.Score()
 	res.Elapsed = c.Now() - start
+	res.Degraded = p.world.anyDead()
 	return res, nil
 }
 
@@ -1158,12 +1460,17 @@ func (p *Pool) runScheduler(c mpi.Comm) {
 			}
 			p.coll.sampleDepth(total)
 			continue
-		case tagRanksLost:
-			// A worker died. Re-queue its medians' outstanding grants at
+		case tagRanksLost, tagRanksDead:
+			// A worker died (tagRanksLost) or was abandoned for good
+			// (tagRanksDead). Re-queue its medians' outstanding grants at
 			// the head of the owning jobs' queues, drop its medians from
 			// the waiting list (a replacement announces itself with a
 			// fresh work request), and tell the owning slots how much work
-			// churned.
+			// churned. For an abandonment the repair is usually a no-op —
+			// the loss notice already ran when the worker first died, and
+			// a dead median can send no new work requests — but replaying
+			// it is free and keeps the invariant local: after either
+			// notice, no grant is parked on a rank in [Lo, Hi).
 			lost, ok := msg.Payload.(svcRanksLost)
 			if !ok || msg.From != mpi.External {
 				continue // forged wire frame: only the pool declares losses
@@ -1300,6 +1607,19 @@ func (mc *medianComm) recv() mpi.Msg {
 				mc.reqs--
 			}
 		}
+	case tagRanksDead:
+		// Abandonment notice: record the dead range in this process's own
+		// poolWorld (a remote worker's world is a separate instance from
+		// the coordinator's, so the knowledge must arrive by message, not
+		// by shared memory). The spend path consults it before handing a
+		// rollout to a client.
+		if lost, ok := msg.Payload.(svcRanksLost); ok && msg.From == mpi.External {
+			mc.w.markDead(lost.Lo, lost.Hi)
+		}
+	case tagRanksRevived:
+		if lost, ok := msg.Payload.(svcRanksLost); ok && msg.From == mpi.External {
+			mc.w.revive(lost.Lo, lost.Hi)
+		}
 	}
 	return msg
 }
@@ -1391,10 +1711,18 @@ func runPoolMedian(c mpi.Comm, w *poolWorld, idle func(time.Duration)) {
 				// Spend assigned clients on queued rollouts, then keep one
 				// client request in flight while anything remains unsent.
 				for len(mc.clients) > 0 && len(sendq) > 0 {
-					j := sendq[0]
-					sendq = sendq[:copy(sendq, sendq[1:])]
 					client := mc.clients[0]
 					mc.clients = mc.clients[:copy(mc.clients, mc.clients[1:])]
+					if mc.w.isDead(client) {
+						// An assign that was in flight when its client's
+						// worker was abandoned: a job sent there would
+						// vanish. Discard the assign; the request counter
+						// is already settled, so the re-request below
+						// fetches a live replacement.
+						continue
+					}
+					j := sendq[0]
+					sendq = sendq[:copy(sendq, sendq[1:])]
 					owner[j] = client
 					c.Send(client, tagJob, svcJob{Key: keys[j], Seq: j, P: cand.P, State: shipped[j]})
 				}
@@ -1422,14 +1750,15 @@ func runPoolMedian(c mpi.Comm, w *poolWorld, idle func(time.Duration)) {
 					units += res.Units
 					pool.Put(shipped[res.Seq])
 					got++
-				case tagRanksLost:
+				case tagRanksLost, tagRanksDead:
 					lost, ok := msg.Payload.(svcRanksLost)
 					if !ok || msg.From != mpi.External {
 						continue // forged wire frame: only the pool declares losses
 					}
 					// Re-enqueue every unscored rollout that was sent to a
-					// now-dead client; the loop head re-requests and
-					// re-sends them under their original keys.
+					// now-dead (or now-abandoned) client; the loop head
+					// re-requests and re-sends them under their original
+					// keys, so the replayed scores stay bit-identical.
 					for j, cl := range owner {
 						if cl >= lost.Lo && cl < lost.Hi && !scored[j] {
 							owner[j] = -1

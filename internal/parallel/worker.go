@@ -23,6 +23,10 @@ type WorkerStats struct {
 	Idle time.Duration
 	// Net is the worker-side transport counter snapshot.
 	Net mpi.NetStats
+	// Lost is true when service ended because the coordinator link died
+	// (read error or silence timeout) rather than by an orderly shutdown
+	// broadcast — the signal cmd/pnmcs-worker's redial loop keys on.
+	Lost bool
 }
 
 // ServeWorker runs the pool ranks assigned to a dialed worker connection
@@ -83,5 +87,6 @@ func ServeWorker(w *mpi.NetWorker) (WorkerStats, error) {
 	}
 	stats.Idle = time.Duration(total)
 	stats.Net = w.Stats()
+	stats.Lost = w.Lost()
 	return stats, nil
 }

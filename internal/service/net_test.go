@@ -226,3 +226,143 @@ func TestDistributedServiceWorkerChurn(t *testing.T) {
 	<-w2done
 	<-w3done
 }
+
+// TestDistributedServiceRetryToSuccess drives the fail-fast + retry
+// pipeline end to end: with degradation disabled, a worker killed with no
+// immediate replacement is abandoned after its grace window and the
+// running job fails fast with ErrDegraded; the Manager's retry policy
+// re-queues it under its original seed, a replacement worker revives the
+// pool, and the retried run completes bit-identical to the undisturbed
+// solo result.
+func TestDistributedServiceRetryToSuccess(t *testing.T) {
+	m, err := New(Config{
+		Slots: 1, Medians: 2, Clients: 3,
+		Workers: 2, WorkerListen: "127.0.0.1:0",
+		// Degrade off: any abandonment fails the pool until capacity
+		// returns. Short grace + short backoff keep the test fast.
+		ReplaceGrace: 100 * time.Millisecond,
+		Retry:        RetryPolicy{Max: 8, Backoff: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serve := func(w *mpi.NetWorker) chan struct{} {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if _, err := parallel.ServeWorker(w); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+		return done
+	}
+
+	proxy, err := faultnet.NewProxy(m.WorkerAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	w1, err := mpi.DialWorker(proxy.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1done := serve(w1)
+	w2, err := mpi.DialWorker(m.WorkerAddr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2done := serve(w2)
+
+	spec := JobSpec{Domain: "samegame", Width: 6, Height: 6, Colors: 3, BoardSeed: 3, Level: 2, Seed: 5, Memorize: true}
+	id, err := m.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	waitStatus := func(what string, cond func(JobStatus) bool) {
+		t.Helper()
+		for {
+			st, err := m.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cond(st) {
+				return
+			}
+			if st.State.Terminal() {
+				t.Fatalf("job terminal before %s: %+v", what, st)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s: %+v", what, st)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Kill the proxied worker mid-job and withhold the replacement until
+	// the fail-fast + retry machinery has visibly engaged.
+	waitStatus("first progress", func(st JobStatus) bool { return st.Steps >= 1 })
+	proxy.Sever()
+	<-w1done
+	waitStatus("fail-fast retry", func(st JobStatus) bool { return st.Retries >= 1 })
+
+	// Capacity returns; the retried run must now succeed.
+	var w3 *mpi.NetWorker
+	for {
+		w3, err = mpi.DialWorker(m.WorkerAddr(), "")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replacement never admitted: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	w3done := serve(w3)
+
+	st, err := m.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("retried job state %s (error %q)", st.State, st.Error)
+	}
+	if st.Retries < 1 {
+		t.Fatalf("job completed without recorded retries: %+v", st)
+	}
+
+	// The retried run carries the original seed: bit-identical to solo.
+	cfg, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := parallel.RunWall(4, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Score != solo.Score || st.Steps != solo.Steps ||
+		st.Rollouts != solo.Jobs || st.WorkUnits != solo.WorkUnits {
+		t.Fatalf("retried job diverged: %+v vs solo %+v", st, solo)
+	}
+	for i := range st.Sequence {
+		if st.Sequence[i] != solo.Sequence[i] {
+			t.Fatalf("sequences differ at move %d", i)
+		}
+	}
+
+	mt := m.Metrics()
+	if mt.Retried < 1 {
+		t.Fatalf("retry not counted in service metrics: %+v", mt)
+	}
+	if mt.Pool.WorkersAbandoned < 1 {
+		t.Fatalf("abandonment not recorded in pool metrics: %+v", mt.Pool)
+	}
+
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-w2done
+	<-w3done
+}

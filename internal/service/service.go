@@ -32,6 +32,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -74,6 +75,35 @@ type Config struct {
 	// worker must present at handshake (compared in constant time). Set
 	// it whenever WorkerListen leaves loopback.
 	WorkerToken string
+
+	// Degrade / MinWorkers / ReplaceGrace / PendingLimit plumb the pool's
+	// graceful-degradation policy through to parallel.NetPoolConfig: when
+	// a lost worker is abandoned (grace expired or pending queue
+	// overflowed, no replacement), Degrade lets jobs finish bit-identical
+	// on the shrunken world down to MinWorkers survivors; otherwise the
+	// pool fails jobs fast with parallel.ErrDegraded. Only used when
+	// Workers > 0.
+	Degrade      bool
+	MinWorkers   int
+	ReplaceGrace time.Duration
+	PendingLimit int
+
+	// Retry re-runs jobs the pool failed (degradation fail-fast, worker
+	// floor) under their original seed, so a transient capacity dip costs
+	// latency, never an answer: the re-run is bit-identical to what the
+	// healthy pool would have produced.
+	Retry RetryPolicy
+}
+
+// RetryPolicy bounds the per-job retry loop.
+type RetryPolicy struct {
+	// Max is the number of re-runs allowed per job; zero disables retry.
+	Max int
+	// Backoff is the base delay before the first re-run; successive
+	// attempts back off exponentially (doubling, capped at 30s) with full
+	// jitter in [d/2, d] so a fleet of failed jobs does not thundering-
+	// herd the recovering pool. Zero defaults to 250ms when Max > 0.
+	Backoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +133,9 @@ func (c Config) withDefaults() Config {
 	// interfaces unless the caller asked for it explicitly (DESIGN.md §8).
 	if c.Workers > 0 && c.WorkerListen == "" {
 		c.WorkerListen = "127.0.0.1:0"
+	}
+	if c.Retry.Max > 0 && c.Retry.Backoff <= 0 {
+		c.Retry.Backoff = 250 * time.Millisecond
 	}
 	return c
 }
@@ -154,6 +187,15 @@ type JobStatus struct {
 	// and had re-queued (distributed pools only). Nonzero means the job
 	// rode out worker churn; the result is unaffected.
 	Regranted int64 `json:"regranted,omitempty"`
+	// Retries counts how many times the service re-ran this job after a
+	// pool failure (Config.Retry); the final result carries the original
+	// seed and spec, so a retried success is bit-identical to an
+	// undisturbed one.
+	Retries int `json:"retries,omitempty"`
+	// Degraded marks a job that ran (or failed) on a pool shrunken by
+	// permanent worker loss. Like Regranted it reports capacity, not
+	// correctness.
+	Degraded bool `json:"degraded,omitempty"`
 
 	// Error is the failure reason of a StateFailed job.
 	Error string `json:"error,omitempty"`
@@ -171,6 +213,7 @@ type Metrics struct {
 	Completed int64 `json:"completed"`
 	Cancelled int64 `json:"cancelled"`
 	Failed    int64 `json:"failed"`
+	Retried   int64 `json:"retried"` // pool-failure re-runs (Config.Retry)
 	Running   int   `json:"running"`
 	Queued    int   `json:"queued"`
 	Slots     int   `json:"slots"`
@@ -199,6 +242,10 @@ type job struct {
 	slot     int           // valid while running
 	done     chan struct{} // closed when terminal
 	queuePos int           // index in m.queue while queued, else -1
+	// retryTimer is armed between a pool failure and the backed-off
+	// re-submission; while it is non-nil the job is StateQueued but NOT
+	// in m.queue (Cancel and Shutdown must stop the timer, not splice).
+	retryTimer *time.Timer
 }
 
 // Manager is the concurrent search service. Create with New, submit with
@@ -217,7 +264,7 @@ type Manager struct {
 	drained   chan struct{} // closed when the first Shutdown finishes
 	nextID    int64
 
-	submitted, rejected, completed, cancelled, failed int64
+	submitted, rejected, completed, cancelled, failed, retried int64
 }
 
 // New builds the worker pool — in-process goroutines by default, a
@@ -235,9 +282,13 @@ func New(cfg Config) (*Manager, error) {
 	var err error
 	if cfg.Workers > 0 {
 		pool, err = parallel.NewNetPool(pcfg, parallel.NetPoolConfig{
-			Listen:  cfg.WorkerListen,
-			Workers: cfg.Workers,
-			Token:   cfg.WorkerToken,
+			Listen:       cfg.WorkerListen,
+			Workers:      cfg.Workers,
+			Token:        cfg.WorkerToken,
+			Degrade:      cfg.Degrade,
+			MinWorkers:   cfg.MinWorkers,
+			ReplaceGrace: cfg.ReplaceGrace,
+			PendingLimit: cfg.PendingLimit,
 		})
 	} else {
 		pool, err = parallel.NewPool(pcfg)
@@ -367,6 +418,24 @@ func (m *Manager) run(j *job, slot int) {
 	}
 
 	m.mu.Lock()
+	if err != nil && !j.cancel && !m.closed && j.status.Retries < m.cfg.Retry.Max {
+		// The pool failed the job (degradation fail-fast, worker floor):
+		// re-run it after a jittered backoff under its original spec and
+		// seed — a retried success is bit-identical to an undisturbed
+		// one. The job goes back to StateQueued but stays out of m.queue
+		// while the timer runs; Cancel and Shutdown key on retryTimer.
+		j.status.Retries++
+		m.retried++
+		j.slot = -1
+		j.status.State = StateQueued
+		j.status.Error = err.Error() // last failure, visible while waiting
+		j.status.Degraded = res.Degraded
+		j.retryTimer = time.AfterFunc(retryDelay(m.cfg.Retry.Backoff, j.status.Retries), func() { m.requeue(j) })
+		m.freeSlots = append(m.freeSlots, slot)
+		m.serveQueueLocked()
+		m.mu.Unlock()
+		return
+	}
 	j.status.Finished = time.Now()
 	j.status.Steps = res.Steps
 	j.status.Sequence = res.Sequence
@@ -376,6 +445,7 @@ func (m *Manager) run(j *job, slot int) {
 	j.status.Rollouts = res.Jobs
 	j.status.WorkUnits = res.WorkUnits
 	j.status.Regranted = res.Regranted
+	j.status.Degraded = res.Degraded
 	switch {
 	case err != nil:
 		j.status.State = StateFailed
@@ -393,6 +463,13 @@ func (m *Manager) run(j *job, slot int) {
 	m.finishLocked(j)
 
 	m.freeSlots = append(m.freeSlots, slot)
+	m.serveQueueLocked()
+	m.mu.Unlock()
+}
+
+// serveQueueLocked dispatches queued jobs onto free slots. Caller holds
+// m.mu.
+func (m *Manager) serveQueueLocked() {
 	for len(m.queue) > 0 && len(m.freeSlots) > 0 {
 		next := m.queue[0]
 		m.queue = m.queue[:copy(m.queue, m.queue[1:])]
@@ -401,12 +478,52 @@ func (m *Manager) run(j *job, slot int) {
 		}
 		m.dispatchLocked(next)
 	}
-	m.mu.Unlock()
+}
+
+// retryDelay is the backoff before re-running a failed job: Backoff
+// doubled per attempt, capped at 30s, with full jitter in [d/2, d].
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > 10 {
+		shift = 10
+	}
+	d := base << shift
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// requeue moves a retry-waiting job back into dispatch when its backoff
+// timer fires. A Cancel or Shutdown that beat the timer has already made
+// the job terminal, which the state check detects.
+func (m *Manager) requeue(j *job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.retryTimer == nil || j.status.State != StateQueued || m.closed || j.cancel {
+		return
+	}
+	j.retryTimer = nil
+	if len(m.freeSlots) > 0 {
+		m.dispatchLocked(j)
+	} else {
+		j.queuePos = len(m.queue)
+		m.queue = append(m.queue, j)
+	}
 }
 
 // WorkerAddr returns the address pnmcs-worker processes dial, or "" when
 // the pool is in-process.
 func (m *Manager) WorkerAddr() string { return m.pool.WorkerAddr() }
+
+// Draining reports whether Shutdown has begun (submissions are refused
+// while running jobs drain) — the readiness signal behind /readyz.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
 
 // Get returns a snapshot of the job's status.
 func (m *Manager) Get(id string) (JobStatus, error) {
@@ -472,9 +589,16 @@ func (m *Manager) Cancel(id string) error {
 	j.cancel = true
 	switch j.status.State {
 	case StateQueued:
-		m.queue = append(m.queue[:j.queuePos], m.queue[j.queuePos+1:]...)
-		for i, q := range m.queue {
-			q.queuePos = i
+		if j.retryTimer != nil {
+			// Retry-waiting: the job is queued in name only — stop the
+			// backoff timer instead of splicing m.queue (it is not there).
+			j.retryTimer.Stop()
+			j.retryTimer = nil
+		} else {
+			m.queue = append(m.queue[:j.queuePos], m.queue[j.queuePos+1:]...)
+			for i, q := range m.queue {
+				q.queuePos = i
+			}
 		}
 		j.queuePos = -1
 		j.status.State = StateCancelled
@@ -521,6 +645,7 @@ func (m *Manager) Metrics() Metrics {
 		Completed: m.completed,
 		Cancelled: m.cancelled,
 		Failed:    m.failed,
+		Retried:   m.retried,
 		Running:   running,
 		Queued:    len(m.queue),
 		Slots:     m.cfg.Slots,
@@ -549,6 +674,22 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}
 	m.closed = true
 	var waiting []*job
+	// Retry-waiting jobs are StateQueued but outside m.queue, parked on a
+	// backoff timer with no goroutine to close their done channel: cancel
+	// them here or the drain below would wait forever.
+	for _, j := range m.jobs {
+		if j.retryTimer == nil {
+			continue
+		}
+		j.retryTimer.Stop()
+		j.retryTimer = nil
+		j.cancel = true
+		j.status.State = StateCancelled
+		j.status.Finished = time.Now()
+		j.status.Stopped = true
+		m.cancelled++
+		m.finishLocked(j)
+	}
 	for len(m.queue) > 0 {
 		j := m.queue[len(m.queue)-1]
 		m.queue = m.queue[:len(m.queue)-1]
