@@ -67,6 +67,9 @@ func main() {
 	minWorkers := flag.Int("min-workers", 1, "degraded floor: fail fast once fewer workers survive (with -degrade)")
 	replaceGrace := flag.Duration("replace-grace", 10*time.Second, "give a lost worker's slot up after waiting this long for a replacement (0 = wait forever)")
 	jobRetries := flag.Int("job-retries", 2, "re-queue a failed job up to this many times under its original seed")
+	evaluator := flag.String("evaluator", "", "default rollout evaluator for jobs that don't name one (e.g. \"heuristic\"; empty = uniform playouts)")
+	evalBatch := flag.Int("eval-batch", 0, "per-worker evaluation batch size (0 = default 8)")
+	evalFlush := flag.Duration("eval-flush", 0, "flush a partial evaluation batch after this long (0 = default 2ms)")
 	flag.Parse()
 
 	mgr, err := service.New(service.Config{
@@ -75,6 +78,9 @@ func main() {
 		Clients:      *clients,
 		QueueLimit:   *queue,
 		Algo:         parallel.LastMinute,
+		Evaluator:    *evaluator,
+		EvalBatch:    *evalBatch,
+		EvalFlush:    *evalFlush,
 		Workers:      *workers,
 		WorkerListen: *workerListen,
 		WorkerToken:  *workerToken,
@@ -263,6 +269,14 @@ func writeMetrics(w http.ResponseWriter, m service.Metrics) {
 	emit("pnmcs_pool_work_units_total", "counter", "metered rollout work units", m.Pool.WorkUnits)
 	emit("pnmcs_pool_queue_depth_max", "gauge", "peak scheduler ready-queue depth", m.Pool.QueueDepthMax)
 	emit("pnmcs_pool_queue_depth_mean", "gauge", "mean scheduler ready-queue depth", m.Pool.QueueDepthMean)
+	// Evaluation batching (coordinator-resident batcher; a remote worker's
+	// batcher accounts in its own process, like the idle counters).
+	emit("pnmcs_eval_batches_total", "counter", "evaluation batches flushed", m.Pool.EvalBatches)
+	emit("pnmcs_eval_requests_total", "counter", "rollout positions evaluated through the batcher", m.Pool.EvalRequests)
+	emit("pnmcs_eval_flush_size_total", "counter", "batches flushed by reaching the batch size", m.Pool.EvalFlushSize)
+	emit("pnmcs_eval_flush_deadline_total", "counter", "partial batches flushed by the deadline timer", m.Pool.EvalFlushDeadline)
+	emit("pnmcs_eval_batch_max", "gauge", "largest evaluation batch flushed", m.Pool.EvalBatchMax)
+	emit("pnmcs_eval_flush_seconds_total", "counter", "cumulative wait of each flushed batch's oldest request", m.Pool.EvalFlushWait.Seconds())
 	// Per-rank idle series: co-resident workers account directly, remote
 	// workers push theirs on every heartbeat pong and on the goodbye
 	// frame, so the series exist on every transport.

@@ -36,6 +36,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/game"
 	"repro/internal/rng"
@@ -99,6 +100,12 @@ type Options struct {
 	// equivalence tests that pin undo-vs-clone determinism; leave it false
 	// to let the searcher take the allocation-free fast path.
 	NoUndo bool
+	// Evaluator, when non-nil, guides the level-0 playouts: each playout
+	// step samples the next move proportionally to the evaluator's weights
+	// instead of uniformly. Nil keeps the paper's uniform playout
+	// bit-identically (the uniform path draws from the random stream
+	// exactly as before). See game.Evaluator for the purity contract.
+	Evaluator game.Evaluator
 }
 
 // DefaultOptions returns the configuration matching the paper: best-sequence
@@ -118,6 +125,12 @@ type Searcher struct {
 
 	movebuf []game.Move // shared scratch for move lists at sample level
 	levels  []levelBuf  // per-recursion-level scratch
+
+	// eval guides level-0 playouts (see Options.Evaluator); wbuf is its
+	// reusable weight scratch. eval starts as Options.Evaluator and can be
+	// swapped per job with SetEvaluator on long-lived worker searchers.
+	eval game.Evaluator
+	wbuf []float64
 
 	// undo is non-nil while the current top-level search traverses with
 	// Play/Undo on the single mutable root state (capability-checked once
@@ -145,8 +158,14 @@ func NewSearcher(r *rng.Rand, opt Options) *Searcher {
 	if m == nil {
 		m = nopMeter{}
 	}
-	return &Searcher{rng: r, opt: opt, meter: m}
+	return &Searcher{rng: r, opt: opt, meter: m, eval: opt.Evaluator}
 }
+
+// SetEvaluator swaps the playout evaluator (nil restores the paper's
+// uniform playout). Long-lived worker searchers serve jobs with differing
+// evaluator configurations; swapping between jobs is what keeps a job's
+// result independent of the worker that runs it.
+func (s *Searcher) SetEvaluator(e game.Evaluator) { s.eval = e }
 
 // Stats returns the cumulative instrumentation counters.
 func (s *Searcher) Stats() Stats { return s.stats }
@@ -175,7 +194,12 @@ func (s *Searcher) sample(st game.State, seq *[]game.Move) float64 {
 		if len(s.movebuf) == 0 {
 			break
 		}
-		m := s.movebuf[s.rng.Intn(len(s.movebuf))]
+		var m game.Move
+		if s.eval == nil {
+			m = s.movebuf[s.rng.Intn(len(s.movebuf))]
+		} else {
+			m = s.movebuf[s.pickWeighted(st)]
+		}
 		st.Play(m)
 		*seq = append(*seq, m)
 		steps++
@@ -183,6 +207,30 @@ func (s *Searcher) sample(st game.State, seq *[]game.Move) float64 {
 	s.stats.Steps += steps
 	s.meter.Add(steps)
 	return st.Score()
+}
+
+// pickWeighted returns the index of the next playout move in s.movebuf,
+// sampled proportionally to the evaluator's weights. Degenerate weight
+// vectors (zero or negative total, NaN/Inf) fall back to a uniform draw so
+// an evaluator with "no opinion" — or a buggy one — can never wedge a
+// playout; both branches consume exactly one draw from the stream.
+func (s *Searcher) pickWeighted(st game.State) int {
+	s.wbuf = s.eval.Evaluate(game.EvalRequest{State: st, Moves: s.movebuf}, s.wbuf[:0])
+	total := 0.0
+	for _, w := range s.wbuf {
+		total += w
+	}
+	if len(s.wbuf) != len(s.movebuf) || !(total > 0) || math.IsInf(total, 1) {
+		return s.rng.Intn(len(s.movebuf))
+	}
+	x := s.rng.Float64() * total
+	for i, w := range s.wbuf {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(s.movebuf) - 1 // rounding spill lands on the last move
 }
 
 // Nested runs a level-`level` nested search from st and returns the best

@@ -606,3 +606,32 @@ var _ game.Undoer = (*State)(nil)
 var _ game.Copier = (*State)(nil)
 var _ game.Sizer = (*State)(nil)
 var _ game.Replayer = (*State)(nil)
+
+// RateMoves implements game.MoveRater for the bundled heuristic
+// evaluator: moves whose new point lands near the centre of the cross
+// get higher weight. Long Morpion games grow the grid outward from the
+// centre, and biasing early playout moves inward keeps lines connectable
+// longer — a classic hand heuristic for the puzzle. The weight is
+// 1/(1+d) for Chebyshev distance d from the board centre; pure and
+// allocation-free beyond the appended weights.
+func (s *State) RateMoves(moves []game.Move, w []float64) []float64 {
+	cx, cy := s.w/2, s.w/2
+	for _, m := range moves {
+		newX, newY, _, _, _, _ := s.MoveParts(m)
+		dx, dy := newX-cx, newY-cy
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		d := dx
+		if dy > d {
+			d = dy
+		}
+		w = append(w, 1/float64(1+d))
+	}
+	return w
+}
+
+var _ game.MoveRater = (*State)(nil)

@@ -43,8 +43,9 @@ import (
 //
 // History: 1 = the original frame format; 2 = fault-tolerance wire
 // changes (token field in the worker hello, svcScore gained Step,
-// svcResult gained Key).
-const Version = 2
+// svcResult gained Key); 3 = evaluator wire changes (job params gained
+// the evaluator name, new evaluation batch request/reply payloads).
+const Version = 3
 
 // MaxFrame bounds the body length a reader will accept. A corrupt or
 // hostile length prefix must not make a worker allocate gigabytes; the

@@ -14,12 +14,17 @@ package parallel
 // ns/op regressions against the committed baseline.
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/game"
 	"repro/internal/morpion"
+	"repro/internal/samegame"
 	"repro/internal/stats"
+	"repro/internal/vtime"
 )
 
 // benchRun executes one first-move run and reports the custom metrics.
@@ -85,5 +90,42 @@ func BenchmarkWallPull(b *testing.B) {
 		if _, err := RunWall(4, 8, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBatchedRollout measures the evaluation batcher on its intended
+// load: `size` concurrent rollouts each submitting one position per
+// iteration, so flush-on-size dominates and ns/op is the cost of one full
+// batch (submission sync + heuristic evaluation of size positions). The
+// batch_avg metric confirms the batches actually filled.
+func BenchmarkBatchedRollout(b *testing.B) {
+	for _, size := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("batch%d", size), func(b *testing.B) {
+			batcher := newEvalBatcher(size, time.Millisecond, vtime.Wall())
+			ev := batcher.evaluatorFor(game.HeuristicEvaluatorName)
+			reqs := make([]game.EvalRequest, size)
+			for i := range reqs {
+				st := samegame.NewRandom(8, 8, 4, uint64(i+1)).Clone()
+				reqs[i] = game.EvalRequest{State: st, Moves: st.LegalMoves(nil)}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < size; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					var w []float64
+					for i := 0; i < b.N; i++ {
+						w = ev.Evaluate(reqs[g], w[:0])
+					}
+				}(g)
+			}
+			wg.Wait()
+			b.StopTimer()
+			if s := batcher.snapshot(); s.Batches > 0 {
+				b.ReportMetric(float64(s.Requests)/float64(s.Batches), "batch_avg")
+			}
+		})
 	}
 }

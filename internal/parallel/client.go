@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/game"
 	"repro/internal/mpi"
 	"repro/internal/rng"
 )
@@ -71,7 +72,16 @@ func (u *unitMeter) Add(n int64) { u.units += n }
 func runClient(c mpi.Comm, lay cluster.Layout, cfg *Config, index int, coll *collector) {
 	meter := &unitMeter{}
 	r := rng.New(cfg.Seed) // reseeded per job via SeedStream
-	searcher := core.NewSearcher(r, core.Options{Meter: meter, Memorize: cfg.Memorize})
+	// The per-run evaluator is constructed directly, without batching: a
+	// run's clients live in this process and evaluate inline, and the
+	// virtual transport's single-stepped scheduling leaves nothing to
+	// batch. Execute validated the name; an unknown one (impossible
+	// there) would fall back to uniform playouts.
+	var eval game.Evaluator
+	if cfg.Evaluator != "" {
+		eval, _ = game.NewEvaluator(cfg.Evaluator)
+	}
+	searcher := core.NewSearcher(r, core.Options{Meter: meter, Memorize: cfg.Memorize, Evaluator: eval})
 	level := cfg.Level - 2
 	announce := !cfg.Static || cfg.Algo == LastMinute
 	var idle time.Duration

@@ -1,0 +1,246 @@
+package parallel
+
+// Per-worker evaluation batching. Client ranks hosted by one process share
+// one evalBatcher: a rollout that needs its position scored submits it and
+// blocks, the batcher collects submissions from all concurrently running
+// rollouts, and one flush evaluates the whole batch — through
+// game.BatchEvaluator when the evaluator implements it. This is the shape
+// a vectorized policy (an NN inference server) wants: the fixed per-call
+// cost is paid once per batch instead of once per position.
+//
+// A batch flushes on two triggers, whichever fires first:
+//
+//   - size: the submission that fills the batch to the configured size
+//     flushes it synchronously in its own goroutine — no handoff latency
+//     on the full-batch fast path.
+//   - deadline: the first submission of a batch arms a timer; when it
+//     fires, whatever has accumulated is flushed from the timer goroutine.
+//     The deadline bounds the wait of a straggler batch (fewer in-flight
+//     rollouts than the batch size — or exactly one, where waiting would
+//     otherwise deadlock the only submitter).
+//
+// Correctness does not depend on grouping: evaluators are pure
+// (game.Evaluator contract), so a request's weights are the same in any
+// batch, any order — batching changes latency and amortization, never
+// results. The submitter blocks for the whole evaluation, so the State and
+// Moves aliased by its request are not mutated while the batch runs.
+//
+// The batcher meters time with a vtime.Clock — the same clock source the
+// deadline helpers use (see deadlineDue) — so a harness that charges
+// virtual time sees batch waits on the same axis as everything else. The
+// flush timer itself is a real timer: pools only ever run on wall-clock
+// transports (the virtual-time per-run path constructs evaluators
+// directly, without batching).
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/game"
+	"repro/internal/vtime"
+)
+
+// evalBatchStats are the batcher's lifetime counters, surfaced through
+// PoolMetrics. A remote worker's batcher keeps its stats in its own
+// process, like the per-rank idle counters.
+type evalBatchStats struct {
+	Batches       int64         // flushes executed
+	Requests      int64         // positions evaluated
+	FlushSize     int64         // flushes triggered by a full batch
+	FlushDeadline int64         // flushes triggered by the deadline timer
+	BatchMax      int           // largest batch flushed
+	FlushWait     time.Duration // cumulative oldest-request wait at flush
+}
+
+// evalPending is one submitted position waiting for its batch to flush.
+type evalPending struct {
+	name string
+	req  game.EvalRequest
+	out  []float64
+	at   time.Duration // clock reading at submission
+	done chan struct{}
+}
+
+// evalBatcher collects evaluation requests from concurrent rollouts and
+// flushes them in batches. Safe for concurrent use.
+type evalBatcher struct {
+	size  int
+	flush time.Duration
+	clock vtime.Clock
+
+	mu       sync.Mutex
+	pending  []*evalPending
+	gen      uint64 // batch generation: stale deadline timers no-op
+	resolved map[string]game.Evaluator
+	adapters map[string]game.Evaluator
+	stats    evalBatchStats
+}
+
+// newEvalBatcher returns a batcher flushing at size requests or after
+// flush of waiting, whichever comes first. Callers pass the defaulted
+// PoolConfig knobs (EvalBatch, EvalFlush); the floors here are a backstop
+// so a zero-valued batcher cannot deadlock its only submitter.
+func newEvalBatcher(size int, flush time.Duration, clock vtime.Clock) *evalBatcher {
+	if size < 1 {
+		size = 1
+	}
+	if flush <= 0 {
+		flush = defaultEvalFlush
+	}
+	return &evalBatcher{
+		size:     size,
+		flush:    flush,
+		clock:    clock,
+		resolved: map[string]game.Evaluator{},
+		adapters: map[string]game.Evaluator{},
+	}
+}
+
+// evaluatorFor returns the batched facade for a registered evaluator name:
+// a game.Evaluator whose Evaluate submits to the batcher and blocks until
+// the batch containing the request has flushed. The facade is cached, so a
+// client looking it up per job allocates nothing after the first job.
+func (b *evalBatcher) evaluatorFor(name string) game.Evaluator {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e, ok := b.adapters[name]; ok {
+		return e
+	}
+	e := &batchedEvaluator{b: b, name: name}
+	b.adapters[name] = e
+	return e
+}
+
+// batchedEvaluator adapts submit to the game.Evaluator interface.
+type batchedEvaluator struct {
+	b    *evalBatcher
+	name string
+}
+
+func (e *batchedEvaluator) Evaluate(req game.EvalRequest, w []float64) []float64 {
+	return e.b.submit(e.name, req, w)
+}
+
+// submit enqueues one request and blocks until its batch has been
+// evaluated, returning the extended weight slice. The submission that
+// fills the batch runs the flush itself.
+func (b *evalBatcher) submit(name string, req game.EvalRequest, out []float64) []float64 {
+	p := &evalPending{name: name, req: req, out: out, done: make(chan struct{})}
+	b.mu.Lock()
+	p.at = b.clock.Now()
+	b.pending = append(b.pending, p)
+	if len(b.pending) >= b.size {
+		batch := b.takeLocked(&b.stats.FlushSize)
+		b.mu.Unlock()
+		b.run(batch)
+		return p.out
+	}
+	if len(b.pending) == 1 {
+		gen := b.gen
+		time.AfterFunc(b.flush, func() { b.deadlineFlush(gen) })
+	}
+	b.mu.Unlock()
+	<-p.done
+	return p.out
+}
+
+// deadlineFlush is the timer body: flush whatever the generation it was
+// armed for has accumulated. A generation that was already flushed on size
+// (or a later generation's pending list) is not touched.
+func (b *evalBatcher) deadlineFlush(gen uint64) {
+	b.mu.Lock()
+	if b.gen != gen || len(b.pending) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	batch := b.takeLocked(&b.stats.FlushDeadline)
+	b.mu.Unlock()
+	b.run(batch)
+}
+
+// takeLocked detaches the pending batch, advances the generation and
+// records the flush statistics. Caller holds b.mu.
+func (b *evalBatcher) takeLocked(trigger *int64) []*evalPending {
+	batch := b.pending
+	b.pending = nil
+	b.gen++
+	*trigger++
+	b.stats.Batches++
+	b.stats.Requests += int64(len(batch))
+	if len(batch) > b.stats.BatchMax {
+		b.stats.BatchMax = len(batch)
+	}
+	b.stats.FlushWait += b.clock.Now() - batch[0].at
+	return batch
+}
+
+// run evaluates a detached batch and releases its submitters. Requests are
+// grouped by evaluator name (contiguous runs — in practice a pool runs one
+// evaluator at a time); each group goes through EvaluateBatch when the
+// evaluator implements game.BatchEvaluator, else through per-request
+// Evaluate. An unregistered name leaves its outputs empty, which the
+// searcher's degenerate-weights guard turns into a uniform playout.
+func (b *evalBatcher) run(batch []*evalPending) {
+	for lo := 0; lo < len(batch); {
+		hi := lo + 1
+		for hi < len(batch) && batch[hi].name == batch[lo].name {
+			hi++
+		}
+		b.runGroup(batch[lo:hi])
+		lo = hi
+	}
+	for _, p := range batch {
+		close(p.done)
+	}
+}
+
+func (b *evalBatcher) runGroup(group []*evalPending) {
+	ev := b.resolve(group[0].name)
+	if ev == nil {
+		return
+	}
+	if be, ok := ev.(game.BatchEvaluator); ok {
+		reqs := make([]game.EvalRequest, len(group))
+		outs := make([][]float64, len(group))
+		for i, p := range group {
+			reqs[i], outs[i] = p.req, p.out
+		}
+		be.EvaluateBatch(reqs, outs)
+		for i, p := range group {
+			p.out = outs[i]
+		}
+		return
+	}
+	for _, p := range group {
+		p.out = ev.Evaluate(p.req, p.out)
+	}
+}
+
+// resolve looks the name up in the game registry, caching the instance
+// (evaluators are pure, so one instance serves every batch). nil for an
+// unknown name: job validation upstream rejects unregistered names, so
+// this only happens on version-skewed processes, where a uniform fallback
+// beats wedging the rollout.
+func (b *evalBatcher) resolve(name string) game.Evaluator {
+	b.mu.Lock()
+	ev, ok := b.resolved[name]
+	b.mu.Unlock()
+	if ok {
+		return ev
+	}
+	ev, err := game.NewEvaluator(name)
+	if err != nil {
+		ev = nil
+	}
+	b.mu.Lock()
+	b.resolved[name] = ev
+	b.mu.Unlock()
+	return ev
+}
+
+// snapshot returns the lifetime counters.
+func (b *evalBatcher) snapshot() evalBatchStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}

@@ -1,0 +1,120 @@
+package parallel
+
+// Unit tests for the evaluation batcher: the two flush triggers (size and
+// deadline), result fidelity against a direct unbatched evaluation, and the
+// uniform fallback for names that fail to resolve.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/game"
+	"repro/internal/samegame"
+	"repro/internal/vtime"
+)
+
+// batchReq builds one evaluation request on a fresh clone (states are not
+// concurrent-safe, so concurrent submitters never share one).
+func batchReq(t *testing.T) game.EvalRequest {
+	t.Helper()
+	st := samegame.NewRandom(5, 5, 3, 3).Clone()
+	moves := st.LegalMoves(nil)
+	if len(moves) == 0 {
+		t.Fatal("test position has no legal moves")
+	}
+	return game.EvalRequest{State: st, Moves: moves}
+}
+
+// TestEvalBatcherFlushOnSize pins the size trigger: with an unreachable
+// deadline, the submission that fills the batch must flush it, and all
+// blocked submitters must receive their weights from that single flush.
+func TestEvalBatcherFlushOnSize(t *testing.T) {
+	const n = 3
+	b := newEvalBatcher(n, time.Hour, vtime.Wall())
+
+	var wg sync.WaitGroup
+	outs := make([][]float64, n)
+	reqs := make([]game.EvalRequest, n)
+	for i := 0; i < n; i++ {
+		reqs[i] = batchReq(t)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = b.submit(game.HeuristicEvaluatorName, reqs[i], nil)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, out := range outs {
+		if len(out) != len(reqs[i].Moves) {
+			t.Fatalf("submitter %d: %d weights for %d moves", i, len(out), len(reqs[i].Moves))
+		}
+	}
+	s := b.snapshot()
+	if s.Batches != 1 || s.FlushSize != 1 || s.FlushDeadline != 0 {
+		t.Fatalf("size trigger stats: %+v", s)
+	}
+	if s.Requests != n || s.BatchMax != n {
+		t.Fatalf("batch accounting: %+v", s)
+	}
+}
+
+// TestEvalBatcherFlushOnDeadline pins the deadline trigger: a lone
+// submission in an 8-wide batcher must not wait for seven peers that will
+// never come — the timer flushes the partial batch.
+func TestEvalBatcherFlushOnDeadline(t *testing.T) {
+	b := newEvalBatcher(8, 10*time.Millisecond, vtime.Wall())
+	req := batchReq(t)
+	out := b.submit(game.HeuristicEvaluatorName, req, nil)
+	if len(out) != len(req.Moves) {
+		t.Fatalf("%d weights for %d moves", len(out), len(req.Moves))
+	}
+	s := b.snapshot()
+	if s.Batches != 1 || s.FlushDeadline != 1 || s.FlushSize != 0 {
+		t.Fatalf("deadline trigger stats: %+v", s)
+	}
+	if s.Requests != 1 || s.BatchMax != 1 {
+		t.Fatalf("batch accounting: %+v", s)
+	}
+	if s.FlushWait < 10*time.Millisecond {
+		t.Fatalf("flush wait %v shorter than the deadline", s.FlushWait)
+	}
+}
+
+// TestEvalBatcherMatchesDirect pins the batching-never-changes-results
+// claim at the weight level: weights through the batched facade must equal
+// a direct, unbatched evaluation of the same position.
+func TestEvalBatcherMatchesDirect(t *testing.T) {
+	req := batchReq(t)
+	direct, err := game.NewEvaluator(game.HeuristicEvaluatorName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := direct.Evaluate(game.EvalRequest{State: req.State.Clone(), Moves: req.Moves}, nil)
+
+	b := newEvalBatcher(4, time.Millisecond, vtime.Wall())
+	got := b.evaluatorFor(game.HeuristicEvaluatorName).Evaluate(req, nil)
+	if len(got) != len(want) {
+		t.Fatalf("weight counts: %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("weight %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestEvalBatcherUnknownName pins the version-skew fallback: a name that
+// fails to resolve leaves the output empty, which the searcher's
+// degenerate-weights guard turns into a uniform draw.
+func TestEvalBatcherUnknownName(t *testing.T) {
+	b := newEvalBatcher(1, time.Millisecond, vtime.Wall())
+	out := b.submit("no-such-evaluator", batchReq(t), nil)
+	if len(out) != 0 {
+		t.Fatalf("unknown evaluator produced %d weights, want none", len(out))
+	}
+	if s := b.snapshot(); s.Batches != 1 {
+		t.Fatalf("unknown-name submission not flushed: %+v", s)
+	}
+}

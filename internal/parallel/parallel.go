@@ -42,6 +42,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/game"
 	"repro/internal/mpi"
+	"repro/internal/vtime"
 )
 
 // Algorithm selects the dispatcher policy.
@@ -205,6 +206,17 @@ type Config struct {
 	// at the next step boundary. The result carries Stopped=true and the
 	// game played so far.
 	StopAfter time.Duration
+	// Evaluator, when non-empty, names the registered game.Evaluator
+	// (game.RegisterEvaluator) that guides the clients' level-0 playouts;
+	// empty keeps the paper's uniform playouts bit-identically. The name —
+	// not a function value — is the configuration surface because jobs
+	// cross process boundaries on distributed pools, and the executing
+	// worker resolves the same name against its own registry into
+	// core.Options.Evaluator, whose doc is the source of truth for how
+	// weights steer a playout. Per-run clients construct the evaluator
+	// directly; pool clients go through the per-worker batcher (see
+	// evalbatch.go).
+	Evaluator string
 }
 
 // jobScale returns the effective client work multiplier.
@@ -229,7 +241,24 @@ func (cfg *Config) prefetch() int {
 
 // stopDue reports whether the StopAfter budget has run out.
 func (cfg *Config) stopDue(c mpi.Comm) bool {
-	return cfg.StopAfter > 0 && c.Now() >= cfg.StopAfter
+	return deadlineDue(c, 0, cfg.StopAfter)
+}
+
+// deadlineDue reports whether budget has elapsed on clock since the start
+// reading. It is the one deadline predicate of the package: the per-run
+// StopAfter poll, the pool's per-job deadline and the batcher's wait
+// metering all read the same vtime.Clock axis, so a virtual-time harness
+// charges every wait consistently (mpi.Comm is a vtime.Clock — virtual
+// makespan on the simulated cluster, monotonic wall time otherwise). A
+// non-positive budget never expires.
+func deadlineDue(clock vtime.Clock, start, budget time.Duration) bool {
+	return budget > 0 && clock.Now()-start >= budget
+}
+
+// deadlineFunc binds deadlineDue into the poll closure shape that
+// core.Options.Stop and the job gather loops consume.
+func deadlineFunc(clock vtime.Clock, start, budget time.Duration) func() bool {
+	return func() bool { return deadlineDue(clock, start, budget) }
 }
 
 // Result is the outcome of a run.
@@ -319,6 +348,10 @@ func Execute(cl mpi.Cluster, lay cluster.Layout, cfg Config) (Result, error) {
 	}
 	if len(lay.Medians) == 0 || len(lay.Clients) == 0 {
 		return Result{}, fmt.Errorf("parallel: layout needs medians and clients")
+	}
+	if cfg.Evaluator != "" && !game.HasEvaluator(cfg.Evaluator) {
+		return Result{}, fmt.Errorf("parallel: unknown evaluator %q (registered: %v)",
+			cfg.Evaluator, game.EvaluatorNames())
 	}
 
 	res := &Result{

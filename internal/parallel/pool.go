@@ -56,6 +56,7 @@ import (
 	"repro/internal/game"
 	"repro/internal/mpi"
 	"repro/internal/rng"
+	"repro/internal/vtime"
 )
 
 // Service protocol tags, kept clear of the per-run protocol's flat tags.
@@ -97,6 +98,7 @@ type jobParams struct {
 	Memorize bool
 	JobScale int64
 	Root     mpi.Rank // the slot rank that owns the job
+	Eval     string   // registered evaluator name; "" = uniform playouts
 }
 
 // svcCandidate is the slot→scheduler→median payload: one candidate
@@ -219,7 +221,25 @@ type PoolConfig struct {
 	// the longest-expected job first). A pool-level policy: jobs share one
 	// dispatcher, and scheduling never changes scores (see package doc).
 	Algo Algorithm
+	// EvalBatch is the per-worker evaluation batch size: rollout positions
+	// submitted by a process's client ranks are flushed to the evaluator
+	// once this many have accumulated. Default 8, capped at the client
+	// ranks the process hosts — each client submits at most one position
+	// at a time, so a larger batch could never fill and every evaluation
+	// would stall on the EvalFlush deadline instead. Only exercised by
+	// jobs whose Config.Evaluator is set; see evalbatch.go.
+	EvalBatch int
+	// EvalFlush bounds how long a partial evaluation batch waits before it
+	// is flushed anyway (a straggler batch must never stall its blocked
+	// submitters — with one in-flight rollout the deadline is the only
+	// trigger). Default 2ms.
+	EvalFlush time.Duration
 }
+
+// defaultEvalFlush is the default partial-batch flush deadline: long
+// enough for concurrent rollouts to coalesce, short next to any real
+// rollout's runtime.
+const defaultEvalFlush = 2 * time.Millisecond
 
 func (c *PoolConfig) withDefaults() PoolConfig {
 	out := *c
@@ -231,6 +251,12 @@ func (c *PoolConfig) withDefaults() PoolConfig {
 	}
 	if out.Clients <= 0 {
 		out.Clients = 8
+	}
+	if out.EvalBatch <= 0 {
+		out.EvalBatch = 8
+	}
+	if out.EvalFlush <= 0 {
+		out.EvalFlush = defaultEvalFlush
 	}
 	return out
 }
@@ -281,6 +307,19 @@ type PoolMetrics struct {
 	// (frames/bytes sent and received, codec nanoseconds); nil when the
 	// pool runs in-process on a WallCluster.
 	Net *mpi.NetStats
+	// Evaluation batching counters of the coordinator-resident batcher
+	// (see evalbatch.go). Like the idle counters, a remote pnmcs-worker's
+	// batcher accumulates in its own process and does not report here.
+	// EvalBatches / EvalRequests count flushes and the positions they
+	// carried; EvalFlushSize vs EvalFlushDeadline splits the flushes by
+	// trigger; EvalBatchMax is the largest batch flushed; EvalFlushWait is
+	// the cumulative wait of each flushed batch's oldest request.
+	EvalBatches       int64
+	EvalRequests      int64
+	EvalFlushSize     int64
+	EvalFlushDeadline int64
+	EvalBatchMax      int
+	EvalFlushWait     time.Duration
 }
 
 // poolCollector is the coordinator-side store of the pool's lifetime
@@ -538,6 +577,7 @@ type Pool struct {
 	net     *mpi.NetCluster // nil for in-process pools
 	netCfg  NetPoolConfig   // normalized; zero value for in-process pools
 	coll    *poolCollector
+	batch   *evalBatcher // coordinator-resident workers' evaluation batcher
 
 	runDone chan struct{}
 
@@ -892,6 +932,11 @@ func newPoolOn(world *poolWorld, cl poolCluster, nc *mpi.NetCluster, coll *poolC
 		runDone:   make(chan struct{}),
 		slotBusy:  make([]bool, cfg.Slots),
 		slotEpoch: make([]uint64, cfg.Slots),
+		// The in-process pool hosts all cfg.Clients client ranks, so that
+		// is the most submitters the batcher can ever have in at once; a
+		// net coordinator hosts none and its batcher sits unused (each
+		// pnmcs-worker builds its own, clamped to its hosted share).
+		batch: newEvalBatcher(min(cfg.EvalBatch, cfg.Clients), cfg.EvalFlush, vtime.Wall()),
 	}
 	p.idle = sync.NewCond(&p.mu)
 
@@ -916,7 +961,7 @@ func newPoolOn(world *poolWorld, cl poolCluster, nc *mpi.NetCluster, coll *poolC
 		// skips the bookkeeping.
 		runFaultAwareDispatcher(c, dispLay, dispCfg, longest)
 	})
-	startPoolWorkers(p.cluster, world, p.coll.addMedianIdle, p.coll.addClientIdle)
+	startPoolWorkers(p.cluster, world, p.batch, p.coll.addMedianIdle, p.coll.addClientIdle)
 
 	go func() {
 		p.cluster.Run()
@@ -930,8 +975,9 @@ func newPoolOn(world *poolWorld, cl poolCluster, nc *mpi.NetCluster, coll *poolC
 // pool itself (collector-backed sinks) and by ServeWorker in a remote
 // worker process (worker-local sinks) — the bodies are identical on both
 // sides of the wire, and a cluster hosting only some of the ranks ignores
-// the Start calls for the others.
-func startPoolWorkers(cl mpi.Cluster, world *poolWorld, medianIdle, clientIdle func(i int, d time.Duration)) {
+// the Start calls for the others. batch is the process-local evaluation
+// batcher the hosted client ranks share.
+func startPoolWorkers(cl mpi.Cluster, world *poolWorld, batch *evalBatcher, medianIdle, clientIdle func(i int, d time.Duration)) {
 	for i := 0; i < world.cfg.Medians; i++ {
 		i := i
 		cl.Start(world.medians[i], func(c mpi.Comm) {
@@ -941,7 +987,7 @@ func startPoolWorkers(cl mpi.Cluster, world *poolWorld, medianIdle, clientIdle f
 	for i := 0; i < world.cfg.Clients; i++ {
 		i := i
 		cl.Start(world.clients[i], func(c mpi.Comm) {
-			runPoolClient(c, world, func(d time.Duration) { clientIdle(i, d) })
+			runPoolClient(c, world, batch, func(d time.Duration) { clientIdle(i, d) })
 		})
 	}
 }
@@ -999,6 +1045,13 @@ func (p *Pool) Metrics() PoolMetrics {
 		m.QueueDepthMean = float64(co.depthSum) / float64(co.depthSamples)
 	}
 	co.mu.Unlock()
+	eb := p.batch.snapshot()
+	m.EvalBatches = eb.Batches
+	m.EvalRequests = eb.Requests
+	m.EvalFlushSize = eb.FlushSize
+	m.EvalFlushDeadline = eb.FlushDeadline
+	m.EvalBatchMax = eb.BatchMax
+	m.EvalFlushWait = eb.FlushWait
 	if p.net != nil {
 		st := p.net.Stats()
 		m.Net = &st
@@ -1038,6 +1091,13 @@ func (p *Pool) StartJob(slot int, cfg Config, progress func(Progress)) (*JobHand
 	}
 	if cfg.Root == nil {
 		return nil, fmt.Errorf("parallel: no root position")
+	}
+	if cfg.Evaluator != "" && !game.HasEvaluator(cfg.Evaluator) {
+		// Validated at submission, in the coordinator: clients resolving
+		// an unknown name mid-job could only fall back to uniform
+		// playouts, silently answering a different question than asked.
+		return nil, fmt.Errorf("parallel: unknown evaluator %q (registered: %v)",
+			cfg.Evaluator, game.EvaluatorNames())
 	}
 
 	h := &JobHandle{p: p, slot: slot, ch: make(chan jobOutcome, 1)}
@@ -1221,10 +1281,9 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 		Memorize: cfg.Memorize,
 		JobScale: cfg.jobScale(),
 		Root:     c.Rank(),
+		Eval:     cfg.Evaluator,
 	}
-	deadline := func() bool {
-		return cfg.StopAfter > 0 && c.Now()-start >= cfg.StopAfter
-	}
+	deadline := deadlineFunc(c, start, cfg.StopAfter)
 
 	var shipped []game.State
 	var scores []float64
@@ -1787,7 +1846,7 @@ func runPoolMedian(c mpi.Comm, w *poolWorld, idle func(time.Duration)) {
 // nothing) and their scratch StatePools persist across jobs. Like
 // runPoolMedian, the body is transport-blind and runs unchanged in the
 // coordinator or in a pnmcs-worker process.
-func runPoolClient(c mpi.Comm, w *poolWorld, idle func(time.Duration)) {
+func runPoolClient(c mpi.Comm, w *poolWorld, batch *evalBatcher, idle func(time.Duration)) {
 	meter := &unitMeter{}
 	searchers := map[bool]*core.Searcher{}
 	searcherFor := func(memorize bool) *core.Searcher {
@@ -1822,6 +1881,16 @@ func runPoolClient(c mpi.Comm, w *poolWorld, idle func(time.Duration)) {
 
 			meter.units = 0
 			s := searcherFor(jb.P.Memorize)
+			// Per-job evaluator wiring: jobs of differing evaluator
+			// configurations interleave on one persistent searcher, so the
+			// evaluator is swapped per job like the rng stream is reseeded.
+			// The batched facade blocks this rollout while its batch
+			// coalesces with the other client ranks' submissions.
+			if jb.P.Eval != "" {
+				s.SetEvaluator(batch.evaluatorFor(jb.P.Eval))
+			} else {
+				s.SetEvaluator(nil)
+			}
 			s.Reseed(jb.P.Seed, jb.Key)
 			res := s.Nested(jb.State, jb.P.Level-2)
 			c.Work(meter.units * jb.P.JobScale)

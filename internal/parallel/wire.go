@@ -17,10 +17,35 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
+	"repro/internal/game"
 	"repro/internal/mpi"
 	"repro/internal/mpi/codec"
 )
+
+// EvalBatchRequest is the batcher→evaluation-server frame payload
+// (KindEvalBatchRequest): one flushed batch of rollout positions to score
+// with the named evaluator. Batch is an opaque correlation id echoed by
+// the reply — request/reply pairs may complete out of order on a pipelined
+// connection. Unlike every other state-carrying payload, States carries a
+// per-state length prefix: a bare encoded state extends to the end of its
+// frame, and a batch needs many in one frame.
+type EvalBatchRequest struct {
+	Batch  uint64
+	Eval   string
+	States []game.State
+}
+
+// EvalBatchReply is the evaluation-server→batcher frame payload
+// (KindEvalBatchReply): Weights[i] holds one non-negative weight per legal
+// move of the request's States[i], in LegalMoves order — the same contract
+// as game.Evaluator.Evaluate. An empty vector means "no opinion" (the
+// searcher falls back to a uniform draw for that position).
+type EvalBatchReply struct {
+	Batch   uint64
+	Weights [][]float64
+}
 
 // Application payload kinds (64+ is the application band, see codec).
 const (
@@ -35,6 +60,15 @@ const (
 	kindSvcAbandonAck                        // pool scheduler -> slot
 	kindSvcRanksLost                         // pool coordinator -> median: worker ranks died
 	kindSvcRegrant                           // pool scheduler -> slot: grants re-queued
+	// KindEvalBatchRequest / KindEvalBatchReply are the evaluation batch
+	// frames, exported (with their payload types) because their intended
+	// far end is an external inference server speaking the frame protocol:
+	// a batcher ships one request frame per flush and receives one reply
+	// frame with the per-position move weights. The bundled in-process
+	// evaluators never serialize — these kinds exist so plugging a remote
+	// evaluator in later is a new dial target, not another protocol break.
+	KindEvalBatchRequest codec.Kind = 64 + iota // batcher -> evaluation server
+	KindEvalBatchReply                          // evaluation server -> batcher
 )
 
 // The worker handshake blob (appendWorkerBlob) is NOT a frame payload: it
@@ -299,6 +333,103 @@ func init() {
 			return r, nil
 		})
 
+	codec.Register(KindEvalBatchRequest,
+		func(buf []byte, v EvalBatchRequest) ([]byte, error) {
+			buf = binary.LittleEndian.AppendUint64(buf, v.Batch)
+			buf = appendEvalName(buf, v.Eval)
+			buf = binary.AppendUvarint(buf, uint64(len(v.States)))
+			for _, st := range v.States {
+				enc, err := codec.EncodeState(nil, st)
+				if err != nil {
+					return nil, err
+				}
+				buf = binary.AppendUvarint(buf, uint64(len(enc)))
+				buf = append(buf, enc...)
+			}
+			return buf, nil
+		},
+		func(data []byte) (EvalBatchRequest, error) {
+			var r EvalBatchRequest
+			if len(data) < 8 {
+				return r, fmt.Errorf("%w: eval batch id", codec.ErrTruncated)
+			}
+			r.Batch = binary.LittleEndian.Uint64(data)
+			eval, data, err := readEvalName(data[8:])
+			if err != nil {
+				return r, err
+			}
+			r.Eval = eval
+			count, data, err := codec.ReadUvarint(data)
+			if err != nil {
+				return r, err
+			}
+			// Grown per state, not preallocated from count: the count is
+			// remote-controlled and each state consumes at least one byte,
+			// so a lying count fails on the first missing state.
+			for i := uint64(0); i < count; i++ {
+				n, rest, err := codec.ReadUvarint(data)
+				if err != nil {
+					return r, err
+				}
+				if uint64(len(rest)) < n {
+					return r, fmt.Errorf("%w: eval batch state %d", codec.ErrTruncated, i)
+				}
+				st, err := codec.DecodeState(rest[:n])
+				if err != nil {
+					return r, err
+				}
+				r.States = append(r.States, st)
+				data = rest[n:]
+			}
+			if len(data) != 0 {
+				return r, fmt.Errorf("%w: eval batch trailing bytes", codec.ErrMalformed)
+			}
+			return r, nil
+		})
+
+	codec.Register(KindEvalBatchReply,
+		func(buf []byte, v EvalBatchReply) ([]byte, error) {
+			buf = binary.LittleEndian.AppendUint64(buf, v.Batch)
+			buf = binary.AppendUvarint(buf, uint64(len(v.Weights)))
+			for _, w := range v.Weights {
+				buf = binary.AppendUvarint(buf, uint64(len(w)))
+				for _, x := range w {
+					buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+				}
+			}
+			return buf, nil
+		},
+		func(data []byte) (EvalBatchReply, error) {
+			var r EvalBatchReply
+			if len(data) < 8 {
+				return r, fmt.Errorf("%w: eval reply id", codec.ErrTruncated)
+			}
+			r.Batch = binary.LittleEndian.Uint64(data)
+			count, data, err := codec.ReadUvarint(data[8:])
+			if err != nil {
+				return r, err
+			}
+			for i := uint64(0); i < count; i++ {
+				n, rest, err := codec.ReadUvarint(data)
+				if err != nil {
+					return r, err
+				}
+				if n > uint64(len(rest))/8 {
+					return r, fmt.Errorf("%w: eval reply weights %d", codec.ErrTruncated, i)
+				}
+				w := make([]float64, n)
+				for j := range w {
+					w[j] = math.Float64frombits(binary.LittleEndian.Uint64(rest[j*8:]))
+				}
+				r.Weights = append(r.Weights, w)
+				data = rest[n*8:]
+			}
+			if len(data) != 0 {
+				return r, fmt.Errorf("%w: eval reply trailing bytes", codec.ErrMalformed)
+			}
+			return r, nil
+		})
+
 	codec.Register(kindSvcAbandonAck,
 		func(buf []byte, v svcAbandonAck) ([]byte, error) {
 			buf = binary.LittleEndian.AppendUint64(buf, v.Epoch)
@@ -328,6 +459,33 @@ func init() {
 // nested search (jobParams decode from remote-controlled frames).
 const wireMaxLevel = 64
 
+// wireMaxEvalName caps the evaluator-name bytes a decoded job or batch
+// frame may carry: names are short registry keys, and the cap bounds the
+// allocation a remote-controlled length prefix can demand.
+const wireMaxEvalName = 64
+
+// appendEvalName encodes a registered evaluator name (uvarint length +
+// bytes; empty = uniform playouts).
+func appendEvalName(buf []byte, name string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(name)))
+	return append(buf, name...)
+}
+
+// readEvalName decodes appendEvalName's encoding.
+func readEvalName(data []byte) (string, []byte, error) {
+	n, data, err := codec.ReadUvarint(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > wireMaxEvalName {
+		return "", nil, fmt.Errorf("%w: evaluator name of %d bytes exceeds limit %d", codec.ErrMalformed, n, wireMaxEvalName)
+	}
+	if uint64(len(data)) < n {
+		return "", nil, fmt.Errorf("%w: evaluator name", codec.ErrTruncated)
+	}
+	return string(data[:n]), data[n:], nil
+}
+
 // appendJobParams encodes the per-job knobs that ride every candidate and
 // client job.
 func appendJobParams(buf []byte, p jobParams) []byte {
@@ -341,7 +499,8 @@ func appendJobParams(buf []byte, p jobParams) []byte {
 	}
 	buf = append(buf, b)
 	buf = binary.AppendUvarint(buf, uint64(p.JobScale))
-	return binary.AppendUvarint(buf, uint64(p.Root))
+	buf = binary.AppendUvarint(buf, uint64(p.Root))
+	return appendEvalName(buf, p.Eval)
 }
 
 // readJobParams decodes appendJobParams' encoding and returns the
@@ -379,6 +538,10 @@ func readJobParams(data []byte) (jobParams, []byte, error) {
 	if err != nil {
 		return p, nil, err
 	}
+	eval, data, err := readEvalName(data)
+	if err != nil {
+		return p, nil, err
+	}
 	return jobParams{
 		Slot:     int(slot),
 		Epoch:    epoch,
@@ -387,21 +550,27 @@ func readJobParams(data []byte) (jobParams, []byte, error) {
 		Memorize: memorize == 1,
 		JobScale: int64(scale),
 		Root:     mpi.Rank(root),
+		Eval:     eval,
 	}, data, nil
 }
 
 // workerBlobVersion guards the handshake blob layout independently of the
 // frame version: the blob is interpreted by parallel, not by the codec.
-const workerBlobVersion = 1
+// Version history: 1 carried the pool shape (slots/medians/clients/algo);
+// 2 added the evaluation batch shape (EvalBatch, EvalFlush nanoseconds).
+const workerBlobVersion = 2
 
 // appendWorkerBlob encodes the PoolConfig a pnmcs-worker needs to derive
-// the identical poolWorld the coordinator built.
+// the identical poolWorld the coordinator built — and, since v2, to batch
+// evaluations the way the coordinator was configured.
 func appendWorkerBlob(buf []byte, cfg PoolConfig) []byte {
 	buf = append(buf, workerBlobVersion)
 	buf = binary.AppendUvarint(buf, uint64(cfg.Slots))
 	buf = binary.AppendUvarint(buf, uint64(cfg.Medians))
 	buf = binary.AppendUvarint(buf, uint64(cfg.Clients))
-	return binary.AppendUvarint(buf, uint64(cfg.Algo))
+	buf = binary.AppendUvarint(buf, uint64(cfg.Algo))
+	buf = binary.AppendUvarint(buf, uint64(cfg.EvalBatch))
+	return binary.AppendUvarint(buf, uint64(cfg.EvalFlush))
 }
 
 // decodeWorkerBlob reverses appendWorkerBlob.
@@ -422,17 +591,27 @@ func decodeWorkerBlob(data []byte) (PoolConfig, error) {
 		}
 		*f, data = int(v), rest
 	}
-	algo, rest, err := codec.ReadUvarint(data)
+	algo, data, err := codec.ReadUvarint(data)
 	if err != nil {
 		return cfg, fmt.Errorf("parallel: worker blob: %w", err)
 	}
+	cfg.Algo = Algorithm(algo)
+	batch, data, err := codec.ReadUvarint(data)
+	if err != nil {
+		return cfg, fmt.Errorf("parallel: worker blob: %w", err)
+	}
+	cfg.EvalBatch = int(batch)
+	flush, rest, err := codec.ReadUvarint(data)
+	if err != nil {
+		return cfg, fmt.Errorf("parallel: worker blob: %w", err)
+	}
+	cfg.EvalFlush = time.Duration(flush)
 	if len(rest) != 0 {
 		// Trailing bytes mean version skew (a field added without bumping
 		// workerBlobVersion): fail loudly — a misparsed blob would
 		// desynchronize the whole rank/tag layout.
 		return cfg, fmt.Errorf("parallel: worker blob: %d trailing bytes", len(rest))
 	}
-	cfg.Algo = Algorithm(algo)
 	if cfg.Slots < 1 || cfg.Medians < 1 || cfg.Clients < 1 {
 		return cfg, fmt.Errorf("parallel: worker blob: degenerate pool %d/%d/%d",
 			cfg.Slots, cfg.Medians, cfg.Clients)

@@ -8,6 +8,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/game"
 	"repro/internal/mpi"
@@ -150,8 +151,89 @@ func TestStateCarryingPayloadRoundTrips(t *testing.T) {
 	}
 }
 
+// TestEvalBatchPayloadRoundTrips covers the exported evaluation batch
+// frames (KindEvalBatchRequest / KindEvalBatchReply) — the wire shapes an
+// external inference server speaks.
+func TestEvalBatchPayloadRoundTrips(t *testing.T) {
+	a := game.NewArmTree(3, 4, 9)
+	b := game.NewArmTree(3, 4, 9)
+	b.Play(1)
+
+	req := EvalBatchRequest{Batch: 0xfeedface, Eval: "heuristic", States: []game.State{a, b}}
+	gr := payloadTrip(t, req).(EvalBatchRequest)
+	if gr.Batch != req.Batch || gr.Eval != req.Eval || len(gr.States) != 2 {
+		t.Fatalf("request round trip: %+v", gr)
+	}
+	if gr.States[0].MovesPlayed() != 0 || gr.States[1].MovesPlayed() != 1 {
+		t.Fatalf("request states not restored: %d, %d moves",
+			gr.States[0].MovesPlayed(), gr.States[1].MovesPlayed())
+	}
+
+	// Weights round-trip bit-exactly; an empty vector ("no opinion") and an
+	// empty batch are both legal.
+	rep := EvalBatchReply{Batch: 0xfeedface, Weights: [][]float64{{0.5, 2, 0}, {}, {1}}}
+	gp := payloadTrip(t, rep).(EvalBatchReply)
+	if gp.Batch != rep.Batch || len(gp.Weights) != len(rep.Weights) {
+		t.Fatalf("reply round trip: %+v", gp)
+	}
+	for i, w := range rep.Weights {
+		if len(gp.Weights[i]) != len(w) {
+			t.Fatalf("reply weights %d: %v != %v", i, gp.Weights[i], w)
+		}
+		for j := range w {
+			if math.Float64bits(gp.Weights[i][j]) != math.Float64bits(w[j]) {
+				t.Fatalf("reply weight [%d][%d]: %v != %v", i, j, gp.Weights[i][j], w[j])
+			}
+		}
+	}
+	empty := payloadTrip(t, EvalBatchReply{Batch: 7}).(EvalBatchReply)
+	if empty.Batch != 7 || len(empty.Weights) != 0 {
+		t.Fatalf("empty reply round trip: %+v", empty)
+	}
+}
+
+// TestEvalNameLimits pins the remote-controlled-length guard on evaluator
+// names: the decoder must reject names beyond wireMaxEvalName and
+// truncated name bytes, never allocate for them.
+func TestEvalNameLimits(t *testing.T) {
+	long := make([]byte, wireMaxEvalName+1)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if _, _, err := readEvalName(appendEvalName(nil, string(long))); err == nil {
+		t.Fatal("oversized evaluator name accepted")
+	}
+	buf := appendEvalName(nil, "heuristic")
+	if _, _, err := readEvalName(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated evaluator name accepted")
+	}
+	name, rest, err := readEvalName(appendEvalName(nil, ""))
+	if err != nil || name != "" || len(rest) != 0 {
+		t.Fatalf("empty name (uniform sentinel) round trip: %q, %d rest, %v", name, len(rest), err)
+	}
+}
+
+// TestJobParamsEvalRoundTrip pins the evaluator name riding every pool
+// candidate and client job (the codec v3 jobParams extension).
+func TestJobParamsEvalRoundTrip(t *testing.T) {
+	p := jobParams{
+		Slot: 2, Epoch: 9, Level: 3, Seed: 41, Memorize: true,
+		JobScale: 1 << 20, Root: mpi.Rank(1), Eval: "heuristic",
+	}
+	got, rest, err := readJobParams(appendJobParams(nil, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p || len(rest) != 0 {
+		t.Fatalf("job params round trip: %+v, %d rest", got, len(rest))
+	}
+}
+
 func TestWorkerBlobRoundTrip(t *testing.T) {
-	cfg := PoolConfig{Slots: 3, Medians: 5, Clients: 9, Algo: LastMinute}
+	cfg := PoolConfig{
+		Slots: 3, Medians: 5, Clients: 9, Algo: LastMinute,
+		EvalBatch: 16, EvalFlush: 3 * time.Millisecond,
+	}
 	got, err := decodeWorkerBlob(appendWorkerBlob(nil, cfg))
 	if err != nil {
 		t.Fatal(err)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/mpi"
+	"repro/internal/vtime"
 )
 
 // WorkerStats summarizes one worker process's service, for logging.
@@ -78,7 +79,17 @@ func ServeWorker(w *mpi.NetWorker) (WorkerStats, error) {
 		}
 		return out
 	})
-	startPoolWorkers(w, world, medianIdle, clientIdle)
+	// The worker's evaluation batcher: hosted client ranks coalesce their
+	// rollout positions per process, with the batch shape (EvalBatch,
+	// EvalFlush) carried by the handshake blob so every process batches
+	// the way the coordinator was configured — except the size, which is
+	// capped at the client ranks THIS process hosts (one outstanding
+	// position per client means a larger batch could never fill, leaving
+	// every evaluation to stall on the flush deadline). Its counters stay
+	// in this process, like the per-rank idle counters.
+	batch := newEvalBatcher(min(world.cfg.EvalBatch, max(stats.Clients, 1)),
+		world.cfg.EvalFlush, vtime.Wall())
+	startPoolWorkers(w, world, batch, medianIdle, clientIdle)
 
 	w.Run()
 	var total int64

@@ -374,3 +374,18 @@ var _ game.State = (*State)(nil)
 var _ game.Undoer = (*State)(nil)
 var _ game.Copier = (*State)(nil)
 var _ game.Sizer = (*State)(nil)
+
+// RateMoves implements game.MoveRater for the bundled heuristic
+// evaluator: a group's weight is its size. The score of removing n
+// blocks is (n−2)², so steering playouts toward big groups is the
+// natural greedy signal. Only scratch marks are touched; the observable
+// position is unchanged.
+func (s *State) RateMoves(moves []game.Move, w []float64) []float64 {
+	s.markGen++
+	for _, m := range moves {
+		w = append(w, float64(s.flood(int32(m), s.cells[m], nil)))
+	}
+	return w
+}
+
+var _ game.MoveRater = (*State)(nil)

@@ -42,10 +42,17 @@ import (
 )
 
 // Config sizes a Manager.
+//
+// Several fields mirror a knob of the pool the manager builds
+// (parallel.PoolConfig / parallel.NetPoolConfig); for those, the parallel
+// declaration is the source of truth for semantics and defaults, and the
+// doc here only says which field is forwarded.
 type Config struct {
-	// Slots is the number of jobs served concurrently. Default 4.
+	// Slots is the number of jobs served concurrently
+	// (parallel.PoolConfig.Slots). Default 4.
 	Slots int
-	// Medians / Clients size the shared worker pool. Defaults 4 / 8.
+	// Medians / Clients size the shared worker pool
+	// (parallel.PoolConfig.Medians / Clients). Defaults 4 / 8.
 	Medians int
 	Clients int
 	// QueueLimit bounds the jobs waiting for a free slot; a Submit beyond
@@ -57,9 +64,23 @@ type Config struct {
 	// ErrNotFound), so a long-lived service holds bounded memory.
 	// Default 1024; negative evicts terminal jobs immediately.
 	Retain int
-	// Algo orders the shared dispatcher's pending rollouts; default
-	// LastMinute (the paper's best policy). Never changes job results.
+	// Algo orders the shared dispatcher's pending rollouts
+	// (parallel.PoolConfig.Algo); default LastMinute (the paper's best
+	// policy). Never changes job results.
 	Algo parallel.Algorithm
+
+	// Evaluator is the default rollout evaluator applied to jobs whose
+	// spec leaves JobSpec.Evaluator empty (a registered game.Evaluator
+	// name, e.g. "heuristic", forwarded as parallel.Config.Evaluator).
+	// Empty means uniform playouts; a job opts back out of a non-empty
+	// default with the spec sentinel "uniform" (EvaluatorUniform).
+	// Validated by New.
+	Evaluator string
+	// EvalBatch / EvalFlush shape the per-worker evaluation batching
+	// (parallel.PoolConfig.EvalBatch / EvalFlush; the batch size is
+	// capped at the client ranks a process hosts). Defaults 8 / 2ms.
+	EvalBatch int
+	EvalFlush time.Duration
 
 	// Workers, when positive, serves the pool's median and client ranks
 	// from that many external pnmcs-worker processes instead of
@@ -272,11 +293,17 @@ type Manager struct {
 // idle Manager.
 func New(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Evaluator != "" && !game.HasEvaluator(cfg.Evaluator) {
+		return nil, fmt.Errorf("service: unknown default evaluator %q (registered: %v)",
+			cfg.Evaluator, game.EvaluatorNames())
+	}
 	pcfg := parallel.PoolConfig{
-		Slots:   cfg.Slots,
-		Medians: cfg.Medians,
-		Clients: cfg.Clients,
-		Algo:    cfg.Algo,
+		Slots:     cfg.Slots,
+		Medians:   cfg.Medians,
+		Clients:   cfg.Clients,
+		Algo:      cfg.Algo,
+		EvalBatch: cfg.EvalBatch,
+		EvalFlush: cfg.EvalFlush,
 	}
 	var pool *parallel.Pool
 	var err error
@@ -392,6 +419,12 @@ func (m *Manager) dispatchLocked(j *job) {
 // queued job. Runs on its own goroutine.
 func (m *Manager) run(j *job, slot int) {
 	cfg, err := j.status.Spec.Config()
+	if err == nil && j.status.Spec.Evaluator == "" {
+		// Service-default evaluator overlay. Keyed on the spec, not the
+		// translated config: a spec saying "uniform" arrives here with an
+		// empty cfg.Evaluator too, and must stay uniform.
+		cfg.Evaluator = m.cfg.Evaluator
+	}
 	var res parallel.Result
 	if err == nil {
 		// The start races cancellation: both sides serialize on m.mu, so

@@ -52,6 +52,13 @@ type JobSpec struct {
 	// shape (one position in, one move out).
 	FirstMoveOnly bool `json:"first_move_only,omitempty"`
 
+	// Evaluator names the registered rollout evaluator guiding this job's
+	// playouts ("heuristic" for the bundled per-domain heuristics); empty
+	// inherits the service default (Config.Evaluator), and the sentinel
+	// "uniform" forces the paper's uniform playouts even when the service
+	// has a default. Unknown names are rejected at submission.
+	Evaluator string `json:"evaluator,omitempty"`
+
 	// Deadline, when positive, cancels the job that long after it starts
 	// running (queue time excluded). The partial result is returned with
 	// Stopped true. Go callers set this field; the HTTP API uses
@@ -63,9 +70,15 @@ type JobSpec struct {
 	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
 }
 
+// EvaluatorUniform is the JobSpec.Evaluator sentinel that forces the
+// paper's uniform rollouts on a service whose Config.Evaluator default
+// would otherwise apply (an empty spec field inherits the default).
+const EvaluatorUniform = "uniform"
+
 // normalized fills the spec's defaults without mutating the original.
 func (s JobSpec) normalized() JobSpec {
 	s.Domain = strings.ToLower(strings.TrimSpace(s.Domain))
+	s.Evaluator = strings.TrimSpace(s.Evaluator)
 	if s.Level == 0 {
 		s.Level = 2
 	}
@@ -143,6 +156,20 @@ func (s JobSpec) Config() (parallel.Config, error) {
 		return parallel.Config{}, err
 	}
 	n := s.normalized()
+	eval := n.Evaluator
+	switch eval {
+	case "", EvaluatorUniform:
+		// "uniform" is a spec-level sentinel, not a registered evaluator:
+		// both map to the empty parallel.Config field (uniform playouts).
+		// The service-default overlay (Manager.run) distinguishes them by
+		// looking at the spec, where "uniform" blocks the default.
+		eval = ""
+	default:
+		if !game.HasEvaluator(eval) {
+			return parallel.Config{}, fmt.Errorf("service: unknown evaluator %q (registered: %v, or %q)",
+				eval, game.EvaluatorNames(), EvaluatorUniform)
+		}
+	}
 	return parallel.Config{
 		Level:         n.Level,
 		Root:          root,
@@ -150,5 +177,6 @@ func (s JobSpec) Config() (parallel.Config, error) {
 		Memorize:      n.Memorize,
 		FirstMoveOnly: n.FirstMoveOnly,
 		StopAfter:     n.Deadline,
+		Evaluator:     eval,
 	}, nil
 }

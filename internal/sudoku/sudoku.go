@@ -348,3 +348,25 @@ var _ game.State = (*State)(nil)
 var _ game.Undoer = (*State)(nil)
 var _ game.Copier = (*State)(nil)
 var _ game.Sizer = (*State)(nil)
+
+// RateMoves implements game.MoveRater for the bundled heuristic
+// evaluator. All legal moves fill the same (first empty) cell with
+// different values, so the rating discriminates on the value: a value
+// already placed often has fewer remaining slots that can still take it,
+// and placing it sooner fails less often later — the "most constrained
+// value first" bias. The weight is 1 + the value's current count on the
+// grid; pure, one O(side²) scan per request.
+func (s *State) RateMoves(moves []game.Move, w []float64) []float64 {
+	var counts [26]int // side ≤ 25 (box ≤ 5); index by value
+	for _, v := range s.grid {
+		if v != 0 {
+			counts[v]++
+		}
+	}
+	for _, m := range moves {
+		w = append(w, float64(1+counts[m&0xff]))
+	}
+	return w
+}
+
+var _ game.MoveRater = (*State)(nil)

@@ -42,6 +42,8 @@
 package pnmcs
 
 import (
+	"time"
+
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/game"
@@ -61,6 +63,41 @@ type (
 	// State is a search domain position.
 	State = game.State
 )
+
+// Rollout evaluators (see internal/game): the pluggable backend guiding
+// the clients' level-0 playouts. Evaluators travel by registered name
+// because jobs cross process boundaries on distributed services; register
+// custom ones before building a Service.
+type (
+	// Evaluator scores the legal moves of rollout positions. Must be pure
+	// and safe for concurrent use; see game.Evaluator.
+	Evaluator = game.Evaluator
+	// BatchEvaluator is an Evaluator that also scores whole batches in one
+	// call — the shape a vectorized policy (an NN inference server) wants.
+	BatchEvaluator = game.BatchEvaluator
+	// EvalRequest is one position to score: a state and its legal moves.
+	EvalRequest = game.EvalRequest
+)
+
+// HeuristicEvaluatorName names the bundled per-domain heuristic evaluator
+// (centrality for Morpion, group size for SameGame, value scarcity for
+// Sudoku), usable with WithEvaluator and JobSpec.Evaluator.
+const HeuristicEvaluatorName = game.HeuristicEvaluatorName
+
+// EvaluatorUniform is the JobSpec.Evaluator sentinel that forces the
+// paper's uniform playouts on a service configured with a default
+// evaluator (an empty spec field inherits the default).
+const EvaluatorUniform = service.EvaluatorUniform
+
+// RegisterEvaluator makes a custom evaluator available under name, process
+// wide. Distributed runs resolve the name on the executing worker, so
+// every worker process must register it too (same binary, same init).
+func RegisterEvaluator(name string, factory func() Evaluator) {
+	game.RegisterEvaluator(name, factory)
+}
+
+// EvaluatorNames lists the registered evaluator names, sorted.
+func EvaluatorNames() []string { return game.EvaluatorNames() }
 
 // Random number generation.
 type (
@@ -155,11 +192,114 @@ var (
 	ErrJobFinished      = service.ErrFinished
 )
 
-// NewService builds the persistent worker pool and returns an idle
-// service. cmd/pnmcsd exposes the same object over HTTP. Setting
-// ServiceConfig.Workers > 0 makes the service the coordinator of a
+// New builds the persistent worker pool and returns an idle service.
+// cmd/pnmcsd exposes the same object over HTTP. With no options the
+// service is local and defaulted: 4 job slots multiplexed onto an
+// in-process pool of 4 medians and 8 clients, uniform playouts.
+//
+//	svc, err := pnmcs.New(
+//		pnmcs.WithPool(8, 16),
+//		pnmcs.WithEvaluator("heuristic"),
+//	)
+//
+// Adding WithWorkers(n) makes the service the coordinator of a
 // distributed rank world whose median and client ranks are hosted by
 // external worker processes (cmd/pnmcs-worker, or ServeWorker below).
+func New(opts ...Option) (*Service, error) {
+	var cfg ServiceConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return service.New(cfg)
+}
+
+// Option customizes one knob of a Service built by New. Every option
+// writes one field of service.Config — the single source of truth for the
+// knob's semantics and default — so the two construction styles can never
+// drift apart.
+type Option func(*ServiceConfig)
+
+// WithSlots sets the number of jobs served concurrently (default 4).
+func WithSlots(n int) Option { return func(c *ServiceConfig) { c.Slots = n } }
+
+// WithPool sizes the shared worker pool: median processes and client
+// processes (defaults 4 and 8). These are the paper's §IV process roles;
+// they bound parallelism, never change results.
+func WithPool(medians, clients int) Option {
+	return func(c *ServiceConfig) { c.Medians, c.Clients = medians, clients }
+}
+
+// WithQueueLimit bounds the jobs waiting for a free slot (default 16);
+// negative means no queue. Submissions beyond it fail with
+// ErrServiceSaturated.
+func WithQueueLimit(n int) Option { return func(c *ServiceConfig) { c.QueueLimit = n } }
+
+// WithRetain bounds the finished jobs kept for status queries
+// (default 1024); negative evicts terminal jobs immediately.
+func WithRetain(n int) Option { return func(c *ServiceConfig) { c.Retain = n } }
+
+// WithAlgorithm selects the dispatcher policy ordering pending rollouts,
+// RoundRobin or LastMinute (the default, the paper's best). Scheduling
+// never changes job results.
+func WithAlgorithm(a Algorithm) Option { return func(c *ServiceConfig) { c.Algo = a } }
+
+// WithEvaluator sets the default rollout evaluator — a registered
+// game.Evaluator name such as "heuristic" — applied to jobs whose spec
+// does not name one. Empty (the default) keeps the paper's uniform
+// playouts; a job opts back out of a service default with the spec
+// sentinel EvaluatorUniform.
+func WithEvaluator(name string) Option { return func(c *ServiceConfig) { c.Evaluator = name } }
+
+// WithEvalBatch sets how many rollout positions a worker process
+// accumulates before evaluating them as one batch (default 8).
+func WithEvalBatch(n int) Option { return func(c *ServiceConfig) { c.EvalBatch = n } }
+
+// WithEvalFlush bounds how long a partial evaluation batch may wait for
+// more positions before it is flushed anyway (default 2ms).
+func WithEvalFlush(d time.Duration) Option { return func(c *ServiceConfig) { c.EvalFlush = d } }
+
+// WithWorkers serves the pool's median and client ranks from n external
+// worker processes instead of goroutines. Job results are bit-identical
+// either way.
+func WithWorkers(n int) Option { return func(c *ServiceConfig) { c.Workers = n } }
+
+// WithWorkerListen sets the TCP address workers dial (default loopback,
+// ephemeral port). Only meaningful with WithWorkers.
+func WithWorkerListen(addr string) Option { return func(c *ServiceConfig) { c.WorkerListen = addr } }
+
+// WithWorkerToken sets the shared secret dialing workers must present.
+// Set it whenever the worker listener leaves loopback.
+func WithWorkerToken(token string) Option { return func(c *ServiceConfig) { c.WorkerToken = token } }
+
+// WithDegrade enables graceful degradation down to min surviving workers:
+// when a lost worker is abandoned without a replacement, jobs keep
+// finishing — bit-identical — on the shrunken world instead of failing
+// fast. Only meaningful with WithWorkers.
+func WithDegrade(min int) Option {
+	return func(c *ServiceConfig) { c.Degrade, c.MinWorkers = true, min }
+}
+
+// WithReplaceGrace sets how long a lost worker's ranks are held for a
+// replacement before the pool abandons them (degrading or failing fast
+// per WithDegrade). Only meaningful with WithWorkers.
+func WithReplaceGrace(d time.Duration) Option { return func(c *ServiceConfig) { c.ReplaceGrace = d } }
+
+// WithPendingLimit bounds the work re-queued from lost workers before the
+// grace window is cut short. Only meaningful with WithWorkers.
+func WithPendingLimit(n int) Option { return func(c *ServiceConfig) { c.PendingLimit = n } }
+
+// WithRetry re-runs jobs the pool failed, up to max times with exponential
+// backoff from the given base delay (zero base defaults to 250ms). Re-runs
+// keep the job's seed, so a retried answer is bit-identical to what the
+// healthy pool would have produced.
+func WithRetry(max int, backoff time.Duration) Option {
+	return func(c *ServiceConfig) { c.Retry = service.RetryPolicy{Max: max, Backoff: backoff} }
+}
+
+// NewService builds a service from an explicit ServiceConfig.
+//
+// Deprecated: use New with options; both construct the identical service
+// (this function is New with a pre-filled config).
 func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
 
 // WorkerStats summarizes one worker process's service: hosted ranks,

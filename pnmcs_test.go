@@ -6,6 +6,7 @@ package pnmcs_test
 import (
 	"context"
 	"testing"
+	"time"
 
 	pnmcs "repro"
 )
@@ -150,4 +151,134 @@ func TestFacadeService(t *testing.T) {
 	if m := svc.Metrics(); m.Completed != 1 || m.Pool.Jobs == 0 {
 		t.Fatalf("metrics: %+v", m)
 	}
+}
+
+// runServiceJob submits one spec and waits for the terminal status.
+func runServiceJob(t *testing.T, svc *pnmcs.Service, spec pnmcs.JobSpec) pnmcs.JobStatus {
+	t.Helper()
+	id, err := svc.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := svc.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" {
+		t.Fatalf("job finished in state %s (%s)", st.State, st.Error)
+	}
+	return st
+}
+
+// TestFacadeOptions exercises the functional-options constructor: a
+// service built with New must behave exactly like one built from the
+// equivalent ServiceConfig, including the evaluator default and the
+// per-job "uniform" opt-out.
+func TestFacadeOptions(t *testing.T) {
+	svc, err := pnmcs.New(
+		pnmcs.WithSlots(2),
+		pnmcs.WithPool(2, 3),
+		pnmcs.WithQueueLimit(2),
+		pnmcs.WithEvaluator(pnmcs.HeuristicEvaluatorName),
+		pnmcs.WithEvalBatch(2),
+		pnmcs.WithEvalFlush(100*time.Microsecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := svc.Shutdown(context.Background()); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	// A spec naming no evaluator inherits the service default: the result
+	// must match a solo guided run, not a solo uniform run.
+	spec := pnmcs.JobSpec{Domain: "samegame", Width: 5, Height: 5, Colors: 3, BoardSeed: 3, Level: 2, Seed: 3, Memorize: true}
+	inherited := runServiceJob(t, svc, spec)
+	guided, err := pnmcs.RunWall(2, 2, pnmcs.ParallelConfig{
+		Level: 2, Root: pnmcs.NewSameGameSized(5, 5, 3, 3), Seed: 3, Memorize: true,
+		Evaluator: pnmcs.HeuristicEvaluatorName,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inherited.Score != guided.Score || len(inherited.Sequence) != len(guided.Sequence) {
+		t.Fatalf("inherited default %v/%d != solo guided %v/%d",
+			inherited.Score, len(inherited.Sequence), guided.Score, len(guided.Sequence))
+	}
+
+	// The sentinel forces uniform playouts despite the service default.
+	uspec := spec
+	uspec.Evaluator = pnmcs.EvaluatorUniform
+	uniform := runServiceJob(t, svc, uspec)
+	solo, err := pnmcs.RunWall(2, 2, pnmcs.ParallelConfig{
+		Level: 2, Root: pnmcs.NewSameGameSized(5, 5, 3, 3), Seed: 3, Memorize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniform.Score != solo.Score || len(uniform.Sequence) != len(solo.Sequence) {
+		t.Fatalf("uniform sentinel %v/%d != solo uniform %v/%d",
+			uniform.Score, len(uniform.Sequence), solo.Score, len(solo.Sequence))
+	}
+
+	// The batcher must have seen the guided job's evaluations.
+	if m := svc.Metrics(); m.Pool.EvalRequests == 0 {
+		t.Fatalf("no evaluations batched: %+v", m.Pool)
+	}
+}
+
+// TestFacadeCustomEvaluator registers an evaluator through the facade and
+// runs it on both API surfaces (service job, one-shot RunWall): same name,
+// same seed, same answer.
+func TestFacadeCustomEvaluator(t *testing.T) {
+	pnmcs.RegisterEvaluator("facade-test", func() pnmcs.Evaluator { return shortestFirst{} })
+	found := false
+	for _, name := range pnmcs.EvaluatorNames() {
+		if name == "facade-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered evaluator not listed: %v", pnmcs.EvaluatorNames())
+	}
+
+	svc, err := pnmcs.New(pnmcs.WithSlots(1), pnmcs.WithPool(2, 2), pnmcs.WithEvalBatch(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown(context.Background())
+
+	st := runServiceJob(t, svc, pnmcs.JobSpec{
+		Domain: "sudoku", Box: 2, Level: 2, Seed: 3, Memorize: true, Evaluator: "facade-test",
+	})
+	solo, err := pnmcs.RunWall(2, 2, pnmcs.ParallelConfig{
+		Level: 2, Root: pnmcs.NewSudoku(2), Seed: 3, Memorize: true, Evaluator: "facade-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Score != solo.Score || len(st.Sequence) != len(solo.Sequence) {
+		t.Fatalf("custom evaluator: service %v/%d != solo %v/%d",
+			st.Score, len(st.Sequence), solo.Score, len(solo.Sequence))
+	}
+
+	// Unknown names are rejected at submission, not silently uniform.
+	if _, err := svc.Submit(context.Background(), pnmcs.JobSpec{
+		Domain: "sudoku", Box: 2, Level: 2, Seed: 3, Evaluator: "no-such-evaluator",
+	}); err == nil {
+		t.Fatal("unknown evaluator accepted")
+	}
+}
+
+// shortestFirst weights each move by how few moves the position has —
+// a deliberately arbitrary but pure custom evaluator.
+type shortestFirst struct{}
+
+func (shortestFirst) Evaluate(req pnmcs.EvalRequest, w []float64) []float64 {
+	for range req.Moves {
+		w = append(w, 1/float64(len(req.Moves)))
+	}
+	return w
 }
