@@ -70,6 +70,8 @@ func main() {
 	evaluator := flag.String("evaluator", "", "default rollout evaluator for jobs that don't name one (e.g. \"heuristic\"; empty = uniform playouts)")
 	evalBatch := flag.Int("eval-batch", 0, "per-worker evaluation batch size (0 = default 8)")
 	evalFlush := flag.Duration("eval-flush", 0, "flush a partial evaluation batch after this long (0 = default 2ms)")
+	cacheMB := flag.Int("cache-mb", 0, "shared transposition cache size in MB, serving jobs submitted with \"cache\":true (0 = default 64)")
+	cacheVerify := flag.Bool("cache-verify", false, "recompute every transposition-cache hit and crash on mismatch (debug)")
 	flag.Parse()
 
 	mgr, err := service.New(service.Config{
@@ -88,6 +90,8 @@ func main() {
 		MinWorkers:   *minWorkers,
 		ReplaceGrace: *replaceGrace,
 		Retry:        service.RetryPolicy{Max: *jobRetries},
+		CacheMB:      *cacheMB,
+		CacheVerify:  *cacheVerify,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -277,6 +281,11 @@ func writeMetrics(w http.ResponseWriter, m service.Metrics) {
 	emit("pnmcs_eval_flush_deadline_total", "counter", "partial batches flushed by the deadline timer", m.Pool.EvalFlushDeadline)
 	emit("pnmcs_eval_batch_max", "gauge", "largest evaluation batch flushed", m.Pool.EvalBatchMax)
 	emit("pnmcs_eval_flush_seconds_total", "counter", "cumulative wait of each flushed batch's oldest request", m.Pool.EvalFlushWait.Seconds())
+	emit("pnmcs_cache_hits_total", "counter", "transposition-cache hits (coordinator-resident cache)", m.Pool.CacheHits)
+	emit("pnmcs_cache_misses_total", "counter", "transposition-cache misses (coordinator-resident cache)", m.Pool.CacheMisses)
+	emit("pnmcs_cache_evictions_total", "counter", "transposition-cache entries evicted to stay in budget", m.Pool.CacheEvictions)
+	emit("pnmcs_cache_entries", "gauge", "transposition-cache entries resident", m.Pool.CacheEntries)
+	emit("pnmcs_cache_bytes", "gauge", "transposition-cache bytes resident", m.Pool.CacheBytes)
 	// Per-rank idle series: co-resident workers account directly, remote
 	// workers push theirs on every heartbeat pong and on the goodbye
 	// frame, so the series exist on every transport.

@@ -1,0 +1,199 @@
+// Package cache implements the sharded transposition/result cache for
+// nested sub-search results, shared by every slot, job and worker goroutine
+// of a process (one cache per pool, one per per-run Execute).
+//
+// A cache entry records the outcome of one derived-mode sub-search (see
+// core.Searcher): the score GAIN over the keyed position and the move
+// suffix that realizes it. Gains — never absolute scores — are cached
+// because position hashes deliberately exclude path-dependent observables
+// like the accumulated SameGame score (see the game.Hasher contract), so
+// two transpositions of equal content can differ in absolute score but
+// never in achievable gain.
+//
+// Concurrency is lock-light: the key space is split over a power-of-two
+// number of shards, each guarded by its own mutex and holding its own
+// counters, so searcher goroutines contend only when their keys collide on
+// a shard (1/64 of the time at uniform load). Memory is bounded per shard;
+// eviction is FIFO — the cheapest policy that is O(1) per eviction and
+// needs no per-hit bookkeeping on the shared fast path (an LRU would write
+// to the shard on every Get).
+package cache
+
+import (
+	"sync"
+
+	"repro/internal/game"
+	"repro/internal/rng"
+)
+
+// Key identifies one sub-search result. The domain and its parameters are
+// folded into Hash by the domain's game.Hasher implementation (each domain
+// salts its hash differently), so the key does not need a domain field.
+type Key struct {
+	// Scope fingerprints everything outside the position that changes the
+	// result of a derived-mode sub-search: evaluator, memorization mode,
+	// budget. Build it with Scope.
+	Scope uint64
+	// Hash is the game.Hasher position hash.
+	Hash uint64
+	// Level is the nesting level of the cached sub-search.
+	Level uint32
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int64
+	Bytes     int64
+}
+
+// numShards is the shard count (power of two). 64 shards keep expected
+// mutex contention below 2% with the dozens of searcher goroutines a
+// process hosts.
+const numShards = 64
+
+// entryOverhead approximates the fixed per-entry footprint charged against
+// the byte budget: map bucket share, key, gain, slice header, FIFO slot.
+const entryOverhead = 64
+
+// DefaultMaxBytes is the byte budget used when New is given a
+// non-positive one.
+const DefaultMaxBytes = 64 << 20
+
+type entry struct {
+	gain float64
+	seq  []game.Move
+}
+
+func (e entry) cost() int64 { return entryOverhead + 8*int64(len(e.seq)) }
+
+type shard struct {
+	mu    sync.Mutex
+	m     map[Key]entry
+	fifo  []Key // insertion order; evict from head
+	head  int   // first live fifo index
+	bytes int64
+
+	hits, misses, evictions int64
+
+	// Pad each shard past a cache line so neighbouring shard mutexes do
+	// not false-share.
+	_ [40]byte
+}
+
+// Cache is a sharded, bounded transposition cache. The zero value is not
+// usable; call New. All methods are safe for concurrent use.
+type Cache struct {
+	shards   [numShards]shard
+	maxShard int64 // per-shard byte budget
+}
+
+// New returns a cache bounded to roughly maxBytes of entry footprint
+// (DefaultMaxBytes when maxBytes <= 0).
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	c := &Cache{maxShard: maxBytes / numShards}
+	if c.maxShard < 4096 {
+		c.maxShard = 4096
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[Key]entry)
+	}
+	return c
+}
+
+func (c *Cache) shardOf(k Key) *shard {
+	return &c.shards[rng.Mix(k.Hash, k.Scope^uint64(k.Level))&(numShards-1)]
+}
+
+// Get looks k up; on a hit it appends the cached move suffix to *out and
+// returns the cached gain.
+func (c *Cache) Get(k Key, out *[]game.Move) (gain float64, ok bool) {
+	sh := c.shardOf(k)
+	sh.mu.Lock()
+	e, ok := sh.m[k]
+	if ok {
+		sh.hits++
+		gain = e.gain
+		*out = append(*out, e.seq...)
+	} else {
+		sh.misses++
+	}
+	sh.mu.Unlock()
+	return gain, ok
+}
+
+// Put inserts the result of a completed sub-search, copying seq. A key
+// already present is left untouched: derived-mode results are pure
+// functions of their key, so the stored value is identical by
+// construction (the verify mode pins this). Entries larger than a shard's
+// whole budget are dropped.
+func (c *Cache) Put(k Key, gain float64, seq []game.Move) {
+	e := entry{gain: gain, seq: append([]game.Move(nil), seq...)}
+	cost := e.cost()
+	if cost > c.maxShard {
+		return
+	}
+	sh := c.shardOf(k)
+	sh.mu.Lock()
+	if _, dup := sh.m[k]; dup {
+		sh.mu.Unlock()
+		return
+	}
+	for sh.bytes+cost > c.maxShard && sh.head < len(sh.fifo) {
+		victim := sh.fifo[sh.head]
+		sh.head++
+		ve := sh.m[victim]
+		delete(sh.m, victim)
+		sh.bytes -= ve.cost()
+		sh.evictions++
+	}
+	if sh.head > 0 && sh.head*2 >= len(sh.fifo) {
+		n := copy(sh.fifo, sh.fifo[sh.head:])
+		sh.fifo = sh.fifo[:n]
+		sh.head = 0
+	}
+	sh.m[k] = e
+	sh.fifo = append(sh.fifo, k)
+	sh.bytes += cost
+	sh.mu.Unlock()
+}
+
+// Stats sums the per-shard counters.
+func (c *Cache) Stats() Stats {
+	var st Stats
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Hits += sh.hits
+		st.Misses += sh.misses
+		st.Evictions += sh.evictions
+		st.Entries += int64(len(sh.m))
+		st.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// scopeSalt separates Scope fingerprints from every other Fold user.
+const scopeSalt = 0x43616368655363 // "CacheSc"
+
+// Scope fingerprints the non-position inputs of a derived-mode sub-search:
+// the evaluator name (empty = uniform playouts), the memorization mode and
+// the work budget under which results were computed. Results cached under
+// one scope are never visible under another.
+func Scope(evaluator string, memorize bool, budget uint64) uint64 {
+	mem := uint64(0)
+	if memorize {
+		mem = 1
+	}
+	h := rng.Fold(scopeSalt, mem, budget, uint64(len(evaluator)))
+	for i := 0; i < len(evaluator); i++ {
+		h = rng.Mix(h, uint64(evaluator[i]))
+	}
+	return h
+}

@@ -1,0 +1,155 @@
+package cache
+
+// Unit tests for the sharded transposition cache: hit/miss round trips,
+// the first-write-wins duplicate policy, FIFO eviction under the byte
+// budget, scope separation, and a concurrent smoke test for the race
+// detector.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/game"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(0)
+	k := Key{Scope: 1, Hash: 2, Level: 3}
+	seq := []game.Move{10, 20, 30}
+
+	if _, ok := c.Get(k, new([]game.Move)); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	c.Put(k, 42.5, seq)
+
+	var out []game.Move
+	gain, ok := c.Get(k, &out)
+	if !ok || gain != 42.5 {
+		t.Fatalf("Get = (%v, %v), want (42.5, true)", gain, ok)
+	}
+	if len(out) != 3 || out[0] != 10 || out[1] != 20 || out[2] != 30 {
+		t.Fatalf("Get appended %v, want [10 20 30]", out)
+	}
+
+	// The cached sequence must be a copy: mutating the caller's slice
+	// after Put must not reach future hits.
+	seq[0] = 99
+	out = out[:0]
+	if _, ok := c.Get(k, &out); !ok || out[0] != 10 {
+		t.Fatalf("cached sequence aliased the caller's: %v", out)
+	}
+
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats %+v, want 2 hits / 1 miss / 1 entry", s)
+	}
+}
+
+func TestGetAppends(t *testing.T) {
+	c := New(0)
+	k := Key{Hash: 7}
+	c.Put(k, 1, []game.Move{5, 6})
+
+	out := []game.Move{1, 2}
+	if _, ok := c.Get(k, &out); !ok {
+		t.Fatal("miss on present key")
+	}
+	if len(out) != 4 || out[0] != 1 || out[1] != 2 || out[2] != 5 || out[3] != 6 {
+		t.Fatalf("Get must append, got %v", out)
+	}
+}
+
+func TestPutDuplicateKeepsFirst(t *testing.T) {
+	c := New(0)
+	k := Key{Hash: 9}
+	c.Put(k, 1, []game.Move{1})
+	c.Put(k, 2, []game.Move{2}) // derived-mode purity makes this identical in practice
+
+	var out []game.Move
+	gain, ok := c.Get(k, &out)
+	if !ok || gain != 1 || len(out) != 1 || out[0] != 1 {
+		t.Fatalf("duplicate Put replaced the entry: gain %v seq %v", gain, out)
+	}
+	if s := c.Stats(); s.Entries != 1 {
+		t.Fatalf("%d entries after duplicate Put, want 1", s.Entries)
+	}
+}
+
+func TestEvictionStaysInBudget(t *testing.T) {
+	// The smallest cache New allows: 4096 bytes per shard.
+	c := New(1)
+	seq := make([]game.Move, 100) // cost 64 + 800 = 864 bytes, ~4 per shard
+	for i := 0; i < 5000; i++ {
+		c.Put(Key{Hash: uint64(i)}, float64(i), seq)
+	}
+	s := c.Stats()
+	if s.Evictions == 0 {
+		t.Fatal("no evictions despite exceeding the budget")
+	}
+	if s.Bytes > numShards*4096 {
+		t.Fatalf("%d resident bytes exceed the %d budget", s.Bytes, numShards*4096)
+	}
+	if s.Entries == 0 {
+		t.Fatal("eviction emptied the cache entirely")
+	}
+}
+
+func TestOversizedEntryDropped(t *testing.T) {
+	c := New(1) // 4096 bytes per shard
+	k := Key{Hash: 1}
+	c.Put(k, 1, make([]game.Move, 1000)) // cost 8064 > 4096
+	if _, ok := c.Get(k, new([]game.Move)); ok {
+		t.Fatal("oversized entry was cached")
+	}
+	if s := c.Stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("oversized entry left residue: %+v", s)
+	}
+}
+
+func TestScopeSeparation(t *testing.T) {
+	a := Scope("", false, 0)
+	b := Scope("heuristic", false, 0)
+	d := Scope("heuristic", true, 0)
+	e := Scope("heuristic", false, 100)
+	if a == b || b == d || b == e || a == d {
+		t.Fatalf("scopes collide: %x %x %x %x", a, b, d, e)
+	}
+	if a != Scope("", false, 0) {
+		t.Fatal("Scope is not deterministic")
+	}
+
+	c := New(0)
+	c.Put(Key{Scope: a, Hash: 1}, 1, nil)
+	if _, ok := c.Get(Key{Scope: b, Hash: 1}, new([]game.Move)); ok {
+		t.Fatal("entry visible across scopes")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var out []game.Move
+			for i := 0; i < 2000; i++ {
+				k := Key{Scope: uint64(g % 2), Hash: uint64(i % 512), Level: uint32(i % 3)}
+				if gain, ok := c.Get(k, &out); ok {
+					if gain != float64(k.Hash) {
+						t.Errorf("corrupted gain %v for hash %d", gain, k.Hash)
+						return
+					}
+				} else {
+					c.Put(k, float64(k.Hash), []game.Move{game.Move(k.Hash)})
+				}
+				out = out[:0]
+			}
+		}()
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Hits == 0 || s.Misses == 0 {
+		t.Fatalf("concurrent smoke saw no traffic: %+v", s)
+	}
+}

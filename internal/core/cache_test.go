@@ -1,0 +1,175 @@
+package core
+
+// Tests for the transposition-cache integration (DESIGN.md §11). The
+// central properties:
+//
+//   - purity: a cached (derived-mode) search's result is a function of
+//     position content, level and scope only — independent of the
+//     searcher's seed and of the cache's hit/miss pattern, which is what
+//     makes cross-job sharing sound;
+//   - verify mode: recomputing every hit and asserting the match must
+//     pass on all three domains (a failing assertion panics);
+//   - soundness: cached results still replay to their reported score.
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/game"
+	"repro/internal/morpion"
+	"repro/internal/rng"
+	"repro/internal/samegame"
+	"repro/internal/sudoku"
+)
+
+// cacheRoots is one small root per domain, each fast enough for a level-2
+// cached search in a unit test.
+func cacheRoots() map[string]game.State {
+	return map[string]game.State{
+		"morpion":  morpion.New(morpion.Var4D),
+		"samegame": samegame.NewRandom(5, 5, 3, 3),
+		"sudoku":   sudoku.New(2),
+	}
+}
+
+// TestNestedCachedVerifyAllDomains runs a verify-mode cached search on
+// every domain: every hit is recomputed and compared, so completing
+// without panic pins that cached results are bit-reproducible. The warm
+// second call maximizes hits.
+func TestNestedCachedVerifyAllDomains(t *testing.T) {
+	for name, root := range cacheRoots() {
+		t.Run(name, func(t *testing.T) {
+			tc := cache.New(0)
+			s := NewSearcher(rng.New(1), Options{Memorize: true})
+			s.SetCache(tc, cache.Scope("", true, 0), true)
+
+			res := s.NestedCached(root.Clone(), 2)
+			replayCheck(t, root, res)
+			warm := s.NestedCached(root.Clone(), 2)
+			if warm.Score != res.Score {
+				t.Fatalf("warm cached search scored %v, cold scored %v", warm.Score, res.Score)
+			}
+			st := tc.Stats()
+			if st.Misses == 0 {
+				t.Fatal("cold search recorded no misses")
+			}
+			if st.Hits == 0 {
+				t.Fatal("warm search recorded no hits")
+			}
+		})
+	}
+}
+
+// TestNestedCachedSeedIndependent pins purity: with a cache attached, the
+// whole call draws from position-derived streams, so two searchers with
+// different seeds — and different caches, so neither sees the other's
+// entries — must return identical results.
+func TestNestedCachedSeedIndependent(t *testing.T) {
+	for name, root := range cacheRoots() {
+		t.Run(name, func(t *testing.T) {
+			scope := cache.Scope("", true, 0)
+			a := NewSearcher(rng.New(1), Options{Memorize: true})
+			a.SetCache(cache.New(0), scope, false)
+			b := NewSearcher(rng.New(99999), Options{Memorize: true})
+			b.SetCache(cache.New(0), scope, false)
+
+			ra := a.NestedCached(root.Clone(), 1)
+			rb := b.NestedCached(root.Clone(), 1)
+			if ra.Score != rb.Score || len(ra.Sequence) != len(rb.Sequence) {
+				t.Fatalf("seed changed a cached search: %v/%d vs %v/%d",
+					ra.Score, len(ra.Sequence), rb.Score, len(rb.Sequence))
+			}
+			for i := range ra.Sequence {
+				if ra.Sequence[i] != rb.Sequence[i] {
+					t.Fatalf("sequences differ at move %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestNestedCachedHitInvariant pins hit/miss-pattern independence the
+// direct way: a searcher sharing a warm cache (all sub-searches hit) must
+// return exactly what a cold cache produced.
+func TestNestedCachedHitInvariant(t *testing.T) {
+	for name, root := range cacheRoots() {
+		t.Run(name, func(t *testing.T) {
+			scope := cache.Scope("", true, 0)
+			tc := cache.New(0)
+			cold := NewSearcher(rng.New(1), Options{Memorize: true})
+			cold.SetCache(tc, scope, false)
+			rc := cold.NestedCached(root.Clone(), 2)
+
+			warm := NewSearcher(rng.New(2), Options{Memorize: true})
+			warm.SetCache(tc, scope, false)
+			rw := warm.NestedCached(root.Clone(), 2)
+
+			if rc.Score != rw.Score || len(rc.Sequence) != len(rw.Sequence) {
+				t.Fatalf("warm cache changed the result: %v/%d vs %v/%d",
+					rc.Score, len(rc.Sequence), rw.Score, len(rw.Sequence))
+			}
+			for i := range rc.Sequence {
+				if rc.Sequence[i] != rw.Sequence[i] {
+					t.Fatalf("sequences differ at move %d", i)
+				}
+			}
+			if tc.Stats().Hits == 0 {
+				t.Fatal("warm search never hit the shared cache")
+			}
+		})
+	}
+}
+
+// TestNestedCachedScopeIsolation pins that results computed under one
+// scope are invisible under another: a different scope on the same shared
+// cache must recompute (all misses), not hit.
+func TestNestedCachedScopeIsolation(t *testing.T) {
+	tc := cache.New(0)
+	root := sudoku.New(2)
+
+	a := NewSearcher(rng.New(1), Options{Memorize: true})
+	a.SetCache(tc, cache.Scope("", true, 0), false)
+	a.NestedCached(root.Clone(), 1)
+	hitsBefore := tc.Stats().Hits
+
+	b := NewSearcher(rng.New(1), Options{})
+	b.SetCache(tc, cache.Scope("", false, 0), false)
+	b.NestedCached(root.Clone(), 1)
+	if got := tc.Stats().Hits; got != hitsBefore {
+		t.Fatalf("scope-b search hit scope-a entries (%d new hits)", got-hitsBefore)
+	}
+}
+
+// TestNestedCacheOffUnchanged pins the cache-off bit-identity contract:
+// attaching no cache leaves Nested exactly as it was (the golden pins and
+// equivalence tests enforce this globally; this is the local sentinel).
+func TestNestedCacheOffUnchanged(t *testing.T) {
+	root := morpion.New(morpion.Var4D)
+	a := NewSearcher(rng.New(7), Options{Memorize: true})
+	plain := a.Nested(root.Clone(), 1)
+	b := NewSearcher(rng.New(7), Options{Memorize: true})
+	viaEntry := b.NestedCached(root.Clone(), 1) // nil cache: must fall back to Nested
+	if plain.Score != viaEntry.Score || len(plain.Sequence) != len(viaEntry.Sequence) {
+		t.Fatalf("NestedCached without a cache diverged: %v vs %v", plain.Score, viaEntry.Score)
+	}
+	for i := range plain.Sequence {
+		if plain.Sequence[i] != viaEntry.Sequence[i] {
+			t.Fatalf("sequences differ at move %d", i)
+		}
+	}
+}
+
+// TestNestedCachedStats pins the searcher-side hit/miss accounting
+// surfaced through Stats.
+func TestNestedCachedStats(t *testing.T) {
+	tc := cache.New(0)
+	s := NewSearcher(rng.New(1), Options{Memorize: true})
+	s.SetCache(tc, cache.Scope("", true, 0), false)
+	root := sudoku.New(2)
+	s.NestedCached(root.Clone(), 1)
+	s.NestedCached(root.Clone(), 1)
+	st := s.Stats()
+	if st.CacheMisses == 0 || st.CacheHits == 0 {
+		t.Fatalf("searcher cache counters not maintained: %+v", st)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/cache"
 	"repro/internal/game"
 	"repro/internal/rng"
 )
@@ -79,6 +80,11 @@ type Stats struct {
 	Steps    int64 // moves played inside simulations (incl. argmax play)
 	Clones   int64 // position clones (zero on the undo traversal)
 	Undos    int64 // moves reverted by the undo traversal
+
+	// CacheHits/CacheMisses count transposition-cache lookups at the
+	// level≥1 sub-search boundaries (zero unless a cache is attached).
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // Options configure a Searcher.
@@ -106,6 +112,30 @@ type Options struct {
 	// bit-identically (the uniform path draws from the random stream
 	// exactly as before). See game.Evaluator for the purity contract.
 	Evaluator game.Evaluator
+
+	// Cache, when non-nil, enables the transposition cache: every level≥1
+	// sub-search boundary looks its position up before recursing and
+	// inserts the result on return. Caching requires the searched domain
+	// to implement game.Hasher (silently disabled otherwise) and switches
+	// the searcher into DERIVED mode: every sub-search draws from a random
+	// stream re-derived from (CacheScope, position hash, level), and
+	// level-0 move selection and argmax tie-breaks become independent of
+	// legal-move-list order. Derived mode makes every cached result a pure
+	// function of its key — so a hit returns exactly what recomputation
+	// would, regardless of which job or worker populated the entry — but
+	// it is NOT bit-identical to the cache-off search; leave Cache nil for
+	// the paper's exact behaviour. Cache is shared across searchers and
+	// safe for concurrent use.
+	Cache *cache.Cache
+	// CacheScope is folded into every cache key; build it with cache.Scope
+	// so results computed under different evaluators or options never
+	// alias. The zero scope is valid (uniform playouts, default options).
+	CacheScope uint64
+	// CacheVerify recomputes every cache hit from scratch and panics if
+	// the cached score or sequence differs — the correctness mode that
+	// pins derived-mode purity. It costs a full recomputation per hit, so
+	// it is for tests and debugging, never production.
+	CacheVerify bool
 }
 
 // DefaultOptions returns the configuration matching the paper: best-sequence
@@ -137,6 +167,14 @@ type Searcher struct {
 	// in Nested). When nil, the clone-per-candidate fallback runs.
 	undo game.Undoer
 
+	// Transposition cache (see Options.Cache). derived is true while the
+	// current top-level search runs in derived mode: cache non-nil and the
+	// searched domain implements game.Hasher.
+	cache       *cache.Cache
+	cacheScope  uint64
+	cacheVerify bool
+	derived     bool
+
 	// scratch is the free list of the clone fallback: released candidate
 	// states of game.Copier domains, recycled via CopyFrom so the fallback
 	// stops allocating after warmup.
@@ -158,7 +196,10 @@ func NewSearcher(r *rng.Rand, opt Options) *Searcher {
 	if m == nil {
 		m = nopMeter{}
 	}
-	return &Searcher{rng: r, opt: opt, meter: m, eval: opt.Evaluator}
+	return &Searcher{
+		rng: r, opt: opt, meter: m, eval: opt.Evaluator,
+		cache: opt.Cache, cacheScope: opt.CacheScope, cacheVerify: opt.CacheVerify,
+	}
 }
 
 // SetEvaluator swaps the playout evaluator (nil restores the paper's
@@ -166,6 +207,13 @@ func NewSearcher(r *rng.Rand, opt Options) *Searcher {
 // evaluator configurations; swapping between jobs is what keeps a job's
 // result independent of the worker that runs it.
 func (s *Searcher) SetEvaluator(e game.Evaluator) { s.eval = e }
+
+// SetCache attaches (c non-nil) or detaches (c nil) a shared transposition
+// cache, like Options.Cache but swappable per job on long-lived worker
+// searchers. scope and verify mirror Options.CacheScope/CacheVerify.
+func (s *Searcher) SetCache(c *cache.Cache, scope uint64, verify bool) {
+	s.cache, s.cacheScope, s.cacheVerify = c, scope, verify
+}
 
 // Stats returns the cumulative instrumentation counters.
 func (s *Searcher) Stats() Stats { return s.stats }
@@ -195,10 +243,13 @@ func (s *Searcher) sample(st game.State, seq *[]game.Move) float64 {
 			break
 		}
 		var m game.Move
-		if s.eval == nil {
-			m = s.movebuf[s.rng.Intn(len(s.movebuf))]
-		} else {
+		switch {
+		case s.eval != nil:
 			m = s.movebuf[s.pickWeighted(st)]
+		case s.derived:
+			m = s.movebuf[s.pickDerived()]
+		default:
+			m = s.movebuf[s.rng.Intn(len(s.movebuf))]
 		}
 		st.Play(m)
 		*seq = append(*seq, m)
@@ -221,7 +272,13 @@ func (s *Searcher) pickWeighted(st game.State) int {
 		total += w
 	}
 	if len(s.wbuf) != len(s.movebuf) || !(total > 0) || math.IsInf(total, 1) {
+		if s.derived {
+			return s.pickDerived()
+		}
 		return s.rng.Intn(len(s.movebuf))
+	}
+	if s.derived {
+		return s.pickWeightedDerived()
 	}
 	x := s.rng.Float64() * total
 	for i, w := range s.wbuf {
@@ -231,6 +288,48 @@ func (s *Searcher) pickWeighted(st game.State) int {
 		}
 	}
 	return len(s.movebuf) - 1 // rounding spill lands on the last move
+}
+
+// pickDerived returns the index of a uniformly distributed move from
+// s.movebuf, chosen independently of the LIST ORDER of the moves: one
+// stream draw keys every move VALUE and the largest key wins. Derived mode
+// needs order independence because position hashes cover content, not the
+// history-dependent legal-move-list order (Morpion's list order differs
+// across transpositions of equal content) — with it, the whole sub-search
+// is a pure function of (scope, position content, level).
+func (s *Searcher) pickDerived() int {
+	z := s.rng.Uint64()
+	best, bestKey := 0, uint64(0)
+	for i, m := range s.movebuf {
+		if k := rng.Mix(z, uint64(m)); k > bestKey {
+			best, bestKey = i, k
+		}
+	}
+	return best
+}
+
+// pickWeightedDerived is pickDerived's weighted counterpart: the
+// exponential-race (Gumbel-max) construction — the move maximizing
+// log(u)/w for a per-move-value uniform u — samples exactly
+// proportionally to the weights while staying order-independent.
+// Non-positive weights are unreachable, as in the prefix-walk branch.
+func (s *Searcher) pickWeightedDerived() int {
+	z := s.rng.Uint64()
+	best, bestKey := -1, math.Inf(-1)
+	for i, m := range s.movebuf {
+		w := s.wbuf[i]
+		if !(w > 0) {
+			continue
+		}
+		u := (float64(rng.Mix(z, uint64(m))>>11) + 0.5) / (1 << 53)
+		if k := math.Log(u) / w; best < 0 || k > bestKey {
+			best, bestKey = i, k
+		}
+	}
+	if best < 0 {
+		return s.pickDerived() // unreachable: caller checked total > 0
+	}
+	return best
 }
 
 // Nested runs a level-`level` nested search from st and returns the best
@@ -251,8 +350,43 @@ func (s *Searcher) Nested(st game.State, level int) Result {
 		s.undo = u
 		defer func() { s.undo = nil }()
 	}
+	if s.cache != nil {
+		if _, ok := st.(game.Hasher); ok {
+			s.derived = true
+			defer func() { s.derived = false }()
+		}
+	}
 	var seq []game.Move
 	score := s.nested(st, level, &seq)
+	return Result{Score: score, Sequence: seq}
+}
+
+// NestedCached is Nested with the WHOLE call treated as a cache boundary:
+// the result is keyed by (scope, st's position hash, level) and shared
+// with any other job or worker that searches an identical position. The
+// pool's client ranks use it for their per-job rollouts, which is what
+// makes the cache cross-job — a position re-searched by a different job
+// (under a different seed) hits, because derived mode ignores the job seed
+// entirely. Falls back to Nested when no cache is attached or the domain
+// does not hash.
+func (s *Searcher) NestedCached(st game.State, level int) Result {
+	if level < 0 {
+		panic(fmt.Sprintf("core: negative nesting level %d", level))
+	}
+	if s.cache == nil {
+		return s.Nested(st, level)
+	}
+	if _, ok := st.(game.Hasher); !ok {
+		return s.Nested(st, level)
+	}
+	if u, ok := st.(game.Undoer); ok && !s.opt.NoUndo {
+		s.undo = u
+		defer func() { s.undo = nil }()
+	}
+	s.derived = true
+	defer func() { s.derived = false }()
+	var seq []game.Move
+	score := s.subEval(st, level, &seq)
 	return Result{Score: score, Sequence: seq}
 }
 
@@ -307,6 +441,7 @@ func (s *Searcher) nested(st game.State, level int, out *[]game.Move) float64 {
 		stepScore := 0.0
 		stepMove := moves[0]
 		stepFirst := true
+		bestThisStep := false
 		for _, m := range moves {
 			var sc float64
 			lb.scratch = lb.scratch[:0]
@@ -315,7 +450,7 @@ func (s *Searcher) nested(st game.State, level int, out *[]game.Move) float64 {
 				st.Play(m)
 				s.meter.Add(1)
 				s.stats.Steps++
-				sc = s.nested(st, level-1, &lb.scratch)
+				sc = s.subEval(st, level-1, &lb.scratch)
 				undone := int64(st.MovesPlayed() - depth)
 				for st.MovesPlayed() > depth {
 					s.undo.Undo()
@@ -327,19 +462,29 @@ func (s *Searcher) nested(st game.State, level int, out *[]game.Move) float64 {
 				child.Play(m)
 				s.meter.Add(1)
 				s.stats.Steps++
-				sc = s.nested(child, level-1, &lb.scratch)
+				sc = s.subEval(child, level-1, &lb.scratch)
 				s.scratch.Put(child)
 			}
-			if stepFirst || sc > stepScore {
+			// In derived mode exact score ties are broken towards the
+			// smaller move VALUE, so the step's choice does not depend on
+			// the history-dependent order of the move list (transpositions
+			// of equal content must choose identically; see subEval).
+			if stepFirst || sc > stepScore ||
+				(s.derived && sc == stepScore && m < stepMove) {
 				stepScore = sc
 				stepMove = m
 				stepFirst = false
 			}
 			// Paper line 7: a strictly better score replaces the memorized
 			// best sequence, which is m followed by the lower search's game.
-			if !haveBest || sc > bestScore {
+			// Derived-mode tie-break: a tie with a best found at THIS step
+			// goes to the smaller head move; a tie with an earlier step's
+			// best keeps it (the step loop itself is deterministic).
+			if !haveBest || sc > bestScore ||
+				(s.derived && bestThisStep && sc == bestScore && len(lb.best) > 0 && m < lb.best[0]) {
 				bestScore = sc
 				haveBest = true
+				bestThisStep = true
 				lb.best = append(lb.best[:0], m)
 				lb.best = append(lb.best, lb.scratch...)
 			}
@@ -360,6 +505,89 @@ func (s *Searcher) nested(st game.State, level int, out *[]game.Move) float64 {
 		s.meter.Add(1)
 		s.stats.Steps++
 		*out = append(*out, mv)
+	}
+}
+
+// subEval evaluates one sub-search of the argmax loop (or one NestedCached
+// top call). Outside derived mode it is exactly s.nested — the cache-off
+// path stays bit-identical to the pre-cache searcher. In derived mode it
+// is the cache boundary: the searcher's stream is re-derived from (scope,
+// position hash, level) for the duration of the sub-search and restored
+// afterwards, so the result — and every random draw below this point — is
+// a pure function of the key. That purity is what makes a cached result
+// from ANY job or worker interchangeable with recomputation, and what the
+// verify mode asserts. Level-0 playouts are re-derived but not cached
+// (an entry per playout would flood the cache with leaf results that are
+// cheaper to recompute than to store).
+func (s *Searcher) subEval(st game.State, level int, out *[]game.Move) float64 {
+	if !s.derived {
+		return s.nested(st, level, out)
+	}
+	hs, ok := st.(game.Hasher)
+	if !ok {
+		return s.nested(st, level, out)
+	}
+	h := hs.Hash()
+	saved := s.rng.State()
+	s.rng.SeedStream(s.cacheScope, rng.Fold(h, uint64(level)))
+	var sc float64
+	if level == 0 {
+		sc = s.sample(st, out)
+	} else {
+		sc = s.cachedNested(st, h, level, out)
+	}
+	s.rng.SetState(saved)
+	return sc
+}
+
+// cachedNested is the level≥1 half of subEval: look the position up,
+// verify on a hit when asked, recurse and insert on a miss. The cache
+// stores the score GAIN over the boundary position plus the realizing
+// move suffix — absolute scores differ across transpositions of equal
+// content (see the game.Hasher contract), gains do not.
+func (s *Searcher) cachedNested(st game.State, h uint64, level int, out *[]game.Move) float64 {
+	key := cache.Key{Scope: s.cacheScope, Hash: h, Level: uint32(level)}
+	base := st.Score()
+	pre := len(*out)
+	if gain, ok := s.cache.Get(key, out); ok {
+		s.stats.CacheHits++
+		if s.cacheVerify {
+			s.verifyHit(st, key, base, gain, (*out)[pre:], level)
+		}
+		return base + gain
+	}
+	s.stats.CacheMisses++
+	sc := s.nested(st, level, out)
+	// A search cut short by Stop is partial; caching it would serve
+	// truncated results to uncancelled jobs.
+	if s.opt.Stop == nil || !s.opt.Stop() {
+		s.cache.Put(key, sc-base, (*out)[pre:])
+	}
+	return sc
+}
+
+// verifyHit recomputes a cache hit from scratch and panics on any
+// difference — the CacheVerify correctness mode. The stream was just
+// seeded by subEval and Get drew nothing from it, so the recomputation
+// runs under exactly the stream the original miss ran under; derived-mode
+// purity then demands bitwise-equal score and sequence no matter which
+// job, worker or transposition populated the entry.
+func (s *Searcher) verifyHit(st game.State, key cache.Key, base, gain float64, seq []game.Move, level int) {
+	var buf []game.Move
+	sc := s.nested(st, level, &buf)
+	if sc != base+gain {
+		panic(fmt.Sprintf("core: cache verify: key %+v cached score %v (base %v + gain %v), recomputed %v",
+			key, base+gain, base, gain, sc))
+	}
+	if len(buf) != len(seq) {
+		panic(fmt.Sprintf("core: cache verify: key %+v cached sequence length %d, recomputed %d",
+			key, len(seq), len(buf)))
+	}
+	for i := range seq {
+		if seq[i] != buf[i] {
+			panic(fmt.Sprintf("core: cache verify: key %+v sequence differs at move %d: cached %#x, recomputed %#x",
+				key, i, seq[i], buf[i]))
+		}
 	}
 }
 

@@ -82,6 +82,33 @@ type Undoer interface {
 	Undo()
 }
 
+// Hasher is optionally implemented by domains that maintain an incremental
+// Zobrist-style hash of the position content, updated in O(changed
+// features) by every Play and Undo so that reading it is O(1) on the
+// search hot path. The transposition cache (internal/cache, consulted by
+// core.Searcher when Options.Cache is set) keys sub-search results by this
+// hash.
+//
+// Contract:
+//
+//   - Hash is a pure function of the position CONTENT — the board features
+//     that determine all future legal moves and score deltas — plus the
+//     domain's fixed parameters (variant, board size). Two states reached
+//     by different move orders that present the same content hash equal.
+//   - Hash does NOT cover path-dependent observables such as the
+//     accumulated score or move count (SameGame's score, Sudoku's
+//     filled-vs-given split differ across transpositions of equal
+//     content). Consumers must therefore cache score DELTAS relative to
+//     the hashed position, never absolute scores.
+//   - Clone and CopyFrom preserve the hash; decoding a wire position
+//     recomputes it. Equal hashes on unequal content are possible with
+//     probability ~2⁻⁶⁴ per comparison (Zobrist collision); consumers that
+//     cannot tolerate that run the cache's verify mode.
+type Hasher interface {
+	State
+	Hash() uint64
+}
+
 // Copier is optionally implemented by domains that can overwrite an
 // existing state allocation with the contents of another state of the same
 // domain. CopyFrom(src) makes the receiver an independent deep copy of src

@@ -26,7 +26,36 @@ import (
 	"fmt"
 
 	"repro/internal/game"
+	"repro/internal/rng"
 )
+
+// Incremental position hashing (game.Hasher). The hash is a Zobrist XOR
+// over the cells of the five planes (occupancy plus the four per-direction
+// usage planes) on top of a per-variant base salt. Feature keys are derived
+// with one rng.Mix per cell — boards are user-sizeable, so a precomputed
+// table cannot cover every size, and a Mix costs a few nanoseconds against
+// a Play whose move-list maintenance walks the whole legal list anyway.
+const hashSalt = 0x4d6f7270696f6e88 // "Morpion" flavoured
+
+// planeSalt[p] salts the feature keys of plane p (0 = occupancy, 1+d =
+// usage of direction d), fixed at init so hashes are stable across
+// processes.
+var planeSalt [1 + numDirs]uint64
+
+func init() {
+	for p := range planeSalt {
+		planeSalt[p] = rng.Fold(hashSalt, uint64(p))
+	}
+}
+
+// baseHash returns the variant-dependent starting value of the hash.
+func baseHash(v Variant, w int) uint64 {
+	disjoint := uint64(0)
+	if v.Disjoint {
+		disjoint = 1
+	}
+	return rng.Fold(hashSalt, uint64(v.LineLen), disjoint, uint64(w))
+}
 
 // Dir indexes the four line directions.
 type Dir uint8
@@ -170,6 +199,10 @@ type State struct {
 	// originX/Y is the top-left corner of the cross's bounding box, used by
 	// the human-readable notation so coordinates are board-size independent.
 	originX, originY int
+
+	// hash is the incremental Zobrist hash of the plane content, maintained
+	// by Play and Undo. See game.Hasher.
+	hash uint64
 }
 
 // histEntry is the undo record of one Play. The removed moves occupy the
@@ -196,9 +229,12 @@ func New(v Variant) *State {
 	s.attachPlanes(make([]uint8, 5*w*w))
 	s.originX = (w - len(cross)) / 2
 	s.originY = (w - len(cross)) / 2
+	s.hash = baseHash(v, w)
 	for y, xs := range cross {
 		for _, x := range xs {
-			s.occ[(s.originY+y)*w+s.originX+x] = 1
+			idx := (s.originY+y)*w + s.originX + x
+			s.occ[idx] = 1
+			s.hash ^= rng.Mix(planeSalt[0], uint64(idx))
 		}
 	}
 	s.moves = s.scanAllMoves(nil)
@@ -264,6 +300,7 @@ func (s *State) Clone() game.State {
 		seq:     append([]game.Move(nil), s.seq...),
 		originX: s.originX,
 		originY: s.originY,
+		hash:    s.hash,
 	}
 	c.attachPlanes(append([]uint8(nil), s.planes...))
 	return c
@@ -288,9 +325,37 @@ func (s *State) CopyFrom(src game.State) {
 	s.moves = append(s.moves[:0], o.moves...)
 	s.seq = append(s.seq[:0], o.seq...)
 	s.originX, s.originY = o.originX, o.originY
+	s.hash = o.hash
 	s.hist = s.hist[:0]
 	s.histMoves = s.histMoves[:0]
 	s.histIdx = s.histIdx[:0]
+}
+
+// Hash implements game.Hasher: the incremental Zobrist hash of the plane
+// content. Positions with equal planes hash equal regardless of the move
+// order that produced them (note the legal-move LIST order is
+// history-dependent and is deliberately not hashed; cache consumers that
+// depend on it must select moves order-independently — see
+// core.Searcher's derived mode).
+func (s *State) Hash() uint64 { return s.hash }
+
+// hashFromScratch recomputes the position hash from the planes alone. It
+// is the oracle the fuzz tests compare the incremental hash against.
+func (s *State) hashFromScratch() uint64 {
+	h := baseHash(s.v, s.w)
+	for idx, occ := range s.occ {
+		if occ != 0 {
+			h ^= rng.Mix(planeSalt[0], uint64(idx))
+		}
+	}
+	for d := 0; d < numDirs; d++ {
+		for idx, used := range s.used[d] {
+			if used != 0 {
+				h ^= rng.Mix(planeSalt[1+d], uint64(idx))
+			}
+		}
+	}
+	return h
 }
 
 // EncodedSize implements game.Sizer: an upper bound on the bytes needed to
@@ -435,17 +500,21 @@ func (s *State) Play(m game.Move) {
 	newCell := base + k*step
 
 	s.occ[newCell] = 1
+	s.hash ^= rng.Mix(planeSalt[0], uint64(newCell))
 	u := s.used[d]
+	uSalt := planeSalt[1+d]
 	if s.v.Disjoint {
 		idx := base
 		for i := 0; i < L; i++ {
 			u[idx] = 1
+			s.hash ^= rng.Mix(uSalt, uint64(idx))
 			idx += step
 		}
 	} else {
 		idx := base
 		for i := 0; i < L-1; i++ {
 			u[idx] = 1
+			s.hash ^= rng.Mix(uSalt, uint64(idx))
 			idx += step
 		}
 	}
@@ -558,17 +627,21 @@ func (s *State) Undo() {
 	newCell := base + k*step
 
 	s.occ[newCell] = 0
+	s.hash ^= rng.Mix(planeSalt[0], uint64(newCell))
 	u := s.used[d]
+	uSalt := planeSalt[1+d]
 	if s.v.Disjoint {
 		idx := base
 		for i := 0; i < L; i++ {
 			u[idx] = 0
+			s.hash ^= rng.Mix(uSalt, uint64(idx))
 			idx += step
 		}
 	} else {
 		idx := base
 		for i := 0; i < L-1; i++ {
 			u[idx] = 0
+			s.hash ^= rng.Mix(uSalt, uint64(idx))
 			idx += step
 		}
 	}
@@ -606,6 +679,7 @@ var _ game.Undoer = (*State)(nil)
 var _ game.Copier = (*State)(nil)
 var _ game.Sizer = (*State)(nil)
 var _ game.Replayer = (*State)(nil)
+var _ game.Hasher = (*State)(nil)
 
 // RateMoves implements game.MoveRater for the bundled heuristic
 // evaluator: moves whose new point lands near the centre of the cross

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/game"
@@ -69,7 +70,10 @@ func (u *unitMeter) Add(n int64) { u.units += n }
 // coordinates (job.Key), so the score of a given candidate is identical no
 // matter which client executes it or in which order — the property the
 // static-vs-pull equivalence tests pin down.
-func runClient(c mpi.Comm, lay cluster.Layout, cfg *Config, index int, coll *collector) {
+// tc is the run's shared transposition cache, nil when Config.Cache is
+// off (the cache-off path must stay bit-identical to before the cache
+// existed).
+func runClient(c mpi.Comm, lay cluster.Layout, cfg *Config, index int, coll *collector, tc *cache.Cache) {
 	meter := &unitMeter{}
 	r := rng.New(cfg.Seed) // reseeded per job via SeedStream
 	// The per-run evaluator is constructed directly, without batching: a
@@ -82,6 +86,9 @@ func runClient(c mpi.Comm, lay cluster.Layout, cfg *Config, index int, coll *col
 		eval, _ = game.NewEvaluator(cfg.Evaluator)
 	}
 	searcher := core.NewSearcher(r, core.Options{Meter: meter, Memorize: cfg.Memorize, Evaluator: eval})
+	if tc != nil {
+		searcher.SetCache(tc, cache.Scope(cfg.Evaluator, cfg.Memorize, 0), cfg.CacheVerify)
+	}
 	level := cfg.Level - 2
 	announce := !cfg.Static || cfg.Algo == LastMinute
 	var idle time.Duration
@@ -101,7 +108,12 @@ func runClient(c mpi.Comm, lay cluster.Layout, cfg *Config, index int, coll *col
 			start := c.Now()
 			meter.units = 0
 			r.SeedStream(cfg.Seed, jb.Key)
-			res := searcher.Nested(jb.State, level)
+			var res core.Result
+			if tc != nil {
+				res = searcher.NestedCached(jb.State, level)
+			} else {
+				res = searcher.Nested(jb.State, level)
+			}
 			c.Work(meter.units * cfg.jobScale()) // charge the rollout's CPU to this node
 			busy := c.Now() - start
 			coll.add(index, meter.units, busy)

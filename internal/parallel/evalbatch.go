@@ -70,7 +70,8 @@ type evalBatcher struct {
 
 	mu       sync.Mutex
 	pending  []*evalPending
-	gen      uint64 // batch generation: stale deadline timers no-op
+	gen      uint64      // batch generation: stale deadline timers no-op
+	timer    *time.Timer // current generation's deadline timer, nil when none armed
 	resolved map[string]game.Evaluator
 	adapters map[string]game.Evaluator
 	stats    evalBatchStats
@@ -137,7 +138,11 @@ func (b *evalBatcher) submit(name string, req game.EvalRequest, out []float64) [
 	}
 	if len(b.pending) == 1 {
 		gen := b.gen
-		time.AfterFunc(b.flush, func() { b.deadlineFlush(gen) })
+		// takeLocked stops this timer when the batch flushes on size
+		// before the deadline; without the Stop, every size-flush leaked a
+		// live timer whose late firing burned a goroutine wakeup and a
+		// mutex acquisition just to discover its generation was stale.
+		b.timer = time.AfterFunc(b.flush, func() { b.deadlineFlush(gen) })
 	}
 	b.mu.Unlock()
 	<-p.done
@@ -158,12 +163,18 @@ func (b *evalBatcher) deadlineFlush(gen uint64) {
 	b.run(batch)
 }
 
-// takeLocked detaches the pending batch, advances the generation and
-// records the flush statistics. Caller holds b.mu.
+// takeLocked detaches the pending batch, advances the generation, disarms
+// the generation's deadline timer and records the flush statistics. Caller
+// holds b.mu. (The deadline path also lands here: Stop on the very timer
+// that fired is a harmless no-op.)
 func (b *evalBatcher) takeLocked(trigger *int64) []*evalPending {
 	batch := b.pending
 	b.pending = nil
 	b.gen++
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
 	*trigger++
 	b.stats.Batches++
 	b.stats.Requests += int64(len(batch))

@@ -82,6 +82,50 @@ func TestEvalBatcherFlushOnDeadline(t *testing.T) {
 	}
 }
 
+// TestEvalBatcherSizeFlushDisarmsTimer pins the timer-leak fix: a batch
+// that flushes on size must Stop the deadline timer its first submission
+// armed. Before the fix the timer handle was dropped and every size-flush
+// left a live timer to fire late; the generation guard kept it from
+// corrupting the counters, but the leak is observable through the timer
+// field and the test would also catch a stale firing that did flush
+// (FlushDeadline must stay zero long after the deadline has passed).
+func TestEvalBatcherSizeFlushDisarmsTimer(t *testing.T) {
+	const deadline = 10 * time.Millisecond
+	b := newEvalBatcher(2, deadline, vtime.Wall())
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		req := batchReq(t)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.submit(game.HeuristicEvaluatorName, req, nil)
+		}()
+	}
+	wg.Wait()
+
+	b.mu.Lock()
+	leaked := b.timer != nil
+	b.mu.Unlock()
+	if leaked {
+		t.Fatal("size flush left the deadline timer armed")
+	}
+
+	time.Sleep(3 * deadline)
+	s := b.snapshot()
+	if s.Batches != 1 || s.FlushSize != 1 || s.FlushDeadline != 0 {
+		t.Fatalf("stale timer flushed a later generation: %+v", s)
+	}
+
+	// The next straggler batch must still arm (and fire) a fresh timer:
+	// disarming one generation's timer must not wedge the deadline path.
+	req := batchReq(t)
+	b.submit(game.HeuristicEvaluatorName, req, nil)
+	if s := b.snapshot(); s.Batches != 2 || s.FlushDeadline != 1 {
+		t.Fatalf("deadline path after a size flush: %+v", s)
+	}
+}
+
 // TestEvalBatcherMatchesDirect pins the batching-never-changes-results
 // claim at the weight level: weights through the batched facade must equal
 // a direct, unbatched evaluation of the same position.

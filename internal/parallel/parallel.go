@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/cluster"
 	"repro/internal/game"
 	"repro/internal/mpi"
@@ -217,6 +218,19 @@ type Config struct {
 	// directly; pool clients go through the per-worker batcher (see
 	// evalbatch.go).
 	Evaluator string
+	// Cache enables the transposition cache on the clients' nested
+	// rollouts: one cache, shared by every client of the run (or, on a
+	// Pool, by every slot and job of the process), keyed by position
+	// content so identical sub-positions are searched once. Caching runs
+	// the searchers in derived mode and is therefore NOT bit-identical to
+	// the default — results become a deterministic function of position
+	// rather than of (seed, job); see core.Options.Cache, the source of
+	// truth for the semantics. Default off.
+	Cache bool
+	// CacheVerify recomputes every cache hit and panics on mismatch
+	// (core.Options.CacheVerify). Test/debug mode; implies the cost of a
+	// cache-off run.
+	CacheVerify bool
 }
 
 // jobScale returns the effective client work multiplier.
@@ -377,10 +391,18 @@ func Execute(cl mpi.Cluster, lay cluster.Layout, cfg Config) (Result, error) {
 			runMedian(c, lay, &cfg, i, coll)
 		})
 	}
+	// The run-local transposition cache: one per Execute, shared by the
+	// run's client ranks and torn down with the run (pools keep a
+	// process-lifetime cache instead; see PoolConfig.CacheMB). Nil when the
+	// run does not opt in, which keeps the cache-off path bit-identical.
+	var tc *cache.Cache
+	if cfg.Cache {
+		tc = cache.New(0)
+	}
 	for i, cr := range lay.Clients {
 		i := i
 		cl.Start(cr, func(c mpi.Comm) {
-			runClient(c, lay, &cfg, i, coll)
+			runClient(c, lay, &cfg, i, coll, tc)
 		})
 	}
 

@@ -51,6 +51,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/game"
@@ -99,6 +100,7 @@ type jobParams struct {
 	JobScale int64
 	Root     mpi.Rank // the slot rank that owns the job
 	Eval     string   // registered evaluator name; "" = uniform playouts
+	Cache    bool     // consult the pool's shared transposition cache
 }
 
 // svcCandidate is the slot→scheduler→median payload: one candidate
@@ -234,6 +236,16 @@ type PoolConfig struct {
 	// submitters — with one in-flight rollout the deadline is the only
 	// trigger). Default 2ms.
 	EvalFlush time.Duration
+	// CacheMB bounds the process's shared transposition cache in
+	// megabytes. One cache serves every slot, job and client the process
+	// hosts (a remote pnmcs-worker builds its own from the same figure,
+	// carried by the handshake blob); jobs opt in per job via
+	// Config.Cache. Default 64.
+	CacheMB int
+	// CacheVerify recomputes every cache hit and panics on mismatch
+	// (core.Options.CacheVerify) on every searcher of the process,
+	// including remote workers. Test/debug mode.
+	CacheVerify bool
 }
 
 // defaultEvalFlush is the default partial-batch flush deadline: long
@@ -257,6 +269,9 @@ func (c *PoolConfig) withDefaults() PoolConfig {
 	}
 	if out.EvalFlush <= 0 {
 		out.EvalFlush = defaultEvalFlush
+	}
+	if out.CacheMB <= 0 {
+		out.CacheMB = 64
 	}
 	return out
 }
@@ -320,6 +335,15 @@ type PoolMetrics struct {
 	EvalFlushDeadline int64
 	EvalBatchMax      int
 	EvalFlushWait     time.Duration
+	// Transposition-cache counters of the coordinator-resident cache
+	// (internal/cache.Stats). Like the batcher counters, a remote
+	// pnmcs-worker's cache accumulates in its own process and does not
+	// report here.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	CacheEntries   int64
+	CacheBytes     int64
 }
 
 // poolCollector is the coordinator-side store of the pool's lifetime
@@ -578,6 +602,7 @@ type Pool struct {
 	netCfg  NetPoolConfig   // normalized; zero value for in-process pools
 	coll    *poolCollector
 	batch   *evalBatcher // coordinator-resident workers' evaluation batcher
+	cache   *cache.Cache // coordinator-resident clients' transposition cache
 
 	runDone chan struct{}
 
@@ -937,6 +962,10 @@ func newPoolOn(world *poolWorld, cl poolCluster, nc *mpi.NetCluster, coll *poolC
 		// net coordinator hosts none and its batcher sits unused (each
 		// pnmcs-worker builds its own, clamped to its hosted share).
 		batch: newEvalBatcher(min(cfg.EvalBatch, cfg.Clients), cfg.EvalFlush, vtime.Wall()),
+		// Same hosting logic as the batcher: one cache shared by every
+		// client rank this process hosts; a net coordinator's sits empty
+		// and each pnmcs-worker builds its own from the handshake blob.
+		cache: cache.New(int64(cfg.CacheMB) << 20),
 	}
 	p.idle = sync.NewCond(&p.mu)
 
@@ -961,7 +990,7 @@ func newPoolOn(world *poolWorld, cl poolCluster, nc *mpi.NetCluster, coll *poolC
 		// skips the bookkeeping.
 		runFaultAwareDispatcher(c, dispLay, dispCfg, longest)
 	})
-	startPoolWorkers(p.cluster, world, p.batch, p.coll.addMedianIdle, p.coll.addClientIdle)
+	startPoolWorkers(p.cluster, world, p.batch, p.cache, cfg.CacheVerify, p.coll.addMedianIdle, p.coll.addClientIdle)
 
 	go func() {
 		p.cluster.Run()
@@ -976,8 +1005,10 @@ func newPoolOn(world *poolWorld, cl poolCluster, nc *mpi.NetCluster, coll *poolC
 // worker process (worker-local sinks) — the bodies are identical on both
 // sides of the wire, and a cluster hosting only some of the ranks ignores
 // the Start calls for the others. batch is the process-local evaluation
-// batcher the hosted client ranks share.
-func startPoolWorkers(cl mpi.Cluster, world *poolWorld, batch *evalBatcher, medianIdle, clientIdle func(i int, d time.Duration)) {
+// batcher the hosted client ranks share; tc is their shared transposition
+// cache (consulted only on jobs whose params ask for it) and cacheVerify
+// turns every hit into a recompute-and-compare assertion.
+func startPoolWorkers(cl mpi.Cluster, world *poolWorld, batch *evalBatcher, tc *cache.Cache, cacheVerify bool, medianIdle, clientIdle func(i int, d time.Duration)) {
 	for i := 0; i < world.cfg.Medians; i++ {
 		i := i
 		cl.Start(world.medians[i], func(c mpi.Comm) {
@@ -987,7 +1018,7 @@ func startPoolWorkers(cl mpi.Cluster, world *poolWorld, batch *evalBatcher, medi
 	for i := 0; i < world.cfg.Clients; i++ {
 		i := i
 		cl.Start(world.clients[i], func(c mpi.Comm) {
-			runPoolClient(c, world, batch, func(d time.Duration) { clientIdle(i, d) })
+			runPoolClient(c, world, batch, tc, cacheVerify, func(d time.Duration) { clientIdle(i, d) })
 		})
 	}
 }
@@ -1052,6 +1083,12 @@ func (p *Pool) Metrics() PoolMetrics {
 	m.EvalFlushDeadline = eb.FlushDeadline
 	m.EvalBatchMax = eb.BatchMax
 	m.EvalFlushWait = eb.FlushWait
+	cs := p.cache.Stats()
+	m.CacheHits = cs.Hits
+	m.CacheMisses = cs.Misses
+	m.CacheEvictions = cs.Evictions
+	m.CacheEntries = cs.Entries
+	m.CacheBytes = cs.Bytes
 	if p.net != nil {
 		st := p.net.Stats()
 		m.Net = &st
@@ -1282,6 +1319,7 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 		JobScale: cfg.jobScale(),
 		Root:     c.Rank(),
 		Eval:     cfg.Evaluator,
+		Cache:    cfg.Cache,
 	}
 	deadline := deadlineFunc(c, start, cfg.StopAfter)
 
@@ -1845,8 +1883,12 @@ func runPoolMedian(c mpi.Comm, w *poolWorld, idle func(time.Duration)) {
 // and net transports. Searchers (one per memorization mode, sharing
 // nothing) and their scratch StatePools persist across jobs. Like
 // runPoolMedian, the body is transport-blind and runs unchanged in the
-// coordinator or in a pnmcs-worker process.
-func runPoolClient(c mpi.Comm, w *poolWorld, batch *evalBatcher, idle func(time.Duration)) {
+// coordinator or in a pnmcs-worker process. tc is the process-shared
+// transposition cache; jobs opt in per job (jb.P.Cache), and because a
+// cached job's sub-searches draw from position-derived rng streams the
+// cache is shared across jobs and clients without coupling their results
+// to each other's hit patterns.
+func runPoolClient(c mpi.Comm, w *poolWorld, batch *evalBatcher, tc *cache.Cache, cacheVerify bool, idle func(time.Duration)) {
 	meter := &unitMeter{}
 	searchers := map[bool]*core.Searcher{}
 	searcherFor := func(memorize bool) *core.Searcher {
@@ -1892,7 +1934,14 @@ func runPoolClient(c mpi.Comm, w *poolWorld, batch *evalBatcher, idle func(time.
 				s.SetEvaluator(nil)
 			}
 			s.Reseed(jb.P.Seed, jb.Key)
-			res := s.Nested(jb.State, jb.P.Level-2)
+			var res core.Result
+			if jb.P.Cache {
+				s.SetCache(tc, cache.Scope(jb.P.Eval, jb.P.Memorize, 0), cacheVerify)
+				res = s.NestedCached(jb.State, jb.P.Level-2)
+				s.SetCache(nil, 0, false)
+			} else {
+				res = s.Nested(jb.State, jb.P.Level-2)
+			}
 			c.Work(meter.units * jb.P.JobScale)
 
 			c.Send(w.disp, tagFree, nil)

@@ -500,7 +500,12 @@ func appendJobParams(buf []byte, p jobParams) []byte {
 	buf = append(buf, b)
 	buf = binary.AppendUvarint(buf, uint64(p.JobScale))
 	buf = binary.AppendUvarint(buf, uint64(p.Root))
-	return appendEvalName(buf, p.Eval)
+	buf = appendEvalName(buf, p.Eval)
+	flags := byte(0)
+	if p.Cache {
+		flags |= 1
+	}
+	return append(buf, flags)
 }
 
 // readJobParams decodes appendJobParams' encoding and returns the
@@ -542,6 +547,14 @@ func readJobParams(data []byte) (jobParams, []byte, error) {
 	if err != nil {
 		return p, nil, err
 	}
+	if len(data) < 1 {
+		return p, nil, fmt.Errorf("%w: job params flags", codec.ErrTruncated)
+	}
+	flags := data[0]
+	if flags > 1 {
+		return p, nil, fmt.Errorf("%w: job params flags %#x", codec.ErrMalformed, flags)
+	}
+	data = data[1:]
 	return jobParams{
 		Slot:     int(slot),
 		Epoch:    epoch,
@@ -551,18 +564,21 @@ func readJobParams(data []byte) (jobParams, []byte, error) {
 		JobScale: int64(scale),
 		Root:     mpi.Rank(root),
 		Eval:     eval,
+		Cache:    flags&1 != 0,
 	}, data, nil
 }
 
 // workerBlobVersion guards the handshake blob layout independently of the
 // frame version: the blob is interpreted by parallel, not by the codec.
 // Version history: 1 carried the pool shape (slots/medians/clients/algo);
-// 2 added the evaluation batch shape (EvalBatch, EvalFlush nanoseconds).
-const workerBlobVersion = 2
+// 2 added the evaluation batch shape (EvalBatch, EvalFlush nanoseconds);
+// 3 added the transposition-cache shape (CacheMB, CacheVerify flag).
+const workerBlobVersion = 3
 
 // appendWorkerBlob encodes the PoolConfig a pnmcs-worker needs to derive
-// the identical poolWorld the coordinator built — and, since v2, to batch
-// evaluations the way the coordinator was configured.
+// the identical poolWorld the coordinator built — and, since v2/v3, to
+// batch evaluations and size its transposition cache the way the
+// coordinator was configured.
 func appendWorkerBlob(buf []byte, cfg PoolConfig) []byte {
 	buf = append(buf, workerBlobVersion)
 	buf = binary.AppendUvarint(buf, uint64(cfg.Slots))
@@ -570,7 +586,13 @@ func appendWorkerBlob(buf []byte, cfg PoolConfig) []byte {
 	buf = binary.AppendUvarint(buf, uint64(cfg.Clients))
 	buf = binary.AppendUvarint(buf, uint64(cfg.Algo))
 	buf = binary.AppendUvarint(buf, uint64(cfg.EvalBatch))
-	return binary.AppendUvarint(buf, uint64(cfg.EvalFlush))
+	buf = binary.AppendUvarint(buf, uint64(cfg.EvalFlush))
+	buf = binary.AppendUvarint(buf, uint64(cfg.CacheMB))
+	verify := uint64(0)
+	if cfg.CacheVerify {
+		verify = 1
+	}
+	return binary.AppendUvarint(buf, verify)
 }
 
 // decodeWorkerBlob reverses appendWorkerBlob.
@@ -601,11 +623,24 @@ func decodeWorkerBlob(data []byte) (PoolConfig, error) {
 		return cfg, fmt.Errorf("parallel: worker blob: %w", err)
 	}
 	cfg.EvalBatch = int(batch)
-	flush, rest, err := codec.ReadUvarint(data)
+	flush, data, err := codec.ReadUvarint(data)
 	if err != nil {
 		return cfg, fmt.Errorf("parallel: worker blob: %w", err)
 	}
 	cfg.EvalFlush = time.Duration(flush)
+	cacheMB, data, err := codec.ReadUvarint(data)
+	if err != nil {
+		return cfg, fmt.Errorf("parallel: worker blob: %w", err)
+	}
+	cfg.CacheMB = int(cacheMB)
+	verify, rest, err := codec.ReadUvarint(data)
+	if err != nil {
+		return cfg, fmt.Errorf("parallel: worker blob: %w", err)
+	}
+	if verify > 1 {
+		return cfg, fmt.Errorf("parallel: worker blob: cache-verify flag %d", verify)
+	}
+	cfg.CacheVerify = verify == 1
 	if len(rest) != 0 {
 		// Trailing bytes mean version skew (a field added without bumping
 		// workerBlobVersion): fail loudly — a misparsed blob would

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/mpi"
 	"repro/internal/vtime"
 )
@@ -89,7 +90,13 @@ func ServeWorker(w *mpi.NetWorker) (WorkerStats, error) {
 	// in this process, like the per-rank idle counters.
 	batch := newEvalBatcher(min(world.cfg.EvalBatch, max(stats.Clients, 1)),
 		world.cfg.EvalFlush, vtime.Wall())
-	startPoolWorkers(w, world, batch, medianIdle, clientIdle)
+	// The worker's transposition cache, sized by the handshake blob like
+	// the batcher: hosted client ranks share it across every job the
+	// coordinator routes here. Each process caches independently — results
+	// are pure functions of position content, so worker caches need no
+	// coherence protocol, they just overlap.
+	tc := cache.New(int64(world.cfg.CacheMB) << 20)
+	startPoolWorkers(w, world, batch, tc, world.cfg.CacheVerify, medianIdle, clientIdle)
 
 	w.Run()
 	var total int64

@@ -47,6 +47,12 @@ func Fold(parts ...uint64) uint64 {
 	return h
 }
 
+// Mix combines two words into one with a strong avalanche. It is the
+// single step of Fold, exported for callers that derive many keys from one
+// salt — the domain packages use it to build Zobrist-style position-hash
+// keys (one Mix per board feature) without paying Fold's per-call setup.
+func Mix(a, b uint64) uint64 { return mix(a, b) }
+
 // SeedStream resets the generator to the stream-th independent stream of
 // the family identified by seed, like NewStream but reusing the receiver's
 // allocation (the client processes reseed one generator per job).

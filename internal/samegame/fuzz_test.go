@@ -36,6 +36,18 @@ func fuzzHash(st game.State, buf []game.Move) (uint64, []game.Move) {
 	return h, buf
 }
 
+// checkZobrist asserts the incrementally maintained game.Hasher hash
+// equals a from-scratch recomputation over the board — the property the
+// transposition cache keys on. SameGame maintains its hash with a
+// post-settle diff pass against the undo snapshot, so gravity and column
+// collapse are exactly the kind of multi-cell churn this hunts.
+func checkZobrist(t *testing.T, st *State, when string) {
+	t.Helper()
+	if got, want := st.Hash(), st.hashFromScratch(); got != want {
+		t.Fatalf("%s: incremental hash %x != from-scratch %x", when, got, want)
+	}
+}
+
 func FuzzPlayUndoRoundTrip(f *testing.F) {
 	f.Add(uint8(8), uint8(8), uint8(4), uint64(1), []byte{0, 1, 2, 3})
 	f.Add(uint8(5), uint8(5), uint8(3), uint64(7), []byte{255, 0, 128, 64, 9})
@@ -54,6 +66,7 @@ func FuzzPlayUndoRoundTrip(f *testing.F) {
 		var hashes []uint64
 		h, buf := fuzzHash(st, buf)
 		hashes = append(hashes, h)
+		checkZobrist(t, st, "fresh position")
 
 		var legal []game.Move
 		for _, b := range picks {
@@ -64,6 +77,7 @@ func FuzzPlayUndoRoundTrip(f *testing.F) {
 			st.Play(legal[int(b)%len(legal)])
 			h, buf = fuzzHash(st, buf)
 			hashes = append(hashes, h)
+			checkZobrist(t, st, "after play")
 		}
 
 		for depth := len(hashes) - 1; depth > 0; depth-- {
@@ -73,6 +87,7 @@ func FuzzPlayUndoRoundTrip(f *testing.F) {
 				t.Fatalf("undo to depth %d: position hash %x != %x (score/move-order not restored)",
 					depth-1, h, hashes[depth-1])
 			}
+			checkZobrist(t, st, "after undo")
 		}
 		if st.MovesPlayed() != 0 {
 			t.Fatalf("fully rewound position still has %d moves", st.MovesPlayed())

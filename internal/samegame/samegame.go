@@ -47,10 +47,34 @@ type State struct {
 	// Undo history. Gravity and column collapse scramble cell positions
 	// irreversibly, so each Play snapshots the pre-move board into the
 	// histCells arena (w×h bytes, a fraction of what Clone allocates) plus
-	// the pre-move score. The arena grows once to the game depth and is
-	// then reused, so Play/Undo allocates nothing in steady state.
-	hist      []float64 // pre-move scores, one per played move
-	histCells []int8    // arena: pre-move boards, stacked w*h at a time
+	// the pre-move score and hash. The arena grows once to the game depth
+	// and is then reused, so Play/Undo allocates nothing in steady state.
+	hist      []histEntry // pre-move score and hash, one per played move
+	histCells []int8      // arena: pre-move boards, stacked w*h at a time
+
+	// hash is the incremental Zobrist hash of the cell content, maintained
+	// by Play (diffing against the pre-move snapshot) and restored from
+	// hist by Undo. See game.Hasher.
+	hash uint64
+}
+
+// histEntry is the O(1) part of one Play's undo record; the board snapshot
+// lives in the histCells arena.
+type histEntry struct {
+	score float64
+	hash  uint64
+}
+
+// hashSalt seeds the feature keys and the base hash; fixed so hashes are
+// stable across processes. Keys are derived with one rng.Mix per changed
+// cell: boards are user-sizeable, so a precomputed table cannot cover every
+// size, and Play already pays an O(cells) snapshot copy per move.
+const hashSalt = 0x53616d6547616d65 // "SameGame"
+
+// cellKey returns the Zobrist key of colour c at cell idx (c > 0; empty
+// cells contribute nothing).
+func cellKey(idx int, c int8) uint64 {
+	return rng.Mix(hashSalt, uint64(idx)<<8|uint64(uint8(c)))
 }
 
 // NewRandom returns a uniformly random w×h board with the given number of
@@ -67,6 +91,7 @@ func NewRandom(w, h, colors int, seed uint64) *State {
 	for i := range s.cells {
 		s.cells[i] = int8(r.Intn(colors) + 1)
 	}
+	s.hash = s.hashFromScratch()
 	s.initScratch()
 	return s
 }
@@ -110,6 +135,7 @@ func Parse(text string) (*State, error) {
 	// A parsed board must already satisfy gravity/collapse invariants for
 	// the move generator to be meaningful; normalize it.
 	s.settle()
+	s.hash = s.hashFromScratch()
 	s.initScratch()
 	return s, nil
 }
@@ -233,7 +259,7 @@ func (s *State) Play(m game.Move) {
 		panic(fmt.Sprintf("samegame: move %d names a singleton group", idx))
 	}
 	s.histCells = append(s.histCells, s.cells...)
-	s.hist = append(s.hist, s.score)
+	s.hist = append(s.hist, histEntry{score: s.score, hash: s.hash})
 	for _, c := range members {
 		s.cells[c] = 0
 	}
@@ -242,6 +268,20 @@ func (s *State) Play(m game.Move) {
 	s.settle()
 	if s.empty() {
 		s.score += ClearBonus
+	}
+	// Incremental hash update: gravity and collapse move many cells, but
+	// the pre-move board is already snapshotted in the histCells arena, so
+	// one diff pass XORs exactly the changed features in and out.
+	snap := s.histCells[len(s.histCells)-len(s.cells):]
+	for i, c := range s.cells {
+		if old := snap[i]; old != c {
+			if old != 0 {
+				s.hash ^= cellKey(i, old)
+			}
+			if c != 0 {
+				s.hash ^= cellKey(i, c)
+			}
+		}
 	}
 }
 
@@ -301,7 +341,8 @@ func (s *State) Undo() {
 	lo := len(s.histCells) - n
 	copy(s.cells, s.histCells[lo:])
 	s.histCells = s.histCells[:lo]
-	s.score = s.hist[len(s.hist)-1]
+	h := s.hist[len(s.hist)-1]
+	s.score, s.hash = h.score, h.hash
 	s.hist = s.hist[:len(s.hist)-1]
 	s.moves--
 }
@@ -313,6 +354,7 @@ func (s *State) Clone() game.State {
 		w: s.w, h: s.h, colors: s.colors,
 		cells: append([]int8(nil), s.cells...),
 		score: s.score, moves: s.moves,
+		hash: s.hash,
 	}
 	c.initScratch()
 	return c
@@ -334,8 +376,27 @@ func (s *State) CopyFrom(src game.State) {
 	copy(s.cells, o.cells)
 	s.colors = o.colors
 	s.score, s.moves = o.score, o.moves
+	s.hash = o.hash
 	s.hist = s.hist[:0]
 	s.histCells = s.histCells[:0]
+}
+
+// Hash implements game.Hasher: the incremental Zobrist hash of the cell
+// content. Positions with equal boards hash equal even when their
+// accumulated score differs (score is path-dependent), so cache consumers
+// store score deltas (see the game.Hasher contract).
+func (s *State) Hash() uint64 { return s.hash }
+
+// hashFromScratch recomputes the position hash from the cells alone. It is
+// the oracle the fuzz tests compare the incremental hash against.
+func (s *State) hashFromScratch() uint64 {
+	h := rng.Mix(hashSalt, uint64(s.w)<<32|uint64(s.h))
+	for i, c := range s.cells {
+		if c != 0 {
+			h ^= cellKey(i, c)
+		}
+	}
+	return h
 }
 
 // EncodedSize implements game.Sizer.
@@ -374,6 +435,7 @@ var _ game.State = (*State)(nil)
 var _ game.Undoer = (*State)(nil)
 var _ game.Copier = (*State)(nil)
 var _ game.Sizer = (*State)(nil)
+var _ game.Hasher = (*State)(nil)
 
 // RateMoves implements game.MoveRater for the bundled heuristic
 // evaluator: a group's weight is its size. The score of removing n

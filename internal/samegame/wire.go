@@ -72,6 +72,7 @@ func DecodeWire(data []byte) (*State, error) {
 		}
 		s.cells[i] = int8(b)
 	}
+	s.hash = s.hashFromScratch()
 	s.initScratch()
 	return s, nil
 }

@@ -32,13 +32,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/game"
 	"repro/internal/parallel"
+	"repro/internal/rng"
 )
 
 // Config sizes a Manager.
@@ -114,6 +114,17 @@ type Config struct {
 	// latency, never an answer: the re-run is bit-identical to what the
 	// healthy pool would have produced.
 	Retry RetryPolicy
+	// RetrySeed seeds the manager's private jitter source for retry
+	// backoff delays. Zero seeds from the clock (the production default —
+	// distinct managers must not jitter in lockstep); tests set it to make
+	// the backoff schedule reproducible. Job results never depend on it.
+	RetrySeed uint64
+
+	// CacheMB / CacheVerify shape the pool's shared transposition cache
+	// (parallel.PoolConfig.CacheMB / CacheVerify). The cache only serves
+	// jobs that opt in via JobSpec.Cache. Default 64 (MB).
+	CacheMB     int
+	CacheVerify bool
 }
 
 // RetryPolicy bounds the per-job retry loop.
@@ -286,6 +297,12 @@ type Manager struct {
 	nextID    int64
 
 	submitted, rejected, completed, cancelled, failed, retried int64
+
+	// retryRng jitters retry-backoff delays. Guarded by m.mu (retryDelay
+	// runs under it); a manager-private source instead of the global
+	// math/rand both removes the global lock from the retry path and makes
+	// the backoff schedule reproducible under Config.RetrySeed.
+	retryRng *rng.Rand
 }
 
 // New builds the worker pool — in-process goroutines by default, a
@@ -298,12 +315,14 @@ func New(cfg Config) (*Manager, error) {
 			cfg.Evaluator, game.EvaluatorNames())
 	}
 	pcfg := parallel.PoolConfig{
-		Slots:     cfg.Slots,
-		Medians:   cfg.Medians,
-		Clients:   cfg.Clients,
-		Algo:      cfg.Algo,
-		EvalBatch: cfg.EvalBatch,
-		EvalFlush: cfg.EvalFlush,
+		Slots:       cfg.Slots,
+		Medians:     cfg.Medians,
+		Clients:     cfg.Clients,
+		Algo:        cfg.Algo,
+		EvalBatch:   cfg.EvalBatch,
+		EvalFlush:   cfg.EvalFlush,
+		CacheMB:     cfg.CacheMB,
+		CacheVerify: cfg.CacheVerify,
 	}
 	var pool *parallel.Pool
 	var err error
@@ -323,11 +342,16 @@ func New(cfg Config) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
+	seed := cfg.RetrySeed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
 	m := &Manager{
-		cfg:     cfg,
-		pool:    pool,
-		jobs:    make(map[string]*job),
-		drained: make(chan struct{}),
+		cfg:      cfg,
+		pool:     pool,
+		jobs:     make(map[string]*job),
+		drained:  make(chan struct{}),
+		retryRng: rng.New(seed),
 	}
 	for s := cfg.Slots - 1; s >= 0; s-- {
 		m.freeSlots = append(m.freeSlots, s)
@@ -463,7 +487,7 @@ func (m *Manager) run(j *job, slot int) {
 		j.status.State = StateQueued
 		j.status.Error = err.Error() // last failure, visible while waiting
 		j.status.Degraded = res.Degraded
-		j.retryTimer = time.AfterFunc(retryDelay(m.cfg.Retry.Backoff, j.status.Retries), func() { m.requeue(j) })
+		j.retryTimer = time.AfterFunc(m.retryDelayLocked(j.status.Retries), func() { m.requeue(j) })
 		m.freeSlots = append(m.freeSlots, slot)
 		m.serveQueueLocked()
 		m.mu.Unlock()
@@ -513,19 +537,21 @@ func (m *Manager) serveQueueLocked() {
 	}
 }
 
-// retryDelay is the backoff before re-running a failed job: Backoff
-// doubled per attempt, capped at 30s, with full jitter in [d/2, d].
-func retryDelay(base time.Duration, attempt int) time.Duration {
+// retryDelayLocked is the backoff before re-running a failed job: Backoff
+// doubled per attempt, capped at 30s, with full jitter in [d/2, d] drawn
+// from the manager's private source. Caller holds m.mu, which guards
+// retryRng.
+func (m *Manager) retryDelayLocked(attempt int) time.Duration {
 	shift := attempt - 1
 	if shift > 10 {
 		shift = 10
 	}
-	d := base << shift
+	d := m.cfg.Retry.Backoff << shift
 	if d > 30*time.Second {
 		d = 30 * time.Second
 	}
 	half := d / 2
-	return half + time.Duration(rand.Int63n(int64(half)+1))
+	return half + time.Duration(m.retryRng.Uint64n(uint64(half)+1))
 }
 
 // requeue moves a retry-waiting job back into dispatch when its backoff

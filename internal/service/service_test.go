@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"repro/internal/rng"
 )
 
 // tinySpec is a fast job used across the lifecycle tests.
@@ -293,5 +295,48 @@ func TestGetUnknownJob(t *testing.T) {
 	}
 	if _, err := m.Wait(context.Background(), "nope"); err != ErrNotFound {
 		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+}
+
+// retryTestManager builds a bare Manager exercising only the retry-delay
+// path: retryDelayLocked reads cfg.Retry.Backoff and retryRng and nothing
+// else, so the pool is not needed.
+func retryTestManager(backoff time.Duration, seed uint64) *Manager {
+	return &Manager{
+		cfg:      Config{Retry: RetryPolicy{Max: 8, Backoff: backoff}},
+		retryRng: rng.New(seed),
+	}
+}
+
+// TestRetryDelayBoundsAndDeterminism pins the backoff schedule: delays stay
+// in [d/2, d] for the doubled, 30s-capped base, and a manager-private
+// seeded source makes the whole schedule reproducible (the global
+// math/rand source it replaced could not be seeded without racing every
+// other consumer in the process).
+func TestRetryDelayBoundsAndDeterminism(t *testing.T) {
+	const base = 250 * time.Millisecond
+	a := retryTestManager(base, 42)
+	b := retryTestManager(base, 42)
+	c := retryTestManager(base, 43)
+
+	sameAsC := true
+	for attempt := 1; attempt <= 12; attempt++ {
+		d := base << min(attempt-1, 10)
+		if d > 30*time.Second {
+			d = 30 * time.Second
+		}
+		da, db, dc := a.retryDelayLocked(attempt), b.retryDelayLocked(attempt), c.retryDelayLocked(attempt)
+		if da < d/2 || da > d {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, da, d/2, d)
+		}
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v != %v", attempt, da, db)
+		}
+		if da != dc {
+			sameAsC = false
+		}
+	}
+	if sameAsC {
+		t.Fatal("seeds 42 and 43 produced identical 12-delay schedules")
 	}
 }

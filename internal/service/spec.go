@@ -59,6 +59,13 @@ type JobSpec struct {
 	// has a default. Unknown names are rejected at submission.
 	Evaluator string `json:"evaluator,omitempty"`
 
+	// Cache consults the pool's shared transposition cache for this job's
+	// client rollouts (parallel.Config.Cache). Cached jobs draw their
+	// sub-search randomness from position-derived streams, so the result
+	// is NOT bit-identical to the same spec without the flag — it is one
+	// fixed alternative answer of the same quality (see DESIGN.md §11).
+	Cache bool `json:"cache,omitempty"`
+
 	// Deadline, when positive, cancels the job that long after it starts
 	// running (queue time excluded). The partial result is returned with
 	// Stopped true. Go callers set this field; the HTTP API uses
@@ -178,5 +185,6 @@ func (s JobSpec) Config() (parallel.Config, error) {
 		FirstMoveOnly: n.FirstMoveOnly,
 		StopAfter:     n.Deadline,
 		Evaluator:     eval,
+		Cache:         n.Cache,
 	}, nil
 }

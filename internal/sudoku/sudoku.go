@@ -15,7 +15,36 @@ import (
 	"strings"
 
 	"repro/internal/game"
+	"repro/internal/rng"
 )
+
+// Incremental position hashing (game.Hasher). The hash is a Zobrist XOR
+// over (cell, value) features plus a per-box-side base salt, maintained by
+// place and Undo so reading it is O(1). The feature keys come from a
+// package-level table: the domain is small (side ≤ 25 ⇒ ≤ 625 cells × 25
+// values), so the whole table is precomputed once at init.
+const (
+	maxSide  = 25 // box ≤ 5
+	maxCells = maxSide * maxSide
+)
+
+// zobrist[idx*(maxSide+1)+v] is the feature key of value v at cell idx.
+var zobrist [maxCells * (maxSide + 1)]uint64
+
+// hashSalt seeds both the key table and the per-box base hash; the value
+// is arbitrary but fixed so hashes are stable across processes (cache
+// entries shared between coordinator and workers must agree).
+const hashSalt = 0x53554b00d0ec75a1 // "SUDOKU" flavoured
+
+func init() {
+	r := rng.New(hashSalt)
+	for i := range zobrist {
+		zobrist[i] = r.Uint64()
+	}
+}
+
+// cellKey returns the Zobrist key of value v placed at cell idx.
+func cellKey(idx int, v int8) uint64 { return zobrist[idx*(maxSide+1)+int(v)] }
 
 // State is a Sudoku filling position. Create with New or ParseGivens.
 type State struct {
@@ -36,6 +65,10 @@ type State struct {
 	// keeps its capacity across games, so Play/Undo never allocates in
 	// steady state.
 	hist []histEntry
+
+	// hash is the incremental Zobrist hash of the grid content (givens
+	// included), maintained by place and Undo. See game.Hasher.
+	hash uint64
 }
 
 type histEntry struct {
@@ -54,6 +87,7 @@ func New(box int) *State {
 		box: box, side: side,
 		grid: make([]int8, side*side),
 		rows: make([]uint32, side), cols: make([]uint32, side), boxes: make([]uint32, side),
+		hash: rng.Mix(hashSalt, uint64(box)),
 	}
 	return s
 }
@@ -129,7 +163,8 @@ func (s *State) canPlace(idx int, v int8) bool {
 	return s.rows[r]&bit == 0 && s.cols[c]&bit == 0 && s.boxes[s.boxIndex(idx)]&bit == 0
 }
 
-// place writes v at idx and updates the constraint masks.
+// place writes v at idx and updates the constraint masks and the
+// incremental hash.
 func (s *State) place(idx int, v int8) {
 	bit := uint32(1) << (v - 1)
 	r, c := idx/s.side, idx%s.side
@@ -137,6 +172,7 @@ func (s *State) place(idx int, v int8) {
 	s.rows[r] |= bit
 	s.cols[c] |= bit
 	s.boxes[s.boxIndex(idx)] |= bit
+	s.hash ^= cellKey(idx, v)
 }
 
 // nextEmpty returns the index of the first empty cell, or -1 when full.
@@ -197,6 +233,7 @@ func (s *State) Undo() {
 	v := s.grid[idx]
 	bit := uint32(1) << (v - 1)
 	r, c := idx/s.side, idx%s.side
+	s.hash ^= cellKey(idx, v)
 	s.grid[idx] = 0
 	s.rows[r] &^= bit
 	s.cols[c] &^= bit
@@ -236,6 +273,7 @@ func (s *State) Clone() game.State {
 		cols:   append([]uint32(nil), s.cols...),
 		boxes:  append([]uint32(nil), s.boxes...),
 		filled: s.filled, givens: s.givens, next: s.next,
+		hash: s.hash,
 	}
 }
 
@@ -259,7 +297,26 @@ func (s *State) CopyFrom(src game.State) {
 	copy(s.cols, o.cols)
 	copy(s.boxes, o.boxes)
 	s.filled, s.givens, s.next = o.filled, o.givens, o.next
+	s.hash = o.hash
 	s.hist = s.hist[:0]
+}
+
+// Hash implements game.Hasher: the incremental Zobrist hash of the grid
+// content (givens included). Positions with equal grids hash equal even
+// when their filled/given split — and hence Score — differs, so cache
+// consumers store score deltas (see the game.Hasher contract).
+func (s *State) Hash() uint64 { return s.hash }
+
+// hashFromScratch recomputes the position hash from the grid alone. It is
+// the oracle the fuzz tests compare the incremental hash against.
+func (s *State) hashFromScratch() uint64 {
+	h := rng.Mix(hashSalt, uint64(s.box))
+	for idx, v := range s.grid {
+		if v != 0 {
+			h ^= cellKey(idx, v)
+		}
+	}
+	return h
 }
 
 // EncodedSize implements game.Sizer.
@@ -348,6 +405,7 @@ var _ game.State = (*State)(nil)
 var _ game.Undoer = (*State)(nil)
 var _ game.Copier = (*State)(nil)
 var _ game.Sizer = (*State)(nil)
+var _ game.Hasher = (*State)(nil)
 
 // RateMoves implements game.MoveRater for the bundled heuristic
 // evaluator. All legal moves fill the same (first empty) cell with
