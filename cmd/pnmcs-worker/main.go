@@ -32,12 +32,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"time"
 
 	"repro/internal/mpi"
 	"repro/internal/mpi/codec"
 	"repro/internal/parallel"
+	"repro/internal/rng"
 )
 
 // workerOpts collects everything serveLoop needs, so tests can drive the
@@ -49,7 +49,12 @@ type workerOpts struct {
 	silence time.Duration // worker-side liveness budget; 0 disables
 	redials int           // automatic redials after a lost coordinator link
 	backoff time.Duration // base redial backoff, doubled each attempt with jitter
-	logf    func(format string, args ...any)
+	// jitterSeed seeds the process-private backoff jitter source. Zero
+	// seeds from the clock — a fleet of workers must not jitter in
+	// lockstep — and tests pin it for a reproducible schedule. Mirrors
+	// service.Config.RetrySeed; like there, results never depend on it.
+	jitterSeed uint64
+	logf       func(format string, args ...any)
 }
 
 // dialRetry dials the coordinator, retrying transient refusals for the
@@ -79,8 +84,11 @@ func dialRetry(o workerOpts) (*mpi.NetWorker, error) {
 // redialDelay is the jittered exponential backoff before redial attempt
 // (1-based): base doubled per attempt, capped at 30s, then halved plus a
 // uniform random half so a fleet of workers losing the same coordinator
-// does not stampede it in lockstep when it comes back.
-func redialDelay(base time.Duration, attempt int) time.Duration {
+// does not stampede it in lockstep when it comes back. The jitter draws
+// from the worker's private source, not the global math/rand: nothing
+// else can perturb (or be perturbed by) the redial schedule, and a
+// pinned workerOpts.jitterSeed reproduces it exactly.
+func redialDelay(jitter *rng.Rand, base time.Duration, attempt int) time.Duration {
 	if base <= 0 {
 		base = 250 * time.Millisecond
 	}
@@ -93,7 +101,7 @@ func redialDelay(base time.Duration, attempt int) time.Duration {
 		d = 30 * time.Second
 	}
 	half := d / 2
-	return half + time.Duration(rand.Int63n(int64(half)+1))
+	return half + time.Duration(jitter.Uint64n(uint64(half)+1))
 }
 
 // serveLoop dials the coordinator and serves pool ranks until an orderly
@@ -104,6 +112,11 @@ func redialDelay(base time.Duration, attempt int) time.Duration {
 // (or reviving) the slot whose frames the coordinator held in the
 // meantime.
 func serveLoop(o workerOpts) error {
+	seed := o.jitterSeed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	jitter := rng.New(seed)
 	for attempt := 0; ; attempt++ {
 		w, err := dialRetry(o)
 		if err != nil {
@@ -130,7 +143,7 @@ func serveLoop(o workerOpts) error {
 		if attempt >= o.redials {
 			return fmt.Errorf("coordinator link lost; redial budget (%d) exhausted", o.redials)
 		}
-		d := redialDelay(o.backoff, attempt+1)
+		d := redialDelay(jitter, o.backoff, attempt+1)
 		o.logf("coordinator link lost; redialing in %v (attempt %d of %d)", d.Round(time.Millisecond), attempt+1, o.redials)
 		time.Sleep(d)
 	}

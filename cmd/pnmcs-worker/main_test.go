@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/faultnet"
 	"repro/internal/parallel"
+	"repro/internal/rng"
 	"repro/internal/sudoku"
 )
 
@@ -57,7 +58,9 @@ func TestServeLoopRedialsAfterSilence(t *testing.T) {
 			silence: 150 * time.Millisecond,
 			redials: 3,
 			backoff: 50 * time.Millisecond,
-			logf:    logf,
+			// Pinned jitter keeps the redial timing reproducible.
+			jitterSeed: 1,
+			logf:       logf,
 		})
 	}()
 
@@ -132,6 +135,7 @@ func TestServeLoopRedialsAfterSilence(t *testing.T) {
 // TestRedialDelayBackoff pins the backoff envelope: attempt n waits at
 // least half of base<<(n-1) and at most the full doubled value, capped.
 func TestRedialDelayBackoff(t *testing.T) {
+	jitter := rng.New(42)
 	base := 100 * time.Millisecond
 	for attempt := 1; attempt <= 12; attempt++ {
 		full := base << (attempt - 1)
@@ -142,13 +146,43 @@ func TestRedialDelayBackoff(t *testing.T) {
 			full = 30 * time.Second
 		}
 		for i := 0; i < 20; i++ {
-			d := redialDelay(base, attempt)
+			d := redialDelay(jitter, base, attempt)
 			if d < full/2 || d > full {
 				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, full/2, full)
 			}
 		}
 	}
-	if d := redialDelay(0, 1); d <= 0 {
+	if d := redialDelay(jitter, 0, 1); d <= 0 {
 		t.Fatalf("zero base must fall back to a positive delay, got %v", d)
+	}
+}
+
+// TestRedialDelayDeterministic pins the jitter source: the backoff
+// schedule is a pure function of the seed (workerOpts.jitterSeed), so it
+// is reproducible in tests and immune to other users of math/rand.
+func TestRedialDelayDeterministic(t *testing.T) {
+	schedule := func(seed uint64) []time.Duration {
+		jitter := rng.New(seed)
+		var ds []time.Duration
+		for attempt := 1; attempt <= 8; attempt++ {
+			ds = append(ds, redialDelay(jitter, 100*time.Millisecond, attempt))
+		}
+		return ds
+	}
+	a, b := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: same seed gave %v then %v", i+1, a[i], b[i])
+		}
+	}
+	if c := schedule(8); func() bool {
+		for i := range a {
+			if a[i] != c[i] {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Fatalf("seeds 7 and 8 produced identical schedules %v", a)
 	}
 }

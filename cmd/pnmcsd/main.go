@@ -72,6 +72,7 @@ func main() {
 	evalFlush := flag.Duration("eval-flush", 0, "flush a partial evaluation batch after this long (0 = default 2ms)")
 	cacheMB := flag.Int("cache-mb", 0, "shared transposition cache size in MB, serving jobs submitted with \"cache\":true (0 = default 64)")
 	cacheVerify := flag.Bool("cache-verify", false, "recompute every transposition-cache hit and crash on mismatch (debug)")
+	speculate := flag.Int("speculate", 0, "async pipelined root: speculate the next step's candidates for this many partial-score leaders (0 = synchronous; results identical either way)")
 	flag.Parse()
 
 	mgr, err := service.New(service.Config{
@@ -92,6 +93,7 @@ func main() {
 		Retry:        service.RetryPolicy{Max: *jobRetries},
 		CacheMB:      *cacheMB,
 		CacheVerify:  *cacheVerify,
+		Speculate:    *speculate,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -281,6 +283,12 @@ func writeMetrics(w http.ResponseWriter, m service.Metrics) {
 	emit("pnmcs_eval_flush_deadline_total", "counter", "partial batches flushed by the deadline timer", m.Pool.EvalFlushDeadline)
 	emit("pnmcs_eval_batch_max", "gauge", "largest evaluation batch flushed", m.Pool.EvalBatchMax)
 	emit("pnmcs_eval_flush_seconds_total", "counter", "cumulative wait of each flushed batch's oldest request", m.Pool.EvalFlushWait.Seconds())
+	// Async pipelined root: speculation economics and per-step latency.
+	emit("pnmcs_spec_speculated_total", "counter", "next-step candidates dispatched speculatively", m.Pool.Speculated)
+	emit("pnmcs_spec_wasted_total", "counter", "speculative rollouts charged to losing branches", m.Pool.SpecWasted)
+	emit("pnmcs_step_latency_count", "counter", "root steps timed", m.Pool.StepCount)
+	emit("pnmcs_step_latency_seconds_total", "counter", "cumulative root-step latency", m.Pool.StepLatencySum.Seconds())
+	emit("pnmcs_step_latency_seconds_max", "gauge", "slowest root step observed", m.Pool.StepLatencyMax.Seconds())
 	emit("pnmcs_cache_hits_total", "counter", "transposition-cache hits (coordinator-resident cache)", m.Pool.CacheHits)
 	emit("pnmcs_cache_misses_total", "counter", "transposition-cache misses (coordinator-resident cache)", m.Pool.CacheMisses)
 	emit("pnmcs_cache_evictions_total", "counter", "transposition-cache entries evicted to stay in budget", m.Pool.CacheEvictions)

@@ -35,6 +35,7 @@ type schedulerCell struct {
 	medianIdle  stats.Acc // mean idle fraction across medians
 	medianWorst stats.Acc // idle fraction of the idlest median
 	clientIdle  stats.Acc
+	wasted      stats.Acc // rollouts charged to losing speculative branches
 	queueMax    int
 }
 
@@ -53,6 +54,47 @@ func (c *schedulerCell) measure(p Preset, spec cluster.Spec, static bool, opts p
 		c.medianIdle.Add(stats.MeanFraction(res.MedianIdle, res.Elapsed))
 		c.medianWorst.Add(maxIdle(res.MedianIdle, res.Elapsed))
 		c.clientIdle.Add(stats.MeanFraction(res.ClientIdle, res.Elapsed))
+		if res.QueueDepthMax > c.queueMax {
+			c.queueMax = res.QueueDepthMax
+		}
+	}
+	return nil
+}
+
+// asyncSpeculate is the speculation width of the ablation's async rows:
+// wide enough to cover the realistic argmax front-runners, narrow enough
+// that a wrong guess wastes a bounded slice of the fleet.
+const asyncSpeculate = 2
+
+// measureSteps is measure's multi-step sibling for the async-root rows:
+// whole games (FirstMoveOnly off — speculation pipelines step boundaries,
+// so a one-step run cannot show it), per-step latency from
+// Result.StepLatency, and the wasted-speculation fraction of the run's
+// client rollouts. speculate 0 is the synchronous pull baseline.
+func (c *schedulerCell) measureSteps(p Preset, spec cluster.Spec, speculate int, opts parallel.VirtualOptions, seeds int) error {
+	for s := 0; s < seeds; s++ {
+		cfg := parallel.Config{
+			Algo: parallel.LastMinute, Level: p.LevelLo, Root: morpion.New(p.Variant),
+			Seed: uint64(s) + 1, Memorize: true,
+			JobScale: p.JobScale, Speculate: speculate,
+		}
+		res, err := parallel.RunVirtual(spec, cfg, opts)
+		if err != nil {
+			return err
+		}
+		var sum time.Duration
+		for _, d := range res.StepLatency {
+			sum += d
+		}
+		if n := len(res.StepLatency); n > 0 {
+			c.times.AddDuration(sum / time.Duration(n))
+		}
+		c.medianIdle.Add(stats.MeanFraction(res.MedianIdle, res.Elapsed))
+		c.medianWorst.Add(maxIdle(res.MedianIdle, res.Elapsed))
+		c.clientIdle.Add(stats.MeanFraction(res.ClientIdle, res.Elapsed))
+		if res.Jobs > 0 {
+			c.wasted.Add(float64(res.SpecWasted) / float64(res.Jobs))
+		}
 		if res.QueueDepthMax > c.queueMax {
 			c.queueMax = res.QueueDepthMax
 		}
@@ -132,6 +174,15 @@ const stragglerUnitCost = time.Millisecond
 // latency with per-rank idle fractions. The acceptance bar for the
 // scheduler rewrite is pull ≥ 25% below static here; both runs play the
 // identical game, so the gap is pure scheduling.
+//
+// Two further rows compare the pull root against the async pipelined root
+// (Config.Speculate) on the same straggler — necessarily over whole
+// multi-step games, because speculation cannot shorten a single step: it
+// overlaps the tail of step s (the straggler's last grants) with the head
+// of step s+1, so its win only exists at step boundaries. Those rows
+// report the mean per-step latency (Result.StepLatency) and the price
+// paid for it, the fraction of client rollouts charged to losing
+// speculative branches. All four rows play the identical game per seed.
 func StragglerAblation(p Preset) (TableResult, []*AblationRow, error) {
 	spec := StragglerSpec()
 	sp := p
@@ -141,7 +192,7 @@ func StragglerAblation(p Preset) (TableResult, []*AblationRow, error) {
 	tbl := stats.Table{
 		Title: fmt.Sprintf("Ablation: scheduler on a straggler cluster (%s level %d, %s, %d medians)",
 			p.Variant.Name, p.LevelLo, spec.Name, StragglerMedians),
-		Header: []string{"scheduler", "step latency", "median idle (mean)", "median idle (max)", "queue depth max"},
+		Header: []string{"scheduler", "step latency", "median idle (mean)", "median idle (max)", "queue depth max", "wasted spec"},
 	}
 	var rows []*AblationRow
 	var ms []*Measurement
@@ -166,6 +217,31 @@ func StragglerAblation(p Preset) (TableResult, []*AblationRow, error) {
 			stats.FormatPercent(cell.medianIdle.Mean()),
 			stats.FormatPercent(cell.medianWorst.Mean()),
 			fmt.Sprintf("%d", cell.queueMax),
+			"—",
+		})
+	}
+	for _, speculate := range []int{0, asyncSpeculate} {
+		var cell schedulerCell
+		if err := cell.measureSteps(sp, spec, speculate, opts, sp.SeedsLo); err != nil {
+			return TableResult{}, nil, err
+		}
+		name, suffix := fmt.Sprintf("async pipelined (k=%d), full game", asyncSpeculate), "/async"
+		if speculate == 0 {
+			name, suffix = "demand-driven pull, full game", "/pull-steps"
+		}
+		row := &AblationRow{Name: name, Clients: spec.NumClients()}
+		row.Times = cell.times
+		rows = append(rows, row)
+		ms = append(ms, &Measurement{Table: "S2", Level: sp.LevelLo, Clients: spec.NumClients(),
+			Spec: spec.Name + suffix, Algo: parallel.LastMinute, FirstMove: false,
+			Times: cell.times})
+		tbl.Rows = append(tbl.Rows, []string{
+			name,
+			cell.times.PaperStyle(),
+			stats.FormatPercent(cell.medianIdle.Mean()),
+			stats.FormatPercent(cell.medianWorst.Mean()),
+			fmt.Sprintf("%d", cell.queueMax),
+			stats.FormatPercent(cell.wasted.Mean()),
 		})
 	}
 	return TableResult{ID: "S2", Title: tbl.Title, Rendered: tbl.Render(), Measurements: ms}, rows, nil

@@ -54,8 +54,8 @@ func TestStragglerAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 {
-		t.Fatalf("ablation produced %d rows, want 2", len(rows))
+	if len(rows) != 4 {
+		t.Fatalf("ablation produced %d rows, want 4 (static, pull, pull full game, async full game)", len(rows))
 	}
 	static := durationOf(rows, "static cyclic (paper)")
 	pull := durationOf(rows, "demand-driven pull")
@@ -70,5 +70,18 @@ func TestStragglerAblation(t *testing.T) {
 	}
 	if !strings.Contains(res.Rendered, "%") {
 		t.Errorf("ablation table missing idle percentages:\n%s", res.Rendered)
+	}
+	// The async rows run whole games: the pipelined root must beat the
+	// synchronous pull root on mean step latency (it overlaps the
+	// straggler's step tail with the next step's head), at a nonzero but
+	// bounded wasted-speculation price.
+	pullSteps := durationOf(rows, "demand-driven pull, full game")
+	async := durationOf(rows, "async pipelined (k=2), full game")
+	if pullSteps == 0 || async == 0 {
+		t.Fatalf("missing full-game rows: %+v", rows)
+	}
+	t.Logf("full game: pull=%v async=%v", pullSteps, async)
+	if async >= pullSteps {
+		t.Errorf("async mean step latency %v not below synchronous pull %v", async, pullSteps)
 	}
 }

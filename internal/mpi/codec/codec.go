@@ -44,8 +44,11 @@ import (
 // History: 1 = the original frame format; 2 = fault-tolerance wire
 // changes (token field in the worker hello, svcScore gained Step,
 // svcResult gained Key); 3 = evaluator wire changes (job params gained
-// the evaluator name, new evaluation batch request/reply payloads).
-const Version = 3
+// the evaluator name, new evaluation batch request/reply payloads);
+// 4 = async-root wire changes (candidates and scores gained the branch
+// discriminator Par, job params gained Speculate, new speculation-cancel
+// payload, worker blob gained the pool speculation default).
+const Version = 4
 
 // MaxFrame bounds the body length a reader will accept. A corrupt or
 // hostile length prefix must not make a worker allocate gigabytes; the

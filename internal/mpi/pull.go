@@ -108,6 +108,28 @@ func (s *PullSource) Abandon() int {
 	return n
 }
 
+// AbandonFunc drops every queued item for which drop returns true
+// (selective mid-run purge — e.g. cancelling one speculative branch
+// while keeping another) and returns how many were dropped. Kept items
+// preserve their FIFO order; outstanding grants are unaffected.
+func (s *PullSource) AbandonFunc(drop func(item any) bool) int {
+	kept := s.ready[:0]
+	n := 0
+	for _, it := range s.ready {
+		if drop(it) {
+			n++
+		} else {
+			kept = append(kept, it)
+		}
+	}
+	for i := len(kept); i < len(s.ready); i++ {
+		s.ready[i] = nil
+	}
+	s.ready = kept
+	s.sample()
+	return n
+}
+
 // Waiting returns the idle workers currently queued for work. The slice
 // aliases internal state; callers must not retain it across calls.
 func (s *PullSource) Waiting() []Rank { return s.waiting }

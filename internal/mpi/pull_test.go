@@ -83,6 +83,42 @@ func TestPullSourceAbandonAndDepth(t *testing.T) {
 	}
 }
 
+func TestPullSourceAbandonFunc(t *testing.T) {
+	f := &fakeComm{}
+	s := NewPullSource(f, Tag(7))
+	for i := 0; i < 6; i++ {
+		s.Offer(i)
+	}
+	// Selective purge: drop the odd items, keep the evens in FIFO order —
+	// the cancel-one-speculative-branch shape.
+	if n := s.AbandonFunc(func(item any) bool { return item.(int)%2 == 1 }); n != 3 {
+		t.Fatalf("abandoned %d, want 3", n)
+	}
+	if s.Ready() != 3 {
+		t.Fatalf("ready %d after selective abandon, want 3", s.Ready())
+	}
+	for want := 0; want <= 4; want += 2 {
+		s.Request(Rank(want + 1))
+		if got := f.sends[len(f.sends)-1].Payload; got != want {
+			t.Fatalf("grant order broken: got %v, want %v", got, want)
+		}
+	}
+	if s.Outstanding() != 3 {
+		t.Fatalf("outstanding %d, want 3", s.Outstanding())
+	}
+	// Dropping nothing and dropping everything are both legal.
+	s.Offer(7)
+	if n := s.AbandonFunc(func(any) bool { return false }); n != 0 {
+		t.Fatalf("no-op abandon dropped %d", n)
+	}
+	if n := s.AbandonFunc(func(any) bool { return true }); n != 1 {
+		t.Fatalf("drop-all abandon dropped %d, want 1", n)
+	}
+	if s.Ready() != 0 {
+		t.Fatalf("ready %d after drop-all, want 0", s.Ready())
+	}
+}
+
 func TestPullSourceDoneWithoutGrantPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

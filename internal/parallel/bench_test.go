@@ -80,6 +80,43 @@ func BenchmarkStaticStraggler(b *testing.B) {
 	benchRun(b, cluster.Homogeneous(64).WithSlowMedian(0, 0.5), true, 6, time.Millisecond)
 }
 
+// BenchmarkAsyncRoot measures the pipelined root (Config.Speculate) on
+// the straggler cluster over a whole multi-step game — necessarily
+// multi-step, because speculation cannot shorten a single step: it
+// overlaps the straggler's step tail with the next step's head, so its
+// win only exists at step boundaries. steplat_ms (mean per-step latency,
+// Result.StepLatency) is the metric that must beat the synchronous pull
+// root's on this cluster (the k=0 row of the harness straggler
+// ablation); waste_pct is the price paid for it, the fraction of jobs
+// charged to losing speculative branches.
+func BenchmarkAsyncRoot(b *testing.B) {
+	cfg := Config{
+		Algo: LastMinute, Level: 2, Root: morpion.New(morpion.Var4D),
+		Seed: 3, Memorize: true, JobScale: 1, Speculate: 2,
+	}
+	spec := cluster.Homogeneous(64).WithSlowMedian(0, 0.5)
+	opts := VirtualOptions{UnitCost: time.Millisecond, Medians: 6}
+	var last Result
+	for i := 0; i < b.N; i++ {
+		res, err := RunVirtual(spec, cfg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportIdle(b, last)
+	var sum time.Duration
+	for _, d := range last.StepLatency {
+		sum += d
+	}
+	if n := len(last.StepLatency); n > 0 {
+		b.ReportMetric(1e3*(sum/time.Duration(n)).Seconds(), "steplat_ms")
+	}
+	if last.Jobs > 0 {
+		b.ReportMetric(100*float64(last.SpecWasted)/float64(last.Jobs), "waste_pct")
+	}
+}
+
 // BenchmarkWallPull measures the pull protocol natively on goroutines.
 func BenchmarkWallPull(b *testing.B) {
 	cfg := Config{

@@ -103,7 +103,7 @@ func runMedian(c mpi.Comm, lay cluster.Layout, cfg *Config, index int, coll *col
 		// Line 12: report the finished game's score to the root.
 		cfg.trace("d", c.Rank(), lay.Root, c.Now())
 		if pull {
-			c.Send(lay.Root, tagScore, stepScore{Cand: cand.Cand, Score: score})
+			c.Send(lay.Root, tagScore, stepScore{Step: cand.Step, Cand: cand.Cand, Par: cand.Par, Score: score})
 			if outstanding == 0 {
 				// Prefetch disabled: only now ask for the next candidate.
 				request()

@@ -88,9 +88,17 @@ const (
 // root's current step, tagged with its logical coordinates. The
 // coordinates seed the job-key random streams (see job.Key), which is what
 // decouples search results from scheduling decisions.
+//
+// Par is the branch discriminator of the async scheduler: the index of
+// the parent move played at the previous step (−1 at step 0, and for
+// every candidate issued by the non-speculating schedulers). A
+// speculative candidate for step s+1 carries the step-s move it assumes
+// will win; when the argmax resolves, scores whose Par is not the
+// winning move are shed.
 type candidate struct {
 	Step  int // root game step the candidate belongs to
 	Cand  int // candidate (move) index within that step
+	Par   int // parent move index at the previous step (−1 = none)
 	State game.State
 }
 
@@ -135,9 +143,15 @@ func (jobScore) EncodedSize() int { return 16 }
 // stepScore is the pull scheduler's median→root score message: the final
 // game score of the Cand-th candidate of the root's current step. The
 // static scheduler ships bare float64 scores instead, answered in FIFO
-// order per median, exactly like the paper's MPI messages.
+// order per median, exactly like the paper's MPI messages. Step and Par
+// echo the granted candidate's coordinates so the async root can match a
+// score to the step and speculative branch that issued it (the pull and
+// static gathers key scores by arrival step alone, where the echo is
+// redundant but harmless).
 type stepScore struct {
+	Step  int
 	Cand  int
+	Par   int
 	Score float64
 }
 
@@ -199,6 +213,21 @@ type Config struct {
 	// prefetching (strict request-after-finish, exposing the round-trip
 	// latency). Ignored in static mode.
 	Prefetch int
+	// Speculate, when positive, turns the pull scheduler into the
+	// asynchronous pipelined root: the root tracks outstanding
+	// (initiated-but-unobserved) samples per candidate, and once a step's
+	// partial scores identify the top-Speculate leaders it speculatively
+	// offers the *next* step's candidates for those leading moves — under
+	// their real logical-coordinate rng keys — so medians never drain at
+	// the step boundary. When the argmax resolves, the losing branches'
+	// queued candidates are purged and their in-flight grants drained
+	// (scores shed by the branch discriminator, counted in
+	// Result.SpecWasted); a winning branch's work is adopted wholesale.
+	// Because rollout rng is keyed by logical job coordinates — never by
+	// rank or timing — results stay bit-identical to the pull and static
+	// schedulers per seed. 0 (the default) disables speculation; ignored
+	// in static mode.
+	Speculate int
 	// StopAfter, when positive, cancels the root game once the transport
 	// clock reaches it. The pull scheduler stops mid-step: remaining
 	// ungranted candidates are abandoned and the already-granted ones are
@@ -251,6 +280,17 @@ func (cfg *Config) prefetch() int {
 	default:
 		return cfg.Prefetch
 	}
+}
+
+// speculate returns the effective speculation width: the number of
+// leading moves whose next-step candidates are enqueued before the
+// argmax resolves. 0 = speculation off (and always 0 in static mode,
+// where the paper's lockstep protocol has no queue to pipeline).
+func (cfg *Config) speculate() int {
+	if cfg.Static || cfg.Speculate <= 0 {
+		return 0
+	}
+	return cfg.Speculate
 }
 
 // stopDue reports whether the StopAfter budget has run out.
@@ -312,6 +352,19 @@ type Result struct {
 	// churn costs compute, never correctness: Score, Sequence, Jobs and
 	// WorkUnits are unaffected.
 	Regranted int64
+	// Speculated / SpecWasted count the async scheduler's speculative
+	// next-step candidates: how many were issued ahead of an argmax
+	// resolution, and how many of those were wasted on branches that
+	// lost (their queued candidates purged, their in-flight scores
+	// drained and shed). Zero unless Config.Speculate > 0. Waste costs
+	// compute, never correctness.
+	Speculated int64
+	SpecWasted int64
+	// StepLatency records the transport time each root step took from
+	// issuing its candidates to playing its move, in step order — the
+	// metric the async scheduler attacks (a straggling median stretches
+	// individual steps long before it moves total Elapsed).
+	StepLatency []time.Duration
 	// QueueDepthMax / QueueDepthMean profile the pull scheduler's ready
 	// queue (candidates offered but not yet granted), sampled at every
 	// offer/request transition. Zero under the static scheduler.

@@ -75,13 +75,15 @@ const (
 	tagRanksDead                        // External -> scheduler/dispatcher/median: ranks abandoned, no replacement coming
 	tagRanksRevived                     // External -> dispatcher/median: abandoned ranks rejoined after all
 	tagJobFail                          // External -> slot: pool degraded below its floor, fail the job
+	tagSpecCancel                       // scheduler -> median: speculative branch cancelled
 )
 
 // Per-slot tag-band offsets (see mpi.TagSpace): the scheduler tells jobs
 // apart by the band their messages arrive on.
 const (
-	offOffer   mpi.Tag = iota // slot -> scheduler: candidate offered
-	offAbandon                // slot -> scheduler: drop my queued candidates
+	offOffer      mpi.Tag = iota // slot -> scheduler: candidate offered
+	offAbandon                   // slot -> scheduler: drop my queued candidates
+	offSpecCancel                // slot -> scheduler: purge + broadcast a speculation cancel
 	numOffsets
 )
 
@@ -92,23 +94,28 @@ const tagBandBase mpi.Tag = 128
 // every client job, replacing the per-run Config the workers can no
 // longer close over.
 type jobParams struct {
-	Slot     int
-	Epoch    uint64
-	Level    int
-	Seed     uint64
-	Memorize bool
-	JobScale int64
-	Root     mpi.Rank // the slot rank that owns the job
-	Eval     string   // registered evaluator name; "" = uniform playouts
-	Cache    bool     // consult the pool's shared transposition cache
+	Slot      int
+	Epoch     uint64
+	Level     int
+	Seed      uint64
+	Memorize  bool
+	JobScale  int64
+	Root      mpi.Rank // the slot rank that owns the job
+	Eval      string   // registered evaluator name; "" = uniform playouts
+	Cache     bool     // consult the pool's shared transposition cache
+	Speculate int      // effective async speculation width of the job (0 = off)
 }
 
 // svcCandidate is the slot→scheduler→median payload: one candidate
 // position of a root step, tagged with its logical coordinates and the
-// owning job.
+// owning job. Par is the async scheduler's branch discriminator — the
+// parent move index the candidate's step assumes was played at the
+// previous step (see candidate.Par); the median echoes it in svcScore so
+// the slot can shed scores of speculative branches that lost the argmax.
 type svcCandidate struct {
 	Step  int
 	Cand  int
+	Par   int // parent move index at the previous root step (−1 = none)
 	P     jobParams
 	State game.State
 }
@@ -118,6 +125,7 @@ type svcCandidate struct {
 type svcJob struct {
 	Key   uint64
 	Seq   int
+	Par   int // branch discriminator of the owning game (see resultKey)
 	P     jobParams
 	State game.State
 }
@@ -132,11 +140,15 @@ type svcJob struct {
 // duplicate finishes during some later root step, and without the step
 // echo its score — Epoch valid, Cand in range — would be accepted as that
 // later step's answer. Undisturbed runs never produce a cross-step score;
-// churn does.
+// churn does. Par echoes the granted candidate's branch discriminator:
+// the async slot accepts a score only when both Step and Par match its
+// current gather, which is what sheds a losing speculative branch's
+// in-flight games without any per-score bookkeeping.
 type svcScore struct {
 	Epoch    uint64
 	Step     int
 	Cand     int
+	Par      int // branch discriminator echo (svcCandidate.Par)
 	Score    float64
 	Rollouts int64 // client rollouts executed for this candidate's game
 	Units    int64 // metered work units across those rollouts
@@ -145,12 +157,13 @@ type svcScore struct {
 // svcResult is the client→median rollout result: the score of the Seq-th
 // candidate of the median's current step and the rollout's metered work.
 // Key is the job's identity echo (resultKey: the rng key folded with the
-// owning job's slot and epoch) — the median uses it to reject stale
-// results: under worker churn a lost job may be both re-issued and (via
-// the rejoin pending-queue flush) computed by the dead client's
-// replacement, and the duplicate — or a result surviving from an earlier
-// step, or from another job at the same logical coordinates — must never
-// be mistaken for a live one.
+// owning job's slot, epoch and branch discriminator) — the median uses it
+// to reject stale results: under worker churn a lost job may be both
+// re-issued and (via the rejoin pending-queue flush) computed by the dead
+// client's replacement, and the duplicate — or a result surviving from an
+// earlier step, from another job at the same logical coordinates, or from
+// a cancelled speculative branch's aborted game — must never be mistaken
+// for a live one.
 type svcResult struct {
 	Key   uint64
 	Seq   int
@@ -161,11 +174,19 @@ type svcResult struct {
 // resultKey folds a rollout's rng key with its job's identity. The rng
 // key alone is unique only within one job's coordinate grid (step,
 // candidate, median step, median candidate); folding slot and epoch in
-// distinguishes same-coordinate rollouts of different jobs. Computed
-// independently by the issuing median and the executing client, so it
-// never needs to travel in svcJob.
-func resultKey(p jobParams, rngKey uint64) uint64 {
-	return rng.Fold(uint64(p.Slot), p.Epoch, rngKey)
+// distinguishes same-coordinate rollouts of different jobs, and folding
+// the branch discriminator par distinguishes a speculative branch's game
+// from the real game at the same coordinates — a cancelled loser branch
+// (same Step and Cand, different Par) aborts mid-play with rollouts still
+// on clients, and a stale result must not be mistaken for the real game's
+// rollout under the identical rng key (it was computed from a different
+// position, so accepting it corrupts the score and the work accounting).
+// Par is NOT part of the rng key itself: the winning branch must draw the
+// exact rollout streams the synchronous root would, so only the identity
+// echo discriminates. Computed independently by the issuing median and
+// the executing client from fields that travel in svcJob.
+func resultKey(p jobParams, par int, rngKey uint64) uint64 {
+	return rng.Fold(uint64(p.Slot), p.Epoch, rngKey, uint64(par+1))
 }
 
 // svcRanksLost is the worker-loss notice the pool injects at the
@@ -189,11 +210,50 @@ type svcRegrant struct {
 }
 
 // svcAbandonAck is the scheduler→slot answer to an abandon: how many of
-// the job's candidates were still queued (and are now dropped). The
-// epoch lets a slot discard an ack that outlived its job.
+// the abandoning step's candidates were still queued (and are now
+// dropped). Every queued candidate of the epoch is dropped — speculative
+// next-step ones included — but only the gathered step's count rides the
+// ack, because only those candidates figure in the slot's drain
+// arithmetic. The epoch lets a slot discard an ack that outlived its job.
 type svcAbandonAck struct {
 	Epoch   uint64
 	Dropped int
+}
+
+// svcAbandon is the slot→scheduler abandon order (offAbandon): drop every
+// queued candidate of the epoch, ack the count belonging to root step
+// Step. Slots and the scheduler are both coordinator ranks, so this never
+// crosses the wire and needs no codec kind.
+type svcAbandon struct {
+	Epoch uint64
+	Step  int
+}
+
+// svcSpecCancel is the speculation cancel order of the async scheduler.
+// The slot sends it on its offSpecCancel band when an argmax resolves
+// (Step = the speculated root step, Keep = the winning move index) or
+// when the job ends with speculation still in flight (Step = −1: every
+// speculative grant of the epoch is moot). The scheduler purges covered
+// queued candidates, remembers the latest cancel per slot — applied again
+// when a dead worker's grants are re-queued — and re-broadcasts the order
+// to the medians (tagSpecCancel), which skip covered buffered grants and
+// abort covered games mid-play without reporting a score. Fire-and-forget,
+// like tagJobFail: no ack, because a cancel that loses a race is harmless
+// — covered scores are shed by the slot's epoch/step/Par guards anyway.
+type svcSpecCancel struct {
+	Slot  int
+	Epoch uint64
+	Step  int // speculated root step the cancel covers; −1 = all steps
+	Keep  int // branch (parent move) to keep: the argmax winner; −1 = none
+}
+
+// specCovered reports whether cand is mooted by the cancel cn. The
+// zero-value cancel covers nothing (job epochs start at 1).
+func specCovered(cn svcSpecCancel, cand svcCandidate) bool {
+	if cn.Slot != cand.P.Slot || cn.Epoch != cand.P.Epoch {
+		return false
+	}
+	return cn.Step == -1 || (cand.Step == cn.Step && cand.Par != cn.Keep)
 }
 
 // Progress is a streaming snapshot of a running job, delivered to the
@@ -246,6 +306,14 @@ type PoolConfig struct {
 	// (core.Options.CacheVerify) on every searcher of the process,
 	// including remote workers. Test/debug mode.
 	CacheVerify bool
+	// Speculate is the pool-level default for Config.Speculate: a job
+	// submitted with Speculate == 0 inherits it (a negative job value
+	// forces speculation off). It rides the worker handshake blob (v4)
+	// like every other pool-shape knob, so remote workers can see the
+	// pool's default even though the effective per-job width always
+	// travels with the job's candidates (jobParams.Speculate). Default 0:
+	// jobs run the lockstep gather unless they opt in.
+	Speculate int
 }
 
 // defaultEvalFlush is the default partial-batch flush deadline: long
@@ -306,6 +374,19 @@ type PoolMetrics struct {
 	// changes a score (rollout streams are keyed by logical coordinates);
 	// this meters how much compute churn cost.
 	Regranted int64
+	// Speculated / SpecWasted aggregate the async jobs' speculative
+	// candidate accounting (Result.Speculated / Result.SpecWasted) across
+	// the pool's lifetime; zero on pools that never ran a Speculate>0 job.
+	Speculated int64
+	SpecWasted int64
+	// StepCount / StepLatencySum / StepLatencyMax aggregate per-root-step
+	// latency across every job the pool has served (Result.StepLatency):
+	// how many root steps completed, their summed duration, and the single
+	// worst step — the production-observable form of the latency the async
+	// scheduler attacks.
+	StepCount      int64
+	StepLatencySum time.Duration
+	StepLatencyMax time.Duration
 	// WorkersAbandoned counts lost workers given up on for good: their
 	// grace window (NetPoolConfig.ReplaceGrace) expired or their pending
 	// queue overflowed with no replacement in sight, and their rank range
@@ -368,6 +449,14 @@ type poolCollector struct {
 	workersAbandoned int64
 	regranted        int64
 
+	// Async-scheduler accounting: speculative candidates issued/wasted and
+	// the per-root-step latency profile (count, sum, max) across all jobs.
+	speculated int64
+	specWasted int64
+	stepCount  int64
+	stepSum    time.Duration
+	stepMax    time.Duration
+
 	// Remote workers push cumulative idle counters with every pong and
 	// goodbye (piggybacked telemetry); each connection reports from zero,
 	// so on a loss the connection's last report folds into the base and
@@ -426,6 +515,23 @@ func (co *poolCollector) addWorkerAbandoned() {
 func (co *poolCollector) addRegranted(n int) {
 	co.mu.Lock()
 	co.regranted += int64(n)
+	co.mu.Unlock()
+}
+
+func (co *poolCollector) addSpec(speculated, wasted int64) {
+	co.mu.Lock()
+	co.speculated += speculated
+	co.specWasted += wasted
+	co.mu.Unlock()
+}
+
+func (co *poolCollector) addStepLatency(d time.Duration) {
+	co.mu.Lock()
+	co.stepCount++
+	co.stepSum += d
+	if d > co.stepMax {
+		co.stepMax = d
+	}
 	co.mu.Unlock()
 }
 
@@ -1065,6 +1171,11 @@ func (p *Pool) Metrics() PoolMetrics {
 		WorkersRejoined:  co.workersRejoined,
 		WorkersAbandoned: co.workersAbandoned,
 		Regranted:        co.regranted,
+		Speculated:       co.speculated,
+		SpecWasted:       co.specWasted,
+		StepCount:        co.stepCount,
+		StepLatencySum:   co.stepSum,
+		StepLatencyMax:   co.stepMax,
 	}
 	for i := range m.MedianIdle {
 		m.MedianIdle[i] += co.remoteMedianBase[i] + co.remoteMedianCur[i]
@@ -1299,27 +1410,63 @@ func (p *Pool) runSlot(c mpi.Comm, slot int) {
 	}
 }
 
+// poolSpecBranch is one speculated next-step branch of an async pool job:
+// the per-run specBranch plus the rollout accounting that rides svcScore
+// (counted into the job only if the branch is adopted, so Result.Jobs and
+// Result.WorkUnits stay bit-identical to a non-speculating run).
+type poolSpecBranch struct {
+	step     int          // the speculated root step (current step + 1)
+	par      int          // the leading move this branch assumes wins
+	moves    []game.Move  // legal moves of the speculated child position
+	shipped  []game.State // shipped child states, by candidate index
+	scores   []float64
+	scored   []bool
+	got      int   // scores already received
+	rollouts int64 // rollout accounting buffered until adoption
+	units    int64
+}
+
 // playJob plays one job's top-level game. It is runRootPull with the work
 // queue moved to the shared scheduler rank: candidates are offered on the
 // slot's tag band, scores come back tagged with the job epoch, and
 // cancellation (explicit, deadline or shutdown) abandons the queued
 // candidates at the scheduler and drains the granted ones before
 // returning, so the pool is never torn down with work in flight.
+//
+// With an effective Speculate width k > 0 the gather turns into the async
+// pipelined root of runRootAsync: once at most k scores are missing, the
+// top-k leaders' next-step candidates are offered ahead of the argmax
+// under their real logical coordinates (so adopted scores are
+// bit-identical); at resolution the winner's branch is adopted wholesale
+// and the losers are cancelled — queued candidates purged at the
+// scheduler, in-flight games aborted at the medians via svcSpecCancel,
+// stray scores shed by the Step/Par guards below.
 func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, movebuf *[]game.Move) (Result, error) {
 	cfg := js.cfg
 	res := Result{}
 	st := cfg.Root.Clone()
 	start := c.Now()
+	// Effective speculation width: the job's own ask, defaulted from the
+	// pool. FirstMoveOnly jobs never speculate — speculation pipelines
+	// step boundaries, and a one-step job has none.
+	k := cfg.Speculate
+	if k == 0 {
+		k = p.cfg.Speculate
+	}
+	if k < 0 || cfg.FirstMoveOnly {
+		k = 0
+	}
 	params := jobParams{
-		Slot:     slot,
-		Epoch:    js.epoch,
-		Level:    cfg.Level,
-		Seed:     cfg.Seed,
-		Memorize: cfg.Memorize,
-		JobScale: cfg.jobScale(),
-		Root:     c.Rank(),
-		Eval:     cfg.Evaluator,
-		Cache:    cfg.Cache,
+		Slot:      slot,
+		Epoch:     js.epoch,
+		Level:     cfg.Level,
+		Seed:      cfg.Seed,
+		Memorize:  cfg.Memorize,
+		JobScale:  cfg.jobScale(),
+		Root:      c.Rank(),
+		Eval:      cfg.Evaluator,
+		Cache:     cfg.Cache,
+		Speculate: k,
 	}
 	deadline := deadlineFunc(c, start, cfg.StopAfter)
 
@@ -1329,7 +1476,20 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 	cancelled := false
 	var failErr error
 
+	curPar := -1              // move index played at the previous step
+	var adopt *poolSpecBranch // winning branch carried into the next step
+	var branches map[int]*poolSpecBranch
+	if k > 0 {
+		branches = make(map[int]*poolSpecBranch) // live speculation, by leader move
+		defer func() { p.coll.addSpec(res.Speculated, res.SpecWasted) }()
+	}
+	specCancel := func(step, keep int) {
+		c.Send(p.world.sched, p.world.space.For(slot, offSpecCancel),
+			svcSpecCancel{Slot: slot, Epoch: js.epoch, Step: step, Keep: keep})
+	}
+
 	for step := 0; !cancelled; step++ {
+		stepStart := c.Now()
 		moves := st.LegalMoves((*movebuf)[:0])
 		*movebuf = moves
 		if len(moves) == 0 {
@@ -1340,31 +1500,50 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 			break
 		}
 
-		// Offer every candidate of the step to the shared scheduler.
-		shipped = shipped[:0]
-		scores = scores[:0]
-		scored = scored[:0]
-		for i, m := range moves {
-			child := pool.Get(st)
-			c.Work(core.CloneCost)
-			child.Play(m)
-			c.Work(1)
-			shipped = append(shipped, child)
-			scores = append(scores, 0)
-			scored = append(scored, false)
-			c.Send(p.world.sched, p.world.space.For(slot, offOffer),
-				svcCandidate{Step: step, Cand: i, P: params, State: child})
+		got := 0
+		if adopt != nil {
+			// The winning branch was speculated: its candidates are already
+			// offered (some granted, some even scored). LegalMoves is a
+			// deterministic function of position content, so the branch's
+			// enumeration is exactly the one just computed — adopt its
+			// gather state wholesale instead of re-offering, and count its
+			// buffered rollout accounting now that the work is real.
+			shipped = append(shipped[:0], adopt.shipped...)
+			scores = append(scores[:0], adopt.scores...)
+			scored = append(scored[:0], adopt.scored...)
+			got = adopt.got
+			res.Jobs += adopt.rollouts
+			res.WorkUnits += adopt.units
+			p.coll.addRollouts(adopt.rollouts, adopt.units)
+			adopt = nil
+		} else {
+			// Offer every candidate of the step to the shared scheduler.
+			shipped = shipped[:0]
+			scores = scores[:0]
+			scored = scored[:0]
+			for i, m := range moves {
+				child := pool.Get(st)
+				c.Work(core.CloneCost)
+				child.Play(m)
+				c.Work(1)
+				shipped = append(shipped, child)
+				scores = append(scores, 0)
+				scored = append(scored, false)
+				c.Send(p.world.sched, p.world.space.For(slot, offOffer),
+					svcCandidate{Step: step, Cand: i, Par: curPar, P: params, State: child})
+			}
 		}
 
 		// Gather scores; a cancellation mid-step abandons what is still
 		// queued at the scheduler and keeps draining what was granted.
 		want := len(moves)
-		got := 0
+		speculated := false
 		abandon := func() {
 			if !cancelled {
 				cancelled = true
 				res.Stopped = true
-				c.Send(p.world.sched, p.world.space.For(slot, offAbandon), js.epoch)
+				c.Send(p.world.sched, p.world.space.For(slot, offAbandon),
+					svcAbandon{Epoch: js.epoch, Step: step})
 			}
 		}
 		// Payload type checks throughout the gather loop: frames arriving
@@ -1378,25 +1557,45 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 				// Scores come from medians only; cancellations only from
 				// outside the rank world (Inject); abandon acks only from
 				// the scheduler. Anything else is a forged wire frame. The
-				// step check sheds a re-granted duplicate of an earlier
-				// step whose original score survived a worker crash.
+				// step and Par checks shed a re-granted duplicate of an
+				// earlier step whose original score survived a worker
+				// crash, and a losing speculative branch's game coming
+				// home (its waste is charged when the branch is purged).
 				sc, ok := msg.Payload.(svcScore)
-				if !ok || !isMedianRank(p.world, msg.From) || sc.Epoch != js.epoch || sc.Step != step {
-					break // stray from a previous job or step; harmless
+				if !ok || !isMedianRank(p.world, msg.From) || sc.Epoch != js.epoch {
+					break // stray from a previous job; harmless
 				}
-				// Range and duplication guards: a duplicated frame must not
-				// double-free the shipped state or end the gather early
-				// (which would let a real score bleed into the next step).
-				if sc.Cand < 0 || sc.Cand >= len(scores) || scored[sc.Cand] {
-					break
+				switch {
+				case sc.Step == step && sc.Par == curPar:
+					// Range and duplication guards: a duplicated frame must
+					// not double-free the shipped state or end the gather
+					// early (which would let a real score bleed into the
+					// next step).
+					if sc.Cand < 0 || sc.Cand >= len(scores) || scored[sc.Cand] {
+						break
+					}
+					scored[sc.Cand] = true
+					scores[sc.Cand] = sc.Score
+					res.Jobs += sc.Rollouts
+					res.WorkUnits += sc.Units
+					p.coll.addRollouts(sc.Rollouts, sc.Units)
+					pool.Put(shipped[sc.Cand])
+					got++
+				case sc.Step == step+1 && branches[sc.Par] != nil:
+					// A speculative game finished before its step started:
+					// buffer it against its branch. (branches is nil unless
+					// k > 0, and a nil map read just returns nil.)
+					b := branches[sc.Par]
+					if sc.Cand < 0 || sc.Cand >= len(b.scores) || b.scored[sc.Cand] {
+						break
+					}
+					b.scored[sc.Cand] = true
+					b.scores[sc.Cand] = sc.Score
+					b.rollouts += sc.Rollouts
+					b.units += sc.Units
+					b.got++
+					pool.Put(b.shipped[sc.Cand])
 				}
-				scored[sc.Cand] = true
-				scores[sc.Cand] = sc.Score
-				res.Jobs += sc.Rollouts
-				res.WorkUnits += sc.Units
-				p.coll.addRollouts(sc.Rollouts, sc.Units)
-				pool.Put(shipped[sc.Cand])
-				got++
 			case tagJobCancel:
 				if epoch, ok := msg.Payload.(uint64); ok && msg.From == mpi.External && epoch == js.epoch {
 					abandon()
@@ -1410,7 +1609,8 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 				// states are left to the garbage collector.
 				if epoch, ok := msg.Payload.(uint64); ok && msg.From == mpi.External && epoch == js.epoch {
 					failErr = ErrDegraded
-					c.Send(p.world.sched, p.world.space.For(slot, offAbandon), js.epoch)
+					c.Send(p.world.sched, p.world.space.For(slot, offAbandon),
+						svcAbandon{Epoch: js.epoch, Step: step})
 				}
 			case tagAbandonAck:
 				if ack, ok := msg.Payload.(svcAbandonAck); ok && msg.From == p.world.sched && ack.Epoch == js.epoch {
@@ -1428,8 +1628,44 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 			if !cancelled && deadline() {
 				abandon()
 			}
+			if k > 0 && !speculated && !cancelled && failErr == nil &&
+				got >= 1 && want-got <= k {
+				// Close enough to resolution: pick the top-k leaders by
+				// partial score and offer their next-step candidates, so
+				// idle medians start on step+1 while the stragglers finish.
+				speculated = true
+				for _, lead := range topLeaders(scores, scored, k) {
+					parent := pool.Get(st)
+					c.Work(core.CloneCost)
+					parent.Play(moves[lead])
+					c.Work(1)
+					bm := parent.LegalMoves(nil)
+					if len(bm) == 0 {
+						pool.Put(parent)
+						continue // terminal child: nothing to pipeline
+					}
+					b := &poolSpecBranch{step: step + 1, par: lead, moves: bm}
+					for j, mv := range bm {
+						child := pool.Get(parent)
+						c.Work(core.CloneCost)
+						child.Play(mv)
+						c.Work(1)
+						b.shipped = append(b.shipped, child)
+						b.scores = append(b.scores, 0)
+						b.scored = append(b.scored, false)
+						c.Send(p.world.sched, p.world.space.For(slot, offOffer),
+							svcCandidate{Step: step + 1, Cand: j, Par: lead, P: params, State: child})
+						res.Speculated++
+					}
+					pool.Put(parent)
+					branches[lead] = b
+				}
+			}
 		}
 		if failErr != nil {
+			if res.Speculated > 0 {
+				specCancel(-1, -1)
+			}
 			res.Degraded = true
 			res.Elapsed = c.Now() - start
 			return res, failErr
@@ -1441,9 +1677,32 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 		// Play the best move; ties go to the first-seen move, matching the
 		// sequential search and the per-run root.
 		best := argmax(scores)
+		if k > 0 {
+			// Resolve the speculation: adopt the winner's branch, charge
+			// the losers and cancel their queued and in-flight work. A
+			// loser's shipped states are left to the garbage collector,
+			// never recycled — a median may still be playing them.
+			losers := 0
+			for par, b := range branches {
+				if par == best {
+					adopt = b
+				} else {
+					res.SpecWasted += int64(len(b.moves))
+					losers++
+				}
+				delete(branches, par)
+			}
+			if losers > 0 {
+				specCancel(step+1, best)
+			}
+		}
 		st.Play(moves[best])
 		c.Work(1)
+		curPar = best
 		res.Steps++
+		stepD := c.Now() - stepStart
+		res.StepLatency = append(res.StepLatency, stepD)
+		p.coll.addStepLatency(stepD)
 		if len(res.Sequence) == 0 {
 			res.FirstMove = moves[best]
 			if cfg.FirstMoveOnly {
@@ -1462,6 +1721,29 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 				Sequence:  append([]game.Move(nil), res.Sequence...),
 				Elapsed:   c.Now() - start,
 			})
+		}
+	}
+
+	// Whatever speculation is still pending — the last gather's branches
+	// (the game ended, their positions will never be played) or an adopted
+	// branch a cancellation cut off — is moot: charge it and tell the
+	// scheduler and medians to drop and abort it. The slot never waits for
+	// speculative scores, so nothing here blocks; strays are shed by the
+	// next job's epoch guard.
+	if k > 0 {
+		stale := 0
+		for par, b := range branches {
+			res.SpecWasted += int64(len(b.moves))
+			delete(branches, par)
+			stale++
+		}
+		if adopt != nil {
+			res.SpecWasted += int64(len(adopt.moves))
+			adopt = nil
+			stale++
+		}
+		if stale > 0 {
+			specCancel(-1, -1)
 		}
 	}
 
@@ -1502,6 +1784,11 @@ func (p *Pool) playJob(c mpi.Comm, slot int, js jobStart, pool *core.StatePool, 
 func (p *Pool) runScheduler(c mpi.Comm) {
 	queues := make([][]svcCandidate, p.cfg.Slots)
 	granted := make(map[mpi.Rank][]svcCandidate) // outstanding grants per median
+	// cancels holds the latest speculation cancel per slot: applied to the
+	// queue when it arrives, and again to a dead worker's grants when they
+	// are re-queued (a cancelled speculative grant that died with its
+	// worker must not be resurrected — nobody is waiting for its score).
+	cancels := make([]svcSpecCancel, p.cfg.Slots)
 	var waiting []mpi.Rank
 	next := 0
 	total := 0
@@ -1584,9 +1871,14 @@ func (p *Pool) runScheduler(c mpi.Comm) {
 				}
 				delete(granted, m)
 				// Head insertion, oldest grant first, so re-granted work
-				// runs before anything queued behind it.
+				// runs before anything queued behind it. Grants covered by
+				// their slot's latest speculation cancel die with the
+				// worker instead: their branch lost, no gather counts them.
 				for i := len(g) - 1; i >= 0; i-- {
 					cand := g[i]
+					if specCovered(cancels[cand.P.Slot], cand) {
+						continue
+					}
 					queues[cand.P.Slot] = append([]svcCandidate{cand}, queues[cand.P.Slot]...)
 					total++
 					regrants[jobKey{cand.P.Root, cand.P.Epoch}]++
@@ -1638,22 +1930,53 @@ func (p *Pool) runScheduler(c mpi.Comm) {
 			}
 			p.coll.sampleDepth(total)
 		case offAbandon:
-			epoch, ok := msg.Payload.(uint64)
+			ab, ok := msg.Payload.(svcAbandon)
 			if !ok {
 				continue
 			}
-			dropped := 0
+			// Drop everything the epoch still has queued, but ack only the
+			// gathered step's count: speculative next-step candidates never
+			// entered the slot's drain arithmetic.
+			dropped, removed := 0, 0
 			kept := queues[slot][:0]
 			for _, cd := range queues[slot] {
-				if cd.P.Epoch == epoch {
-					dropped++
-				} else {
-					kept = append(kept, cd)
+				if cd.P.Epoch == ab.Epoch {
+					removed++
+					if cd.Step == ab.Step {
+						dropped++
+					}
+					continue
 				}
+				kept = append(kept, cd)
 			}
 			queues[slot] = kept
-			total -= dropped
-			c.Send(mpi.Rank(slot), tagAbandonAck, svcAbandonAck{Epoch: epoch, Dropped: dropped})
+			total -= removed
+			c.Send(mpi.Rank(slot), tagAbandonAck, svcAbandonAck{Epoch: ab.Epoch, Dropped: dropped})
+		case offSpecCancel:
+			cn, ok := msg.Payload.(svcSpecCancel)
+			if !ok || cn.Slot != slot {
+				continue
+			}
+			cancels[slot] = cn
+			removed := 0
+			kept := queues[slot][:0]
+			for _, cd := range queues[slot] {
+				if specCovered(cn, cd) {
+					removed++
+					continue
+				}
+				kept = append(kept, cd)
+			}
+			queues[slot] = kept
+			total -= removed
+			p.coll.sampleDepth(total)
+			// Re-broadcast so every median can skip covered buffered grants
+			// and abort covered games mid-play. Sent to all medians: a lost
+			// worker's copy queues for its replacement, an abandoned one's
+			// is dropped by the transport. No ack — see svcSpecCancel.
+			for _, m := range p.world.medians {
+				c.Send(m, tagSpecCancel, cn)
+			}
 		}
 	}
 }
@@ -1680,6 +2003,20 @@ type medianComm struct {
 	// reqs counts our own unanswered client requests.
 	reqs int
 	shut bool // shutdown broadcast seen; unwind without new work
+	// cancels holds the latest speculation cancel per slot (nil until the
+	// first async job cancels a branch — lockstep pools never pay for the
+	// map). Consulted before playing a buffered grant and after every recv
+	// during a game, so a losing branch's grant is skipped or its game
+	// aborted instead of played to completion for a score nobody wants.
+	cancels map[int]svcSpecCancel
+}
+
+// covered reports whether cand is mooted by its slot's latest cancel.
+func (mc *medianComm) covered(cand svcCandidate) bool {
+	if mc.cancels == nil {
+		return false
+	}
+	return specCovered(mc.cancels[cand.P.Slot], cand)
 }
 
 // recv is the single blocking wait: it meters idle time and handles the
@@ -1716,6 +2053,15 @@ func (mc *medianComm) recv() mpi.Msg {
 	case tagRanksRevived:
 		if lost, ok := msg.Payload.(svcRanksLost); ok && msg.From == mpi.External {
 			mc.w.revive(lost.Lo, lost.Hi)
+		}
+	case tagSpecCancel:
+		// Only the scheduler cancels speculation; latest per slot wins (a
+		// new cancel supersedes the old one's step).
+		if cn, ok := msg.Payload.(svcSpecCancel); ok && msg.From == mc.w.sched {
+			if mc.cancels == nil {
+				mc.cancels = make(map[int]svcSpecCancel)
+			}
+			mc.cancels[cn.Slot] = cn
 		}
 	}
 	return msg
@@ -1774,9 +2120,17 @@ func runPoolMedian(c mpi.Comm, w *poolWorld, idle func(time.Duration)) {
 		// Sent at play start, never at frame arrival — the scheduler's
 		// outstanding-grant retirement depends on that ordering.
 		c.Send(w.sched, tagWorkReq, nil)
+		if mc.covered(cand) {
+			// A cancelled speculative grant: skip it without playing or
+			// scoring. The work request above still retires the
+			// scheduler's grant bookkeeping, exactly as if it were played.
+			continue
+		}
 
 		st := cand.State
 		rollouts, units := int64(0), int64(0)
+		aborted := false
+	game:
 		for t := 0; ; t++ {
 			moves = st.LegalMoves(moves[:0])
 			if len(moves) == 0 {
@@ -1799,7 +2153,7 @@ func runPoolMedian(c mpi.Comm, w *poolWorld, idle func(time.Duration)) {
 				scored = append(scored, false)
 				key := rng.Fold(uint64(cand.Step), uint64(cand.Cand), uint64(t), uint64(j))
 				keys = append(keys, key)
-				expect = append(expect, resultKey(cand.P, key))
+				expect = append(expect, resultKey(cand.P, cand.Par, key))
 				owner = append(owner, -1)
 				sendq = append(sendq, j)
 			}
@@ -1821,7 +2175,7 @@ func runPoolMedian(c mpi.Comm, w *poolWorld, idle func(time.Duration)) {
 					j := sendq[0]
 					sendq = sendq[:copy(sendq, sendq[1:])]
 					owner[j] = client
-					c.Send(client, tagJob, svcJob{Key: keys[j], Seq: j, P: cand.P, State: shipped[j]})
+					c.Send(client, tagJob, svcJob{Key: keys[j], Seq: j, Par: cand.Par, P: cand.P, State: shipped[j]})
 				}
 				if len(sendq) > 0 && mc.reqs == 0 {
 					c.Send(w.disp, tagRequest, shipped[sendq[0]].MovesPlayed())
@@ -1831,6 +2185,16 @@ func runPoolMedian(c mpi.Comm, w *poolWorld, idle func(time.Duration)) {
 				msg := mc.recv()
 				if mc.shut {
 					return
+				}
+				if mc.covered(cand) {
+					// The branch this game belongs to just lost its argmax
+					// (or its job ended): abort without scoring. In-flight
+					// rollouts on clients resolve harmlessly — their results
+					// are shed by the next game's key guard — and unscored
+					// shipped states are left to the garbage collector (a
+					// client may still be reading them).
+					aborted = true
+					break game
 				}
 				switch msg.Tag {
 				case tagResult:
@@ -1867,9 +2231,12 @@ func runPoolMedian(c mpi.Comm, w *poolWorld, idle func(time.Duration)) {
 			st.Play(moves[argmax(scores)])
 			c.Work(1)
 		}
+		if aborted {
+			continue
+		}
 		c.Send(cand.P.Root, tagStepScore, svcScore{
-			Epoch: cand.P.Epoch, Step: cand.Step, Cand: cand.Cand, Score: st.Score(),
-			Rollouts: rollouts, Units: units,
+			Epoch: cand.P.Epoch, Step: cand.Step, Cand: cand.Cand, Par: cand.Par,
+			Score: st.Score(), Rollouts: rollouts, Units: units,
 		})
 	}
 }
@@ -1946,7 +2313,7 @@ func runPoolClient(c mpi.Comm, w *poolWorld, batch *evalBatcher, tc *cache.Cache
 
 			c.Send(w.disp, tagFree, nil)
 			c.Send(median, tagResult, svcResult{
-				Key: resultKey(jb.P, jb.Key), Seq: jb.Seq, Score: res.Score, Units: meter.units,
+				Key: resultKey(jb.P, jb.Par, jb.Key), Seq: jb.Seq, Score: res.Score, Units: meter.units,
 			})
 		}
 	}

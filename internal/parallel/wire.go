@@ -69,6 +69,9 @@ const (
 	// evaluator in later is a new dial target, not another protocol break.
 	KindEvalBatchRequest codec.Kind = 64 + iota // batcher -> evaluation server
 	KindEvalBatchReply                          // evaluation server -> batcher
+	// kindSvcSpecCancel is appended after the exported kinds so their
+	// values stay stable across the async-scheduler protocol change.
+	kindSvcSpecCancel // pool scheduler -> median: speculative branch cancelled
 )
 
 // The worker handshake blob (appendWorkerBlob) is NOT a frame payload: it
@@ -80,6 +83,7 @@ func init() {
 		func(buf []byte, v candidate) ([]byte, error) {
 			buf = binary.AppendUvarint(buf, uint64(v.Step))
 			buf = binary.AppendUvarint(buf, uint64(v.Cand))
+			buf = appendPar(buf, v.Par)
 			return codec.EncodeState(buf, v.State)
 		},
 		func(data []byte) (candidate, error) {
@@ -92,11 +96,15 @@ func init() {
 			if err != nil {
 				return c, err
 			}
+			par, data, err := readPar(data)
+			if err != nil {
+				return c, err
+			}
 			st, err := codec.DecodeState(data)
 			if err != nil {
 				return c, err
 			}
-			return candidate{Step: int(step), Cand: int(cand), State: st}, nil
+			return candidate{Step: int(step), Cand: int(cand), Par: par, State: st}, nil
 		})
 
 	codec.Register(kindJob,
@@ -140,24 +148,36 @@ func init() {
 
 	codec.Register(kindStepScore,
 		func(buf []byte, v stepScore) ([]byte, error) {
+			buf = binary.AppendUvarint(buf, uint64(v.Step))
 			buf = binary.AppendUvarint(buf, uint64(v.Cand))
+			buf = appendPar(buf, v.Par)
 			return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Score)), nil
 		},
 		func(data []byte) (stepScore, error) {
+			step, data, err := codec.ReadUvarint(data)
+			if err != nil {
+				return stepScore{}, err
+			}
 			cand, data, err := codec.ReadUvarint(data)
+			if err != nil {
+				return stepScore{}, err
+			}
+			par, data, err := readPar(data)
 			if err != nil {
 				return stepScore{}, err
 			}
 			if len(data) != 8 {
 				return stepScore{}, fmt.Errorf("%w: stepScore", codec.ErrTruncated)
 			}
-			return stepScore{Cand: int(cand), Score: math.Float64frombits(binary.LittleEndian.Uint64(data))}, nil
+			return stepScore{Step: int(step), Cand: int(cand), Par: par,
+				Score: math.Float64frombits(binary.LittleEndian.Uint64(data))}, nil
 		})
 
 	codec.Register(kindSvcCandidate,
 		func(buf []byte, v svcCandidate) ([]byte, error) {
 			buf = binary.AppendUvarint(buf, uint64(v.Step))
 			buf = binary.AppendUvarint(buf, uint64(v.Cand))
+			buf = appendPar(buf, v.Par)
 			buf = appendJobParams(buf, v.P)
 			return codec.EncodeState(buf, v.State)
 		},
@@ -171,6 +191,10 @@ func init() {
 			if err != nil {
 				return c, err
 			}
+			par, data, err := readPar(data)
+			if err != nil {
+				return c, err
+			}
 			p, data, err := readJobParams(data)
 			if err != nil {
 				return c, err
@@ -179,13 +203,14 @@ func init() {
 			if err != nil {
 				return c, err
 			}
-			return svcCandidate{Step: int(step), Cand: int(cand), P: p, State: st}, nil
+			return svcCandidate{Step: int(step), Cand: int(cand), Par: par, P: p, State: st}, nil
 		})
 
 	codec.Register(kindSvcJob,
 		func(buf []byte, v svcJob) ([]byte, error) {
 			buf = binary.LittleEndian.AppendUint64(buf, v.Key)
 			buf = binary.AppendUvarint(buf, uint64(v.Seq))
+			buf = appendPar(buf, v.Par)
 			buf = appendJobParams(buf, v.P)
 			return codec.EncodeState(buf, v.State)
 		},
@@ -199,6 +224,10 @@ func init() {
 			if err != nil {
 				return j, err
 			}
+			par, data, err := readPar(data)
+			if err != nil {
+				return j, err
+			}
 			p, data, err := readJobParams(data)
 			if err != nil {
 				return j, err
@@ -207,7 +236,7 @@ func init() {
 			if err != nil {
 				return j, err
 			}
-			return svcJob{Key: key, Seq: int(seq), P: p, State: st}, nil
+			return svcJob{Key: key, Seq: int(seq), Par: par, P: p, State: st}, nil
 		})
 
 	codec.Register(kindSvcScore,
@@ -215,6 +244,7 @@ func init() {
 			buf = binary.LittleEndian.AppendUint64(buf, v.Epoch)
 			buf = binary.AppendUvarint(buf, uint64(v.Step))
 			buf = binary.AppendUvarint(buf, uint64(v.Cand))
+			buf = appendPar(buf, v.Par)
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Score))
 			buf = binary.AppendUvarint(buf, uint64(v.Rollouts))
 			return binary.AppendUvarint(buf, uint64(v.Units)), nil
@@ -235,6 +265,11 @@ func init() {
 				return s, err
 			}
 			s.Cand = int(cand)
+			par, data, err := readPar(data)
+			if err != nil {
+				return s, err
+			}
+			s.Par = par
 			if len(data) < 8 {
 				return s, fmt.Errorf("%w: svcScore score", codec.ErrTruncated)
 			}
@@ -430,6 +465,42 @@ func init() {
 			return r, nil
 		})
 
+	codec.Register(kindSvcSpecCancel,
+		func(buf []byte, v svcSpecCancel) ([]byte, error) {
+			buf = binary.AppendUvarint(buf, uint64(v.Slot))
+			buf = binary.LittleEndian.AppendUint64(buf, v.Epoch)
+			// Step and Keep use the Par shift: −1 is a legal value for both
+			// (−1 step = the whole epoch, −1 keep = no surviving branch).
+			buf = appendPar(buf, v.Step)
+			return appendPar(buf, v.Keep), nil
+		},
+		func(data []byte) (svcSpecCancel, error) {
+			var cn svcSpecCancel
+			slot, data, err := codec.ReadUvarint(data)
+			if err != nil {
+				return cn, err
+			}
+			cn.Slot = int(slot)
+			if len(data) < 8 {
+				return cn, fmt.Errorf("%w: spec cancel epoch", codec.ErrTruncated)
+			}
+			cn.Epoch = binary.LittleEndian.Uint64(data)
+			step, data, err := readPar(data[8:])
+			if err != nil {
+				return cn, err
+			}
+			cn.Step = step
+			keep, data, err := readPar(data)
+			if err != nil {
+				return cn, err
+			}
+			cn.Keep = keep
+			if len(data) != 0 {
+				return cn, fmt.Errorf("%w: spec cancel trailing bytes", codec.ErrMalformed)
+			}
+			return cn, nil
+		})
+
 	codec.Register(kindSvcAbandonAck,
 		func(buf []byte, v svcAbandonAck) ([]byte, error) {
 			buf = binary.LittleEndian.AppendUint64(buf, v.Epoch)
@@ -459,6 +530,11 @@ func init() {
 // nested search (jobParams decode from remote-controlled frames).
 const wireMaxLevel = 64
 
+// wireMaxSpeculate caps the speculation width a decoded job may carry: a
+// slot can never usefully speculate wider than its median fleet, and a
+// corrupt frame must not make the root allocate huge branch tables.
+const wireMaxSpeculate = 1 << 16
+
 // wireMaxEvalName caps the evaluator-name bytes a decoded job or batch
 // frame may carry: names are short registry keys, and the cap bounds the
 // allocation a remote-controlled length prefix can demand.
@@ -486,6 +562,23 @@ func readEvalName(data []byte) (string, []byte, error) {
 	return string(data[:n]), data[n:], nil
 }
 
+// appendPar encodes a branch discriminator (or any −1-capable small
+// index, like svcSpecCancel's Step/Keep) as uvarint(v+1), so −1 — the
+// "no parent" sentinel — costs one byte and never goes negative on the
+// wire.
+func appendPar(buf []byte, v int) []byte {
+	return binary.AppendUvarint(buf, uint64(v+1))
+}
+
+// readPar decodes appendPar's encoding.
+func readPar(data []byte) (int, []byte, error) {
+	v, data, err := codec.ReadUvarint(data)
+	if err != nil {
+		return 0, nil, err
+	}
+	return int(v) - 1, data, nil
+}
+
 // appendJobParams encodes the per-job knobs that ride every candidate and
 // client job.
 func appendJobParams(buf []byte, p jobParams) []byte {
@@ -505,7 +598,10 @@ func appendJobParams(buf []byte, p jobParams) []byte {
 	if p.Cache {
 		flags |= 1
 	}
-	return append(buf, flags)
+	buf = append(buf, flags)
+	// Speculate is normalized before shipping (playJob clamps it to ≥0),
+	// so a plain uvarint suffices.
+	return binary.AppendUvarint(buf, uint64(p.Speculate))
 }
 
 // readJobParams decodes appendJobParams' encoding and returns the
@@ -554,17 +650,24 @@ func readJobParams(data []byte) (jobParams, []byte, error) {
 	if flags > 1 {
 		return p, nil, fmt.Errorf("%w: job params flags %#x", codec.ErrMalformed, flags)
 	}
-	data = data[1:]
+	spec, data, err := codec.ReadUvarint(data[1:])
+	if err != nil {
+		return p, nil, err
+	}
+	if spec > wireMaxSpeculate {
+		return p, nil, fmt.Errorf("%w: job speculate %d exceeds limit %d", codec.ErrMalformed, spec, wireMaxSpeculate)
+	}
 	return jobParams{
-		Slot:     int(slot),
-		Epoch:    epoch,
-		Level:    int(level),
-		Seed:     seed,
-		Memorize: memorize == 1,
-		JobScale: int64(scale),
-		Root:     mpi.Rank(root),
-		Eval:     eval,
-		Cache:    flags&1 != 0,
+		Slot:      int(slot),
+		Epoch:     epoch,
+		Level:     int(level),
+		Seed:      seed,
+		Memorize:  memorize == 1,
+		JobScale:  int64(scale),
+		Root:      mpi.Rank(root),
+		Eval:      eval,
+		Cache:     flags&1 != 0,
+		Speculate: int(spec),
 	}, data, nil
 }
 
@@ -572,8 +675,9 @@ func readJobParams(data []byte) (jobParams, []byte, error) {
 // frame version: the blob is interpreted by parallel, not by the codec.
 // Version history: 1 carried the pool shape (slots/medians/clients/algo);
 // 2 added the evaluation batch shape (EvalBatch, EvalFlush nanoseconds);
-// 3 added the transposition-cache shape (CacheMB, CacheVerify flag).
-const workerBlobVersion = 3
+// 3 added the transposition-cache shape (CacheMB, CacheVerify flag);
+// 4 added the async-root speculation default (Speculate).
+const workerBlobVersion = 4
 
 // appendWorkerBlob encodes the PoolConfig a pnmcs-worker needs to derive
 // the identical poolWorld the coordinator built — and, since v2/v3, to
@@ -592,7 +696,10 @@ func appendWorkerBlob(buf []byte, cfg PoolConfig) []byte {
 	if cfg.CacheVerify {
 		verify = 1
 	}
-	return binary.AppendUvarint(buf, verify)
+	buf = binary.AppendUvarint(buf, verify)
+	// v4: the pool-wide speculation default. Negative configs mean "off"
+	// everywhere they are consulted, so they ship as 0.
+	return binary.AppendUvarint(buf, uint64(max(0, cfg.Speculate)))
 }
 
 // decodeWorkerBlob reverses appendWorkerBlob.
@@ -633,7 +740,7 @@ func decodeWorkerBlob(data []byte) (PoolConfig, error) {
 		return cfg, fmt.Errorf("parallel: worker blob: %w", err)
 	}
 	cfg.CacheMB = int(cacheMB)
-	verify, rest, err := codec.ReadUvarint(data)
+	verify, data, err := codec.ReadUvarint(data)
 	if err != nil {
 		return cfg, fmt.Errorf("parallel: worker blob: %w", err)
 	}
@@ -641,6 +748,14 @@ func decodeWorkerBlob(data []byte) (PoolConfig, error) {
 		return cfg, fmt.Errorf("parallel: worker blob: cache-verify flag %d", verify)
 	}
 	cfg.CacheVerify = verify == 1
+	spec, rest, err := codec.ReadUvarint(data)
+	if err != nil {
+		return cfg, fmt.Errorf("parallel: worker blob: %w", err)
+	}
+	if spec > wireMaxSpeculate {
+		return cfg, fmt.Errorf("parallel: worker blob: speculate %d exceeds limit %d", spec, wireMaxSpeculate)
+	}
+	cfg.Speculate = int(spec)
 	if len(rest) != 0 {
 		// Trailing bytes mean version skew (a field added without bumping
 		// workerBlobVersion): fail loudly — a misparsed blob would

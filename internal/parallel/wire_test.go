@@ -38,18 +38,26 @@ func nonneg(v int) int {
 	return v
 }
 
+// par maps arbitrary quick-generated ints onto the branch-discriminator
+// range [-1, ∞): -1 is the no-parent sentinel of step 0 and the
+// synchronous schedulers, everything else a move index.
+func par(v int) int {
+	return nonneg(v) - 1
+}
+
 func quickParams(slot int, epoch uint64, level int, seed uint64, memorize bool, scale int64, root int) jobParams {
 	if scale < 0 {
 		scale = -(scale + 1)
 	}
 	return jobParams{
-		Slot:     nonneg(slot),
-		Epoch:    epoch,
-		Level:    nonneg(level) % (wireMaxLevel + 1), // decoders reject levels beyond the cap
-		Seed:     seed,
-		Memorize: memorize,
-		JobScale: scale,
-		Root:     mpi.Rank(nonneg(root)),
+		Slot:      nonneg(slot),
+		Epoch:     epoch,
+		Level:     nonneg(level) % (wireMaxLevel + 1), // decoders reject levels beyond the cap
+		Seed:      seed,
+		Memorize:  memorize,
+		JobScale:  scale,
+		Root:      mpi.Rank(nonneg(root)),
+		Speculate: nonneg(slot) % (wireMaxSpeculate + 1), // decoders reject widths beyond the cap
 	}
 }
 
@@ -61,20 +69,25 @@ func TestScalarPayloadRoundTrips(t *testing.T) {
 			got := payloadTrip(t, v).(jobScore)
 			return got.Seq == v.Seq && math.Float64bits(got.Score) == math.Float64bits(v.Score)
 		},
-		"stepScore": func(cand int, score float64) bool {
-			v := stepScore{Cand: nonneg(cand), Score: score}
+		"stepScore": func(step, cand, p int, score float64) bool {
+			v := stepScore{Step: nonneg(step), Cand: nonneg(cand), Par: par(p), Score: score}
 			got := payloadTrip(t, v).(stepScore)
-			return got.Cand == v.Cand && math.Float64bits(got.Score) == math.Float64bits(v.Score)
+			return got.Step == v.Step && got.Cand == v.Cand && got.Par == v.Par &&
+				math.Float64bits(got.Score) == math.Float64bits(v.Score)
 		},
-		"svcScore": func(epoch uint64, step, cand int, score float64, rollouts, units int64) bool {
+		"svcScore": func(epoch uint64, step, cand, p int, score float64, rollouts, units int64) bool {
 			v := svcScore{
-				Epoch: epoch, Step: nonneg(step), Cand: nonneg(cand), Score: score,
+				Epoch: epoch, Step: nonneg(step), Cand: nonneg(cand), Par: par(p), Score: score,
 				Rollouts: int64(nonneg(int(rollouts % (1 << 40)))), Units: int64(nonneg(int(units % (1 << 40)))),
 			}
 			got := payloadTrip(t, v).(svcScore)
 			return got.Epoch == v.Epoch && got.Step == v.Step && got.Cand == v.Cand &&
-				got.Rollouts == v.Rollouts && got.Units == v.Units &&
+				got.Par == v.Par && got.Rollouts == v.Rollouts && got.Units == v.Units &&
 				math.Float64bits(got.Score) == math.Float64bits(v.Score)
+		},
+		"svcSpecCancel": func(slot int, epoch uint64, step, keep int) bool {
+			v := svcSpecCancel{Slot: nonneg(slot), Epoch: epoch, Step: par(step), Keep: par(keep)}
+			return payloadTrip(t, v).(svcSpecCancel) == v
 		},
 		"svcResult": func(key uint64, seq int, score float64, units int64) bool {
 			v := svcResult{Key: key, Seq: nonneg(seq), Score: score, Units: int64(nonneg(int(units % (1 << 40))))}
@@ -111,9 +124,9 @@ func TestStateCarryingPayloadRoundTrips(t *testing.T) {
 	st.Play(1)
 	st.Play(2)
 
-	cand := candidate{Step: 4, Cand: 2, State: st}
+	cand := candidate{Step: 4, Cand: 2, Par: 1, State: st}
 	got := payloadTrip(t, cand).(candidate)
-	if got.Step != cand.Step || got.Cand != cand.Cand {
+	if got.Step != cand.Step || got.Cand != cand.Cand || got.Par != cand.Par {
 		t.Fatalf("candidate coordinates: %+v", got)
 	}
 	if got.State.MovesPlayed() != 2 || got.State.Score() != st.Score() {
@@ -126,26 +139,26 @@ func TestStateCarryingPayloadRoundTrips(t *testing.T) {
 		t.Fatalf("job: %+v", gj)
 	}
 
-	if err := quick.Check(func(step, candIdx int, slot int, epoch uint64, level int, seed uint64, mem bool, scale int64, root int) bool {
+	if err := quick.Check(func(step, candIdx, p int, slot int, epoch uint64, level int, seed uint64, mem bool, scale int64, root int) bool {
 		v := svcCandidate{
-			Step: nonneg(step), Cand: nonneg(candIdx),
+			Step: nonneg(step), Cand: nonneg(candIdx), Par: par(p),
 			P:     quickParams(slot, epoch, level, seed, mem, scale, root),
 			State: st,
 		}
 		g := payloadTrip(t, v).(svcCandidate)
-		return g.Step == v.Step && g.Cand == v.Cand && g.P == v.P && g.State.MovesPlayed() == 2
+		return g.Step == v.Step && g.Cand == v.Cand && g.Par == v.Par && g.P == v.P && g.State.MovesPlayed() == 2
 	}, &quick.Config{MaxCount: 100}); err != nil {
 		t.Errorf("svcCandidate: %v", err)
 	}
 
-	if err := quick.Check(func(key uint64, seq int, slot int, epoch uint64, level int, seed uint64, mem bool, scale int64, root int) bool {
+	if err := quick.Check(func(key uint64, seq, p int, slot int, epoch uint64, level int, seed uint64, mem bool, scale int64, root int) bool {
 		v := svcJob{
-			Key: key, Seq: nonneg(seq),
+			Key: key, Seq: nonneg(seq), Par: par(p),
 			P:     quickParams(slot, epoch, level, seed, mem, scale, root),
 			State: st,
 		}
 		g := payloadTrip(t, v).(svcJob)
-		return g.Key == v.Key && g.Seq == v.Seq && g.P == v.P && g.State.MovesPlayed() == 2
+		return g.Key == v.Key && g.Seq == v.Seq && g.Par == v.Par && g.P == v.P && g.State.MovesPlayed() == 2
 	}, &quick.Config{MaxCount: 100}); err != nil {
 		t.Errorf("svcJob: %v", err)
 	}
@@ -214,11 +227,12 @@ func TestEvalNameLimits(t *testing.T) {
 }
 
 // TestJobParamsEvalRoundTrip pins the evaluator name riding every pool
-// candidate and client job (the codec v3 jobParams extension).
+// candidate and client job (the codec v3 jobParams extension) and the
+// speculation width behind it (the codec v4 extension).
 func TestJobParamsEvalRoundTrip(t *testing.T) {
 	p := jobParams{
 		Slot: 2, Epoch: 9, Level: 3, Seed: 41, Memorize: true,
-		JobScale: 1 << 20, Root: mpi.Rank(1), Eval: "heuristic",
+		JobScale: 1 << 20, Root: mpi.Rank(1), Eval: "heuristic", Speculate: 4,
 	}
 	got, rest, err := readJobParams(appendJobParams(nil, p))
 	if err != nil {
@@ -227,12 +241,18 @@ func TestJobParamsEvalRoundTrip(t *testing.T) {
 	if got != p || len(rest) != 0 {
 		t.Fatalf("job params round trip: %+v, %d rest", got, len(rest))
 	}
+	// A speculation width beyond the remote-controlled-size cap is
+	// malformed, not allocated for.
+	p.Speculate = wireMaxSpeculate + 1
+	if _, _, err := readJobParams(appendJobParams(nil, p)); err == nil {
+		t.Fatal("oversized speculation width accepted")
+	}
 }
 
 func TestWorkerBlobRoundTrip(t *testing.T) {
 	cfg := PoolConfig{
 		Slots: 3, Medians: 5, Clients: 9, Algo: LastMinute,
-		EvalBatch: 16, EvalFlush: 3 * time.Millisecond,
+		EvalBatch: 16, EvalFlush: 3 * time.Millisecond, Speculate: 2,
 	}
 	got, err := decodeWorkerBlob(appendWorkerBlob(nil, cfg))
 	if err != nil {
@@ -240,6 +260,18 @@ func TestWorkerBlobRoundTrip(t *testing.T) {
 	}
 	if got != cfg {
 		t.Fatalf("blob round trip: %+v != %+v", got, cfg)
+	}
+
+	// A negative pool-wide speculation width means "off" everywhere it is
+	// consulted; the blob clamps it to 0 so the worker sees the same thing.
+	neg := cfg
+	neg.Speculate = -3
+	got, err = decodeWorkerBlob(appendWorkerBlob(nil, neg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Speculate != 0 {
+		t.Fatalf("negative speculation width round-tripped as %d, want clamp to 0", got.Speculate)
 	}
 
 	if _, err := decodeWorkerBlob(nil); err == nil {

@@ -125,6 +125,14 @@ type Config struct {
 	// jobs that opt in via JobSpec.Cache. Default 64 (MB).
 	CacheMB     int
 	CacheVerify bool
+
+	// Speculate is the pool-wide default speculation width for the async
+	// pipelined root (parallel.PoolConfig.Speculate): jobs whose spec
+	// leaves JobSpec.Speculate zero pipeline step boundaries by
+	// speculatively dispatching the next step's candidates for the top
+	// Speculate leaders. 0 (the default) keeps the synchronous pull root;
+	// results are bit-identical either way.
+	Speculate int
 }
 
 // RetryPolicy bounds the per-job retry loop.
@@ -323,6 +331,7 @@ func New(cfg Config) (*Manager, error) {
 		EvalFlush:   cfg.EvalFlush,
 		CacheMB:     cfg.CacheMB,
 		CacheVerify: cfg.CacheVerify,
+		Speculate:   cfg.Speculate,
 	}
 	var pool *parallel.Pool
 	var err error

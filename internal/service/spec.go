@@ -59,6 +59,15 @@ type JobSpec struct {
 	// has a default. Unknown names are rejected at submission.
 	Evaluator string `json:"evaluator,omitempty"`
 
+	// Speculate is the async pipelined-root width for this job
+	// (parallel.Config.Speculate): positive speculatively dispatches the
+	// next root step's candidates for that many partial-score leaders,
+	// pipelining step boundaries; negative forces the synchronous pull
+	// root even when the service sets a pool-wide default
+	// (Config.Speculate); zero inherits that default. Results are
+	// bit-identical at every setting.
+	Speculate int `json:"speculate,omitempty"`
+
 	// Cache consults the pool's shared transposition cache for this job's
 	// client rollouts (parallel.Config.Cache). Cached jobs draw their
 	// sub-search randomness from position-derived streams, so the result
@@ -186,5 +195,6 @@ func (s JobSpec) Config() (parallel.Config, error) {
 		StopAfter:     n.Deadline,
 		Evaluator:     eval,
 		Cache:         n.Cache,
+		Speculate:     n.Speculate,
 	}, nil
 }
