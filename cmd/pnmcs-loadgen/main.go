@@ -1,0 +1,517 @@
+// Command pnmcs-loadgen drives a running pnmcsd with an open-loop job
+// stream and reports what the service plane did under that load: the
+// submit-to-terminal latency distribution (p50/p90/p99/max), the shed
+// rates of both admission layers (503 saturation, 429 tenant quota),
+// and the per-pool utilization sampled from /v1/pools while the storm
+// ran.
+//
+// Open loop means arrivals follow the target rate regardless of how the
+// service is coping — the generator never slows down to flatter the
+// daemon, so saturation behaviour (shedding, queue depth, spillover) is
+// actually exercised rather than hidden by a polite closed loop.
+//
+// The generator is also the routing-equivalence harness of the sharded
+// plane: every -dup-every'th spec is submitted twice with the same seed,
+// and the two results — typically placed on different pools — must be
+// bit-identical (score, steps, rollouts, work units, sequence). Any
+// divergence is a correctness failure: routing must be placement, never
+// semantics. The process exits non-zero on divergence or failed jobs.
+//
+// Usage against a local daemon:
+//
+//	pnmcsd -addr :8723 -pools 2 -slots 2 &
+//	pnmcs-loadgen -addr http://127.0.0.1:8723 -rate 40 -duration 30s -out LOADGEN_2026-08-08.json
+//
+// The -out artifact (schema pnmcs-loadgen/v1) is the latency/shed trend
+// committed alongside BENCH_*.json; CI's scale-smoke job regenerates it
+// on every push.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8723", "base URL of the pnmcsd under test")
+	rate := flag.Float64("rate", 40, "target arrival rate, jobs/second (open loop)")
+	duration := flag.Duration("duration", 30*time.Second, "how long to generate arrivals")
+	tenants := flag.Int("tenants", 4, "spread submissions across this many tenant labels")
+	dupEvery := flag.Int("dup-every", 8, "submit every Nth spec twice (same seed) and require bit-identical results; 0 disables")
+	seed := flag.Uint64("seed", 1, "seed of the spec stream (the run is reproducible per seed)")
+	jobWait := flag.Duration("job-wait", 2*time.Minute, "give up on one job's event stream after this long")
+	sample := flag.Duration("sample", 500*time.Millisecond, "/v1/pools utilization sampling period")
+	minEq := flag.Int("min-eq", 0, "fail unless at least this many twin pairs were equivalence-checked (CI guard against a vacuous run)")
+	out := flag.String("out", "", "write the pnmcs-loadgen/v1 trend JSON here (default stdout summary only)")
+	flag.Parse()
+	if *rate <= 0 || *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -rate and -duration must be positive")
+		os.Exit(2)
+	}
+
+	g := &generator{
+		base:    strings.TrimRight(*addr, "/"),
+		client:  &http.Client{Timeout: *jobWait},
+		rng:     rng.New(*seed),
+		wait:    *jobWait,
+		pending: make(map[string]jobResult),
+	}
+	if err := g.ping(); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: daemon not reachable: %v\n", err)
+		os.Exit(2)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		g.samplePools(ctx, *sample)
+	}()
+
+	interval := time.Duration(float64(time.Second) / *rate)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	ticker := time.NewTicker(interval)
+	var wg sync.WaitGroup
+	n := 0
+	for now := start; now.Before(deadline); now = <-ticker.C {
+		spec := g.nextSpec(n, *tenants)
+		dup := *dupEvery > 0 && n%*dupEvery == *dupEvery-1
+		runs := 1
+		if dup {
+			runs = 2
+		}
+		for r := 0; r < runs; r++ {
+			wg.Add(1)
+			go func(spec map[string]any, dupKey string) {
+				defer wg.Done()
+				g.runJob(spec, dupKey)
+			}(spec, dupKeyOf(spec, dup))
+		}
+		n++
+	}
+	ticker.Stop()
+	wg.Wait()
+	cancel()
+	<-samplerDone
+	elapsed := time.Since(start)
+
+	rep := g.report(*rate, elapsed)
+	text := rep.summary()
+	fmt.Println(text)
+	if *out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: write %s: %v\n", *out, err)
+			os.Exit(2)
+		}
+	}
+	if rep.Equivalence.Failures > 0 || rep.Jobs.Failed > 0 {
+		os.Exit(1)
+	}
+	if rep.Equivalence.Checked < *minEq {
+		fmt.Fprintf(os.Stderr, "loadgen: only %d twin pairs checked, need %d (-min-eq)\n", rep.Equivalence.Checked, *minEq)
+		os.Exit(1)
+	}
+}
+
+// jobResult is the slice of a final status the equivalence check
+// compares: every field a client could act on. Sequence stays raw JSON —
+// the generator does not need to understand moves to demand they match.
+type jobResult struct {
+	Score     float64         `json:"score"`
+	Steps     int             `json:"steps"`
+	Rollouts  int64           `json:"rollouts"`
+	WorkUnits int64           `json:"work_units"`
+	Sequence  json.RawMessage `json:"sequence"`
+}
+
+func (a jobResult) equal(b jobResult) bool {
+	return a.Score == b.Score && a.Steps == b.Steps &&
+		a.Rollouts == b.Rollouts && a.WorkUnits == b.WorkUnits &&
+		bytes.Equal(bytes.TrimSpace(a.Sequence), bytes.TrimSpace(b.Sequence))
+}
+
+type generator struct {
+	base   string
+	client *http.Client
+	wait   time.Duration
+
+	mu        sync.Mutex
+	rng       *rng.Rand
+	latencies []time.Duration
+	accepted  int
+	saturated int
+	quota     int
+	failed    []string // failure descriptions, first few reported
+	completed int
+	cancelled int
+
+	pending   map[string]jobResult // dup key → first result
+	eqChecked int
+	eqFailed  []string
+
+	utilSamples map[int][]float64 // pool → utilization series
+	poolsSeen   int
+}
+
+func (g *generator) ping() error {
+	resp, err := g.client.Get(g.base + "/healthz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %s", resp.Status)
+	}
+	return nil
+}
+
+// nextSpec draws the n-th job of the stream: mixed domains weighted
+// toward fast jobs (the storm is about the service plane, not about
+// deep searches), explicit seeds so duplicate submissions are possible,
+// tenant labels round-robin.
+func (g *generator) nextSpec(n, tenants int) map[string]any {
+	g.mu.Lock()
+	seed := 1 + g.rng.Uint64n(math.MaxUint64-1)
+	boardSeed := 1 + g.rng.Uint64n(1<<20)
+	g.mu.Unlock()
+	spec := map[string]any{
+		"level":    2,
+		"seed":     seed,
+		"memorize": true,
+		"tenant":   fmt.Sprintf("tenant-%d", n%max(1, tenants)),
+	}
+	switch n % 4 {
+	case 0, 1:
+		spec["domain"] = "sudoku"
+		spec["box"] = 2
+	case 2:
+		spec["domain"] = "samegame"
+		spec["width"], spec["height"], spec["colors"] = 5, 5, 3
+		spec["board_seed"] = boardSeed
+	case 3:
+		spec["domain"] = "morpion"
+		spec["variant"] = "4D"
+		spec["first_move_only"] = true
+	}
+	return spec
+}
+
+// dupKeyOf identifies a duplicated (spec, seed) pair; "" means the job
+// is not part of an equivalence pair.
+func dupKeyOf(spec map[string]any, dup bool) string {
+	if !dup {
+		return ""
+	}
+	blob, _ := json.Marshal(spec) //nolint:errcheck // spec is map[string]any of scalars
+	return string(blob)
+}
+
+// runJob submits one spec and follows its event stream to the terminal
+// status, accounting latency, sheds and equivalence.
+func (g *generator) runJob(spec map[string]any, dupKey string) {
+	body, _ := json.Marshal(spec) //nolint:errcheck // spec is map[string]any of scalars
+	t0 := time.Now()
+	resp, err := g.client.Post(g.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		g.fail("submit: " + err.Error())
+		return
+	}
+	blob, _ := io.ReadAll(resp.Body) //nolint:errcheck // status code drives the verdict
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+	case http.StatusServiceUnavailable:
+		g.mu.Lock()
+		g.saturated++
+		g.mu.Unlock()
+		return
+	case http.StatusTooManyRequests:
+		g.mu.Lock()
+		g.quota++
+		g.mu.Unlock()
+		return
+	default:
+		g.fail(fmt.Sprintf("submit: %s: %s", resp.Status, bytes.TrimSpace(blob)))
+		return
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(blob, &st); err != nil || st.ID == "" {
+		g.fail("submit response: " + string(blob))
+		return
+	}
+	g.mu.Lock()
+	g.accepted++
+	g.mu.Unlock()
+
+	final, state, err := g.follow(st.ID)
+	lat := time.Since(t0)
+	if err != nil {
+		g.fail(fmt.Sprintf("%s: %v", st.ID, err))
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.latencies = append(g.latencies, lat)
+	switch state {
+	case "done":
+		g.completed++
+	case "cancelled":
+		g.cancelled++
+		return
+	default:
+		if len(g.failed) < 16 {
+			g.failed = append(g.failed, fmt.Sprintf("%s ended %s", st.ID, state))
+		}
+		return
+	}
+	if dupKey == "" {
+		return
+	}
+	first, ok := g.pending[dupKey]
+	if !ok {
+		g.pending[dupKey] = final
+		return
+	}
+	delete(g.pending, dupKey)
+	g.eqChecked++
+	if !first.equal(final) {
+		g.eqFailed = append(g.eqFailed, fmt.Sprintf(
+			"%s: twin runs diverged: score %v/%v steps %d/%d rollouts %d/%d units %d/%d",
+			dupKey, first.Score, final.Score, first.Steps, final.Steps,
+			first.Rollouts, final.Rollouts, first.WorkUnits, final.WorkUnits))
+	}
+}
+
+// follow reads the job's ndjson event stream to its last line — the
+// guaranteed terminal snapshot.
+func (g *generator) follow(id string) (jobResult, string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.wait)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return jobResult{}, "", err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return jobResult{}, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return jobResult{}, "", fmt.Errorf("events: %s", resp.Status)
+	}
+	var last []byte
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return jobResult{}, "", fmt.Errorf("events: %w", err)
+		}
+		last = raw
+	}
+	if last == nil {
+		return jobResult{}, "", fmt.Errorf("empty event stream")
+	}
+	var fin struct {
+		jobResult
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(last, &fin); err != nil {
+		return jobResult{}, "", fmt.Errorf("terminal event: %w", err)
+	}
+	if fin.State == "failed" {
+		return fin.jobResult, fin.State, fmt.Errorf("job failed: %s", fin.Error)
+	}
+	return fin.jobResult, fin.State, nil
+}
+
+func (g *generator) fail(what string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.failed) < 16 {
+		g.failed = append(g.failed, what)
+	}
+}
+
+// samplePools polls /v1/pools for per-pool utilization until ctx ends.
+func (g *generator) samplePools(ctx context.Context, period time.Duration) {
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		resp, err := g.client.Get(g.base + "/v1/pools")
+		if err != nil {
+			continue
+		}
+		var rm struct {
+			PerPool []struct {
+				Pool        int     `json:"pool"`
+				Utilization float64 `json:"utilization"`
+			} `json:"pools"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&rm)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		g.mu.Lock()
+		if g.utilSamples == nil {
+			g.utilSamples = make(map[int][]float64)
+		}
+		g.poolsSeen = len(rm.PerPool)
+		for _, ps := range rm.PerPool {
+			g.utilSamples[ps.Pool] = append(g.utilSamples[ps.Pool], ps.Utilization)
+		}
+		g.mu.Unlock()
+	}
+}
+
+// Report is the pnmcs-loadgen/v1 trend artifact.
+type Report struct {
+	Schema    string  `json:"schema"`
+	Generated string  `json:"generated"`
+	Go        string  `json:"go"`
+	TargetQPS float64 `json:"target_qps"`
+	Elapsed   float64 `json:"elapsed_seconds"`
+
+	Jobs struct {
+		Submitted     int `json:"submitted"`
+		Accepted      int `json:"accepted"`
+		ShedSaturated int `json:"shed_saturated"`
+		ShedQuota     int `json:"shed_quota"`
+		Completed     int `json:"completed"`
+		Cancelled     int `json:"cancelled"`
+		Failed        int `json:"failed"`
+	} `json:"jobs"`
+	ShedRate float64 `json:"shed_rate"`
+
+	LatencyMillis struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+
+	Pools []PoolTrend `json:"pools"`
+
+	Equivalence struct {
+		Checked  int      `json:"checked"`
+		Failures int      `json:"failures"`
+		Details  []string `json:"details,omitempty"`
+	} `json:"equivalence"`
+
+	Failures []string `json:"failures,omitempty"`
+}
+
+// PoolTrend is one pool's utilization over the run.
+type PoolTrend struct {
+	Pool     int     `json:"pool"`
+	MeanUtil float64 `json:"mean_utilization"`
+	MaxUtil  float64 `json:"max_utilization"`
+	Samples  int     `json:"samples"`
+}
+
+func (g *generator) report(targetQPS float64, elapsed time.Duration) Report {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var rep Report
+	rep.Schema = "pnmcs-loadgen/v1"
+	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+	rep.Go = runtime.Version()
+	rep.TargetQPS = targetQPS
+	rep.Elapsed = elapsed.Seconds()
+
+	rep.Jobs.Accepted = g.accepted
+	rep.Jobs.ShedSaturated = g.saturated
+	rep.Jobs.ShedQuota = g.quota
+	rep.Jobs.Submitted = g.accepted + g.saturated + g.quota + len(g.failed)
+	rep.Jobs.Completed = g.completed
+	rep.Jobs.Cancelled = g.cancelled
+	rep.Jobs.Failed = len(g.failed)
+	if rep.Jobs.Submitted > 0 {
+		rep.ShedRate = float64(g.saturated+g.quota) / float64(rep.Jobs.Submitted)
+	}
+
+	if len(g.latencies) > 0 {
+		s := append([]time.Duration(nil), g.latencies...)
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		pct := func(p float64) float64 {
+			return float64(s[int(p*float64(len(s)-1))]) / float64(time.Millisecond)
+		}
+		rep.LatencyMillis.P50 = pct(0.50)
+		rep.LatencyMillis.P90 = pct(0.90)
+		rep.LatencyMillis.P99 = pct(0.99)
+		rep.LatencyMillis.Max = float64(s[len(s)-1]) / float64(time.Millisecond)
+	}
+
+	for pool := 0; pool < g.poolsSeen; pool++ {
+		samples := g.utilSamples[pool]
+		tr := PoolTrend{Pool: pool, Samples: len(samples)}
+		for _, u := range samples {
+			tr.MeanUtil += u
+			if u > tr.MaxUtil {
+				tr.MaxUtil = u
+			}
+		}
+		if len(samples) > 0 {
+			tr.MeanUtil /= float64(len(samples))
+		}
+		rep.Pools = append(rep.Pools, tr)
+	}
+
+	rep.Equivalence.Checked = g.eqChecked
+	rep.Equivalence.Failures = len(g.eqFailed)
+	rep.Equivalence.Details = g.eqFailed
+	rep.Failures = g.failed
+	return rep
+}
+
+// summary renders the human-readable digest printed after every run.
+func (r Report) summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d submitted in %.1fs (target %.3g/s): %d accepted, %d shed 503, %d shed 429, %d failed\n",
+		r.Jobs.Submitted, r.Elapsed, r.TargetQPS, r.Jobs.Accepted, r.Jobs.ShedSaturated, r.Jobs.ShedQuota, r.Jobs.Failed)
+	fmt.Fprintf(&b, "latency ms: p50 %.1f p90 %.1f p99 %.1f max %.1f; shed rate %.1f%%\n",
+		r.LatencyMillis.P50, r.LatencyMillis.P90, r.LatencyMillis.P99, r.LatencyMillis.Max, 100*r.ShedRate)
+	for _, p := range r.Pools {
+		fmt.Fprintf(&b, "pool %d: mean utilization %.0f%%, peak %.0f%% (%d samples)\n",
+			p.Pool, 100*p.MeanUtil, 100*p.MaxUtil, p.Samples)
+	}
+	fmt.Fprintf(&b, "routing equivalence: %d twin pairs checked, %d failures",
+		r.Equivalence.Checked, r.Equivalence.Failures)
+	for _, d := range r.Equivalence.Details {
+		fmt.Fprintf(&b, "\n  FAIL %s", d)
+	}
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "\n  job failure: %s", f)
+	}
+	return b.String()
+}

@@ -14,18 +14,26 @@
 //	  '{"domain":"morpion","variant":"5D","level":2,"seed":7,"memorize":true}'
 //	→ {"id":"job-1","state":"queued",...}
 //
-// Poll it, cancel it, watch the pool:
+// Poll it, stream it, cancel it, watch the pools:
 //
-//	curl -s localhost:8723/v1/jobs/job-1      # status + streaming progress
+//	curl -s localhost:8723/v1/jobs/job-1         # status snapshot
+//	curl -sN localhost:8723/v1/jobs/job-1/events # live progress, one JSON status per line until terminal
 //	curl -s -X DELETE localhost:8723/v1/jobs/job-1
-//	curl -s localhost:8723/healthz            # liveness: process is up
-//	curl -s localhost:8723/readyz             # readiness: 503 when draining or below the worker floor
-//	curl -s localhost:8723/metrics            # idle / queue-depth counters
+//	curl -s localhost:8723/v1/pools              # per-pool breakdown + tenant-shed ledger
+//	curl -s localhost:8723/healthz               # liveness: process is up
+//	curl -s localhost:8723/readyz                # readiness: 503 when draining or below the worker floor
+//	curl -s localhost:8723/metrics               # idle / queue-depth / shard counters
 //
-// A saturated service answers POST /v1/jobs with 503 and Retry-After
-// instead of queueing unboundedly. SIGINT/SIGTERM drains gracefully:
-// queued jobs are cancelled, running jobs finish (bounded by -drain),
-// and the pool is torn down with no work in flight.
+// -pools N shards the service plane across N independent worker pools
+// behind one admission layer (placement never changes a job's result),
+// and -tenant-qps puts a per-tenant token-bucket quota in front of the
+// queue: a spec's "tenant" field over its rate is shed with 429 before
+// it can displace anyone else's traffic. A saturated service answers
+// POST /v1/jobs with 503 and Retry-After instead of queueing
+// unboundedly. SIGINT/SIGTERM drains gracefully: queued jobs are
+// cancelled, running jobs finish (bounded by -drain), event streams
+// flush their terminal snapshot, and the pools are torn down with no
+// work in flight.
 //
 // With -workers > 0 the degradation policy decides what a permanently
 // lost worker costs: -replace-grace bounds how long its slot waits for a
@@ -58,7 +66,10 @@ func main() {
 	slots := flag.Int("slots", 4, "concurrent jobs served at once")
 	medians := flag.Int("medians", 4, "shared median workers")
 	clients := flag.Int("clients", 8, "shared rollout workers")
-	queue := flag.Int("queue", 16, "jobs queued beyond the running slots before 503")
+	queue := flag.Int("queue", 16, "jobs queued beyond the running slots before 503 (per pool)")
+	pools := flag.Int("pools", 1, "independent worker pools behind one admission layer (slots/medians/clients/queue are per pool; >1 requires -workers 0)")
+	tenantQPS := flag.Float64("tenant-qps", 0, "per-tenant submission rate before 429 (0 = no quotas)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant burst allowance on top of -tenant-qps (0 = qps+1)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for running jobs")
 	workers := flag.Int("workers", 0, "serve medians+clients from this many pnmcs-worker processes (0 = in-process)")
 	workerListen := flag.String("worker-listen", "127.0.0.1:8724", "TCP address pnmcs-worker processes dial (with -workers); set -worker-token before binding a non-loopback interface")
@@ -75,11 +86,14 @@ func main() {
 	speculate := flag.Int("speculate", 0, "async pipelined root: speculate the next step's candidates for this many partial-score leaders (0 = synchronous; results identical either way)")
 	flag.Parse()
 
-	mgr, err := service.New(service.Config{
+	rt, err := service.NewRouter(service.Config{
 		Slots:        *slots,
 		Medians:      *medians,
 		Clients:      *clients,
 		QueueLimit:   *queue,
+		Pools:        *pools,
+		TenantQPS:    *tenantQPS,
+		TenantBurst:  *tenantBurst,
 		Algo:         parallel.LastMinute,
 		Evaluator:    *evaluator,
 		EvalBatch:    *evalBatch,
@@ -99,63 +113,88 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newMux(mgr)}
+	srv := &http.Server{Addr: *addr, Handler: newMux(rt)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("pnmcsd listening on %s: %d slots, %d medians, %d clients, queue %d",
-		*addr, *slots, *medians, *clients, *queue)
+	log.Printf("pnmcsd listening on %s: %d pools x (%d slots, %d medians, %d clients, queue %d)",
+		*addr, rt.Pools(), *slots, *medians, *clients, *queue)
+	if *tenantQPS > 0 {
+		log.Printf("tenant quotas: %.3g qps, burst %d", *tenantQPS, *tenantBurst)
+	}
 	if *workers > 0 {
-		log.Printf("distributed pool: expecting %d pnmcs-worker processes on %s", *workers, mgr.WorkerAddr())
+		log.Printf("distributed pool: expecting %d pnmcs-worker processes on %s", *workers, rt.WorkerAddr())
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		// Startup failures (bad listen address, port in use) are fatal;
+		// ErrServerClosed only ever means an orderly Shutdown elsewhere
+		// won the race and must not take the process down mid-drain.
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
 	case s := <-sig:
 		log.Printf("%v: draining (budget %v)", s, *drain)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	srv.Shutdown(ctx) //nolint:errcheck // job drain below is the real teardown
-	if err := mgr.Shutdown(ctx); err != nil {
+	// The HTTP drain and the job drain must overlap, not sequence: an
+	// /events stream stays open until its job is terminal, so
+	// srv.Shutdown can only complete after the router has drained — and
+	// the terminal snapshots those streams flush are only guaranteed
+	// delivered once srv.Shutdown has returned. Start both, wait for both.
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- srv.Shutdown(ctx) }()
+	if err := rt.Shutdown(ctx); err != nil {
 		log.Printf("forced drain: %v", err)
+	}
+	if err := <-httpDone; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http drain: %v", err)
 	}
 	log.Print("pnmcsd stopped")
 }
 
 // newMux wires the API routes onto a fresh mux. Split from main so the
-// handler tests can drive the full HTTP surface without a socket.
-func newMux(mgr *service.Manager) *http.ServeMux {
+// handler tests can drive the full HTTP surface without a socket. The
+// daemon always serves through a Router — with -pools 1 it behaves
+// exactly like the single Manager it wraps.
+func newMux(rt *service.Router) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		handleSubmit(mgr, w, r)
+		handleSubmit(rt, w, r)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, mgr.Jobs())
+		writeJSON(w, http.StatusOK, rt.Jobs())
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		st, err := mgr.Get(r.PathValue("id"))
+		st, err := rt.Get(r.PathValue("id"))
 		if err != nil {
 			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		handleEvents(rt, w, r)
 	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
-		if err := mgr.Cancel(id); err != nil {
+		if err := rt.Cancel(id); err != nil {
 			writeError(w, err)
 			return
 		}
-		st, err := mgr.Get(id)
+		st, err := rt.Get(id)
 		if err != nil {
 			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/pools", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, rt.Metrics())
 	})
 	// Liveness and readiness are deliberately split: /healthz answers "is
 	// the process up" and nothing else, so an orchestrator never restarts
@@ -165,13 +204,50 @@ func newMux(mgr *service.Manager) *http.ServeMux {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		code, body := readiness(mgr.Metrics(), mgr.Draining())
+		rm := rt.Metrics()
+		code, body := readiness(rm.Metrics, rt.Draining())
 		writeJSON(w, code, body)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeMetrics(w, mgr.Metrics())
+		writeRouterMetrics(w, rt.Metrics())
 	})
 	return mux
+}
+
+// handleEvents streams the job's status as chunked newline-delimited
+// JSON: an immediate snapshot, then one line per observable change
+// (latest-wins — a slow reader skips intermediate states, never stalls
+// the search), always ending with the terminal status. The stream is the
+// push form of polling GET /v1/jobs/{id}; a disconnected client just
+// cancels its subscription, never the job.
+func handleEvents(rt *service.Router, w http.ResponseWriter, r *http.Request) {
+	ch, cancel, err := rt.Watch(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl, canFlush := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case st, ok := <-ch:
+			if !ok {
+				return // terminal snapshot already delivered
+			}
+			if err := enc.Encode(st); err != nil {
+				return // client went away
+			}
+			if canFlush {
+				fl.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // readiness maps the service state onto a readiness verdict. Split from
@@ -204,7 +280,7 @@ func readiness(m service.Metrics, draining bool) (int, map[string]any) {
 	return code, body
 }
 
-func handleSubmit(mgr *service.Manager, w http.ResponseWriter, r *http.Request) {
+func handleSubmit(rt *service.Router, w http.ResponseWriter, r *http.Request) {
 	var spec service.JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -214,12 +290,12 @@ func handleSubmit(mgr *service.Manager, w http.ResponseWriter, r *http.Request) 
 	}
 	// Fire-and-forget: the job's lifetime is owned by the service, not by
 	// this request's context.
-	id, err := mgr.Submit(context.Background(), spec)
+	id, err := rt.Submit(context.Background(), spec)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	st, err := mgr.Get(id)
+	st, err := rt.Get(id)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -228,13 +304,18 @@ func handleSubmit(mgr *service.Manager, w http.ResponseWriter, r *http.Request) 
 }
 
 // writeError maps service errors onto HTTP statuses: saturation is the
-// documented 503 (with Retry-After), unknown ids 404, finished jobs 409,
-// shutdown 503, anything else a 400 (the spec was at fault).
+// documented 503 (with Retry-After), a tenant over quota 429 (the
+// per-tenant verdict, distinct from the whole plane being full), unknown
+// ids 404, finished jobs 409, shutdown 503, anything else a 400 (the
+// spec was at fault).
 func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, service.ErrSaturated):
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	case errors.Is(err, service.ErrQuota):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
 	case errors.Is(err, service.ErrClosed):
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
 	case errors.Is(err, service.ErrNotFound):
@@ -258,6 +339,45 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // queue-depth instrumentation in Prometheus text exposition format.
 func writeMetrics(w http.ResponseWriter, m service.Metrics) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Write([]byte(metricsText(m))) //nolint:errcheck // client went away; nothing to do
+}
+
+// writeRouterMetrics renders the aggregate exposition plus the sharding
+// plane's series: per-pool pnmcs_shard_* breakdowns and the admission
+// layer's tenant-shed ledger.
+func writeRouterMetrics(w http.ResponseWriter, rm service.RouterMetrics) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	b.WriteString(metricsText(rm.Metrics))
+	shard := func(name, typ, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	shard("pnmcs_shard_jobs_running", "gauge", "jobs on a slot now, by pool")
+	for _, ps := range rm.PerPool {
+		fmt.Fprintf(&b, "pnmcs_shard_jobs_running{pool=\"%d\"} %d\n", ps.Pool, ps.Metrics.Running)
+	}
+	shard("pnmcs_shard_jobs_queued", "gauge", "jobs waiting for a slot, by pool")
+	for _, ps := range rm.PerPool {
+		fmt.Fprintf(&b, "pnmcs_shard_jobs_queued{pool=\"%d\"} %d\n", ps.Pool, ps.Metrics.Queued)
+	}
+	shard("pnmcs_shard_jobs_submitted_total", "counter", "jobs placed on this pool")
+	for _, ps := range rm.PerPool {
+		fmt.Fprintf(&b, "pnmcs_shard_jobs_submitted_total{pool=\"%d\"} %d\n", ps.Pool, ps.Metrics.Submitted)
+	}
+	shard("pnmcs_shard_utilization", "gauge", "running/slots busy fraction, by pool")
+	for _, ps := range rm.PerPool {
+		fmt.Fprintf(&b, "pnmcs_shard_utilization{pool=\"%d\"} %g\n", ps.Pool, ps.Utilization)
+	}
+	fmt.Fprintf(&b, "# HELP pnmcs_pools number of independent pools behind the admission layer\n# TYPE pnmcs_pools gauge\npnmcs_pools %d\n", len(rm.PerPool))
+	fmt.Fprintf(&b, "# HELP pnmcs_tenant_shed_total submissions shed by per-tenant quotas (429)\n# TYPE pnmcs_tenant_shed_total counter\npnmcs_tenant_shed_total %d\n", rm.TenantShed)
+	fmt.Fprintf(&b, "# HELP pnmcs_tenants tenant token buckets tracked\n# TYPE pnmcs_tenants gauge\npnmcs_tenants %d\n", rm.Tenants)
+	w.Write([]byte(b.String())) //nolint:errcheck // client went away; nothing to do
+}
+
+// metricsText builds the Prometheus exposition body for one Metrics
+// snapshot (the single-pool series; writeRouterMetrics appends the
+// shard-level series on top).
+func metricsText(m service.Metrics) string {
 	var b strings.Builder
 	emit := func(name, typ, help string, v any) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
@@ -318,7 +438,7 @@ func writeMetrics(w http.ResponseWriter, m service.Metrics) {
 		emit("pnmcs_net_encode_seconds_total", "counter", "codec time spent encoding frames", float64(n.EncodeNs)/1e9)
 		emit("pnmcs_net_decode_seconds_total", "counter", "codec time spent decoding frames", float64(n.DecodeNs)/1e9)
 	}
-	w.Write([]byte(b.String())) //nolint:errcheck // client went away; nothing to do
+	return b.String()
 }
 
 func b2i(b bool) int {

@@ -21,16 +21,16 @@ import (
 
 func newTestServer(t *testing.T, cfg service.Config) *http.ServeMux {
 	t.Helper()
-	mgr, err := service.New(cfg)
+	rt, err := service.NewRouter(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		mgr.Shutdown(ctx) //nolint:errcheck // best-effort teardown
+		rt.Shutdown(ctx) //nolint:errcheck // best-effort teardown
 	})
-	return newMux(mgr)
+	return newMux(rt)
 }
 
 func do(mux *http.ServeMux, method, path, body string) *httptest.ResponseRecorder {
@@ -215,10 +215,10 @@ func TestHealthAndMetrics(t *testing.T) {
 	}
 }
 
-// TestReadyzLifecycle drives /readyz through a live Manager: ready while
+// TestReadyzLifecycle drives /readyz through a live Router: ready while
 // serving, 503 with "draining" once shutdown begins.
 func TestReadyzLifecycle(t *testing.T) {
-	mgr, err := service.New(service.Config{Slots: 1, Medians: 1, Clients: 1})
+	mgr, err := service.NewRouter(service.Config{Slots: 1, Medians: 1, Clients: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,5 +337,135 @@ func TestMetricsTransportCounters(t *testing.T) {
 	// Retry accounting is transport-independent: present either way.
 	if !strings.Contains(rec.Body.String(), "pnmcs_job_retries_total 0") {
 		t.Fatalf("in-process pool missing retry counter:\n%s", rec.Body.String())
+	}
+}
+
+// TestEventsStreamToTerminal drives GET /v1/jobs/{id}/events: one JSON
+// status per line, flushed as produced, ending with the terminal
+// snapshot. The recorder path exercises the same handler the chunked
+// HTTP transport wraps.
+func TestEventsStreamToTerminal(t *testing.T) {
+	mux := newTestServer(t, service.Config{Slots: 1, Medians: 2, Clients: 2})
+	id := decodeStatus(t, do(mux, "POST", "/v1/jobs",
+		`{"domain":"sudoku","box":2,"level":2,"seed":1,"memorize":true}`)).ID
+
+	rec := do(mux, "GET", "/v1/jobs/"+id+"/events", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("events: %d\n%s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty event stream")
+	}
+	var last service.JobStatus
+	for i, line := range lines {
+		var st service.JobStatus
+		if err := json.Unmarshal([]byte(line), &st); err != nil {
+			t.Fatalf("event %d not a status: %v\n%s", i, err, line)
+		}
+		if st.ID != id {
+			t.Fatalf("event %d for job %s, want %s", i, st.ID, id)
+		}
+		last = st
+	}
+	if last.State != service.StateDone || last.Score != 16 {
+		t.Fatalf("stream ended on %s score %v, want terminal done/16", last.State, last.Score)
+	}
+
+	// A terminal job's stream is its final snapshot, once.
+	rec = do(mux, "GET", "/v1/jobs/"+id+"/events", "")
+	lines = strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("terminal stream has %d events, want 1:\n%s", len(lines), rec.Body.String())
+	}
+	if rec := do(mux, "GET", "/v1/jobs/job-404/events", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown events: %d", rec.Code)
+	}
+}
+
+// TestPoolsEndpointAndShardMetrics pins the sharded surface: /v1/pools
+// reports one entry per pool with the jobs spread across them, and
+// /metrics grows the pnmcs_shard_* and tenant series.
+func TestPoolsEndpointAndShardMetrics(t *testing.T) {
+	mux := newTestServer(t, service.Config{Pools: 2, Slots: 1, Medians: 1, Clients: 2, QueueLimit: 8})
+	var ids []string
+	for seed := 1; seed <= 4; seed++ {
+		body := fmt.Sprintf(`{"domain":"sudoku","box":2,"level":2,"seed":%d,"memorize":true}`, seed)
+		rec := do(mux, "POST", "/v1/jobs", body)
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", seed, rec.Code)
+		}
+		ids = append(ids, decodeStatus(t, rec).ID)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for _, id := range ids {
+		for !decodeStatus(t, do(mux, "GET", "/v1/jobs/"+id, "")).State.Terminal() {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never finished", id)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	rec := do(mux, "GET", "/v1/pools", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pools: %d", rec.Code)
+	}
+	var rm service.RouterMetrics
+	if err := json.Unmarshal(rec.Body.Bytes(), &rm); err != nil {
+		t.Fatalf("pools JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(rm.PerPool) != 2 {
+		t.Fatalf("pools listing has %d entries, want 2", len(rm.PerPool))
+	}
+	if rm.Submitted != 4 || rm.Completed != 4 {
+		t.Fatalf("aggregate submitted %d completed %d, want 4/4", rm.Submitted, rm.Completed)
+	}
+	for i, ps := range rm.PerPool {
+		if ps.Metrics.Submitted == 0 {
+			t.Fatalf("pool %d never placed a job; least-loaded routing broken: %+v", i, rm.PerPool)
+		}
+	}
+
+	body := do(mux, "GET", "/metrics", "").Body.String()
+	for _, want := range []string{
+		"pnmcs_pools 2",
+		`pnmcs_shard_jobs_submitted_total{pool="0"}`,
+		`pnmcs_shard_jobs_submitted_total{pool="1"}`,
+		`pnmcs_shard_utilization{pool="0"}`,
+		"pnmcs_tenant_shed_total 0",
+		"pnmcs_jobs_submitted_total 4",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestTenantQuota429 pins the admission mapping: a tenant over its
+// token-bucket rate is shed with 429 + Retry-After, and the shed shows
+// up in the tenant ledger.
+func TestTenantQuota429(t *testing.T) {
+	mux := newTestServer(t, service.Config{
+		Slots: 2, Medians: 1, Clients: 2, QueueLimit: 8,
+		TenantQPS: 0.001, TenantBurst: 1, // one submission, then a long wait
+	})
+	body := `{"domain":"sudoku","box":2,"level":2,"seed":1,"memorize":true,"tenant":"alice"}`
+	if rec := do(mux, "POST", "/v1/jobs", body); rec.Code != http.StatusAccepted {
+		t.Fatalf("first submit: %d\n%s", rec.Code, rec.Body.String())
+	}
+	rec := do(mux, "POST", "/v1/jobs", body)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	metrics := do(mux, "GET", "/metrics", "").Body.String()
+	if !strings.Contains(metrics, "pnmcs_tenant_shed_total 1") {
+		t.Fatalf("shed not counted:\n%s", metrics)
 	}
 }

@@ -241,10 +241,22 @@ func TestDistributedServiceRetryToSuccess(t *testing.T) {
 		// Degrade off: any abandonment fails the pool until capacity
 		// returns. Short grace + short backoff keep the test fast.
 		ReplaceGrace: 100 * time.Millisecond,
-		Retry:        RetryPolicy{Max: 8, Backoff: 50 * time.Millisecond},
+		Retry:        RetryPolicy{Max: 20, Backoff: 50 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	// Cap each retry delay at 10ms of real time: the exponential schedule
+	// itself is pinned by TestRetryDelayBoundsAndDeterminism; this test is
+	// about the fail-fast → re-queue → revive pipeline, not about waiting
+	// it out. Pacing (not zero delay) is kept so the budget of attempts
+	// spans the replacement worker's handshake; Max 20 gives ~200ms of
+	// revival window against a ~10ms rejoin.
+	m.after = func(d time.Duration, f func()) *time.Timer {
+		if d > 10*time.Millisecond {
+			d = 10 * time.Millisecond
+		}
+		return time.AfterFunc(d, f)
 	}
 
 	serve := func(w *mpi.NetWorker) chan struct{} {

@@ -34,11 +34,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/game"
 	"repro/internal/parallel"
 	"repro/internal/rng"
+	"repro/internal/vtime"
 )
 
 // Config sizes a Manager.
@@ -133,6 +135,38 @@ type Config struct {
 	// Speculate leaders. 0 (the default) keeps the synchronous pull root;
 	// results are bit-identical either way.
 	Speculate int
+
+	// Pools shards the service plane across that many independent worker
+	// pools behind one admission layer (consumed by NewRouter; a Manager
+	// built with New always owns exactly one pool). Each shard gets its
+	// own Slots/Medians/Clients/QueueLimit/cache as configured above, so
+	// total capacity scales linearly with Pools. Routing is placement,
+	// never semantics: a job's result is bit-identical on 1 or N pools.
+	// Default 1. Pools > 1 requires Workers == 0 (a distributed rank
+	// world has exactly one coordinator listener).
+	Pools int
+	// TenantQPS, when positive, enforces a per-tenant token-bucket quota
+	// at admission (consumed by NewRouter): each JobSpec.Tenant refills at
+	// TenantQPS submissions per second up to TenantBurst, and a submission
+	// finding the bucket empty is shed with ErrQuota (HTTP 429) before it
+	// can occupy queue capacity. Zero disables quotas.
+	TenantQPS float64
+	// TenantBurst caps a tenant's bucket — the submissions it may burst
+	// above the steady rate. Defaults to ceil(TenantQPS)+1 when quotas
+	// are on.
+	TenantBurst int
+
+	// Clock supplies the time source behind JobStatus timestamps and
+	// quota refill (nil = the host monotonic clock). Virtual-time tests
+	// inject a fake to cover retention, latency and quota logic without
+	// real sleeps. Job results never depend on it.
+	Clock vtime.Clock
+	// SeedBase seeds the manager's private default-seed stream for jobs
+	// submitted with Seed == 0 (see Submit). Zero draws a startup seed
+	// from the clock mixed with a process-wide counter, so managers
+	// created in the same clock tick still hand out disjoint defaults;
+	// tests set it to make assigned seeds reproducible.
+	SeedBase uint64
 }
 
 // RetryPolicy bounds the per-job retry loop.
@@ -156,17 +190,15 @@ func (c Config) withDefaults() Config {
 	if c.Clients <= 0 {
 		c.Clients = 8
 	}
+	// The negative "disabled" sentinels survive normalization so that
+	// withDefaults is idempotent (NewRouter normalizes once for the
+	// admission layer, newManager again per pool); clampNonNegative
+	// applies them at the use sites.
 	if c.QueueLimit == 0 {
 		c.QueueLimit = 16
 	}
-	if c.QueueLimit < 0 {
-		c.QueueLimit = 0
-	}
 	if c.Retain == 0 {
 		c.Retain = 1024
-	}
-	if c.Retain < 0 {
-		c.Retain = 0
 	}
 	// Loopback by default: without a WorkerToken the worker handshake
 	// accepts any dialer, so a distributed manager must not listen on all
@@ -177,7 +209,25 @@ func (c Config) withDefaults() Config {
 	if c.Retry.Max > 0 && c.Retry.Backoff <= 0 {
 		c.Retry.Backoff = 250 * time.Millisecond
 	}
+	if c.Pools <= 0 {
+		c.Pools = 1
+	}
+	if c.TenantQPS > 0 && c.TenantBurst <= 0 {
+		c.TenantBurst = int(c.TenantQPS) + 1
+	}
+	if c.Clock == nil {
+		c.Clock = vtime.Wall()
+	}
 	return c
+}
+
+// clampNonNegative reads a config bound whose negative sentinel means
+// "disabled" (QueueLimit, Retain): any negative value acts as zero.
+func clampNonNegative(n int) int {
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 // JobState is a job's position in its lifecycle.
@@ -275,6 +325,12 @@ var ErrNotFound = errors.New("service: no such job")
 // terminal state.
 var ErrFinished = errors.New("service: job already finished")
 
+// ErrQuota is returned by Router.Submit when the submitting tenant's
+// token bucket is empty (Config.TenantQPS). Unlike ErrSaturated it is a
+// per-tenant verdict: other tenants are still being admitted.
+// cmd/pnmcsd maps it to HTTP 429.
+var ErrQuota = errors.New("service: tenant quota exhausted")
+
 // job is the manager-internal record of one submission.
 type job struct {
 	status   JobStatus
@@ -286,6 +342,10 @@ type job struct {
 	// re-submission; while it is non-nil the job is StateQueued but NOT
 	// in m.queue (Cancel and Shutdown must stop the timer, not splice).
 	retryTimer *time.Timer
+	// watchers are the live Watch subscriptions: cap-1 channels carrying
+	// the latest status snapshot (stale intermediates are coalesced away
+	// under m.mu). All closed when the job turns terminal.
+	watchers []chan JobStatus
 }
 
 // Manager is the concurrent search service. Create with New, submit with
@@ -295,6 +355,13 @@ type Manager struct {
 	cfg  Config
 	pool *parallel.Pool
 
+	// clock meters every JobStatus timestamp and epoch anchors its
+	// readings to wall time: a timestamp is epoch + clock.Now(). With the
+	// default wall clock that is ordinary wall time; with an injected
+	// virtual clock, timestamps advance exactly when the test advances it.
+	clock vtime.Clock
+	epoch time.Time
+
 	mu        sync.Mutex
 	jobs      map[string]*job
 	terminal  []string // terminal job ids, oldest first, for Retain eviction
@@ -302,7 +369,17 @@ type Manager struct {
 	freeSlots []int
 	closed    bool
 	drained   chan struct{} // closed when the first Shutdown finishes
-	nextID    int64
+	// nextID advances by idStride per submission: a Router gives each of
+	// its N pools a distinct start in [1, N] and stride N, so job ids are
+	// globally unique and still sort by submission order pool-locally.
+	nextID   int64
+	idStride int64
+	// seedBase/seedCtr derive default seeds for unset-seed jobs: one
+	// startup draw (or Config.SeedBase) folded with a private counter.
+	// Unlike the clock-per-submission scheme this replaced, burst
+	// submissions landing in the same nanosecond tick cannot collide.
+	seedBase uint64
+	seedCtr  uint64
 
 	submitted, rejected, completed, cancelled, failed, retried int64
 
@@ -311,12 +388,35 @@ type Manager struct {
 	// math/rand both removes the global lock from the retry path and makes
 	// the backoff schedule reproducible under Config.RetrySeed.
 	retryRng *rng.Rand
+	// after arms the retry-backoff timer; time.AfterFunc outside tests,
+	// which inject a zero-delay variant to run the retry path without
+	// real sleeps.
+	after func(time.Duration, func()) *time.Timer
+}
+
+// startupEntropy decorrelates seed draws of managers created within the
+// same clock tick: every draw folds the nanosecond clock with a
+// process-wide counter, so two pools built back-to-back (exactly what
+// NewRouter does) never share a default-seed stream or retry-jitter
+// schedule even when the clock has not advanced between them.
+var startupEntropy atomic.Uint64
+
+func startupSeed() uint64 {
+	return rng.Fold(uint64(time.Now().UnixNano()), startupEntropy.Add(1))
 }
 
 // New builds the worker pool — in-process goroutines by default, a
 // distributed coordinator when Config.Workers is set — and returns an
-// idle Manager.
+// idle Manager owning one pool. For a sharded, quota-governed service
+// plane spanning several pools, use NewRouter.
 func New(cfg Config) (*Manager, error) {
+	return newManager(cfg, 1, 1)
+}
+
+// newManager is New with explicit job-id numbering: ids are
+// "job-(idStart + n*idStride)". A Router spreads its pools across
+// disjoint residues so ids stay globally unique without coordination.
+func newManager(cfg Config, idStart, idStride int64) (*Manager, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Evaluator != "" && !game.HasEvaluator(cfg.Evaluator) {
 		return nil, fmt.Errorf("service: unknown default evaluator %q (registered: %v)",
@@ -353,14 +453,27 @@ func New(cfg Config) (*Manager, error) {
 	}
 	seed := cfg.RetrySeed
 	if seed == 0 {
-		seed = uint64(time.Now().UnixNano())
+		// A raw UnixNano here would hand two managers built in the same
+		// tick identical jitter schedules; the entropy counter breaks the
+		// tie.
+		seed = startupSeed()
+	}
+	seedBase := cfg.SeedBase
+	if seedBase == 0 {
+		seedBase = startupSeed()
 	}
 	m := &Manager{
 		cfg:      cfg,
 		pool:     pool,
+		clock:    cfg.Clock,
+		epoch:    time.Now(),
 		jobs:     make(map[string]*job),
 		drained:  make(chan struct{}),
+		nextID:   idStart - idStride,
+		idStride: idStride,
+		seedBase: seedBase,
 		retryRng: rng.New(seed),
+		after:    time.AfterFunc,
 	}
 	for s := cfg.Slots - 1; s >= 0; s-- {
 		m.freeSlots = append(m.freeSlots, s)
@@ -368,22 +481,119 @@ func New(cfg Config) (*Manager, error) {
 	return m, nil
 }
 
+// now is the timestamp source for JobStatus fields: the manager's epoch
+// advanced by the injected clock's reading.
+func (m *Manager) now() time.Time { return m.epoch.Add(m.clock.Now()) }
+
+// nextSeedLocked hands out the next default seed for a job submitted with
+// Seed == 0: the startup base folded with a monotonically advancing
+// counter, so a burst of submissions can never repeat a seed the way the
+// clock-tick scheme this replaced could (the counter advances even when
+// the clock does not; residual collisions are the 2^-64 hash kind, not
+// the same-nanosecond kind). 0 — the "unset" sentinel — is skipped so an
+// assigned seed always round-trips through the spec. Caller holds m.mu.
+func (m *Manager) nextSeedLocked() uint64 {
+	for {
+		m.seedCtr++
+		if s := rng.Fold(m.seedBase, m.seedCtr); s != 0 {
+			return s
+		}
+	}
+}
+
 // finishLocked records a job's transition to a terminal state: closes its
-// done channel and evicts the oldest terminal jobs beyond Config.Retain.
-// Caller holds m.mu and has already set the terminal status.
+// done channel, delivers the final snapshot to every watcher and closes
+// them, and evicts the oldest terminal jobs beyond Config.Retain. Caller
+// holds m.mu and has already set the terminal status.
 func (m *Manager) finishLocked(j *job) {
 	close(j.done)
+	m.notifyLocked(j)
+	for _, ch := range j.watchers {
+		close(ch)
+	}
+	j.watchers = nil
 	m.terminal = append(m.terminal, j.status.ID)
-	for len(m.terminal) > m.cfg.Retain {
+	for len(m.terminal) > clampNonNegative(m.cfg.Retain) {
 		delete(m.jobs, m.terminal[0])
 		m.terminal = m.terminal[:copy(m.terminal, m.terminal[1:])]
 	}
+}
+
+// notifyLocked pushes the job's current snapshot to every watcher,
+// latest-wins: a watcher that has not drained the previous snapshot has
+// it replaced rather than queued behind (the stream is a state feed, not
+// an event log — only the freshest state and the terminal state matter).
+// Caller holds m.mu; all sends happen under it, so after draining the
+// cap-1 buffer the re-send cannot block.
+func (m *Manager) notifyLocked(j *job) {
+	for _, ch := range j.watchers {
+		snap := snapshotLocked(j)
+		select {
+		case ch <- snap:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			ch <- snap
+		}
+	}
+}
+
+// Watch subscribes to a job's status stream: the returned channel carries
+// the current snapshot immediately, then a fresh snapshot on every state
+// or progress change (intermediates coalesced, latest wins), and is
+// closed after the terminal snapshot is delivered. The cancel function
+// detaches the subscription; it is safe to call at any point, any number
+// of times. Watching an already-terminal job yields its final status and
+// an immediately closed channel. cmd/pnmcsd streams this channel as the
+// GET /v1/jobs/{id}/events response.
+func (m *Manager) Watch(id string) (<-chan JobStatus, func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ch := make(chan JobStatus, 1)
+	ch <- snapshotLocked(j)
+	if j.status.State.Terminal() {
+		close(ch)
+		return ch, func() {}, nil
+	}
+	j.watchers = append(j.watchers, ch)
+	cancel := func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for i, w := range j.watchers {
+			if w == ch {
+				j.watchers = append(j.watchers[:i], j.watchers[i+1:]...)
+				return
+			}
+		}
+	}
+	return ch, cancel, nil
+}
+
+// Load is the number of admitted, non-terminal jobs — occupied slots plus
+// the waiting queue. It is the cheap signal the Router ranks pools by;
+// unlike Metrics it never walks the retained-job map.
+func (m *Manager) Load() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return (m.cfg.Slots - len(m.freeSlots)) + len(m.queue)
 }
 
 // Submit accepts a job for execution and returns its id without waiting
 // for it to run. The spec is validated up front (invalid specs are
 // rejected synchronously, not recorded as failed jobs). When every slot
 // is busy and the queue is full, Submit returns ErrSaturated.
+//
+// A spec with Seed == 0 is treated as unseeded: the manager assigns it
+// the next seed of a private counter-derived stream (distinct across a
+// burst of submissions, unlike the clock tick this replaced) and records
+// the assignment in the job's status, keeping every result reproducible.
+// Callers that want the literal behaviour of a fixed seed set one.
 //
 // ctx bounds the job's whole lifetime: if it is cancelled while the job
 // is queued or running, the job is cancelled as by Cancel. Use
@@ -398,19 +608,25 @@ func (m *Manager) Submit(ctx context.Context, spec JobSpec) (string, error) {
 		m.mu.Unlock()
 		return "", ErrClosed
 	}
-	if len(m.freeSlots) == 0 && len(m.queue) >= m.cfg.QueueLimit {
+	if len(m.freeSlots) == 0 && len(m.queue) >= clampNonNegative(m.cfg.QueueLimit) {
 		m.rejected++
 		m.mu.Unlock()
 		return "", ErrSaturated
 	}
-	m.nextID++
+	m.nextID += m.idStride
 	m.submitted++
+	if spec.Seed == 0 {
+		// Unset seed: assign one from the manager-private counter stream
+		// and record it in the job's spec, so the status always names the
+		// seed that reproduces the result (solo, or resubmitted).
+		spec.Seed = m.nextSeedLocked()
+	}
 	j := &job{
 		status: JobStatus{
 			ID:        fmt.Sprintf("job-%d", m.nextID),
 			State:     StateQueued,
 			Spec:      spec,
-			Submitted: time.Now(),
+			Submitted: m.now(),
 		},
 		slot:     -1,
 		queuePos: -1,
@@ -444,7 +660,8 @@ func (m *Manager) dispatchLocked(j *job) {
 	j.slot = slot
 	j.queuePos = -1
 	j.status.State = StateRunning
-	j.status.Started = time.Now()
+	j.status.Started = m.now()
+	m.notifyLocked(j)
 	go m.run(j, slot)
 }
 
@@ -474,6 +691,7 @@ func (m *Manager) run(j *job, slot int) {
 				j.status.Steps = p.Steps
 				j.status.BestScore = p.BestScore
 				j.status.Sequence = p.Sequence
+				m.notifyLocked(j)
 				m.mu.Unlock()
 			})
 		}
@@ -496,13 +714,14 @@ func (m *Manager) run(j *job, slot int) {
 		j.status.State = StateQueued
 		j.status.Error = err.Error() // last failure, visible while waiting
 		j.status.Degraded = res.Degraded
-		j.retryTimer = time.AfterFunc(m.retryDelayLocked(j.status.Retries), func() { m.requeue(j) })
+		j.retryTimer = m.after(m.retryDelayLocked(j.status.Retries), func() { m.requeue(j) })
+		m.notifyLocked(j)
 		m.freeSlots = append(m.freeSlots, slot)
 		m.serveQueueLocked()
 		m.mu.Unlock()
 		return
 	}
-	j.status.Finished = time.Now()
+	j.status.Finished = m.now()
 	j.status.Steps = res.Steps
 	j.status.Sequence = res.Sequence
 	j.status.Score = res.Score
@@ -670,7 +889,7 @@ func (m *Manager) Cancel(id string) error {
 		}
 		j.queuePos = -1
 		j.status.State = StateCancelled
-		j.status.Finished = time.Now()
+		j.status.Finished = m.now()
 		j.status.Stopped = true
 		m.cancelled++
 		m.finishLocked(j)
@@ -753,7 +972,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		j.retryTimer = nil
 		j.cancel = true
 		j.status.State = StateCancelled
-		j.status.Finished = time.Now()
+		j.status.Finished = m.now()
 		j.status.Stopped = true
 		m.cancelled++
 		m.finishLocked(j)
@@ -764,7 +983,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		j.queuePos = -1
 		j.cancel = true
 		j.status.State = StateCancelled
-		j.status.Finished = time.Now()
+		j.status.Finished = m.now()
 		j.status.Stopped = true
 		m.cancelled++
 		m.finishLocked(j)

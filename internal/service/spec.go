@@ -20,6 +20,14 @@ type JobSpec struct {
 	// Domain is "morpion", "samegame" or "sudoku".
 	Domain string `json:"domain"`
 
+	// Tenant names the submitting principal for admission control: a
+	// Router with Config.TenantQPS set charges this tenant's token
+	// bucket before the job can occupy any queue capacity (empty is a
+	// tenant like any other — omitting the field does not bypass
+	// quotas). Purely an admission label: it never reaches the search
+	// and never changes a result.
+	Tenant string `json:"tenant,omitempty"`
+
 	// Variant is the Morpion rule set ("5T", "5D", "4T", "4D");
 	// default "5D", the paper's variant. Ignored by other domains.
 	Variant string `json:"variant,omitempty"`

@@ -119,6 +119,113 @@ func TestJobManagerStorm(t *testing.T) {
 	}
 }
 
+// TestRetainEvictionUnderSaturationStorm (ISSUE 10 satellite) drives the
+// queue past QueueLimit from many goroutines while a tiny Retain bound
+// evicts terminals underneath: ErrSaturated must actually fire, evicted
+// ids must answer ErrNotFound (never a stale snapshot), and the job map
+// must end bounded by Retain + capacity.
+func TestRetainEvictionUnderSaturationStorm(t *testing.T) {
+	const retain = 3
+	m := newTestManager(t, Config{Slots: 2, Medians: 1, Clients: 2, QueueLimit: 2, Retain: retain})
+
+	// Deterministic saturation first: fill both slots and both queue
+	// places with slow jobs, prove the next submit sheds, then release.
+	var slow []string
+	for i := 0; i < 4; i++ {
+		id, err := m.Submit(context.Background(), slowSpec(uint64(900+i)))
+		if err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+		slow = append(slow, id)
+	}
+	if _, err := m.Submit(context.Background(), tinySpec(999)); err != ErrSaturated {
+		t.Fatalf("submit at capacity: %v, want ErrSaturated", err)
+	}
+	for _, id := range slow {
+		if err := m.Cancel(id); err != nil && err != ErrFinished {
+			t.Fatal(err)
+		}
+		if _, err := m.Wait(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		accepted  []string
+		saturated = 1 // the deterministic shed above
+	)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				// Fast jobs, so terminals accumulate and Retain evicts
+				// while later submits are still arriving.
+				id, err := m.Submit(context.Background(), tinySpec(uint64(1+w*8+i)))
+				if err != nil {
+					if err == ErrSaturated {
+						mu.Lock()
+						saturated++
+						mu.Unlock()
+						continue
+					}
+					t.Errorf("submit w%d/%d: %v", w, i, err)
+					return
+				}
+				mu.Lock()
+				accepted = append(accepted, id)
+				mu.Unlock()
+				if i%3 == 0 {
+					go m.Cancel(id) //nolint:errcheck // racing completion is the point
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	// Wait for the survivors; storm ids may already be Retain-evicted
+	// (ErrNotFound), never stale or stuck.
+	for _, id := range accepted {
+		st, err := m.Wait(context.Background(), id)
+		switch {
+		case err == ErrNotFound:
+			// finished and evicted before we looked — fine
+		case err != nil:
+			t.Fatalf("wait %s: %v", id, err)
+		case !st.State.Terminal():
+			t.Fatalf("job %s not terminal: %s", id, st.State)
+		}
+	}
+	// Push retain+1 fresh terminals through sequentially: every storm-era
+	// job is now certainly beyond the retention window.
+	for i := 0; i <= retain; i++ {
+		id, err := m.Submit(context.Background(), tinySpec(uint64(800+i)))
+		if err != nil {
+			t.Fatalf("post-storm submit %d: %v", i, err)
+		}
+		if _, err := m.Wait(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range append(slow, accepted...) {
+		if _, err := m.Get(id); err != ErrNotFound {
+			t.Fatalf("storm job %s survived eviction: %v", id, err)
+		}
+	}
+	// Quiescent: the map holds exactly the retained terminals.
+	if got := len(m.Jobs()); got != retain {
+		t.Fatalf("job map holds %d entries after storm, want %d", got, retain)
+	}
+	mt := m.Metrics()
+	if int(mt.Rejected) != saturated {
+		t.Fatalf("metrics rejected %d, callers saw %d ErrSaturated", mt.Rejected, saturated)
+	}
+}
+
 // TestSubmitCancelShutdownStorm hammers the manager's control plane from
 // many goroutines at once — submits racing cancels racing an eventual
 // shutdown — looking for deadlocks and data races rather than results.

@@ -181,15 +181,25 @@ type (
 	// ServiceMetrics aggregates the service counters and the pool's
 	// idle / queue-depth instrumentation.
 	ServiceMetrics = service.Metrics
+	// Router is the sharded service plane: N independent Services behind
+	// one admission layer (per-tenant quotas, least-loaded placement with
+	// saturation spillover). Routing is placement, never semantics: a
+	// job's result is bit-identical on 1 pool or N. Build with NewRouter.
+	Router = service.Router
+	// RouterMetrics aggregates the counters across every pool and carries
+	// the per-pool breakdown plus the tenant-shed ledger.
+	RouterMetrics = service.RouterMetrics
 )
 
 // Service errors surfaced to callers: saturation (bounded-queue
-// backpressure), shutdown, unknown ids, and double-cancellation.
+// backpressure), per-tenant quota exhaustion, shutdown, unknown ids, and
+// double-cancellation.
 var (
 	ErrServiceSaturated = service.ErrSaturated
 	ErrServiceClosed    = service.ErrClosed
 	ErrJobNotFound      = service.ErrNotFound
 	ErrJobFinished      = service.ErrFinished
+	ErrTenantQuota      = service.ErrQuota
 )
 
 // New builds the persistent worker pool and returns an idle service.
@@ -213,6 +223,25 @@ func New(opts ...Option) (*Service, error) {
 	return service.New(cfg)
 }
 
+// NewRouter builds a sharded service plane from the same options New
+// accepts: WithPools(n) spreads jobs across n independent pools behind
+// one admission layer, and WithTenantQPS puts a per-tenant token-bucket
+// quota in front of the queues. With one pool and no quotas it behaves
+// exactly like the Service New builds.
+//
+//	rt, err := pnmcs.NewRouter(
+//		pnmcs.WithPools(4),
+//		pnmcs.WithSlots(2),          // per pool
+//		pnmcs.WithTenantQPS(50, 10), // 50 jobs/s, burst 10, per tenant
+//	)
+func NewRouter(opts ...Option) (*Router, error) {
+	var cfg ServiceConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return service.NewRouter(cfg)
+}
+
 // Option customizes one knob of a Service built by New. Every option
 // writes one field of service.Config — the single source of truth for the
 // knob's semantics and default — so the two construction styles can never
@@ -233,6 +262,20 @@ func WithPool(medians, clients int) Option {
 // negative means no queue. Submissions beyond it fail with
 // ErrServiceSaturated.
 func WithQueueLimit(n int) Option { return func(c *ServiceConfig) { c.QueueLimit = n } }
+
+// WithPools shards a NewRouter-built service plane across n independent
+// worker pools (default 1); slots, medians, clients and queue are per
+// pool, so capacity scales linearly. Requires in-process pools (no
+// WithWorkers) when n > 1. Ignored by New, which always builds one pool.
+func WithPools(n int) Option { return func(c *ServiceConfig) { c.Pools = n } }
+
+// WithTenantQPS puts a token-bucket quota in front of a NewRouter-built
+// plane: each JobSpec.Tenant may submit at qps sustained with the given
+// burst allowance (burst <= 0 defaults to qps+1); beyond it Submit fails
+// with ErrTenantQuota before the job holds any queue capacity.
+func WithTenantQPS(qps float64, burst int) Option {
+	return func(c *ServiceConfig) { c.TenantQPS, c.TenantBurst = qps, burst }
+}
 
 // WithRetain bounds the finished jobs kept for status queries
 // (default 1024); negative evicts terminal jobs immediately.

@@ -5,6 +5,7 @@ package pnmcs_test
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -150,6 +151,63 @@ func TestFacadeService(t *testing.T) {
 	}
 	if m := svc.Metrics(); m.Completed != 1 || m.Pool.Jobs == 0 {
 		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+// TestFacadeRouter drives the sharded plane through the facade: jobs
+// placed across pools return bit-identical results to the single-pool
+// Service, tenants over quota are shed with ErrTenantQuota, and the
+// aggregate metrics carry the per-pool breakdown.
+func TestFacadeRouter(t *testing.T) {
+	rt, err := pnmcs.NewRouter(
+		pnmcs.WithPools(2),
+		pnmcs.WithSlots(1),
+		pnmcs.WithPool(1, 2),
+		pnmcs.WithQueueLimit(8),
+		pnmcs.WithTenantQPS(0.001, 3), // burst 3, negligible refill
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := rt.Shutdown(context.Background()); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	spec := pnmcs.JobSpec{Domain: "sudoku", Box: 2, Level: 2, Seed: 3, Memorize: true, Tenant: "t0"}
+	var last pnmcs.JobStatus
+	for i := 0; i < 3; i++ {
+		id, err := rt.Submit(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if last, err = rt.Wait(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+		if last.State != "done" || last.Score != 16 {
+			t.Fatalf("router job %d: state %s score %v", i, last.State, last.Score)
+		}
+	}
+	// The burst of 3 is spent and the refill rate is negligible: the 4th
+	// submission is shed.
+	if _, err := rt.Submit(context.Background(), spec); !errors.Is(err, pnmcs.ErrTenantQuota) {
+		t.Fatalf("over-quota submit: %v, want ErrTenantQuota", err)
+	}
+
+	solo, err := pnmcs.RunWall(2, 1, pnmcs.ParallelConfig{
+		Level: 2, Root: pnmcs.NewSudoku(2), Seed: 3, Memorize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Score != solo.Score || len(last.Sequence) != len(solo.Sequence) {
+		t.Fatalf("router %v/%d != solo %v/%d", last.Score, len(last.Sequence), solo.Score, len(solo.Sequence))
+	}
+
+	m := rt.Metrics()
+	if m.Completed != 3 || len(m.PerPool) != 2 || m.TenantShed != 1 {
+		t.Fatalf("router metrics: completed %d pools %d shed %d", m.Completed, len(m.PerPool), m.TenantShed)
 	}
 }
 
